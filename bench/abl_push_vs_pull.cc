@@ -1,0 +1,57 @@
+// Ablation: the RDMA design space of Section 3.2.2 in one table -- two-sided
+// SEND/RECV (channel semantics, the paper's evaluated configuration),
+// one-sided WRITE (push, receiver preallocates histogram-sized regions), and
+// one-sided READ (pull, senders stage locally and receivers fetch), for a
+// 2048M x 2048M join on 4 FDR machines.
+//
+// Expected shape: the two push designs are close (two-sided pays receiver
+// copies, one-sided pays the up-front registration of large destination
+// regions); the pull design loses the compute/transfer overlap (it must
+// stage everything before reads can start) and pays sender-side staging
+// registration, so its network pass is the longest.
+
+#include "bench/bench_common.h"
+#include "cluster/presets.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace rdmajoin;
+  const bench::Options opt = bench::ParseOptions(argc, argv);
+  std::printf("Ablation: channel vs one-sided WRITE vs one-sided READ,\n"
+              "2048M x 2048M, 4 FDR machines\n");
+  bench::PrintScaleNote(opt);
+
+  struct Variant {
+    const char* label;
+    TransportKind transport;
+  };
+  const Variant variants[] = {
+      {"two-sided SEND/RECV (paper)", TransportKind::kRdmaChannel},
+      {"one-sided WRITE (push)", TransportKind::kRdmaMemory},
+      {"one-sided READ (pull)", TransportKind::kRdmaRead},
+  };
+
+  TablePrinter table("transport design space");
+  table.SetHeader({"variant", "network_part", "setup_reg_s", "total",
+                   "messages", "verified"});
+  for (const Variant& v : variants) {
+    ClusterConfig cluster = FdrCluster(4);
+    cluster.transport = v.transport;
+    auto run = bench::RunPaperJoin(cluster, 2048, 2048, opt);
+    if (!run.ok) {
+      table.AddRow({v.label, "-", "-", run.error, "-", "-"});
+      continue;
+    }
+    table.AddRow({v.label, TablePrinter::Num(run.times.network_partition_seconds),
+                  TablePrinter::Num(run.net.setup_registration_seconds, 3),
+                  TablePrinter::Num(run.times.TotalSeconds()),
+                  TablePrinter::Int(static_cast<long long>(run.net.messages_sent)),
+                  run.verified ? "yes" : "NO"});
+  }
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+#ifndef RDMAJOIN_BENCH_BENCH_COMMON_H_
+#define RDMAJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "join/distributed_join.h"
+#include "workload/generator.h"
+
+namespace rdmajoin {
+namespace bench {
+
+/// Command-line/environment options shared by all figure harnesses.
+///
+/// The harnesses run the paper's workloads on a scaled data path: the
+/// simulation moves paper_tuples / scale_up real tuples (with RDMA buffers
+/// co-scaled), and all reported times are virtual full-scale seconds directly
+/// comparable to the paper's figures. Lower scale_up = more fidelity, more
+/// runtime. Override with --scale=N or RDMAJOIN_SCALE_UP=N.
+struct Options {
+  double scale_up = 1024.0;
+  bool csv = false;
+  uint64_t seed = 42;
+};
+
+inline Options ParseOptions(int argc, char** argv, double default_scale = 1024.0) {
+  Options opt;
+  opt.scale_up = default_scale;
+  if (const char* env = std::getenv("RDMAJOIN_SCALE_UP")) {
+    opt.scale_up = std::atof(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      opt.scale_up = std::atof(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  if (opt.scale_up < 1.0) opt.scale_up = 1.0;
+  return opt;
+}
+
+/// One experiment execution: result verification plus the virtual times.
+struct RunOutcome {
+  bool ok = false;
+  bool verified = false;
+  std::string error;
+  PhaseTimes times;
+  JoinResultStats stats;
+  NetworkSummary net;
+  ReplayReport replay;
+};
+
+/// Extra knobs applied on top of the default JoinConfig.
+using ConfigTweak = std::function<void(JoinConfig*)>;
+
+/// Runs the distributed join on `cluster` with a workload of
+/// `inner_mtuples` x `outer_mtuples` million tuples (paper units).
+inline RunOutcome RunPaperJoin(const ClusterConfig& cluster, double inner_mtuples,
+                               double outer_mtuples, const Options& opt,
+                               double zipf_theta = 0.0, uint32_t tuple_bytes = 16,
+                               const ConfigTweak& tweak = nullptr) {
+  RunOutcome out;
+  WorkloadSpec spec;
+  spec.inner_tuples =
+      static_cast<uint64_t>(inner_mtuples * 1e6 / opt.scale_up + 0.5);
+  spec.outer_tuples =
+      static_cast<uint64_t>(outer_mtuples * 1e6 / opt.scale_up + 0.5);
+  spec.tuple_bytes = tuple_bytes;
+  spec.zipf_theta = zipf_theta;
+  spec.seed = opt.seed;
+  auto workload = GenerateWorkload(spec, cluster.num_machines);
+  if (!workload.ok()) {
+    out.error = workload.status().ToString();
+    return out;
+  }
+  JoinConfig jc;
+  jc.scale_up = opt.scale_up;
+  if (zipf_theta > 0) jc.assignment = AssignmentPolicy::kSkewAware;
+  if (tweak) tweak(&jc);
+  DistributedJoin join(cluster, jc);
+  auto result = join.Run(workload->inner, workload->outer);
+  if (!result.ok()) {
+    out.error = result.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.times = result->times;
+  out.stats = result->stats;
+  out.net = result->net;
+  out.replay = result->replay;
+  out.verified = result->stats.matches == workload->truth.expected_matches &&
+                 result->stats.key_sum == workload->truth.expected_key_sum &&
+                 result->stats.inner_rid_sum == workload->truth.expected_inner_rid_sum;
+  return out;
+}
+
+inline void PrintScaleNote(const Options& opt) {
+  std::printf(
+      "# scale_up = %.0f (data path runs paper_tuples/%.0f tuples; times are "
+      "virtual full-scale seconds)\n\n",
+      opt.scale_up, opt.scale_up);
+}
+
+}  // namespace bench
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,47 @@
+// Reproduces Figure 7b: scale-out with increasing workload on the QDR
+// cluster. Starting from 2x1024M tuples on 2 machines, every added machine
+// adds 2x512M tuples (so the per-machine data volume stays constant).
+//
+// Paper reference points (total seconds): 5.69 on 2 machines rising to 9.97
+// on 10 machines. The local pass and build/probe phases stay flat; the
+// network partitioning pass grows because a larger fraction of the data
+// crosses the (congested) QDR network.
+
+#include "bench/bench_common.h"
+#include "cluster/presets.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace rdmajoin;
+  const bench::Options opt = bench::ParseOptions(argc, argv);
+  std::printf("Figure 7b: scale-out with increasing workload, QDR cluster\n");
+  bench::PrintScaleNote(opt);
+
+  TablePrinter table("execution time per phase (seconds)");
+  table.SetHeader({"machines", "tuples/relation", "histogram", "network_part",
+                   "local_part", "build_probe", "total", "verified"});
+  for (uint32_t m = 2; m <= 10; ++m) {
+    const double size = 1024.0 + 512.0 * (m - 2);
+    auto run = bench::RunPaperJoin(QdrCluster(m), size, size, opt);
+    if (!run.ok) {
+      table.AddRow({TablePrinter::Int(m), TablePrinter::Num(size, 0) + "M", "-", "-",
+                    "-", "-", run.error, "-"});
+      continue;
+    }
+    table.AddRow({TablePrinter::Int(m), TablePrinter::Num(size, 0) + "M",
+                  TablePrinter::Num(run.times.histogram_seconds),
+                  TablePrinter::Num(run.times.network_partition_seconds),
+                  TablePrinter::Num(run.times.local_partition_seconds),
+                  TablePrinter::Num(run.times.build_probe_seconds),
+                  TablePrinter::Num(run.times.TotalSeconds()),
+                  run.verified ? "yes" : "NO"});
+  }
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+  std::printf("Expected shape: flat local pass and build/probe, growing network\n"
+              "partitioning pass, total rising from ~5.7s to ~10s.\n");
+  return 0;
+}

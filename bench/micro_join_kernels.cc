@@ -1,0 +1,172 @@
+// Google-benchmark microbenchmarks of the join kernels running on this
+// machine: radix histogram/scatter, hash-table build and probe, and the
+// simulated verbs data path. These measure the real (host) data-path speed;
+// they are the in-simulation analogue of the calibration runs behind Eq. 15
+// (psPart, hbThread, hpThread) and document how the simulation's actual
+// compute cost relates to the modeled full-scale rates.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/radix_join.h"
+#include "join/hash_table.h"
+#include "join/histogram.h"
+#include "join/local_partition.h"
+#include "join/swwc_scatter.h"
+#include "operators/radix_sort.h"
+#include "operators/sort_utils.h"
+#include "rdma/buffer_pool.h"
+#include "rdma/verbs.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace rdmajoin {
+namespace {
+
+Relation MakeRelation(uint64_t n, uint64_t seed = 1) {
+  Relation r(kNarrowTupleBytes);
+  r.Resize(n);
+  Random rng(seed);
+  for (uint64_t i = 0; i < n; ++i) r.SetTuple(i, rng.Next() % n, i);
+  return r;
+}
+
+void BM_Histogram(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  DistributedRelation rel;
+  rel.chunks.push_back(MakeRelation(n));
+  for (auto _ : state) {
+    auto h = ComputeHistograms(rel, 10);
+    benchmark::DoNotOptimize(h.global.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * kNarrowTupleBytes);
+}
+BENCHMARK(BM_Histogram)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixScatter(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  Relation r = MakeRelation(n);
+  for (auto _ : state) {
+    auto parts = RadixScatter(r, 0, 10);
+    benchmark::DoNotOptimize(parts.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * kNarrowTupleBytes);
+}
+BENCHMARK(BM_RadixScatter)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixScatterSwwc(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  Relation r = MakeRelation(n);
+  for (auto _ : state) {
+    auto parts = RadixScatterSwwc(r, 0, 10);
+    benchmark::DoNotOptimize(parts.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * kNarrowTupleBytes);
+}
+BENCHMARK(BM_RadixScatterSwwc)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixSort(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  Relation r = MakeRelation(n);
+  for (auto _ : state) {
+    Relation copy(kNarrowTupleBytes);
+    copy.AppendRaw(r.data(), r.num_tuples());
+    RadixSortByKey(&copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * kNarrowTupleBytes);
+}
+BENCHMARK(BM_RadixSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ComparisonSort(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  Relation r = MakeRelation(n);
+  for (auto _ : state) {
+    Relation copy(kNarrowTupleBytes);
+    copy.AppendRaw(r.data(), r.num_tuples());
+    SortRelationByKey(&copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * kNarrowTupleBytes);
+}
+BENCHMARK(BM_ComparisonSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HashTableBuild(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  Relation r = MakeRelation(n);
+  for (auto _ : state) {
+    HashTable table(r);
+    benchmark::DoNotOptimize(table.num_entries());
+  }
+  state.SetBytesProcessed(state.iterations() * n * kNarrowTupleBytes);
+}
+BENCHMARK(BM_HashTableBuild)->Arg(1 << 11)->Arg(1 << 15);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  Relation r = MakeRelation(n);
+  HashTable table(r);
+  Relation s = MakeRelation(n * 4, 7);
+  for (auto _ : state) {
+    uint64_t matches = 0;
+    for (uint64_t i = 0; i < s.num_tuples(); ++i) {
+      table.Probe(s.Key(i) % n, [&matches](uint64_t) { ++matches; });
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetBytesProcessed(state.iterations() * s.num_tuples() * kNarrowTupleBytes);
+}
+BENCHMARK(BM_HashTableProbe)->Arg(1 << 11)->Arg(1 << 15);
+
+void BM_VerbsSendRecv(benchmark::State& state) {
+  const uint64_t msg = state.range(0);
+  RdmaDevice a(0, nullptr, CostModel{}), b(1, nullptr, CostModel{});
+  CompletionQueue sa, ra, sb, rb;
+  QueuePair qa(&a, &sa, &ra), qb(&b, &sb, &rb);
+  (void)QueuePair::Connect(&qa, &qb);
+  std::vector<uint8_t> src(msg), dst(msg);
+  auto mr_src = a.RegisterMemory(src.data(), msg);
+  auto mr_dst = b.RegisterMemory(dst.data(), msg);
+  for (auto _ : state) {
+    (void)qb.PostRecv(0, mr_dst->lkey, 0, msg);
+    (void)qa.PostSend(0, mr_src->lkey, 0, msg);
+    WorkCompletion wc;
+    sa.PollOne(&wc);
+    rb.PollOne(&wc);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * msg);
+}
+BENCHMARK(BM_VerbsSendRecv)->Arg(4 << 10)->Arg(64 << 10);
+
+void BM_BufferPoolAcquireRelease(benchmark::State& state) {
+  RdmaDevice dev(0, nullptr, CostModel{});
+  RegisteredBufferPool pool(&dev, 64 << 10);
+  (void)pool.Preallocate(4);
+  for (auto _ : state) {
+    auto buf = pool.Acquire();
+    pool.Release(*buf);
+    benchmark::DoNotOptimize(*buf);
+  }
+}
+BENCHMARK(BM_BufferPoolAcquireRelease);
+
+void BM_BaselineRadixJoin(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  WorkloadSpec spec;
+  spec.inner_tuples = n;
+  spec.outer_tuples = n * 2;
+  auto w = GenerateWorkload(spec, 1);
+  for (auto _ : state) {
+    auto result = RadixJoin(w->inner.chunks[0], w->outer.chunks[0],
+                            BaselineConfig{.bits_pass1 = 8});
+    benchmark::DoNotOptimize(result->stats.matches);
+  }
+  state.SetBytesProcessed(state.iterations() * (spec.inner_tuples + spec.outer_tuples) *
+                          kNarrowTupleBytes);
+}
+BENCHMARK(BM_BaselineRadixJoin)->Arg(1 << 16)->Arg(1 << 19);
+
+}  // namespace
+}  // namespace rdmajoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Scenario: capacity planning with the analytical model (Section 5) alone --
+// no simulation run required. Given a workload and a network generation,
+// the planner answers the questions the paper's model is built for:
+//   * how many cores per machine saturate the network (Eq. 12),
+//   * how many machines the RDMA buffers allow before they stop filling
+//     completely (Eq. 13) and the cores stop getting partitions (Eq. 14),
+//   * the predicted execution time and phase breakdown for each cluster size.
+//
+//   $ ./build/examples/capacity_planner [inner_mtuples outer_mtuples]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/presets.h"
+#include "model/analytical_model.h"
+#include "util/table_printer.h"
+
+using namespace rdmajoin;
+
+int main(int argc, char** argv) {
+  double inner_mtuples = 2048, outer_mtuples = 8192;
+  if (argc >= 3) {
+    inner_mtuples = std::atof(argv[1]);
+    outer_mtuples = std::atof(argv[2]);
+  }
+  const uint64_t inner_bytes = static_cast<uint64_t>(inner_mtuples * 16e6);
+  const uint64_t outer_bytes = static_cast<uint64_t>(outer_mtuples * 16e6);
+  std::printf("Capacity planning for a %.0fM x %.0fM tuple join (%.1f GB total)\n\n",
+              inner_mtuples, outer_mtuples,
+              static_cast<double>(inner_bytes + outer_bytes) / 1e9);
+
+  struct Network {
+    const char* label;
+    double bandwidth;
+    double congestion;
+  };
+  // QDR and FDR from the paper, plus the HDR generation its Section 7
+  // anticipates ("InfiniBand will offer 25 GB/s (HDR) by 2017").
+  const Network networks[] = {
+      {"QDR (3.4 GB/s)", 3.4e9, 110e6},
+      {"FDR (6.0 GB/s)", 6.0e9, 0.0},
+      {"HDR (25 GB/s, projected)", 25.0e9, 0.0},
+  };
+
+  for (const Network& net : networks) {
+    TablePrinter table(net.label);
+    table.SetHeader({"machines", "opt_threads(Eq12)", "max_mach(Eq13)",
+                     "cores_ok(Eq14)", "bound", "predicted_total_s"});
+    for (uint32_t m : {2u, 4u, 8u, 16u, 32u}) {
+      ClusterConfig cluster = QdrCluster(m);
+      cluster.fabric.egress_bytes_per_sec = net.bandwidth;
+      cluster.fabric.ingress_bytes_per_sec = net.bandwidth;
+      cluster.fabric.congestion_bytes_per_sec_per_extra_host = net.congestion;
+      if (cluster.fabric.EffectiveEgress() <= 0) {
+        table.AddRow({TablePrinter::Int(m), "-", "-", "-", "congested out", "-"});
+        continue;
+      }
+      ModelParams p = ParamsFromCluster(cluster, inner_bytes, outer_bytes);
+      const ModelEstimate est = Estimate(p);
+      const double max_machines =
+          MaxMachinesForFullBuffers(p, 1024, 64.0 * 1024 / 1e6);
+      table.AddRow({TablePrinter::Int(m),
+                    TablePrinter::Num(OptimalPartitioningThreads(p), 1),
+                    TablePrinter::Num(max_machines, 0),
+                    SatisfiesCoreAssignment(p, 1024) ? "yes" : "NO",
+                    est.network_bound ? "network" : "CPU",
+                    TablePrinter::Num(est.TotalSeconds())});
+    }
+    table.Print();
+  }
+  std::printf("Reading the tables: pick the machine count where the bound column\n"
+              "flips to CPU (more machines past that point still help, but only\n"
+              "linearly in the local phases); keep machines below max_mach(Eq13)\n"
+              "so RDMA buffers fill completely; on faster networks, more cores per\n"
+              "machine (Eq12) are needed to saturate the wire.\n");
+  return 0;
+}

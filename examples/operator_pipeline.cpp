@@ -1,0 +1,85 @@
+// Scenario: a declarative analytics pipeline on one rack -- the setting the
+// paper assumes when it treats the join "as part of an operator pipeline in
+// which the result of the join is materialized at a later point" (Section 7):
+//
+//   SELECT product, SUM(click_id)
+//   FROM clicks JOIN products USING (product)
+//   WHERE product is in the promoted half
+//   GROUP BY product
+//
+// Built with the plan layer (operators/plan.h): scan -> filter -> distributed
+// hash join -> distributed aggregation, with a sort-merge variant for
+// comparison. Each distributed operator runs the full RDMA machinery
+// (histogram exchange, pooled-buffer network pass); the reported seconds are
+// virtual full-scale times.
+//
+//   $ ./build/examples/operator_pipeline
+
+#include <cstdio>
+
+#include "cluster/presets.h"
+#include "operators/plan.h"
+#include "util/table_printer.h"
+#include "workload/generator.h"
+
+using namespace rdmajoin;
+
+int main() {
+  const double kScaleUp = 1024.0;
+  PlanContext ctx;
+  ctx.cluster = FdrCluster(4);
+  ctx.config.scale_up = kScaleUp;
+
+  WorkloadSpec spec;
+  spec.inner_tuples = static_cast<uint64_t>(256e6 / kScaleUp);   // products
+  spec.outer_tuples = static_cast<uint64_t>(2048e6 / kScaleUp);  // clicks
+  auto workload = GenerateWorkload(spec, ctx.cluster.num_machines);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Pipeline: 2048M clicks JOIN 256M products (promoted half)\n"
+              "          -> GROUP BY product, on %s\n\n",
+              ctx.cluster.name.c_str());
+
+  auto build_plan = [&](bool sort_merge) {
+    auto products = Filter(
+        Scan(&workload->inner, "scan products (256M)"),
+        [](uint64_t key, uint64_t) { return key % 2 == 0; }, "promoted half");
+    auto clicks = Scan(&workload->outer, "scan clicks (2048M)");
+    auto joined = sort_merge
+                      ? SortMergeJoin(std::move(products), std::move(clicks),
+                                      "sort-merge join")
+                      : HashJoin(std::move(products), std::move(clicks),
+                                 "radix hash join");
+    return Aggregate(std::move(joined), "group by product");
+  };
+
+  {
+    auto plan = build_plan(false);
+    std::printf("plan:\n%s\n", ExplainPlan(*plan).c_str());
+  }
+
+  TablePrinter table("pipeline execution (virtual seconds)");
+  table.SetHeader({"variant", "result groups", "total_s"});
+  for (bool sort_merge : {false, true}) {
+    auto plan = build_plan(sort_merge);
+    auto out = plan->Execute(ctx);
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    // Half the products survive the filter; each has clicks, so the group
+    // count equals the surviving product count.
+    const bool verified = out->rows == spec.inner_tuples / 2;
+    table.AddRow({sort_merge ? "sort-merge pipeline" : "hash-join pipeline",
+                  TablePrinter::Int(static_cast<long long>(out->rows)) +
+                      (verified ? "" : " (UNEXPECTED)"),
+                  TablePrinter::Num(out->seconds)});
+  }
+  table.Print();
+  std::printf("The radix hash join keeps its advantage through the pipeline; the\n"
+              "aggregation adds one more partitioning-bound pass over the matches.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Scenario: a join whose outer foreign keys follow a heavy Zipf distribution
+// (a "hot products" click table). The example compares the static
+// round-robin partition assignment against the paper's dynamic skew-aware
+// assignment (Section 4.1) and probe-range splitting (Section 4.3), and
+// prints the per-machine load imbalance that explains the difference.
+//
+//   $ ./build/examples/skew_tuning
+
+#include <algorithm>
+#include <cstdio>
+
+#include "cluster/presets.h"
+#include "join/assignment.h"
+#include "join/distributed_join.h"
+#include "join/histogram.h"
+#include "util/table_printer.h"
+#include "workload/generator.h"
+
+using namespace rdmajoin;
+
+int main() {
+  const uint32_t kMachines = 8;
+  const double kScaleUp = 1024.0;
+  WorkloadSpec spec;
+  spec.inner_tuples = static_cast<uint64_t>(128e6 / kScaleUp);
+  spec.outer_tuples = static_cast<uint64_t>(2048e6 / kScaleUp);
+  spec.zipf_theta = 1.20;  // The paper's "heavy skew".
+  auto workload = GenerateWorkload(spec, kMachines);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Zipf(%.2f) join: 128M x 2048M tuples on 8 QDR machines\n\n",
+              spec.zipf_theta);
+
+  // Show how unbalanced the first-pass partitions are.
+  auto hist = ComputeHistograms(workload->outer, 10);
+  uint64_t max_part = 0;
+  for (uint64_t c : hist.global) max_part = std::max(max_part, c);
+  std::printf("largest of %u partitions holds %.1f%% of the outer relation\n"
+              "(uniform share would be %.2f%%)\n\n",
+              hist.num_partitions(),
+              100.0 * max_part / spec.outer_tuples,
+              100.0 / hist.num_partitions());
+
+  TablePrinter table("assignment policy comparison");
+  table.SetHeader({"configuration", "max/avg machine load", "network_s",
+                   "local+bp_s", "total_s"});
+  struct Config {
+    const char* label;
+    AssignmentPolicy policy;
+    double split;
+  };
+  for (const Config& cfg :
+       {Config{"static round-robin, no splitting", AssignmentPolicy::kRoundRobin, 0.0},
+        Config{"dynamic skew-aware, no splitting", AssignmentPolicy::kSkewAware, 0.0},
+        Config{"dynamic skew-aware + probe split", AssignmentPolicy::kSkewAware,
+               2.0}}) {
+    JoinConfig config;
+    config.scale_up = kScaleUp;
+    config.assignment = cfg.policy;
+    config.skew_split_factor = cfg.split;
+    DistributedJoin join(QdrCluster(kMachines), config);
+    auto result = join.Run(workload->inner, workload->outer);
+    if (!result.ok()) {
+      table.AddRow({cfg.label, "-", "-", "-", result.status().ToString()});
+      continue;
+    }
+    // Recompute the load statistic for the chosen policy.
+    std::vector<uint64_t> combined(hist.num_partitions());
+    auto inner_hist = ComputeHistograms(workload->inner, 10);
+    for (uint32_t p = 0; p < hist.num_partitions(); ++p) {
+      combined[p] = hist.global[p] + inner_hist.global[p];
+    }
+    auto assignment = cfg.policy == AssignmentPolicy::kRoundRobin
+                          ? RoundRobinAssignment(hist.num_partitions(), kMachines)
+                          : SkewAwareAssignment(combined, kMachines);
+    auto load = AssignedLoad(combined, assignment, kMachines);
+    uint64_t max_load = 0, total = 0;
+    for (uint64_t l : load) {
+      max_load = std::max(max_load, l);
+      total += l;
+    }
+    const double imbalance = static_cast<double>(max_load) * kMachines / total;
+    table.AddRow({cfg.label, TablePrinter::Num(imbalance, 2),
+                  TablePrinter::Num(result->times.network_partition_seconds),
+                  TablePrinter::Num(result->times.local_partition_seconds +
+                                    result->times.build_probe_seconds),
+                  TablePrinter::Num(result->times.TotalSeconds())});
+  }
+  table.Print();
+  std::printf("With one partition holding ~20%% of the data, no assignment policy\n"
+              "can balance machines perfectly (Section 6.5 reaches the same\n"
+              "conclusion and proposes inter-machine work sharing as future work).\n");
+  return 0;
+}

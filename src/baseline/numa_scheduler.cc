@@ -1,0 +1,86 @@
+#include "baseline/numa_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+
+namespace rdmajoin {
+
+NumaScheduleResult ScheduleNumaTasks(const std::vector<NumaTask>& tasks,
+                                     uint32_t regions, uint32_t workers_per_region,
+                                     double remote_penalty, bool numa_aware) {
+  assert(regions > 0 && workers_per_region > 0 && remote_penalty >= 1.0);
+  NumaScheduleResult result;
+  if (tasks.empty()) return result;
+
+  // Region queues, longest tasks first within each region (LPT order).
+  std::vector<std::deque<NumaTask>> queues(regions);
+  {
+    std::vector<NumaTask> sorted = tasks;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const NumaTask& a, const NumaTask& b) {
+                       return a.cost_seconds > b.cost_seconds;
+                     });
+    for (const NumaTask& t : sorted) {
+      assert(t.region < regions);
+      // The non-NUMA-aware baseline funnels everything through queue 0.
+      queues[numa_aware ? t.region : 0].push_back(t);
+    }
+  }
+
+  // Workers become idle in virtual-time order.
+  struct Worker {
+    double free_at;
+    uint32_t region;
+    uint32_t id;
+    bool operator>(const Worker& other) const {
+      if (free_at != other.free_at) return free_at > other.free_at;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Worker, std::vector<Worker>, std::greater<Worker>> workers;
+  for (uint32_t r = 0; r < regions; ++r) {
+    for (uint32_t w = 0; w < workers_per_region; ++w) {
+      workers.push(Worker{0.0, r, r * workers_per_region + w});
+    }
+  }
+
+  size_t remaining = tasks.size();
+  while (remaining > 0) {
+    Worker worker = workers.top();
+    workers.pop();
+    // Local queue first; otherwise steal from the fullest queue.
+    uint32_t source = numa_aware ? worker.region : 0;
+    if (queues[source].empty()) {
+      size_t best = 0;
+      for (uint32_t r = 0; r < regions; ++r) {
+        if (queues[r].size() > best) {
+          best = queues[r].size();
+          source = r;
+        }
+      }
+      if (queues[source].empty()) {
+        // Nothing left anywhere; this worker is done (can happen when other
+        // workers grabbed the tail). Do not requeue it.
+        continue;
+      }
+    }
+    const NumaTask task = queues[source].front();
+    queues[source].pop_front();
+    --remaining;
+    const bool local = task.region == worker.region;
+    const double cost = local ? task.cost_seconds : task.cost_seconds * remote_penalty;
+    if (local) {
+      ++result.local_tasks;
+    } else {
+      ++result.remote_tasks;
+    }
+    worker.free_at += cost;
+    result.makespan = std::max(result.makespan, worker.free_at);
+    workers.push(worker);
+  }
+  return result;
+}
+
+}  // namespace rdmajoin

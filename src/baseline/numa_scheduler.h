@@ -1,0 +1,41 @@
+#ifndef RDMAJOIN_BASELINE_NUMA_SCHEDULER_H_
+#define RDMAJOIN_BASELINE_NUMA_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rdmajoin {
+
+/// A build/probe task pinned to the NUMA region holding its data.
+struct NumaTask {
+  uint32_t region = 0;
+  double cost_seconds = 0;
+};
+
+/// Outcome of simulating one task-queue policy.
+struct NumaScheduleResult {
+  /// Time the last worker finishes.
+  double makespan = 0;
+  /// Tasks executed by a worker of the task's own region.
+  uint64_t local_tasks = 0;
+  /// Tasks stolen across regions (which pay the remote-access penalty).
+  uint64_t remote_tasks = 0;
+};
+
+/// Simulates the NUMA-aware task queues the paper adds to the baseline
+/// (Section 6.1, following Lang et al. [21]): one queue per NUMA region,
+/// fed with the region's tasks; each worker drains its local queue first
+/// and only when that is empty steals from the fullest remote queue, paying
+/// `remote_penalty` (>= 1) on the stolen task's cost (the data crosses QPI).
+///
+/// With `numa_aware == false` every worker draws from one shared queue and
+/// a task is "local" only by accident (1/regions of the time), modeling the
+/// unmodified algorithm of [4].
+NumaScheduleResult ScheduleNumaTasks(const std::vector<NumaTask>& tasks,
+                                     uint32_t regions, uint32_t workers_per_region,
+                                     double remote_penalty = 1.5,
+                                     bool numa_aware = true);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_BASELINE_NUMA_SCHEDULER_H_

@@ -1,0 +1,49 @@
+#ifndef RDMAJOIN_BASELINE_RADIX_JOIN_H_
+#define RDMAJOIN_BASELINE_RADIX_JOIN_H_
+
+#include <cstdint>
+
+#include "join/result_stats.h"
+#include "util/statusor.h"
+#include "workload/relation.h"
+
+namespace rdmajoin {
+
+/// Parameters of the single-machine parallel radix join (the extended
+/// Balkesen et al. baseline of Section 6.1: multi-pass radix partitioning,
+/// per-NUMA-region task queues, cache-sized build/probe).
+struct BaselineConfig {
+  /// Radix bits of the first partitioning pass.
+  uint32_t bits_pass1 = 10;
+  /// Radix bits of the second pass; 0 derives them from the cache target.
+  uint32_t bits_pass2 = 0;
+  /// Target size of the final cache-resident partitions, in bytes.
+  uint64_t cache_partition_bytes = 32 * 1024;
+  /// Collect matching rid pairs.
+  bool materialize_results = false;
+};
+
+/// Result of a baseline run, including partitioning statistics used by
+/// tests and by the micro benchmarks.
+struct BaselineResult {
+  JoinResultStats stats;
+  uint32_t passes_executed = 0;
+  uint64_t final_partitions = 0;
+  uint64_t max_final_partition_bytes = 0;
+};
+
+/// The single-machine radix hash join: partitions R and S with up to two
+/// radix passes until partitions meet the cache target, then builds and
+/// probes per-partition hash tables. Serves as the correctness
+/// cross-reference for the distributed join and as the "single" data point
+/// of Figure 5a (whose timing uses the QPI cluster preset).
+StatusOr<BaselineResult> RadixJoin(const Relation& inner, const Relation& outer,
+                                   const BaselineConfig& config = BaselineConfig());
+
+/// A trivial hash-map join used as ground truth in tests.
+JoinResultStats ReferenceHashJoin(const Relation& inner, const Relation& outer,
+                                  bool materialize = false);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_BASELINE_RADIX_JOIN_H_

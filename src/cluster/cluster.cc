@@ -1,0 +1,32 @@
+#include "cluster/cluster.h"
+
+namespace rdmajoin {
+
+Status ClusterConfig::Validate() const {
+  if (num_machines == 0) {
+    return Status::InvalidArgument("cluster needs at least one machine");
+  }
+  if (cores_per_machine == 0) {
+    return Status::InvalidArgument("machines need at least one core");
+  }
+  if (num_machines > 1 && reserve_receiver_core && cores_per_machine < 2) {
+    return Status::InvalidArgument(
+        "a multi-machine cluster with a reserved receiver core needs >= 2 cores");
+  }
+  if (fabric.num_hosts != num_machines) {
+    return Status::InvalidArgument("fabric.num_hosts must equal num_machines");
+  }
+  RDMAJOIN_RETURN_IF_ERROR(costs.Validate());
+  if (num_machines > 1) {
+    RDMAJOIN_RETURN_IF_ERROR(fabric.Validate());
+  }
+  if (transport == TransportKind::kTcp) {
+    if (tcp.bytes_per_sec <= 0 || tcp.sender_copy_bytes_per_sec <= 0 ||
+        tcp.per_message_seconds < 0) {
+      return Status::InvalidArgument("invalid TCP parameters");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rdmajoin

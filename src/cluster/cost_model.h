@@ -1,0 +1,68 @@
+#ifndef RDMAJOIN_CLUSTER_COST_MODEL_H_
+#define RDMAJOIN_CLUSTER_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace rdmajoin {
+
+/// Per-core processing rates and RDMA management costs that drive the
+/// virtual-time simulation. Defaults are calibrated to the paper's
+/// measurements (Eq. 15 and Section 6): a partitioning thread sustains
+/// 955 MB/s; build/probe run on cache-resident partitions and are therefore
+/// much faster per byte; the registration cost model follows Frey & Alonso
+/// ("Minimizing the Hidden Cost of RDMA", ICDCS'09): a fixed setup cost plus
+/// a per-page pinning cost.
+struct CostModel {
+  /// psPart: tuples read, partition computed, tuple written (bytes/sec).
+  double partition_bytes_per_sec = 955e6;
+  /// Histogram phase scan rate per thread (read + counter increment).
+  double histogram_bytes_per_sec = 6000e6;
+  /// hbThread: hash-table build rate over cache-sized partitions.
+  double build_bytes_per_sec = 4000e6;
+  /// hpThread: hash-table probe rate over cache-sized partitions.
+  double probe_bytes_per_sec = 4000e6;
+  /// Plain memcpy rate (receiver-side copies of two-sided transfers, TCP
+  /// intermediate-buffer copies).
+  double memcpy_bytes_per_sec = 6000e6;
+  /// In-memory sort rate of one thread (used by the distributed sort-merge
+  /// join, the Section 7 generalization). Well below the partitioning rate:
+  /// sorting is comparison-bound where radix partitioning is copy-bound,
+  /// which is why the paper builds on the radix hash join (Balkesen et al.
+  /// [3] reach the same conclusion for current SIMD widths).
+  double sort_bytes_per_sec = 500e6;
+  /// Merge-join scan rate of one thread over two sorted runs.
+  double merge_bytes_per_sec = 3000e6;
+
+  /// Memory-region registration: fixed driver/HCA setup cost.
+  double reg_base_seconds = 20e-6;
+  /// Memory-region registration: per-page pinning cost.
+  double reg_per_page_seconds = 0.25e-6;
+  /// Page size used for the registration cost.
+  uint64_t page_bytes = 4096;
+
+  /// Virtual seconds to register (pin) a region of `bytes` bytes.
+  double RegistrationSeconds(uint64_t bytes) const {
+    const uint64_t pages = (bytes + page_bytes - 1) / page_bytes;
+    return reg_base_seconds + static_cast<double>(pages) * reg_per_page_seconds;
+  }
+  /// De-registration is modeled at half the registration cost.
+  double DeregistrationSeconds(uint64_t bytes) const {
+    return RegistrationSeconds(bytes) * 0.5;
+  }
+
+  Status Validate() const {
+    if (partition_bytes_per_sec <= 0 || histogram_bytes_per_sec <= 0 ||
+        build_bytes_per_sec <= 0 || probe_bytes_per_sec <= 0 ||
+        memcpy_bytes_per_sec <= 0) {
+      return Status::InvalidArgument("cost model rates must be positive");
+    }
+    if (page_bytes == 0) return Status::InvalidArgument("page size must be positive");
+    return Status::OK();
+  }
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_CLUSTER_COST_MODEL_H_

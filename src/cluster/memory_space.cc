@@ -1,0 +1,44 @@
+#include "cluster/memory_space.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdmajoin {
+
+Status MemorySpace::Reserve(uint64_t bytes) {
+  if (used_ + bytes > capacity_) {
+    return Status::ResourceExhausted("machine memory exhausted: requested " +
+                                     std::to_string(bytes) + " bytes, " +
+                                     std::to_string(capacity_ - used_) + " available");
+  }
+  used_ += bytes;
+  peak_used_ = std::max(peak_used_, used_);
+  return Status::OK();
+}
+
+void MemorySpace::Release(uint64_t bytes) {
+  assert(bytes <= used_);
+  used_ -= bytes;
+}
+
+Status MemorySpace::Pin(uint64_t bytes) {
+  if (pinned_ + bytes > pin_limit_) {
+    return Status::ResourceExhausted("pin limit exceeded: requested " +
+                                     std::to_string(bytes) + " bytes, " +
+                                     std::to_string(pin_limit_ - pinned_) +
+                                     " pinnable");
+  }
+  if (pinned_ + bytes > used_) {
+    return Status::FailedPrecondition("cannot pin more memory than is reserved");
+  }
+  pinned_ += bytes;
+  peak_pinned_ = std::max(peak_pinned_, pinned_);
+  return Status::OK();
+}
+
+void MemorySpace::Unpin(uint64_t bytes) {
+  assert(bytes <= pinned_);
+  pinned_ -= bytes;
+}
+
+}  // namespace rdmajoin

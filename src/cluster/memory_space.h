@@ -1,0 +1,63 @@
+#ifndef RDMAJOIN_CLUSTER_MEMORY_SPACE_H_
+#define RDMAJOIN_CLUSTER_MEMORY_SPACE_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace rdmajoin {
+
+/// Tracks the main-memory budget of one simulated machine in full-scale
+/// (paper-sized) bytes. The join reserves capacity for relations, partition
+/// buffers and RDMA regions through this accounting object, which lets the
+/// benches reproduce capacity effects such as the paper's note that the
+/// 2 x 4096 M-tuple workload does not fit on two 128 GB machines.
+///
+/// Pinning models RDMA memory registration: pinned pages cannot be swapped,
+/// so Section 4.2.2 argues against registering large fractions of memory when
+/// other queries run concurrently. The pin limit makes that trade-off
+/// explicit.
+class MemorySpace {
+ public:
+  /// `capacity_bytes` is the machine's physical memory (full-scale units).
+  /// `pin_limit_bytes` caps registered (pinned) memory; defaults to the full
+  /// capacity.
+  explicit MemorySpace(uint64_t capacity_bytes, uint64_t pin_limit_bytes = 0)
+      : capacity_(capacity_bytes),
+        pin_limit_(pin_limit_bytes == 0 ? capacity_bytes : pin_limit_bytes) {}
+
+  /// Reserves `bytes` of memory; fails with ResourceExhausted if the machine
+  /// would exceed its capacity.
+  Status Reserve(uint64_t bytes);
+
+  /// Releases a previous reservation.
+  void Release(uint64_t bytes);
+
+  /// Marks `bytes` of already-reserved memory as pinned (registered).
+  Status Pin(uint64_t bytes);
+
+  /// Unpins previously pinned bytes.
+  void Unpin(uint64_t bytes);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used() const { return used_; }
+  uint64_t pinned() const { return pinned_; }
+  uint64_t available() const { return capacity_ - used_; }
+  uint64_t pin_limit() const { return pin_limit_; }
+
+  /// High-water marks, for reporting.
+  uint64_t peak_used() const { return peak_used_; }
+  uint64_t peak_pinned() const { return peak_pinned_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t pin_limit_;
+  uint64_t used_ = 0;
+  uint64_t pinned_ = 0;
+  uint64_t peak_used_ = 0;
+  uint64_t peak_pinned_ = 0;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_CLUSTER_MEMORY_SPACE_H_

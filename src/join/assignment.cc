@@ -1,0 +1,43 @@
+#include "join/assignment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace rdmajoin {
+
+std::vector<uint32_t> RoundRobinAssignment(uint32_t num_partitions,
+                                           uint32_t num_machines) {
+  assert(num_machines > 0);
+  std::vector<uint32_t> assignment(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) assignment[p] = p % num_machines;
+  return assignment;
+}
+
+std::vector<uint32_t> SkewAwareAssignment(const std::vector<uint64_t>& combined_counts,
+                                          uint32_t num_machines) {
+  assert(num_machines > 0);
+  const uint32_t parts = static_cast<uint32_t>(combined_counts.size());
+  std::vector<uint32_t> order(parts);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return combined_counts[a] > combined_counts[b];
+  });
+  std::vector<uint32_t> assignment(parts);
+  for (uint32_t rank = 0; rank < parts; ++rank) {
+    assignment[order[rank]] = rank % num_machines;
+  }
+  return assignment;
+}
+
+std::vector<uint64_t> AssignedLoad(const std::vector<uint64_t>& combined_counts,
+                                   const std::vector<uint32_t>& assignment,
+                                   uint32_t num_machines) {
+  std::vector<uint64_t> load(num_machines, 0);
+  for (size_t p = 0; p < combined_counts.size(); ++p) {
+    load[assignment[p]] += combined_counts[p];
+  }
+  return load;
+}
+
+}  // namespace rdmajoin

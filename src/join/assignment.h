@@ -1,0 +1,29 @@
+#ifndef RDMAJOIN_JOIN_ASSIGNMENT_H_
+#define RDMAJOIN_JOIN_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rdmajoin {
+
+/// Static round-robin partition-to-machine assignment (Section 4.1):
+/// partition p is processed by machine p mod num_machines.
+std::vector<uint32_t> RoundRobinAssignment(uint32_t num_partitions,
+                                           uint32_t num_machines);
+
+/// Dynamic skew-aware assignment (Sections 4.1, 6.5): partitions are sorted
+/// by element count in decreasing order and dealt round-robin so the largest
+/// partitions land on different machines. `combined_counts[p]` is the global
+/// tuple count of partition p over both relations.
+std::vector<uint32_t> SkewAwareAssignment(const std::vector<uint64_t>& combined_counts,
+                                          uint32_t num_machines);
+
+/// Tuples assigned to each machine under `assignment`; used by tests and by
+/// load-balance reporting.
+std::vector<uint64_t> AssignedLoad(const std::vector<uint64_t>& combined_counts,
+                                   const std::vector<uint32_t>& assignment,
+                                   uint32_t num_machines);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_JOIN_ASSIGNMENT_H_

@@ -1,0 +1,422 @@
+#include "join/exchange.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "rdma/buffer_pool.h"
+#include "transport/wire_format.h"
+
+namespace rdmajoin {
+
+PartitionStore::PartitionStore(uint32_t tuple_bytes, uint32_t num_partitions,
+                               uint32_t num_relations)
+    : tuple_bytes_(tuple_bytes),
+      num_relations_(num_relations),
+      slots_(num_partitions) {}
+
+void PartitionStore::Prepare(uint32_t partition,
+                             const std::vector<uint64_t>& tuples_per_relation) {
+  assert(tuples_per_relation.size() == num_relations_);
+  auto slot = std::make_unique<std::vector<Relation>>();
+  slot->reserve(num_relations_);
+  for (uint32_t r = 0; r < num_relations_; ++r) {
+    Relation rel(tuple_bytes_);
+    rel.Reserve(tuples_per_relation[r]);
+    slot->push_back(std::move(rel));
+  }
+  slots_[partition] = std::move(slot);
+}
+
+void PartitionStore::Deliver(uint32_t partition, uint32_t relation,
+                             const uint8_t* tuples, uint64_t bytes) {
+  assert(bytes % tuple_bytes_ == 0);
+  Rel(partition, relation).AppendRaw(tuples, bytes / tuple_bytes_);
+}
+
+Relation& PartitionStore::Rel(uint32_t partition, uint32_t relation) {
+  assert(partition < slots_.size());
+  assert(slots_[partition] != nullptr && "tuple delivered to unassigned partition");
+  assert(relation < num_relations_);
+  return (*slots_[partition])[relation];
+}
+
+ScopedReservation::~ScopedReservation() {
+  if (space_ != nullptr && bytes_ > 0) space_->Release(bytes_);
+}
+
+Status ScopedReservation::Add(uint64_t bytes) {
+  RDMAJOIN_RETURN_IF_ERROR(space_->Reserve(bytes));
+  bytes_ += bytes;
+  return Status::OK();
+}
+
+Exchange::Exchange(const ClusterConfig& cluster, const JoinConfig& config,
+                   const Partitioner* partitioner, std::vector<uint32_t> assignment,
+                   std::vector<std::vector<uint64_t>> global_counts)
+    : cluster_(cluster),
+      config_(config),
+      partitioner_(partitioner),
+      assignment_(std::move(assignment)),
+      global_counts_(std::move(global_counts)) {}
+
+StatusOr<Exchange::Result> Exchange::Run(
+    const std::vector<const DistributedRelation*>& inputs,
+    std::vector<MemorySpace*> memories, std::vector<ScopedReservation*> reservations,
+    RunTrace* trace) {
+  if (cluster_.transport == TransportKind::kRdmaRead) {
+    return RunPull(inputs, std::move(memories), std::move(reservations), trace);
+  }
+  const uint32_t nm = cluster_.num_machines;
+  const uint32_t parts = partitioner_->num_partitions();
+  const uint32_t num_relations = static_cast<uint32_t>(inputs.size());
+  if (num_relations == 0) return Status::InvalidArgument("no input relations");
+  if (assignment_.size() != parts || global_counts_.size() != num_relations) {
+    return Status::InvalidArgument("assignment/global count shape mismatch");
+  }
+  const uint32_t tuple_bytes = inputs[0]->tuple_bytes();
+  for (const auto* rel : inputs) {
+    if (rel->chunks.size() != nm) {
+      return Status::InvalidArgument("inputs must be fragmented over all machines");
+    }
+    if (rel->tuple_bytes() != tuple_bytes) {
+      return Status::InvalidArgument("inputs must share one tuple width");
+    }
+  }
+  const double scale = config_.scale_up;
+  auto virt = [scale](uint64_t actual) {
+    return static_cast<uint64_t>(static_cast<double>(actual) * scale);
+  };
+
+  Result result;
+  // ---- Partition stores, sized from the (exchanged) global histogram. ----
+  for (uint32_t m = 0; m < nm; ++m) {
+    result.stores.push_back(
+        std::make_unique<PartitionStore>(tuple_bytes, parts, num_relations));
+  }
+  for (uint32_t p = 0; p < parts; ++p) {
+    const uint32_t m = assignment_[p];
+    std::vector<uint64_t> counts(num_relations);
+    uint64_t total = 0;
+    for (uint32_t r = 0; r < num_relations; ++r) {
+      counts[r] = global_counts_[r][p];
+      total += counts[r];
+    }
+    result.stores[m]->Prepare(p, counts);
+    RDMAJOIN_RETURN_IF_ERROR(reservations[m]->Add(virt(total * tuple_bytes)));
+  }
+
+  // Expected incoming volume per (dst, src) for one-sided staging: derived
+  // from per-machine histograms of the inputs.
+  std::vector<std::vector<uint64_t>> incoming_bytes;
+  if (cluster_.transport == TransportKind::kRdmaMemory) {
+    incoming_bytes.assign(nm, std::vector<uint64_t>(nm, 0));
+    for (uint32_t r = 0; r < num_relations; ++r) {
+      for (uint32_t src = 0; src < nm; ++src) {
+        const Relation& chunk = inputs[r]->chunks[src];
+        std::vector<uint64_t> counts(parts, 0);
+        for (uint64_t i = 0; i < chunk.num_tuples(); ++i) {
+          ++counts[partitioner_->PartitionOf(chunk.Key(i))];
+        }
+        for (uint32_t p = 0; p < parts; ++p) {
+          const uint32_t dst = assignment_[p];
+          if (dst != src) incoming_bytes[dst][src] += counts[p] * tuple_bytes;
+        }
+      }
+    }
+  }
+
+  std::vector<PartitionSink*> sinks;
+  for (auto& store : result.stores) sinks.push_back(store.get());
+  auto network = TransportNetwork::Create(cluster_, config_, tuple_bytes,
+                                          incoming_bytes, sinks, memories);
+  RDMAJOIN_RETURN_IF_ERROR(network.status());
+  TransportNetwork& net = **network;
+
+  // ---- The pass itself (Section 4.2.1). ----
+  const uint64_t payload_capacity = config_.ActualRdmaBufferBytes(tuple_bytes);
+  const uint64_t buffer_bytes = payload_capacity + kWireHeaderBytes;
+  const uint32_t threads = cluster_.PartitioningThreads();
+  uint32_t remote_parts_max = 0;
+  for (uint32_t m = 0; m < nm; ++m) {
+    uint32_t remote = 0;
+    for (uint32_t p = 0; p < parts; ++p) {
+      if (assignment_[p] != m) ++remote;
+    }
+    remote_parts_max = std::max(remote_parts_max, remote);
+  }
+  const double per_send_reg_seconds =
+      config_.preregister_buffers
+          ? 0.0
+          : cluster_.costs.RegistrationSeconds(virt(payload_capacity)) +
+                cluster_.costs.DeregistrationSeconds(virt(payload_capacity));
+
+  for (uint32_t m = 0; m < nm; ++m) {
+    MachineTrace& mt = trace->machines[m];
+    mt.setup_registration_seconds = net.stats().setup_registration_seconds[m];
+    mt.per_send_registration_seconds = per_send_reg_seconds;
+    mt.net_threads.resize(threads);
+
+    // RDMA-buffer budget: buffers_per_partition buffers per thread and
+    // remote partition (Figure 2).
+    if (nm > 1 && remote_parts_max > 0) {
+      RDMAJOIN_RETURN_IF_ERROR(reservations[m]->Add(
+          static_cast<uint64_t>(threads) * remote_parts_max *
+          config_.buffers_per_partition * virt(payload_capacity)));
+    }
+
+    RegisteredBufferPool pool(net.device(m), buffer_bytes,
+                              config_.preregister_buffers
+                                  ? RegisteredBufferPool::Policy::kPooled
+                                  : RegisteredBufferPool::Policy::kRegisterOnDemand);
+    Channel* channel = net.channel(m);
+    const uint64_t payload_offset = channel->payload_offset();
+
+    for (uint32_t t = 0; t < threads; ++t) {
+      ThreadNetTrace& tt = mt.net_threads[t];
+      std::vector<RegisteredBuffer*> slot(parts, nullptr);
+
+      auto ship_slot = [&](uint32_t p, uint32_t rel) -> Status {
+        RegisteredBuffer* buf = slot[p];
+        if (buf == nullptr || buf->used == 0) {
+          if (buf != nullptr) {
+            pool.Release(buf);
+            slot[p] = nullptr;
+          }
+          return Status::OK();
+        }
+        auto wire = channel->Ship(assignment_[p], p, rel, buf);
+        RDMAJOIN_RETURN_IF_ERROR(wire.status());
+        tt.sends.push_back(SendRecord{assignment_[p], p, *wire, tt.compute_bytes});
+        pool.Release(buf);
+        slot[p] = nullptr;
+        return Status::OK();
+      };
+
+      for (uint32_t rel = 0; rel < num_relations; ++rel) {
+        const Relation& chunk = inputs[rel]->chunks[m];
+        const uint64_t n = chunk.num_tuples();
+        const uint64_t lo = n * t / threads;
+        const uint64_t hi = n * (t + 1) / threads;
+        for (uint64_t i = lo; i < hi; ++i) {
+          const uint32_t p = partitioner_->PartitionOf(chunk.Key(i));
+          tt.compute_bytes += tuple_bytes;
+          if (assignment_[p] == m) {
+            result.stores[m]->Rel(p, rel).AppendRaw(chunk.TupleAt(i), 1);
+            continue;
+          }
+          if (slot[p] == nullptr) {
+            auto buf = pool.Acquire();
+            RDMAJOIN_RETURN_IF_ERROR(buf.status());
+            slot[p] = *buf;
+          }
+          RegisteredBuffer* buf = slot[p];
+          std::memcpy(buf->bytes() + payload_offset + buf->used, chunk.TupleAt(i),
+                      tuple_bytes);
+          buf->used += tuple_bytes;
+          if (buf->used + tuple_bytes > payload_capacity) {
+            RDMAJOIN_RETURN_IF_ERROR(ship_slot(p, rel));
+          }
+        }
+        // Flush partially filled buffers before switching relations.
+        for (uint32_t p = 0; p < parts; ++p) {
+          RDMAJOIN_RETURN_IF_ERROR(ship_slot(p, rel));
+        }
+      }
+    }
+    result.pool_buffers_created += pool.buffers_created();
+    result.pool_acquisitions += pool.acquisitions();
+  }
+
+  // Bookkeeping for the replay and the caller.
+  for (uint32_t m = 0; m < nm; ++m) {
+    trace->machines[m].recv_bytes = net.stats().recv_bytes[m];
+    trace->machines[m].recv_messages = net.stats().recv_messages[m];
+    for (const auto& tt : trace->machines[m].net_threads) {
+      for (const auto& send : tt.sends) {
+        result.virtual_wire_bytes += static_cast<double>(send.wire_bytes) * scale;
+      }
+      result.messages_sent += tt.sends.size();
+    }
+    result.max_setup_registration_seconds =
+        std::max(result.max_setup_registration_seconds,
+                 trace->machines[m].setup_registration_seconds);
+  }
+  return result;
+}
+
+
+StatusOr<Exchange::Result> Exchange::RunPull(
+    const std::vector<const DistributedRelation*>& inputs,
+    std::vector<MemorySpace*> memories, std::vector<ScopedReservation*> reservations,
+    RunTrace* trace) {
+  const uint32_t nm = cluster_.num_machines;
+  const uint32_t parts = partitioner_->num_partitions();
+  const uint32_t num_relations = static_cast<uint32_t>(inputs.size());
+  if (num_relations == 0) return Status::InvalidArgument("no input relations");
+  if (assignment_.size() != parts || global_counts_.size() != num_relations) {
+    return Status::InvalidArgument("assignment/global count shape mismatch");
+  }
+  const uint32_t tuple_bytes = inputs[0]->tuple_bytes();
+  for (const auto* rel : inputs) {
+    if (rel->chunks.size() != nm) {
+      return Status::InvalidArgument("inputs must be fragmented over all machines");
+    }
+    if (rel->tuple_bytes() != tuple_bytes) {
+      return Status::InvalidArgument("inputs must share one tuple width");
+    }
+  }
+  const double scale = config_.scale_up;
+  auto virt = [scale](uint64_t actual) {
+    return static_cast<uint64_t>(static_cast<double>(actual) * scale);
+  };
+
+  Result result;
+  for (uint32_t m = 0; m < nm; ++m) {
+    result.stores.push_back(
+        std::make_unique<PartitionStore>(tuple_bytes, parts, num_relations));
+  }
+  for (uint32_t p = 0; p < parts; ++p) {
+    const uint32_t m = assignment_[p];
+    std::vector<uint64_t> counts(num_relations);
+    uint64_t total = 0;
+    for (uint32_t r = 0; r < num_relations; ++r) {
+      counts[r] = global_counts_[r][p];
+      total += counts[r];
+    }
+    result.stores[m]->Prepare(p, counts);
+    RDMAJOIN_RETURN_IF_ERROR(reservations[m]->Add(virt(total * tuple_bytes)));
+  }
+
+  std::vector<PartitionSink*> sinks;
+  for (auto& store : result.stores) sinks.push_back(store.get());
+  auto network = TransportNetwork::Create(cluster_, config_, tuple_bytes,
+                                          /*incoming_bytes=*/{}, sinks, memories);
+  RDMAJOIN_RETURN_IF_ERROR(network.status());
+  TransportNetwork& net = **network;
+
+  const uint32_t threads = cluster_.PartitioningThreads();
+
+  // ---- Stage 1: partition into registered local staging regions. ----
+  // stage[m][p * num_relations + rel] holds machine m's tuples destined for
+  // remote partition p of relation rel.
+  std::vector<std::vector<Relation>> stage(nm);
+  std::vector<std::vector<MemoryRegion>> stage_mrs(nm);
+  for (uint32_t m = 0; m < nm; ++m) {
+    MachineTrace& mt = trace->machines[m];
+    mt.net_threads.resize(threads);
+    stage[m].assign(static_cast<size_t>(parts) * num_relations,
+                    Relation(tuple_bytes));
+    uint64_t staged_bytes = 0;
+    for (uint32_t t = 0; t < threads; ++t) {
+      ThreadNetTrace& tt = mt.net_threads[t];
+      for (uint32_t rel = 0; rel < num_relations; ++rel) {
+        const Relation& chunk = inputs[rel]->chunks[m];
+        const uint64_t n = chunk.num_tuples();
+        const uint64_t lo = n * t / threads;
+        const uint64_t hi = n * (t + 1) / threads;
+        for (uint64_t i = lo; i < hi; ++i) {
+          const uint32_t p = partitioner_->PartitionOf(chunk.Key(i));
+          tt.compute_bytes += tuple_bytes;
+          if (assignment_[p] == m) {
+            result.stores[m]->Rel(p, rel).AppendRaw(chunk.TupleAt(i), 1);
+          } else {
+            stage[m][static_cast<size_t>(p) * num_relations + rel].AppendRaw(
+                chunk.TupleAt(i), 1);
+            staged_bytes += tuple_bytes;
+          }
+        }
+      }
+    }
+    RDMAJOIN_RETURN_IF_ERROR(reservations[m]->Add(virt(staged_bytes)));
+    // Register every non-empty staging region with the machine's device; the
+    // pull design pays its registration cost on the sender side, where the
+    // one-sided WRITE design pays it on the receiver.
+    stage_mrs[m].resize(stage[m].size());
+    for (size_t s = 0; s < stage[m].size(); ++s) {
+      Relation& region = stage[m][s];
+      if (region.empty()) continue;
+      auto mr = net.device(m)->RegisterMemory(region.data(), region.size_bytes());
+      RDMAJOIN_RETURN_IF_ERROR(mr.status());
+      stage_mrs[m][s] = *mr;
+      mt.setup_registration_seconds +=
+          cluster_.costs.RegistrationSeconds(virt(region.size_bytes()));
+    }
+  }
+
+  // ---- Stage 2: every destination pulls its partitions in chunks. ----
+  const uint64_t payload_capacity = config_.ActualRdmaBufferBytes(tuple_bytes);
+  const uint64_t chunk_bytes =
+      std::max<uint64_t>(payload_capacity / tuple_bytes, 1) * tuple_bytes;
+  for (uint32_t d = 0; d < nm; ++d) {
+    MachineTrace& mt = trace->machines[d];
+    RegisteredBufferPool pool(net.device(d), chunk_bytes,
+                              config_.preregister_buffers
+                                  ? RegisteredBufferPool::Policy::kPooled
+                                  : RegisteredBufferPool::Policy::kRegisterOnDemand);
+    uint32_t next_thread = 0;
+    for (uint32_t p = 0; p < parts; ++p) {
+      if (assignment_[p] != d) continue;
+      // Assigned partitions are dealt round-robin to the pulling threads.
+      ThreadNetTrace& tt = mt.net_threads[next_thread];
+      next_thread = (next_thread + 1) % threads;
+      for (uint32_t rel = 0; rel < num_relations; ++rel) {
+        for (uint32_t s = 0; s < nm; ++s) {
+          if (s == d) continue;
+          const size_t idx = static_cast<size_t>(p) * num_relations + rel;
+          const Relation& region = stage[s][idx];
+          if (region.empty()) continue;
+          const MemoryRegion& mr = stage_mrs[s][idx];
+          for (uint64_t off = 0; off < region.size_bytes(); off += chunk_bytes) {
+            const uint64_t len = std::min(chunk_bytes, region.size_bytes() - off);
+            auto buf = pool.Acquire();
+            RDMAJOIN_RETURN_IF_ERROR(buf.status());
+            RDMAJOIN_RETURN_IF_ERROR(net.reader_qp(d, s)->PostRead(
+                /*wr_id=*/0, (*buf)->mr.lkey, /*local_offset=*/0, mr.rkey, off,
+                len));
+            WorkCompletion wc;
+            if (!net.reader_cq(d, s)->PollOne(&wc) || !wc.success) {
+              pool.Release(*buf);
+              return Status::Internal("missing read completion");
+            }
+            result.stores[d]->Deliver(p, rel, (*buf)->bytes(), len);
+            pool.Release(*buf);
+            SendRecord read;
+            read.dst_machine = d;
+            read.slot = p;
+            read.wire_bytes = len;
+            read.compute_bytes_before = tt.compute_bytes;
+            read.src_machine = s;
+            tt.sends.push_back(read);
+          }
+        }
+      }
+    }
+    result.pool_buffers_created += pool.buffers_created();
+    result.pool_acquisitions += pool.acquisitions();
+  }
+
+  // Deregister staging regions before the devices go away with `net`.
+  for (uint32_t m = 0; m < nm; ++m) {
+    for (size_t s = 0; s < stage[m].size(); ++s) {
+      if (!stage[m][s].empty()) {
+        (void)net.device(m)->DeregisterMemory(stage_mrs[m][s]);
+      }
+    }
+  }
+
+  for (uint32_t m = 0; m < nm; ++m) {
+    for (const auto& tt : trace->machines[m].net_threads) {
+      for (const auto& send : tt.sends) {
+        result.virtual_wire_bytes += static_cast<double>(send.wire_bytes) * scale;
+      }
+      result.messages_sent += tt.sends.size();
+    }
+    result.max_setup_registration_seconds =
+        std::max(result.max_setup_registration_seconds,
+                 trace->machines[m].setup_registration_seconds);
+  }
+  return result;
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,120 @@
+#ifndef RDMAJOIN_JOIN_EXCHANGE_H_
+#define RDMAJOIN_JOIN_EXCHANGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/memory_space.h"
+#include "join/join_config.h"
+#include "join/partitioner.h"
+#include "timing/trace.h"
+#include "transport/channel.h"
+#include "util/statusor.h"
+#include "workload/relation.h"
+
+namespace rdmajoin {
+
+/// Per-machine storage for the partitions a machine is assigned. Local
+/// tuples are appended directly by the partitioning threads; remote tuples
+/// arrive through the transport (PartitionSink::Deliver).
+class PartitionStore : public PartitionSink {
+ public:
+  /// Storage for `num_partitions` partitions of `num_relations` relations of
+  /// `tuple_bytes`-wide tuples.
+  PartitionStore(uint32_t tuple_bytes, uint32_t num_partitions,
+                 uint32_t num_relations);
+
+  /// Allocates the (partition, relation) slots for a partition this machine
+  /// owns, reserving capacity from the global histogram.
+  void Prepare(uint32_t partition, const std::vector<uint64_t>& tuples_per_relation);
+
+  void Deliver(uint32_t partition, uint32_t relation, const uint8_t* tuples,
+               uint64_t bytes) override;
+
+  /// The (partition, relation) slot; the partition must be prepared.
+  Relation& Rel(uint32_t partition, uint32_t relation);
+  bool IsPrepared(uint32_t partition) const { return slots_[partition] != nullptr; }
+  uint32_t num_relations() const { return num_relations_; }
+
+ private:
+  uint32_t tuple_bytes_;
+  uint32_t num_relations_;
+  std::vector<std::unique_ptr<std::vector<Relation>>> slots_;
+};
+
+/// Tracks memory reservations against a MemorySpace, releasing on scope exit.
+class ScopedReservation {
+ public:
+  explicit ScopedReservation(MemorySpace* space) : space_(space) {}
+  ~ScopedReservation();
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+  Status Add(uint64_t bytes);
+
+ private:
+  MemorySpace* space_;
+  uint64_t bytes_ = 0;
+};
+
+/// The network partitioning pass of Section 4.2, generalized over the
+/// partition function and the number of input relations so that the radix
+/// hash join, the distributed aggregation and the sort-merge join all share
+/// it: every partitioning thread scans its slice of each input relation,
+/// appends local tuples to the machine's partition store, fills pooled
+/// RDMA buffers for remote partitions, and ships full buffers through the
+/// configured transport, recording the execution trace for the timing
+/// replay.
+class Exchange {
+ public:
+  struct Result {
+    /// stores[m] holds the partitions assigned to machine m.
+    std::vector<std::unique_ptr<PartitionStore>> stores;
+    /// Network bookkeeping of the pass.
+    uint64_t messages_sent = 0;
+    double virtual_wire_bytes = 0;
+    uint64_t pool_buffers_created = 0;
+    uint64_t pool_acquisitions = 0;
+    double max_setup_registration_seconds = 0;
+  };
+
+  /// `assignment[p]` is the machine that processes partition p;
+  /// `global_counts[rel][p]` the exact global tuple count (from the
+  /// histogram exchange) used to size destination buffers.
+  Exchange(const ClusterConfig& cluster, const JoinConfig& config,
+           const Partitioner* partitioner, std::vector<uint32_t> assignment,
+           std::vector<std::vector<uint64_t>> global_counts);
+
+  /// Runs the pass over `inputs` (one or more relations fragmented across
+  /// the cluster). `memories[m]` is machine m's budget; `reservations[m]`
+  /// receives this pass's reservations (stores, RDMA buffers, rings).
+  /// `trace->machines[m]` is filled with the thread traces and receiver
+  /// bookkeeping of machine m.
+  StatusOr<Result> Run(const std::vector<const DistributedRelation*>& inputs,
+                       std::vector<MemorySpace*> memories,
+                       std::vector<ScopedReservation*> reservations,
+                       RunTrace* trace);
+
+ private:
+  /// Receiver-driven variant for TransportKind::kRdmaRead (Section 3.2.2's
+  /// other one-sided primitive): every machine first partitions its input
+  /// into registered local staging regions (local tuples go straight to the
+  /// store), then each destination machine pulls its partitions from every
+  /// peer's staging with chunked RDMA READs. The registration cost of the
+  /// staged data is charged to the source machines; no receiver copies.
+  StatusOr<Result> RunPull(const std::vector<const DistributedRelation*>& inputs,
+                           std::vector<MemorySpace*> memories,
+                           std::vector<ScopedReservation*> reservations,
+                           RunTrace* trace);
+
+  const ClusterConfig& cluster_;
+  const JoinConfig& config_;
+  const Partitioner* partitioner_;
+  std::vector<uint32_t> assignment_;
+  std::vector<std::vector<uint64_t>> global_counts_;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_JOIN_EXCHANGE_H_

@@ -1,0 +1,68 @@
+#ifndef RDMAJOIN_JOIN_HASH_TABLE_H_
+#define RDMAJOIN_JOIN_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_ops.h"
+#include "workload/relation.h"
+
+namespace rdmajoin {
+
+/// A bucket-chained hash table over one cache-sized partition of the inner
+/// relation, in the style of the Balkesen et al. radix join: contiguous key
+/// and rid arrays plus a chain array, so both build and probe are sequential
+/// scans with one indirection per collision.
+class HashTable {
+ public:
+  /// Builds the table over all tuples of `build_side`.
+  explicit HashTable(const Relation& build_side);
+  /// Builds over the tuple index range [begin, end) of `build_side`.
+  HashTable(const Relation& build_side, uint64_t begin, uint64_t end);
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+  HashTable(HashTable&&) = default;
+  HashTable& operator=(HashTable&&) = default;
+
+  /// Invokes `emit(rid)` for every build tuple whose key equals `key`.
+  template <typename F>
+  void Probe(uint64_t key, F&& emit) const {
+    if (num_entries_ == 0) return;
+    uint32_t slot = next_[num_entries_ + (HashKey(key) & bucket_mask_)];
+    while (slot != kEmpty) {
+      if (keys_[slot] == key) emit(rids_[slot]);
+      slot = next_[slot];
+    }
+  }
+
+  /// Number of matches for `key` (convenience for tests).
+  uint64_t CountMatches(uint64_t key) const {
+    uint64_t n = 0;
+    Probe(key, [&n](uint64_t) { ++n; });
+    return n;
+  }
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_buckets() const { return bucket_mask_ + 1; }
+  /// Approximate footprint; the partitioning stage targets tables that fit
+  /// the private processor cache.
+  uint64_t size_bytes() const {
+    return keys_.size() * sizeof(uint64_t) + rids_.size() * sizeof(uint64_t) +
+           next_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  uint64_t num_entries_ = 0;
+  uint64_t bucket_mask_ = 0;
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> rids_;
+  /// next_[0 .. n) are entry chains; next_[n .. n+buckets) are bucket heads.
+  std::vector<uint32_t> next_;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_JOIN_HASH_TABLE_H_

@@ -1,0 +1,52 @@
+#ifndef RDMAJOIN_JOIN_HISTOGRAM_H_
+#define RDMAJOIN_JOIN_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/relation.h"
+
+namespace rdmajoin {
+
+/// Histograms of one relation over the 2^radix_bits first-pass partitions
+/// (Section 4.1). Thread-level histograms are combined into machine-level
+/// histograms, which are exchanged and summed into the global histogram that
+/// sizes receive buffers and drives the partition-to-machine assignment.
+struct RelationHistograms {
+  uint32_t radix_bits = 0;
+  /// per_machine[m][p]: tuples of partition p residing on machine m.
+  std::vector<std::vector<uint64_t>> per_machine;
+  /// global[p]: total tuples of partition p (sum over machines).
+  std::vector<uint64_t> global;
+
+  uint32_t num_partitions() const { return uint32_t{1} << radix_bits; }
+  uint64_t total_tuples() const {
+    uint64_t n = 0;
+    for (uint64_t c : global) n += c;
+    return n;
+  }
+};
+
+/// First-pass partition of a key: its low `radix_bits` bits.
+inline uint32_t FirstPassPartition(uint64_t key, uint32_t radix_bits) {
+  return static_cast<uint32_t>(key & ((uint64_t{1} << radix_bits) - 1));
+}
+
+/// Scans every machine's chunk and produces the combined histograms.
+RelationHistograms ComputeHistograms(const DistributedRelation& rel,
+                                     uint32_t radix_bits);
+
+/// Generalized histogram over an arbitrary partition function (used by the
+/// range-partitioned sort-merge operator). Returns per-machine and global
+/// counts as vectors indexed by partition.
+struct GenericHistograms {
+  std::vector<std::vector<uint64_t>> per_machine;  // [machine][partition]
+  std::vector<uint64_t> global;                    // [partition]
+};
+class Partitioner;
+GenericHistograms ComputeHistogramsWith(const DistributedRelation& rel,
+                                        const Partitioner& partitioner);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_JOIN_HISTOGRAM_H_

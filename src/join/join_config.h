@@ -1,0 +1,80 @@
+#ifndef RDMAJOIN_JOIN_JOIN_CONFIG_H_
+#define RDMAJOIN_JOIN_JOIN_CONFIG_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace rdmajoin {
+
+/// How first-pass partitions are assigned to machines (Section 4.1).
+enum class AssignmentPolicy {
+  /// Static: partition p goes to machine p mod NM.
+  kRoundRobin,
+  /// Dynamic: partitions are sorted by element count in decreasing order and
+  /// dealt round-robin, so the largest partitions land on distinct machines
+  /// (the paper's skew configuration, Section 6.5).
+  kSkewAware,
+};
+
+/// Algorithm parameters of the distributed radix hash join. Byte quantities
+/// are full-scale (paper units); the executor derives actual sizes through
+/// `scale_up`.
+struct JoinConfig {
+  /// b1: the network pass fans out into 2^network_radix_bits partitions.
+  /// The paper uses 10 (and another 10 in the local pass, Section 6.4.3).
+  uint32_t network_radix_bits = 10;
+  /// Target size of the final cache-resident partitions (full-scale bytes).
+  uint64_t cache_partition_bytes = 32 * 1024;
+  AssignmentPolicy assignment = AssignmentPolicy::kRoundRobin;
+  /// Probe ranges larger than this factor times the average task size are
+  /// split across threads (Section 4.3); 0 disables splitting.
+  double skew_split_factor = 2.0;
+  /// Size of one RDMA-enabled buffer, full-scale bytes (64 KB, Section 6.2).
+  uint64_t rdma_buffer_bytes = 64 * 1024;
+  /// RDMA buffers per (thread, remote partition); >= 2 enables interleaving
+  /// of computation and communication (Section 4.2.1).
+  uint32_t buffers_per_partition = 2;
+  /// Two-sided receives pre-posted per incoming link.
+  uint32_t recv_buffers_per_link = 8;
+  /// Draw send buffers from a preregistered pool (the paper's design) or
+  /// register each buffer on the fly (ablation: bench/abl_registration).
+  bool preregister_buffers = true;
+  /// Virtual bytes = actual bytes * scale_up. The workload generator is fed
+  /// paper_tuples / scale_up tuples; the timing replay reports full-scale
+  /// seconds. RDMA buffer and cache-partition actual sizes scale identically
+  /// so buffer-fill dynamics match the full-scale run.
+  double scale_up = 1.0;
+  /// Local (non-network) partitioning passes charged in virtual time; the
+  /// paper's two-pass configuration charges 1. If the scaled execution
+  /// needs more passes than this, the executed passes are charged instead.
+  uint32_t num_local_passes = 1;
+  /// Maximum radix bits per local partitioning pass: 2^bits simultaneous
+  /// output streams must not exceed the TLB/cache-line budget (Section 3.1,
+  /// radix clustering). The paper's configuration uses 10.
+  uint32_t local_bits_per_pass = 10;
+  /// Materialize the join result: collect the matching <inner_rid,
+  /// outer_rid> pairs and charge the output writes (16 bytes per match at
+  /// memcpy speed) to the build/probe phase. The paper's evaluated setting
+  /// leaves the result in the operator pipeline (Section 7) -- off by
+  /// default.
+  bool materialize_results = false;
+  /// Inter-machine work stealing in the build/probe phase: the extension the
+  /// paper proposes for skewed workloads (Sections 6.5, 8). Whole tasks
+  /// (a hash table plus its probe range) migrate from overloaded machines to
+  /// underloaded ones; the shipped partition data is charged against the
+  /// receiving machine's port bandwidth.
+  bool enable_work_stealing = false;
+
+  Status Validate() const;
+
+  /// Actual in-simulation payload capacity of one RDMA buffer (the wire
+  /// header is allocated on top); at least one tuple fits.
+  uint64_t ActualRdmaBufferBytes(uint32_t tuple_bytes) const;
+  /// Actual target size of final partitions (>= one tuple).
+  uint64_t ActualCachePartitionBytes(uint32_t tuple_bytes) const;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_JOIN_JOIN_CONFIG_H_

@@ -1,0 +1,36 @@
+#ifndef RDMAJOIN_JOIN_LOCAL_PARTITION_H_
+#define RDMAJOIN_JOIN_LOCAL_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/relation.h"
+
+namespace rdmajoin {
+
+/// One radix-partitioning pass over a relation: scatters tuples into
+/// 2^bits output partitions keyed on key bits [shift, shift+bits). This is
+/// the histogram + prefix-sum + scatter kernel shared by the local passes of
+/// the distributed join and by the single-machine baseline.
+std::vector<Relation> RadixScatter(const Relation& in, uint32_t shift, uint32_t bits);
+
+/// Radix bits needed so that partitioning `max_partition_bytes` into equal
+/// chunks yields chunks of at most `target_bytes` (capped at `max_bits`).
+uint32_t BitsForTarget(uint64_t max_partition_bytes, uint64_t target_bytes,
+                       uint32_t max_bits = 14);
+
+/// Multi-pass radix partitioning (Section 3.1): fans `in` out over `bits`
+/// radix bits starting at `shift`, but creates at most 2^`bits_per_pass`
+/// partitions per pass so the number of simultaneously written output
+/// streams never exceeds the TLB/cache-line budget (Manegold et al.'s
+/// radix-clustering). Returns the 2^bits final partitions in radix order and
+/// sets `*passes` (if non-null) to the number of passes executed and
+/// `*bytes_processed` to the total bytes moved (bytes * passes).
+std::vector<Relation> RadixScatterMultiPass(const Relation& in, uint32_t shift,
+                                            uint32_t bits, uint32_t bits_per_pass,
+                                            uint32_t* passes = nullptr,
+                                            uint64_t* bytes_processed = nullptr);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_JOIN_LOCAL_PARTITION_H_

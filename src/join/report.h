@@ -1,0 +1,24 @@
+#ifndef RDMAJOIN_JOIN_REPORT_H_
+#define RDMAJOIN_JOIN_REPORT_H_
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "join/distributed_join.h"
+#include "workload/generator.h"
+
+namespace rdmajoin {
+
+/// Formats a human-readable report of one join run: phase breakdown,
+/// network utilization, receiver load, buffer-pool behaviour and (when a
+/// ground truth is supplied) the verification verdict. Used by the CLI and
+/// examples; benches print figure-shaped tables instead.
+std::string FormatRunReport(const ClusterConfig& cluster, const JoinRunResult& result,
+                            const GroundTruth* truth = nullptr);
+
+/// One-line verdict: "verified (N matches)" or a mismatch description.
+std::string VerifyAgainstTruth(const JoinResultStats& stats, const GroundTruth& truth);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_JOIN_REPORT_H_

@@ -1,0 +1,31 @@
+#ifndef RDMAJOIN_JOIN_RESULT_STATS_H_
+#define RDMAJOIN_JOIN_RESULT_STATS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rdmajoin {
+
+/// Aggregated join output. The evaluated workloads have exact expected
+/// values for all three checksum fields (see GroundTruth), so every run is
+/// verified end to end.
+struct JoinResultStats {
+  uint64_t matches = 0;
+  /// Sum (mod 2^64) of the join key over all matches.
+  uint64_t key_sum = 0;
+  /// Sum (mod 2^64) of the inner-relation rid over all matches.
+  uint64_t inner_rid_sum = 0;
+  /// Matching (inner_rid, outer_rid) pairs; only collected when requested.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+
+  void Count(uint64_t key, uint64_t inner_rid) {
+    ++matches;
+    key_sum += key;
+    inner_rid_sum += inner_rid;
+  }
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_JOIN_RESULT_STATS_H_

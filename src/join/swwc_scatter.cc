@@ -1,0 +1,53 @@
+#include "join/swwc_scatter.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/bit_ops.h"
+
+namespace rdmajoin {
+
+std::vector<Relation> RadixScatterSwwc(const Relation& in, uint32_t shift,
+                                       uint32_t bits, uint32_t buffer_tuples) {
+  assert(buffer_tuples >= 1);
+  const uint32_t parts = uint32_t{1} << bits;
+  const uint32_t width = in.tuple_bytes();
+
+  // Exact output offsets from a histogram pass (no reallocation, the output
+  // of each partition is one contiguous region).
+  std::vector<uint64_t> counts(parts, 0);
+  for (uint64_t i = 0; i < in.num_tuples(); ++i) {
+    ++counts[RadixBits(in.Key(i), shift, bits)];
+  }
+  std::vector<Relation> out;
+  out.reserve(parts);
+  for (uint32_t p = 0; p < parts; ++p) {
+    Relation r(width);
+    r.Resize(counts[p]);
+    out.push_back(std::move(r));
+  }
+
+  // Staging buffers: buffer_tuples rows per partition, flushed in blocks.
+  std::vector<uint8_t> stage(static_cast<size_t>(parts) * buffer_tuples * width);
+  std::vector<uint32_t> fill(parts, 0);
+  std::vector<uint64_t> cursor(parts, 0);
+  auto flush = [&](uint32_t p) {
+    if (fill[p] == 0) return;
+    std::memcpy(out[p].TupleAt(cursor[p]),
+                stage.data() + static_cast<size_t>(p) * buffer_tuples * width,
+                static_cast<size_t>(fill[p]) * width);
+    cursor[p] += fill[p];
+    fill[p] = 0;
+  };
+  for (uint64_t i = 0; i < in.num_tuples(); ++i) {
+    const uint32_t p = static_cast<uint32_t>(RadixBits(in.Key(i), shift, bits));
+    std::memcpy(stage.data() +
+                    (static_cast<size_t>(p) * buffer_tuples + fill[p]) * width,
+                in.TupleAt(i), width);
+    if (++fill[p] == buffer_tuples) flush(p);
+  }
+  for (uint32_t p = 0; p < parts; ++p) flush(p);
+  return out;
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,27 @@
+#ifndef RDMAJOIN_JOIN_SWWC_SCATTER_H_
+#define RDMAJOIN_JOIN_SWWC_SCATTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/relation.h"
+
+namespace rdmajoin {
+
+/// Radix scatter with software-managed write-combining buffers (the
+/// Balkesen et al. optimization the paper's implementation inherits):
+/// tuples are staged in small cache-line-sized buffers, one per output
+/// partition, and flushed to the partition's output region in blocks. On
+/// real hardware this turns the random scatter into sequential streaming
+/// stores and bounds the simultaneously-touched pages to the buffer set --
+/// the micro benchmark (micro_join_kernels) compares it against the plain
+/// scatter on this machine.
+///
+/// `buffer_tuples` is the capacity of one staging buffer (a cache line holds
+/// 4 narrow tuples; Balkesen et al. use cache-line-sized buffers).
+std::vector<Relation> RadixScatterSwwc(const Relation& in, uint32_t shift,
+                                       uint32_t bits, uint32_t buffer_tuples = 4);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_JOIN_SWWC_SCATTER_H_

@@ -1,0 +1,73 @@
+#ifndef RDMAJOIN_MODEL_ANALYTICAL_MODEL_H_
+#define RDMAJOIN_MODEL_ANALYTICAL_MODEL_H_
+
+#include "model/parameters.h"
+
+namespace rdmajoin {
+
+/// Closed-form performance model of the distributed radix hash join
+/// (Section 5 of the paper). All speeds are global MB/s, all times seconds.
+
+/// Eq. 1: share of the per-host network bandwidth available to each
+/// partitioning thread.
+double PsNetwork(const ModelParams& p);
+
+/// Eq. 2: true if remote tuples are produced faster than the network can
+/// transmit them (the system is network-bound in the network pass).
+bool IsNetworkBound(const ModelParams& p);
+
+/// Eq. 4: observed partitioning speed of one thread in a network-bound
+/// system (harmonic combination of compute and transmit speeds).
+double PsThreadNetworkBound(const ModelParams& p);
+
+/// Eq. 3 / Eq. 5: global partitioning speed of the network pass.
+double Ps1(const ModelParams& p);
+
+/// Eq. 6: global partitioning speed of a local pass.
+double Ps2(const ModelParams& p);
+
+/// Eq. 7: time to run all p partitioning passes over |R| + |S|.
+double PartitioningSeconds(const ModelParams& p);
+
+/// Eq. 8 + Eq. 9: global build speed and build time.
+double BuildSpeed(const ModelParams& p);
+double BuildSeconds(const ModelParams& p);
+
+/// Eq. 10 + Eq. 11: global probe speed and probe time.
+double ProbeSpeed(const ModelParams& p);
+double ProbeSeconds(const ModelParams& p);
+
+/// Histogram phase estimate (scan of both relations by all cores).
+double HistogramSeconds(const ModelParams& p);
+
+/// Breakdown of the whole join as the figures report it.
+struct ModelEstimate {
+  double histogram_seconds = 0;
+  double network_partition_seconds = 0;
+  double local_partition_seconds = 0;
+  double build_probe_seconds = 0;
+  bool network_bound = false;
+  double TotalSeconds() const {
+    return histogram_seconds + network_partition_seconds + local_partition_seconds +
+           build_probe_seconds;
+  }
+};
+ModelEstimate Estimate(const ModelParams& p);
+
+/// Eq. 12: the number of partitioning threads per machine that exactly
+/// saturates the network (maximum CPU and network utilization). Fractional;
+/// round up for a configuration choice.
+double OptimalPartitioningThreads(const ModelParams& p);
+
+/// Eq. 13: the largest machine count for which RDMA buffers still fill
+/// completely during the network pass, given `np1` first-pass partitions and
+/// buffers of `rdma_buffer_mb` MB.
+double MaxMachinesForFullBuffers(const ModelParams& p, uint32_t np1,
+                                 double rdma_buffer_mb);
+
+/// Eq. 14: true if every core can be assigned at least one partition.
+bool SatisfiesCoreAssignment(const ModelParams& p, uint32_t np1);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_MODEL_ANALYTICAL_MODEL_H_

@@ -1,0 +1,54 @@
+#ifndef RDMAJOIN_MODEL_PARAMETERS_H_
+#define RDMAJOIN_MODEL_PARAMETERS_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "util/status.h"
+
+namespace rdmajoin {
+
+/// The symbols of Table 1, in the paper's units (MB decimal, MB/s).
+///
+/// The paper's formulas assume one receiver core per machine, writing the
+/// partitioning thread count as NC/M - 1; here the partitioning thread count
+/// is carried explicitly so configurations without a reserved receiver core
+/// (the QPI server preset) use the same equations.
+struct ModelParams {
+  /// |R|: size of the inner relation in MB.
+  double inner_mb = 0;
+  /// |S|: size of the outer relation in MB.
+  double outer_mb = 0;
+  /// NM: number of machines.
+  uint32_t num_machines = 1;
+  /// NC/M: cores per machine.
+  uint32_t cores_per_machine = 1;
+  /// Partitioning threads per machine (NC/M - 1 when a receiver core is
+  /// reserved).
+  uint32_t partitioning_threads = 1;
+  /// psPart.: partitioning speed of one thread [MB/s].
+  double ps_part = 955.0;
+  /// netmax: network bandwidth per host [MB/s], already including any
+  /// congestion penalty (Eq. 15).
+  double net_max = 3400.0;
+  /// hbThread: hash-table build speed of one thread [MB/s].
+  double hb_thread = 4000.0;
+  /// hpThread: hash-table probe speed of one thread [MB/s].
+  double hp_thread = 4000.0;
+  /// p: number of partitioning passes (network pass + p-1 local passes).
+  uint32_t num_passes = 2;
+  /// Histogram scan speed of one thread [MB/s] (an addition to the paper's
+  /// model so that the histogram phase of the figures can be estimated too).
+  double hist_thread = 6000.0;
+
+  Status Validate() const;
+};
+
+/// Derives model parameters from a cluster preset and a workload size
+/// (virtual, full-scale bytes).
+ModelParams ParamsFromCluster(const ClusterConfig& cluster, uint64_t inner_bytes,
+                              uint64_t outer_bytes, uint32_t num_passes = 2);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_MODEL_PARAMETERS_H_

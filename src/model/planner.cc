@@ -1,0 +1,61 @@
+#include "model/planner.h"
+
+namespace rdmajoin {
+
+ModelParams ParamsAtMachineCount(const ClusterConfig& base, uint32_t machines,
+                                 uint64_t inner_bytes, uint64_t outer_bytes) {
+  ClusterConfig sized = base;
+  sized.num_machines = machines;
+  sized.fabric.num_hosts = machines;
+  return ParamsFromCluster(sized, inner_bytes, outer_bytes);
+}
+
+uint32_t MachinesForDeadline(const ClusterConfig& base, uint64_t inner_bytes,
+                             uint64_t outer_bytes, double deadline_seconds,
+                             uint32_t min_machines, uint32_t max_machines) {
+  for (uint32_t m = min_machines; m <= max_machines; ++m) {
+    ModelParams p = ParamsAtMachineCount(base, m, inner_bytes, outer_bytes);
+    if (p.net_max <= 0) continue;  // Congested out of existence.
+    if (Estimate(p).TotalSeconds() <= deadline_seconds) return m;
+  }
+  return 0;
+}
+
+uint32_t NetworkBoundCrossover(const ClusterConfig& base, uint32_t min_machines,
+                               uint32_t max_machines) {
+  for (uint32_t m = min_machines; m <= max_machines; ++m) {
+    ModelParams p = ParamsAtMachineCount(base, m, 1, 1);
+    if (p.net_max <= 0) return m;  // Congestion alone caps the cluster here.
+    if (IsNetworkBound(p)) return m;
+  }
+  return 0;
+}
+
+double ScaleOutEfficiency(const ClusterConfig& base, uint64_t inner_bytes,
+                          uint64_t outer_bytes, uint32_t from, uint32_t to) {
+  const double t_from =
+      Estimate(ParamsAtMachineCount(base, from, inner_bytes, outer_bytes))
+          .TotalSeconds();
+  const double t_to =
+      Estimate(ParamsAtMachineCount(base, to, inner_bytes, outer_bytes))
+          .TotalSeconds();
+  const double speedup = t_from / t_to;
+  return speedup / (static_cast<double>(to) / from);
+}
+
+uint32_t DiminishingReturnsPoint(const ClusterConfig& base, uint64_t inner_bytes,
+                                 uint64_t outer_bytes, double min_gain,
+                                 uint32_t max_machines) {
+  double prev =
+      Estimate(ParamsAtMachineCount(base, 2, inner_bytes, outer_bytes)).TotalSeconds();
+  for (uint32_t m = 3; m <= max_machines; ++m) {
+    ModelParams p = ParamsAtMachineCount(base, m, inner_bytes, outer_bytes);
+    if (p.net_max <= 0) return m - 1;
+    const double t = Estimate(p).TotalSeconds();
+    if ((prev - t) / prev < min_gain) return m - 1;
+    prev = t;
+  }
+  return max_machines;
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,45 @@
+#ifndef RDMAJOIN_MODEL_PLANNER_H_
+#define RDMAJOIN_MODEL_PLANNER_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "model/analytical_model.h"
+
+namespace rdmajoin {
+
+/// Deployment-planning queries on top of the Section 5 model: the questions
+/// an operator of a rack-scale appliance asks ("how many machines do I need
+/// for this SLA?", "when does adding machines stop paying?") answered in
+/// closed form. `base` provides the hardware parameters; the machine count
+/// is varied, reapplying the fabric's congestion term per Eq. 15.
+
+/// Model parameters for `base`'s hardware at `machines` machines.
+ModelParams ParamsAtMachineCount(const ClusterConfig& base, uint32_t machines,
+                                 uint64_t inner_bytes, uint64_t outer_bytes);
+
+/// Smallest machine count in [min_machines, max_machines] whose estimated
+/// total time meets `deadline_seconds`; 0 if none does.
+uint32_t MachinesForDeadline(const ClusterConfig& base, uint64_t inner_bytes,
+                             uint64_t outer_bytes, double deadline_seconds,
+                             uint32_t min_machines = 2, uint32_t max_machines = 64);
+
+/// First machine count in [min_machines, max_machines] at which the network
+/// pass becomes network-bound (Eq. 2); 0 if it stays CPU-bound throughout.
+uint32_t NetworkBoundCrossover(const ClusterConfig& base, uint32_t min_machines = 2,
+                               uint32_t max_machines = 64);
+
+/// Parallel efficiency of scaling from `from` to `to` machines:
+/// speedup / (to/from). 1.0 is perfect scaling.
+double ScaleOutEfficiency(const ClusterConfig& base, uint64_t inner_bytes,
+                          uint64_t outer_bytes, uint32_t from, uint32_t to);
+
+/// Machine count past which adding one more machine improves the estimated
+/// total by less than `min_gain` (relative); capped at max_machines.
+uint32_t DiminishingReturnsPoint(const ClusterConfig& base, uint64_t inner_bytes,
+                                 uint64_t outer_bytes, double min_gain = 0.05,
+                                 uint32_t max_machines = 64);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_MODEL_PLANNER_H_

@@ -1,0 +1,87 @@
+#ifndef RDMAJOIN_OPERATORS_PLAN_H_
+#define RDMAJOIN_OPERATORS_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "join/join_config.h"
+#include "util/statusor.h"
+#include "workload/relation.h"
+
+namespace rdmajoin {
+
+/// A minimal distributed query-plan layer over the library's operators,
+/// making the paper's framing concrete: "we treated the join operation as
+/// part of an operator pipeline in which the result of the join is
+/// materialized at a later point in the query execution" (Section 7).
+///
+/// Plans are trees of PlanNodes. Executing a node yields a
+/// DistributedRelation (fragmented across the cluster's machines) plus the
+/// accumulated virtual execution time of the subtree. Scans and filters are
+/// machine-local (their time is a barrier-synchronized scan); joins and
+/// aggregations run the full distributed operators, network pass included.
+
+struct PlanContext {
+  ClusterConfig cluster;
+  JoinConfig config;
+};
+
+struct PlanOutput {
+  DistributedRelation relation;
+  /// Virtual seconds consumed by this subtree (operators run serially).
+  double seconds = 0;
+  /// Rows produced.
+  uint64_t rows = 0;
+};
+
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+  /// Executes the subtree rooted here.
+  virtual StatusOr<PlanOutput> Execute(const PlanContext& ctx) = 0;
+  /// Operator name for EXPLAIN-style printing.
+  virtual std::string Name() const = 0;
+  virtual std::vector<const PlanNode*> Children() const = 0;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// Leaf: scans an already-loaded distributed relation (zero cost -- the
+/// paper's joins also start from loaded data).
+PlanNodePtr Scan(const DistributedRelation* relation, std::string label = "scan");
+
+/// Filter: keeps tuples for which `predicate(key, rid)` is true. Runs
+/// machine-local at the histogram scan rate.
+PlanNodePtr Filter(PlanNodePtr child,
+                   std::function<bool(uint64_t key, uint64_t rid)> predicate,
+                   std::string label = "filter");
+
+/// Map: rewrites each tuple's key/rid (e.g. re-keying for the next join).
+/// Machine-local at the histogram scan rate.
+PlanNodePtr Map(PlanNodePtr child,
+                std::function<std::pair<uint64_t, uint64_t>(uint64_t, uint64_t)> fn,
+                std::string label = "map");
+
+/// Distributed radix hash join of the two children (inner = left). Produces
+/// the materialized <join_key, inner_rid> result, partitioned by key.
+PlanNodePtr HashJoin(PlanNodePtr inner, PlanNodePtr outer,
+                     std::string label = "hash_join");
+
+/// Distributed sort-merge join (the Section 7 alternative operator).
+PlanNodePtr SortMergeJoin(PlanNodePtr inner, PlanNodePtr outer,
+                          std::string label = "sort_merge_join");
+
+/// Distributed group-by aggregation: COUNT/SUM(rid) per key; produces one
+/// <key, sum> tuple per group.
+PlanNodePtr Aggregate(PlanNodePtr child, std::string label = "aggregate");
+
+/// Renders the plan tree ("explain"), one operator per line.
+std::string ExplainPlan(const PlanNode& root);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_OPERATORS_PLAN_H_

@@ -1,0 +1,51 @@
+#include "operators/radix_sort.h"
+
+#include <cstring>
+#include <vector>
+
+namespace rdmajoin {
+
+uint32_t RadixSortPasses(uint64_t max_key) {
+  uint32_t passes = 0;
+  do {
+    ++passes;
+    max_key >>= 8;
+  } while (max_key != 0);
+  return passes;
+}
+
+void RadixSortByKey(Relation* rel) {
+  const uint64_t n = rel->num_tuples();
+  if (n <= 1) return;
+  uint64_t max_key = 0;
+  for (uint64_t i = 0; i < n; ++i) max_key = std::max(max_key, rel->Key(i));
+  const uint32_t passes = RadixSortPasses(max_key);
+  const uint32_t width = rel->tuple_bytes();
+
+  Relation scratch(width);
+  scratch.Resize(n);
+  Relation* src = rel;
+  Relation* dst = &scratch;
+  for (uint32_t pass = 0; pass < passes; ++pass) {
+    const uint32_t shift = pass * 8;
+    uint64_t counts[256] = {0};
+    for (uint64_t i = 0; i < n; ++i) ++counts[(src->Key(i) >> shift) & 0xFF];
+    uint64_t offsets[256];
+    uint64_t running = 0;
+    for (int d = 0; d < 256; ++d) {
+      offsets[d] = running;
+      running += counts[d];
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint32_t digit = (src->Key(i) >> shift) & 0xFF;
+      std::memcpy(dst->TupleAt(offsets[digit]++), src->TupleAt(i), width);
+    }
+    std::swap(src, dst);
+  }
+  if (src != rel) {
+    // Odd pass count: the sorted data sits in the scratch buffer.
+    *rel = std::move(scratch);
+  }
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,22 @@
+#ifndef RDMAJOIN_OPERATORS_RADIX_SORT_H_
+#define RDMAJOIN_OPERATORS_RADIX_SORT_H_
+
+#include <cstdint>
+
+#include "workload/relation.h"
+
+namespace rdmajoin {
+
+/// LSB radix sort of a relation by join key: 8-bit digits, counting passes,
+/// ping-pong buffers. O(k * n) with k = ceil(significant_bits / 8); the
+/// kernel the distributed sort-merge join would use on real hardware (the
+/// hardware-conscious alternative to the comparison sort, cf. Kim et al.
+/// [19] / Balkesen et al. [3]). Stable.
+void RadixSortByKey(Relation* rel);
+
+/// Number of 8-bit counting passes RadixSortByKey would run for `max_key`.
+uint32_t RadixSortPasses(uint64_t max_key);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_OPERATORS_RADIX_SORT_H_

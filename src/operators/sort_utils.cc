@@ -1,0 +1,90 @@
+#include "operators/sort_utils.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace rdmajoin {
+
+void SortRelationByKey(Relation* rel) {
+  const uint64_t n = rel->num_tuples();
+  if (n <= 1) return;
+  std::vector<uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [rel](uint64_t a, uint64_t b) {
+    return rel->Key(a) < rel->Key(b);
+  });
+  Relation sorted(rel->tuple_bytes());
+  sorted.Resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::memcpy(sorted.TupleAt(i), rel->TupleAt(order[i]), rel->tuple_bytes());
+  }
+  *rel = std::move(sorted);
+}
+
+bool IsSortedByKey(const Relation& rel) {
+  for (uint64_t i = 1; i < rel.num_tuples(); ++i) {
+    if (rel.Key(i - 1) > rel.Key(i)) return false;
+  }
+  return true;
+}
+
+void MergeJoinSorted(const Relation& inner, const Relation& outer,
+                     const std::function<void(uint64_t, uint64_t, uint64_t)>& emit) {
+  uint64_t i = 0, j = 0;
+  const uint64_t ni = inner.num_tuples(), no = outer.num_tuples();
+  while (i < ni && j < no) {
+    const uint64_t ki = inner.Key(i);
+    const uint64_t kj = outer.Key(j);
+    if (ki < kj) {
+      ++i;
+    } else if (ki > kj) {
+      ++j;
+    } else {
+      // Equal-key runs on both sides: emit the cross product.
+      uint64_t i_end = i + 1;
+      while (i_end < ni && inner.Key(i_end) == ki) ++i_end;
+      uint64_t j_end = j + 1;
+      while (j_end < no && outer.Key(j_end) == ki) ++j_end;
+      for (uint64_t a = i; a < i_end; ++a) {
+        for (uint64_t b = j; b < j_end; ++b) {
+          emit(ki, inner.Rid(a), outer.Rid(b));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+}
+
+std::vector<uint64_t> SampleKeys(const Relation& rel, uint64_t count) {
+  std::vector<uint64_t> samples;
+  samples.reserve(count);
+  const uint64_t n = rel.num_tuples();
+  for (uint64_t k = 0; k < count; ++k) {
+    if (n == 0) {
+      samples.push_back(UINT64_MAX);
+    } else {
+      // Evenly spaced positions across the chunk.
+      samples.push_back(rel.Key(k * n / count));
+    }
+  }
+  return samples;
+}
+
+std::vector<uint64_t> SplittersFromSamples(std::vector<uint64_t> samples,
+                                           uint32_t num_splitters) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<uint64_t> splitters;
+  splitters.reserve(num_splitters);
+  const uint64_t n = samples.size();
+  for (uint32_t q = 1; q <= num_splitters; ++q) {
+    const uint64_t idx = static_cast<uint64_t>(q) * n / (num_splitters + 1);
+    const uint64_t v = samples[std::min(idx, n - 1)];
+    if (v == UINT64_MAX) continue;  // Padding from undersized chunks.
+    if (splitters.empty() || v > splitters.back()) splitters.push_back(v);
+  }
+  return splitters;
+}
+
+}  // namespace rdmajoin

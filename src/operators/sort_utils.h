@@ -1,0 +1,37 @@
+#ifndef RDMAJOIN_OPERATORS_SORT_UTILS_H_
+#define RDMAJOIN_OPERATORS_SORT_UTILS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "workload/relation.h"
+
+namespace rdmajoin {
+
+/// Sorts a relation by join key (stable), rewriting it in place via an index
+/// sort plus one gather pass (tuples may be wide; rows move once).
+void SortRelationByKey(Relation* rel);
+
+/// Returns true if `rel` is sorted by key (non-decreasing).
+bool IsSortedByKey(const Relation& rel);
+
+/// Merge-joins two relations sorted by key, invoking
+/// `emit(key, inner_rid, outer_rid)` for every matching pair. Handles
+/// duplicate keys on both sides (block-nested within equal-key runs).
+void MergeJoinSorted(const Relation& inner, const Relation& outer,
+                     const std::function<void(uint64_t, uint64_t, uint64_t)>& emit);
+
+/// Picks up to `count` evenly spaced sample keys from a relation chunk,
+/// padding with UINT64_MAX when the chunk is smaller than `count` (so
+/// collective exchanges stay fixed-size).
+std::vector<uint64_t> SampleKeys(const Relation& rel, uint64_t count);
+
+/// Derives `num_splitters` range splitters (strictly increasing) from a pool
+/// of sampled keys: the q-quantiles of the sorted sample, deduplicated.
+std::vector<uint64_t> SplittersFromSamples(std::vector<uint64_t> samples,
+                                           uint32_t num_splitters);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_OPERATORS_SORT_UTILS_H_

@@ -1,0 +1,82 @@
+#include "rdma/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdmajoin {
+
+RegisteredBufferPool::RegisteredBufferPool(RdmaDevice* device, uint64_t buffer_bytes,
+                                           Policy policy)
+    : device_(device), buffer_bytes_(buffer_bytes), policy_(policy) {
+  assert(device != nullptr);
+  assert(buffer_bytes > 0);
+}
+
+RegisteredBufferPool::~RegisteredBufferPool() {
+  for (auto& buf : all_) {
+    if (buf->data != nullptr) {
+      // Best-effort: deregistration failures are impossible for regions this
+      // pool registered itself.
+      (void)device_->DeregisterMemory(buf->mr);
+    }
+  }
+}
+
+StatusOr<RegisteredBuffer*> RegisteredBufferPool::CreateBuffer() {
+  auto buf = std::make_unique<RegisteredBuffer>();
+  buf->data = std::make_unique<uint8_t[]>(buffer_bytes_);
+  auto mr = device_->RegisterMemory(buf->data.get(), buffer_bytes_);
+  if (!mr.ok()) return mr.status();
+  buf->mr = *mr;
+  ++buffers_created_;
+  RegisteredBuffer* raw = buf.get();
+  all_.push_back(std::move(buf));
+  return raw;
+}
+
+Status RegisteredBufferPool::Preallocate(size_t count) {
+  if (policy_ != Policy::kPooled) {
+    return Status::FailedPrecondition(
+        "Preallocate is only meaningful for the pooled policy");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    auto buf = CreateBuffer();
+    if (!buf.ok()) return buf.status();
+    free_.push_back(*buf);
+  }
+  return Status::OK();
+}
+
+StatusOr<RegisteredBuffer*> RegisteredBufferPool::Acquire() {
+  ++acquisitions_;
+  if (policy_ == Policy::kPooled && !free_.empty()) {
+    RegisteredBuffer* buf = free_.back();
+    free_.pop_back();
+    buf->used = 0;
+    return buf;
+  }
+  auto buf = CreateBuffer();
+  if (!buf.ok()) {
+    --acquisitions_;
+    return buf.status();
+  }
+  (*buf)->used = 0;
+  return *buf;
+}
+
+void RegisteredBufferPool::Release(RegisteredBuffer* buf) {
+  assert(buf != nullptr);
+  buf->used = 0;
+  if (policy_ == Policy::kPooled) {
+    free_.push_back(buf);
+    return;
+  }
+  // Register-on-demand: tear the buffer down entirely.
+  (void)device_->DeregisterMemory(buf->mr);
+  auto it = std::find_if(all_.begin(), all_.end(),
+                         [buf](const auto& p) { return p.get() == buf; });
+  assert(it != all_.end());
+  all_.erase(it);
+}
+
+}  // namespace rdmajoin

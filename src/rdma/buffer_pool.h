@@ -1,0 +1,84 @@
+#ifndef RDMAJOIN_RDMA_BUFFER_POOL_H_
+#define RDMAJOIN_RDMA_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rdma/verbs.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace rdmajoin {
+
+/// A fixed-size buffer backed by a registered memory region.
+struct RegisteredBuffer {
+  std::unique_ptr<uint8_t[]> data;
+  MemoryRegion mr;
+  /// Bytes currently filled by the user (not managed by the pool).
+  uint64_t used = 0;
+
+  uint8_t* bytes() { return data.get(); }
+  uint64_t capacity() const { return mr.length; }
+};
+
+/// A pool of preallocated, preregistered RDMA buffers.
+///
+/// Section 3.2.1: "To reduce the overall registration cost ... an algorithm
+/// should reuse existing RDMA-enabled buffers as often as possible and avoid
+/// registering new memory regions on the fly." The pool implements exactly
+/// that policy; the kRegisterOnDemand policy exists to quantify what it saves
+/// (bench/abl_registration).
+class RegisteredBufferPool {
+ public:
+  enum class Policy {
+    /// Buffers are registered once and recycled (the paper's design).
+    kPooled,
+    /// Every acquisition registers a fresh region and every release
+    /// deregisters it (the anti-pattern the paper warns against).
+    kRegisterOnDemand,
+  };
+
+  /// Buffers are `buffer_bytes` long and registered with `device`.
+  RegisteredBufferPool(RdmaDevice* device, uint64_t buffer_bytes,
+                       Policy policy = Policy::kPooled);
+  RegisteredBufferPool(const RegisteredBufferPool&) = delete;
+  RegisteredBufferPool& operator=(const RegisteredBufferPool&) = delete;
+  ~RegisteredBufferPool();
+
+  /// Preallocates and registers `count` buffers (pooled policy only).
+  Status Preallocate(size_t count);
+
+  /// Returns a registered buffer, growing the pool if it is empty.
+  StatusOr<RegisteredBuffer*> Acquire();
+
+  /// Returns `buf` to the pool (or deregisters it under kRegisterOnDemand).
+  void Release(RegisteredBuffer* buf);
+
+  uint64_t buffer_bytes() const { return buffer_bytes_; }
+  Policy policy() const { return policy_; }
+
+  /// Total buffers ever created (== registrations performed).
+  uint64_t buffers_created() const { return buffers_created_; }
+  /// Total Acquire calls.
+  uint64_t acquisitions() const { return acquisitions_; }
+  /// Acquisitions served without a new registration.
+  uint64_t reuses() const { return acquisitions_ - buffers_created_; }
+  size_t free_buffers() const { return free_.size(); }
+  size_t outstanding() const { return all_.size() - free_.size(); }
+
+ private:
+  StatusOr<RegisteredBuffer*> CreateBuffer();
+
+  RdmaDevice* device_;
+  uint64_t buffer_bytes_;
+  Policy policy_;
+  std::vector<std::unique_ptr<RegisteredBuffer>> all_;
+  std::vector<RegisteredBuffer*> free_;
+  uint64_t buffers_created_ = 0;
+  uint64_t acquisitions_ = 0;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_RDMA_BUFFER_POOL_H_

@@ -1,0 +1,177 @@
+#include "rdma/verbs.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rdmajoin {
+
+size_t CompletionQueue::Poll(size_t max, std::vector<WorkCompletion>* out) {
+  size_t n = 0;
+  while (n < max && !entries_.empty()) {
+    out->push_back(entries_.front());
+    entries_.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+bool CompletionQueue::PollOne(WorkCompletion* out) {
+  if (entries_.empty()) return false;
+  *out = entries_.front();
+  entries_.pop_front();
+  return true;
+}
+
+RdmaDevice::RdmaDevice(uint32_t device_id, MemorySpace* memory, const CostModel& costs,
+                       double pin_scale)
+    : device_id_(device_id), memory_(memory), costs_(costs), pin_scale_(pin_scale) {}
+
+RdmaDevice::~RdmaDevice() {
+  // Regions leaked by the caller are unpinned so the memory space stays
+  // consistent across tests.
+  for (auto& [lkey, mr] : by_lkey_) {
+    if (memory_ != nullptr) memory_->Unpin(PinBytes(mr.length));
+  }
+}
+
+StatusOr<MemoryRegion> RdmaDevice::RegisterMemory(uint8_t* addr, uint64_t length) {
+  if (addr == nullptr || length == 0) {
+    return Status::InvalidArgument("cannot register an empty memory region");
+  }
+  if (memory_ != nullptr) {
+    RDMAJOIN_RETURN_IF_ERROR(memory_->Pin(PinBytes(length)));
+  }
+  MemoryRegion mr;
+  mr.lkey = next_key_++;
+  mr.rkey = next_key_++;
+  mr.addr = addr;
+  mr.length = length;
+  mr.device_id = device_id_;
+  by_lkey_[mr.lkey] = mr;
+  rkey_to_lkey_[mr.rkey] = mr.lkey;
+  ++stats_.regions_registered;
+  stats_.bytes_registered += length;
+  stats_.registration_seconds += costs_.RegistrationSeconds(length);
+  return mr;
+}
+
+Status RdmaDevice::DeregisterMemory(const MemoryRegion& mr) {
+  auto it = by_lkey_.find(mr.lkey);
+  if (it == by_lkey_.end()) {
+    return Status::NotFound("memory region not registered with this device");
+  }
+  if (memory_ != nullptr) memory_->Unpin(PinBytes(it->second.length));
+  stats_.deregistration_seconds += costs_.DeregistrationSeconds(it->second.length);
+  ++stats_.regions_deregistered;
+  rkey_to_lkey_.erase(it->second.rkey);
+  by_lkey_.erase(it);
+  return Status::OK();
+}
+
+const MemoryRegion* RdmaDevice::FindByLkey(uint32_t lkey) const {
+  auto it = by_lkey_.find(lkey);
+  return it == by_lkey_.end() ? nullptr : &it->second;
+}
+
+const MemoryRegion* RdmaDevice::FindByRkey(uint32_t rkey) const {
+  auto it = rkey_to_lkey_.find(rkey);
+  if (it == rkey_to_lkey_.end()) return nullptr;
+  return FindByLkey(it->second);
+}
+
+QueuePair::QueuePair(RdmaDevice* local, CompletionQueue* send_cq,
+                     CompletionQueue* recv_cq)
+    : local_(local), send_cq_(send_cq), recv_cq_(recv_cq) {
+  assert(local != nullptr && send_cq != nullptr && recv_cq != nullptr);
+}
+
+Status QueuePair::Connect(QueuePair* a, QueuePair* b) {
+  if (a == nullptr || b == nullptr) {
+    return Status::InvalidArgument("null queue pair");
+  }
+  if (a->peer_ != nullptr || b->peer_ != nullptr) {
+    return Status::FailedPrecondition("queue pair already connected");
+  }
+  if (a == b) return Status::InvalidArgument("cannot connect a queue pair to itself");
+  a->peer_ = b;
+  b->peer_ = a;
+  return Status::OK();
+}
+
+Status QueuePair::CheckBounds(const MemoryRegion* mr, uint64_t offset, uint64_t len,
+                              const char* what) {
+  if (mr == nullptr) {
+    return Status::InvalidArgument(std::string(what) + ": unknown memory key");
+  }
+  if (offset + len > mr->length || offset + len < offset) {
+    return Status::OutOfRange(std::string(what) + ": access outside memory region");
+  }
+  return Status::OK();
+}
+
+Status QueuePair::PostRecv(uint64_t wr_id, uint32_t lkey, uint64_t offset,
+                           uint64_t max_len) {
+  const MemoryRegion* mr = local_->FindByLkey(lkey);
+  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(mr, offset, max_len, "PostRecv"));
+  recv_queue_.push_back(PostedRecv{wr_id, lkey, offset, max_len});
+  ++local_->stats_.recvs_posted;
+  return Status::OK();
+}
+
+Status QueuePair::PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset,
+                           uint64_t len) {
+  if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
+  const MemoryRegion* src = local_->FindByLkey(lkey);
+  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(src, offset, len, "PostSend src"));
+  if (peer_->recv_queue_.empty()) {
+    return Status::ResourceExhausted("receiver not ready: no posted receive");
+  }
+  PostedRecv rx = peer_->recv_queue_.front();
+  const MemoryRegion* dst = peer_->local_->FindByLkey(rx.lkey);
+  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(dst, rx.offset, rx.max_len, "PostSend dst"));
+  if (len > rx.max_len) {
+    return Status::OutOfRange("message larger than posted receive buffer");
+  }
+  peer_->recv_queue_.pop_front();
+  std::memcpy(dst->addr + rx.offset, src->addr + offset, len);
+
+  ++local_->stats_.messages_sent;
+  local_->stats_.bytes_sent += len;
+  send_cq_->entries_.push_back(
+      WorkCompletion{WorkCompletion::Op::kSend, wr_id, len, 0, true});
+  peer_->recv_cq_->entries_.push_back(
+      WorkCompletion{WorkCompletion::Op::kRecv, rx.wr_id, len, rx.lkey, true});
+  return Status::OK();
+}
+
+Status QueuePair::PostWrite(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
+                            uint32_t rkey, uint64_t remote_offset, uint64_t len) {
+  if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
+  const MemoryRegion* src = local_->FindByLkey(local_lkey);
+  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(src, local_offset, len, "PostWrite src"));
+  const MemoryRegion* dst = peer_->local_->FindByRkey(rkey);
+  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(dst, remote_offset, len, "PostWrite dst"));
+  std::memcpy(dst->addr + remote_offset, src->addr + local_offset, len);
+  ++local_->stats_.writes_posted;
+  local_->stats_.bytes_written += len;
+  ++local_->stats_.messages_sent;
+  local_->stats_.bytes_sent += len;
+  send_cq_->entries_.push_back(
+      WorkCompletion{WorkCompletion::Op::kWrite, wr_id, len, 0, true});
+  return Status::OK();
+}
+
+Status QueuePair::PostRead(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
+                           uint32_t rkey, uint64_t remote_offset, uint64_t len) {
+  if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
+  const MemoryRegion* dst = local_->FindByLkey(local_lkey);
+  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(dst, local_offset, len, "PostRead dst"));
+  const MemoryRegion* src = peer_->local_->FindByRkey(rkey);
+  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(src, remote_offset, len, "PostRead src"));
+  std::memcpy(dst->addr + local_offset, src->addr + remote_offset, len);
+  send_cq_->entries_.push_back(
+      WorkCompletion{WorkCompletion::Op::kRead, wr_id, len, 0, true});
+  return Status::OK();
+}
+
+}  // namespace rdmajoin

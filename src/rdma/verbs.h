@@ -1,0 +1,183 @@
+#ifndef RDMAJOIN_RDMA_VERBS_H_
+#define RDMAJOIN_RDMA_VERBS_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "cluster/memory_space.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace rdmajoin {
+
+/// A verbs-style RDMA interface executing against simulated machine memory.
+///
+/// The join algorithm is written against this API exactly as it would be
+/// against libibverbs: memory must be registered into memory regions before
+/// the "HCA" may touch it, work requests are posted to queue pairs, and
+/// completions are polled from completion queues. Data transfer is performed
+/// eagerly (the simulation separates the data path from virtual time), but
+/// all protection checks (lkey/rkey validation, bounds, posted receives) are
+/// enforced, and registration costs are accounted so buffer-management
+/// policies can be compared (Section 3.2.1).
+
+class RdmaDevice;
+class QueuePair;
+
+/// A registered (pinned) region of a machine's memory.
+struct MemoryRegion {
+  uint32_t lkey = 0;
+  uint32_t rkey = 0;
+  uint8_t* addr = nullptr;
+  uint64_t length = 0;
+  uint32_t device_id = 0;
+};
+
+/// Completion of a posted work request.
+struct WorkCompletion {
+  enum class Op { kSend, kRecv, kWrite, kRead };
+  Op op = Op::kSend;
+  uint64_t wr_id = 0;
+  /// Bytes transferred.
+  uint64_t byte_len = 0;
+  /// For kRecv: the region the message landed in.
+  uint32_t recv_lkey = 0;
+  bool success = true;
+};
+
+/// FIFO of work completions. Shared by any number of queue pairs.
+class CompletionQueue {
+ public:
+  /// Polls up to `max` completions into `out`; returns the number polled.
+  size_t Poll(size_t max, std::vector<WorkCompletion>* out);
+  /// Returns true and sets `*out` if a completion was available.
+  bool PollOne(WorkCompletion* out);
+  size_t depth() const { return entries_.size(); }
+
+ private:
+  friend class QueuePair;
+  friend class RdmaDevice;
+  std::deque<WorkCompletion> entries_;
+};
+
+/// Cumulative statistics of one device, including the virtual time spent on
+/// memory registration (the hidden cost the buffer pool amortizes).
+struct DeviceStats {
+  uint64_t regions_registered = 0;
+  uint64_t regions_deregistered = 0;
+  uint64_t bytes_registered = 0;
+  double registration_seconds = 0.0;
+  double deregistration_seconds = 0.0;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t writes_posted = 0;
+  uint64_t bytes_written = 0;
+  uint64_t recvs_posted = 0;
+};
+
+/// One RDMA-capable NIC, bound to one simulated machine's memory space.
+class RdmaDevice {
+ public:
+  /// `memory` may be null, in which case pinning is not enforced (useful in
+  /// unit tests); `costs` drives the registration cost accounting.
+  /// `pin_scale` converts actual (in-simulation) region sizes into the
+  /// full-scale bytes tracked by the memory space (the executor's scale_up).
+  RdmaDevice(uint32_t device_id, MemorySpace* memory, const CostModel& costs,
+             double pin_scale = 1.0);
+  RdmaDevice(const RdmaDevice&) = delete;
+  RdmaDevice& operator=(const RdmaDevice&) = delete;
+  ~RdmaDevice();
+
+  uint32_t id() const { return device_id_; }
+
+  /// Registers `[addr, addr+length)` for RDMA access. Pins the pages in the
+  /// machine's memory space and charges the registration cost.
+  StatusOr<MemoryRegion> RegisterMemory(uint8_t* addr, uint64_t length);
+
+  /// Deregisters a region, unpinning its pages.
+  Status DeregisterMemory(const MemoryRegion& mr);
+
+  /// Looks up a region by local key; nullptr if unknown.
+  const MemoryRegion* FindByLkey(uint32_t lkey) const;
+  /// Looks up a region by remote key; nullptr if unknown.
+  const MemoryRegion* FindByRkey(uint32_t rkey) const;
+
+  const DeviceStats& stats() const { return stats_; }
+  DeviceStats* mutable_stats() { return &stats_; }
+
+ private:
+  friend class QueuePair;
+  uint64_t PinBytes(uint64_t length) const {
+    return static_cast<uint64_t>(static_cast<double>(length) * pin_scale_);
+  }
+
+  uint32_t device_id_;
+  MemorySpace* memory_;
+  CostModel costs_;
+  double pin_scale_;
+  uint32_t next_key_ = 1;
+  std::unordered_map<uint32_t, MemoryRegion> by_lkey_;
+  std::unordered_map<uint32_t, uint32_t> rkey_to_lkey_;
+  DeviceStats stats_;
+};
+
+/// A reliable connection between two devices. Supports two-sided SEND/RECV
+/// (channel semantics) and one-sided WRITE/READ (memory semantics).
+class QueuePair {
+ public:
+  /// Connects `local` to `remote`. `send_cq`/`recv_cq` receive this side's
+  /// completions; the peer constructs its own QueuePair and the two are
+  /// paired with Connect().
+  QueuePair(RdmaDevice* local, CompletionQueue* send_cq, CompletionQueue* recv_cq);
+
+  /// Pairs two queue pairs (one per side). Both must be unconnected.
+  static Status Connect(QueuePair* a, QueuePair* b);
+
+  /// Posts a receive buffer (`lkey` must identify a local region, and
+  /// `offset + max_len` must lie within it). Incoming SENDs consume posted
+  /// receives in FIFO order.
+  Status PostRecv(uint64_t wr_id, uint32_t lkey, uint64_t offset, uint64_t max_len);
+
+  /// Two-sided send of `[offset, offset+len)` of local region `lkey` into the
+  /// peer's next posted receive buffer. Fails if the peer has no receive
+  /// posted (receiver-not-ready) or the buffer is too small.
+  Status PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset, uint64_t len);
+
+  /// One-sided write into the peer region identified by `rkey`.
+  Status PostWrite(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
+                   uint32_t rkey, uint64_t remote_offset, uint64_t len);
+
+  /// One-sided read from the peer region identified by `rkey`.
+  Status PostRead(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
+                  uint32_t rkey, uint64_t remote_offset, uint64_t len);
+
+  bool connected() const { return peer_ != nullptr; }
+  size_t posted_recvs() const { return recv_queue_.size(); }
+  RdmaDevice* device() const { return local_; }
+
+ private:
+  struct PostedRecv {
+    uint64_t wr_id;
+    uint32_t lkey;
+    uint64_t offset;
+    uint64_t max_len;
+  };
+
+  /// Validates that [offset, offset+len) lies inside the region.
+  static Status CheckBounds(const MemoryRegion* mr, uint64_t offset, uint64_t len,
+                            const char* what);
+
+  RdmaDevice* local_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  QueuePair* peer_ = nullptr;
+  std::deque<PostedRecv> recv_queue_;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_RDMA_VERBS_H_

@@ -1,0 +1,35 @@
+#ifndef RDMAJOIN_RDMAJOIN_H_
+#define RDMAJOIN_RDMAJOIN_H_
+
+/// Umbrella header for the rdmajoin library: everything a downstream user
+/// needs to run distributed RDMA joins, aggregations and pipelines on the
+/// simulated rack, plus the Section 5 analytical model.
+///
+///   #include "rdmajoin.h"
+///
+///   using namespace rdmajoin;
+///   auto cluster  = FdrCluster(4);
+///   auto workload = GenerateWorkload({.inner_tuples = 1'000'000,
+///                                     .outer_tuples = 2'000'000}, 4);
+///   DistributedJoin join(cluster, JoinConfig{.scale_up = 64.0});
+///   auto result = join.Run(workload->inner, workload->outer);
+
+#include "cluster/cluster.h"          // IWYU pragma: export
+#include "cluster/cost_model.h"       // IWYU pragma: export
+#include "cluster/memory_space.h"     // IWYU pragma: export
+#include "cluster/presets.h"          // IWYU pragma: export
+#include "join/distributed_join.h"    // IWYU pragma: export
+#include "join/join_config.h"         // IWYU pragma: export
+#include "join/report.h"              // IWYU pragma: export
+#include "model/analytical_model.h"   // IWYU pragma: export
+#include "model/planner.h"            // IWYU pragma: export
+#include "operators/distributed_aggregate.h"  // IWYU pragma: export
+#include "operators/plan.h"           // IWYU pragma: export
+#include "operators/sort_merge_join.h"  // IWYU pragma: export
+#include "timing/replay.h"            // IWYU pragma: export
+#include "timing/trace_io.h"          // IWYU pragma: export
+#include "util/status.h"              // IWYU pragma: export
+#include "util/statusor.h"            // IWYU pragma: export
+#include "workload/generator.h"       // IWYU pragma: export
+
+#endif  // RDMAJOIN_RDMAJOIN_H_

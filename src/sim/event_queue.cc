@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <limits>
+
+namespace rdmajoin {
+
+void EventQueue::ScheduleAt(double time, Callback cb) {
+  assert(time >= now_ && "cannot schedule an event in the virtual past");
+  heap_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // The callback may schedule new events, so pop before invoking.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::RunUntilEmpty() {
+  while (RunNext()) {
+  }
+}
+
+void EventQueue::RunUntil(double time) {
+  while (!heap_.empty() && heap_.top().time <= time) {
+    RunNext();
+  }
+  if (time > now_) now_ = time;
+}
+
+double EventQueue::NextEventTime() const {
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.top().time;
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,70 @@
+#ifndef RDMAJOIN_SIM_EVENT_QUEUE_H_
+#define RDMAJOIN_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rdmajoin {
+
+/// A deterministic discrete-event queue over a virtual clock.
+///
+/// Events scheduled for the same virtual time fire in insertion order
+/// (FIFO tie-breaking via a monotonically increasing sequence number), which
+/// makes every simulation in the library bit-for-bit reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current virtual time in seconds. Starts at 0.
+  double now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute virtual time `time`. `time` must not be
+  /// in the past (>= now()).
+  void ScheduleAt(double time, Callback cb);
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  void ScheduleAfter(double delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  /// Runs the earliest pending event, advancing the clock to its timestamp.
+  /// Returns false if the queue is empty.
+  bool RunNext();
+
+  /// Runs events until the queue is empty.
+  void RunUntilEmpty();
+
+  /// Runs events with timestamp <= `time`, then advances the clock to `time`.
+  void RunUntil(double time);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event; infinity if none.
+  double NextEventTime() const;
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_SIM_EVENT_QUEUE_H_

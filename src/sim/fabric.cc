@@ -1,0 +1,241 @@
+#include "sim/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdmajoin {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Relative tolerance for "this flow finished at time t" comparisons.
+constexpr double kTimeEps = 1e-12;
+}  // namespace
+
+Status FabricConfig::Validate() const {
+  if (num_hosts == 0) return Status::InvalidArgument("fabric needs at least one host");
+  if (egress_bytes_per_sec <= 0 || ingress_bytes_per_sec <= 0) {
+    return Status::InvalidArgument("fabric port capacities must be positive");
+  }
+  if (EffectiveEgress() <= 0) {
+    return Status::InvalidArgument(
+        "congestion term leaves no effective egress bandwidth");
+  }
+  if (message_rate_per_host < 0 || base_latency_seconds < 0) {
+    return Status::InvalidArgument("message rate and latency must be non-negative");
+  }
+  return Status::OK();
+}
+
+Fabric::Fabric(const FabricConfig& config) : config_(config) {
+  assert(config.Validate().ok());
+  bytes_from_host_.assign(config_.num_hosts, 0.0);
+}
+
+double Fabric::FlowCap(const Flow& f) const {
+  if (config_.message_rate_per_host <= 0) return kInf;
+  // A stream of messages of this size cannot exceed size * message_rate.
+  return f.size * config_.message_rate_per_host;
+}
+
+Fabric::FlowId Fabric::Inject(uint32_t src, uint32_t dst, double bytes, double now,
+                              uint64_t cookie) {
+  assert(src < config_.num_hosts && dst < config_.num_hosts);
+  assert(bytes > 0);
+  assert(now + kTimeEps >= now_ && "fabric time cannot move backwards");
+  // Bring transfers up to date before the flow set changes. Completions that
+  // come due are buffered and handed out by the next AdvanceTo call.
+  if (now > now_) AdvanceTo(now, &pending_completions_);
+  Flow f;
+  f.id = next_id_++;
+  f.src = src;
+  f.dst = dst;
+  f.remaining = bytes;
+  f.size = bytes;
+  f.rate = 0.0;
+  f.cookie = cookie;
+  flows_.push_back(f);
+  RecomputeRates();
+  return f.id;
+}
+
+double Fabric::NextCompletionTime() const {
+  double best = kInf;
+  for (const Completion& c : pending_completions_) best = std::min(best, c.time);
+  for (const Flow& f : flows_) {
+    if (f.rate > 0) best = std::min(best, now_ + f.remaining / f.rate);
+  }
+  for (const LatencyFlow& lf : latency_) best = std::min(best, lf.complete_at);
+  return best;
+}
+
+void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
+  assert(t + kTimeEps >= now_);
+  if (t < now_) t = now_;
+  if (!pending_completions_.empty() && completed != &pending_completions_) {
+    completed->insert(completed->end(), pending_completions_.begin(),
+                      pending_completions_.end());
+    pending_completions_.clear();
+  }
+  // Advance in steps: each step ends at the earliest drain within [now_, t],
+  // because draining a flow changes the rates of the others.
+  while (true) {
+    double next_drain = kInf;
+    for (const Flow& f : flows_) {
+      if (f.rate > 0) next_drain = std::min(next_drain, now_ + f.remaining / f.rate);
+    }
+    const double step_end = std::min(t, next_drain);
+    const double dt = step_end - now_;
+    if (dt > 0) {
+      for (Flow& f : flows_) f.remaining -= f.rate * dt;
+      now_ = step_end;
+    }
+    bool drained_any = false;
+    if (next_drain <= t * (1 + kTimeEps) + kTimeEps) {
+      for (size_t i = 0; i < flows_.size();) {
+        Flow& f = flows_[i];
+        const bool done = f.rate > 0 && f.remaining <= f.size * kTimeEps + 1e-9 * f.rate;
+        if (done) {
+          latency_.push_back(LatencyFlow{f.id, f.cookie, f.src, f.size,
+                                         now_ + config_.base_latency_seconds});
+          flows_[i] = flows_.back();
+          flows_.pop_back();
+          drained_any = true;
+        } else {
+          ++i;
+        }
+      }
+      if (drained_any) RecomputeRates();
+    }
+    if (!drained_any && step_end >= t) break;
+    if (!drained_any && next_drain == kInf) {
+      now_ = t;
+      break;
+    }
+  }
+  now_ = t;
+  // Emit latency-stage completions due by t, in time order.
+  std::vector<LatencyFlow> due;
+  for (size_t i = 0; i < latency_.size();) {
+    if (latency_[i].complete_at <= t * (1 + kTimeEps) + kTimeEps) {
+      due.push_back(latency_[i]);
+      latency_[i] = latency_.back();
+      latency_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const LatencyFlow& a, const LatencyFlow& b) {
+    if (a.complete_at != b.complete_at) return a.complete_at < b.complete_at;
+    return a.id < b.id;
+  });
+  for (const LatencyFlow& lf : due) {
+    bytes_delivered_ += lf.size;
+    bytes_from_host_[lf.src] += lf.size;
+    ++messages_delivered_;
+    completed->push_back(Completion{lf.id, lf.cookie, lf.complete_at});
+  }
+}
+
+double Fabric::FlowRate(FlowId id) const {
+  for (const Flow& f : flows_) {
+    if (f.id == id) return f.rate;
+  }
+  return 0.0;
+}
+
+double Fabric::bytes_delivered_from(uint32_t host) const {
+  assert(host < bytes_from_host_.size());
+  return bytes_from_host_[host];
+}
+
+void Fabric::RecomputeRates() {
+  if (flows_.empty()) return;
+  if (config_.sharing == SharingPolicy::kEqualShare) {
+    RecomputeEqualShare();
+  } else {
+    RecomputeMaxMin();
+  }
+}
+
+void Fabric::RecomputeEqualShare() {
+  std::vector<uint32_t> src_count(config_.num_hosts, 0);
+  std::vector<uint32_t> dst_count(config_.num_hosts, 0);
+  for (const Flow& f : flows_) {
+    ++src_count[f.src];
+    ++dst_count[f.dst];
+  }
+  const double egress = config_.EffectiveEgress();
+  for (Flow& f : flows_) {
+    const double e_share = egress / src_count[f.src];
+    const double i_share = config_.ingress_bytes_per_sec / dst_count[f.dst];
+    f.rate = std::min({e_share, i_share, FlowCap(f)});
+  }
+}
+
+void Fabric::RecomputeMaxMin() {
+  // Progressive filling. Constraints: per-host egress, per-host ingress, and
+  // the per-flow message-rate cap. In each round the tightest constraint
+  // freezes its flows at the fair share; capacities are reduced accordingly.
+  const uint32_t n = config_.num_hosts;
+  std::vector<double> egress_left(n, config_.EffectiveEgress());
+  std::vector<double> ingress_left(n, config_.ingress_bytes_per_sec);
+  std::vector<bool> fixed(flows_.size(), false);
+  size_t unfixed = flows_.size();
+
+  // First freeze flows whose cap is below any fair share they could receive;
+  // handled inside the loop by treating the cap as a candidate bottleneck.
+  while (unfixed > 0) {
+    std::vector<uint32_t> src_cnt(n, 0), dst_cnt(n, 0);
+    for (size_t i = 0; i < flows_.size(); ++i) {
+      if (fixed[i]) continue;
+      ++src_cnt[flows_[i].src];
+      ++dst_cnt[flows_[i].dst];
+    }
+    // Tightest fair share over all constraints.
+    double bottleneck = kInf;
+    for (uint32_t h = 0; h < n; ++h) {
+      if (src_cnt[h] > 0) bottleneck = std::min(bottleneck, egress_left[h] / src_cnt[h]);
+      if (dst_cnt[h] > 0) bottleneck = std::min(bottleneck, ingress_left[h] / dst_cnt[h]);
+    }
+    double min_cap = kInf;
+    for (size_t i = 0; i < flows_.size(); ++i) {
+      if (!fixed[i]) min_cap = std::min(min_cap, FlowCap(flows_[i]));
+    }
+    if (min_cap < bottleneck) {
+      // Cap-limited flows freeze at their cap and release spare capacity.
+      for (size_t i = 0; i < flows_.size(); ++i) {
+        if (fixed[i]) continue;
+        const double cap = FlowCap(flows_[i]);
+        if (cap <= min_cap * (1 + kTimeEps)) {
+          flows_[i].rate = cap;
+          egress_left[flows_[i].src] -= cap;
+          ingress_left[flows_[i].dst] -= cap;
+          fixed[i] = true;
+          --unfixed;
+        }
+      }
+      continue;
+    }
+    // Freeze every flow crossing a bottlenecked constraint at the fair share.
+    bool froze = false;
+    for (size_t i = 0; i < flows_.size(); ++i) {
+      if (fixed[i]) continue;
+      const Flow& f = flows_[i];
+      const double e_share = egress_left[f.src] / src_cnt[f.src];
+      const double i_share = ingress_left[f.dst] / dst_cnt[f.dst];
+      if (std::min(e_share, i_share) <= bottleneck * (1 + kTimeEps)) {
+        flows_[i].rate = bottleneck;
+        egress_left[f.src] -= bottleneck;
+        ingress_left[f.dst] -= bottleneck;
+        fixed[i] = true;
+        --unfixed;
+        froze = true;
+      }
+    }
+    assert(froze && "max-min filling must make progress");
+    if (!froze) break;  // Defensive: avoid infinite loop in release builds.
+  }
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,155 @@
+#ifndef RDMAJOIN_SIM_FABRIC_H_
+#define RDMAJOIN_SIM_FABRIC_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdmajoin {
+
+/// How concurrent transfers share link capacity.
+enum class SharingPolicy {
+  /// Every active flow from a host gets an equal share of that host's egress
+  /// capacity (and of the destination's ingress capacity); the flow rate is
+  /// the minimum of the two shares. This mirrors the sharing assumption of
+  /// the paper's analytical model (Eq. 1: netMax divided equally among the
+  /// partitioning threads of a machine).
+  kEqualShare,
+  /// Global max-min fairness (progressive filling / water-filling) over all
+  /// egress and ingress capacities. Work-conserving: spare capacity freed by
+  /// a bottlenecked flow is redistributed.
+  kMaxMin,
+};
+
+/// Static description of a simulated switched network (one InfiniBand switch,
+/// full bisection bandwidth, per-host port limits).
+struct FabricConfig {
+  /// Number of hosts attached to the switch.
+  uint32_t num_hosts = 2;
+  /// Per-host egress port capacity in bytes/second (netMax of the paper).
+  double egress_bytes_per_sec = 3.4e9;
+  /// Per-host ingress port capacity in bytes/second.
+  double ingress_bytes_per_sec = 3.4e9;
+  /// Maximum message rate sustainable by a host channel adapter, in
+  /// messages/second. A stream of size-S messages tops out at
+  /// S * message_rate, which produces the small-message regime of Figure 3
+  /// (bandwidth grows with message size until the port rate is reached).
+  /// Zero disables the message-rate limit.
+  double message_rate_per_host = 425000.0;
+  /// Eq. 15 congestion term: every host beyond the first reduces the
+  /// effective egress capacity of all hosts by this many bytes/second
+  /// (observed on the paper's QDR cluster as 110 MB/s per added machine).
+  double congestion_bytes_per_sec_per_extra_host = 0.0;
+  /// Fixed latency added between a message fully draining from the source
+  /// port and its completion being visible (propagation + switch + remote
+  /// HCA processing).
+  double base_latency_seconds = 2e-6;
+  SharingPolicy sharing = SharingPolicy::kEqualShare;
+
+  /// Effective per-host egress capacity after the congestion penalty.
+  double EffectiveEgress() const {
+    double eff = egress_bytes_per_sec -
+                 congestion_bytes_per_sec_per_extra_host * (num_hosts - 1);
+    return eff > 0 ? eff : 0.0;
+  }
+
+  /// Validates ranges (positive capacities, at least one host).
+  Status Validate() const;
+};
+
+/// Fluid-flow model of the rack network. Messages are injected as flows with
+/// a byte size; the fabric assigns each active flow a rate according to the
+/// sharing policy and reports tentative completion times. The caller (the
+/// discrete-event replay in src/timing, or the verbs layer's latency
+/// bookkeeping) owns the virtual clock and drives the fabric with
+/// Inject / NextCompletionTime / AdvanceTo.
+class Fabric {
+ public:
+  using FlowId = uint64_t;
+  static constexpr FlowId kInvalidFlow = 0;
+
+  struct Completion {
+    FlowId id;
+    uint64_t cookie;
+    double time;
+  };
+
+  explicit Fabric(const FabricConfig& config);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const FabricConfig& config() const { return config_; }
+
+  /// Injects a message of `bytes` bytes from `src` to `dst` at virtual time
+  /// `now` (must be >= the last time passed to AdvanceTo/Inject). `cookie` is
+  /// returned with the completion. Returns the flow id.
+  FlowId Inject(uint32_t src, uint32_t dst, double bytes, double now,
+                uint64_t cookie = 0);
+
+  /// Earliest tentative completion time under current rates; +infinity if no
+  /// flow is active or in its latency stage.
+  double NextCompletionTime() const;
+
+  /// Advances all transfers to virtual time `t` and appends messages that
+  /// completed at or before `t` to `*completed` in completion-time order.
+  /// `t` must be >= the current fabric time.
+  void AdvanceTo(double t, std::vector<Completion>* completed);
+
+  /// Number of flows still draining bytes (excludes latency stage).
+  size_t active_flows() const { return flows_.size(); }
+  /// Flows drained but whose completion latency has not yet elapsed.
+  size_t in_latency_flows() const { return latency_.size(); }
+
+  /// Current assigned rate of a draining flow (bytes/sec); 0 if unknown.
+  double FlowRate(FlowId id) const;
+
+  /// Total payload bytes fully delivered so far.
+  double total_bytes_delivered() const { return bytes_delivered_; }
+  /// Total messages completed.
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  /// Payload bytes delivered whose source was `host`.
+  double bytes_delivered_from(uint32_t host) const;
+
+ private:
+  struct Flow {
+    FlowId id;
+    uint32_t src;
+    uint32_t dst;
+    double remaining;  // bytes
+    double size;       // original bytes
+    double rate;       // bytes/sec, assigned at last recompute
+    uint64_t cookie;
+  };
+  struct LatencyFlow {
+    FlowId id;
+    uint64_t cookie;
+    uint32_t src;
+    double size;
+    double complete_at;
+  };
+
+  void RecomputeRates();
+  void RecomputeEqualShare();
+  void RecomputeMaxMin();
+  /// Per-flow rate ceiling from the message-rate limit.
+  double FlowCap(const Flow& f) const;
+
+  FabricConfig config_;
+  double now_ = 0.0;
+  FlowId next_id_ = 1;
+  std::vector<Flow> flows_;
+  std::vector<LatencyFlow> latency_;
+  double bytes_delivered_ = 0.0;
+  uint64_t messages_delivered_ = 0;
+  std::vector<double> bytes_from_host_;
+  // Completions that came due while Inject advanced the clock; delivered on
+  // the next AdvanceTo call.
+  std::vector<Completion> pending_completions_;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_SIM_FABRIC_H_

@@ -1,0 +1,223 @@
+#include "sim/link_fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rdmajoin {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTimeEps = 1e-12;
+}  // namespace
+
+LinkFabric::LinkFabric(const FabricConfig& config) : config_(config) {
+  assert(config.Validate().ok());
+  links_.resize(static_cast<size_t>(config_.num_hosts) * config_.num_hosts);
+  for (uint32_t s = 0; s < config_.num_hosts; ++s) {
+    for (uint32_t d = 0; d < config_.num_hosts; ++d) {
+      link(s, d).src = s;
+      link(s, d).dst = d;
+    }
+  }
+}
+
+double LinkFabric::LinkCap(const Link& l) const {
+  if (config_.message_rate_per_host <= 0 || l.queue.empty()) return kInf;
+  // A stream of messages of the head's size cannot exceed size * msg_rate.
+  return l.queue.front().size * config_.message_rate_per_host;
+}
+
+void LinkFabric::RecomputeRates() {
+  std::vector<uint32_t> src_cnt(config_.num_hosts, 0);
+  std::vector<uint32_t> dst_cnt(config_.num_hosts, 0);
+  for (const Link& l : links_) {
+    if (!l.active()) continue;
+    ++src_cnt[l.src];
+    ++dst_cnt[l.dst];
+  }
+  const double egress = config_.EffectiveEgress();
+  if (config_.sharing == SharingPolicy::kEqualShare) {
+    for (Link& l : links_) {
+      if (!l.active()) {
+        l.rate = 0;
+        continue;
+      }
+      const double e_share = egress / src_cnt[l.src];
+      const double i_share = config_.ingress_bytes_per_sec / dst_cnt[l.dst];
+      l.rate = std::min({e_share, i_share, LinkCap(l)});
+    }
+    return;
+  }
+  // Max-min (progressive filling) over active links.
+  std::vector<double> egress_left(config_.num_hosts, egress);
+  std::vector<double> ingress_left(config_.num_hosts, config_.ingress_bytes_per_sec);
+  std::vector<Link*> unfixed;
+  for (Link& l : links_) {
+    if (l.active()) {
+      unfixed.push_back(&l);
+    } else {
+      l.rate = 0;
+    }
+  }
+  while (!unfixed.empty()) {
+    std::vector<uint32_t> sc(config_.num_hosts, 0), dc(config_.num_hosts, 0);
+    for (Link* l : unfixed) {
+      ++sc[l->src];
+      ++dc[l->dst];
+    }
+    double bottleneck = kInf;
+    for (uint32_t h = 0; h < config_.num_hosts; ++h) {
+      if (sc[h] > 0) bottleneck = std::min(bottleneck, egress_left[h] / sc[h]);
+      if (dc[h] > 0) bottleneck = std::min(bottleneck, ingress_left[h] / dc[h]);
+    }
+    double min_cap = kInf;
+    for (Link* l : unfixed) min_cap = std::min(min_cap, LinkCap(*l));
+    std::vector<Link*> rest;
+    if (min_cap < bottleneck) {
+      for (Link* l : unfixed) {
+        if (LinkCap(*l) <= min_cap * (1 + kTimeEps)) {
+          l->rate = LinkCap(*l);
+          egress_left[l->src] -= l->rate;
+          ingress_left[l->dst] -= l->rate;
+        } else {
+          rest.push_back(l);
+        }
+      }
+    } else {
+      for (Link* l : unfixed) {
+        const double e_share = egress_left[l->src] / sc[l->src];
+        const double i_share = ingress_left[l->dst] / dc[l->dst];
+        if (std::min(e_share, i_share) <= bottleneck * (1 + kTimeEps)) {
+          l->rate = bottleneck;
+          egress_left[l->src] -= bottleneck;
+          ingress_left[l->dst] -= bottleneck;
+        } else {
+          rest.push_back(l);
+        }
+      }
+    }
+    assert(rest.size() < unfixed.size() && "max-min filling must make progress");
+    if (rest.size() >= unfixed.size()) break;  // Defensive.
+    unfixed.swap(rest);
+  }
+}
+
+LinkFabric::MessageId LinkFabric::Enqueue(uint32_t src, uint32_t dst, double bytes,
+                                          double now, uint64_t cookie) {
+  assert(src < config_.num_hosts && dst < config_.num_hosts && src != dst);
+  assert(bytes > 0);
+  assert(now + kTimeEps >= now_);
+  if (now > now_) {
+    // Bring service up to date; completions are buffered in latency_ and in
+    // completed-queue state inside AdvanceTo's out parameter semantics.
+    std::vector<Completion> buffered;
+    AdvanceTo(now, &buffered);
+    // Completions that came due are re-queued so the next AdvanceTo hands
+    // them out (they already carry their correct completion times).
+    latency_.insert(latency_.end(), buffered.begin(), buffered.end());
+  }
+  Link& l = link(src, dst);
+  const bool was_active = l.active();
+  l.queue.push_back(Message{next_id_, cookie, bytes});
+  ++queued_;
+  if (!was_active) {
+    l.head_remaining = bytes;
+    RecomputeRates();
+  }
+  return next_id_++;
+}
+
+double LinkFabric::NextCompletionTime() const {
+  double best = kInf;
+  for (const Completion& c : latency_) best = std::min(best, c.time);
+  for (const Link& l : links_) {
+    if (l.active() && l.rate > 0) {
+      best = std::min(best, now_ + l.head_remaining / l.rate);
+    }
+  }
+  return best;
+}
+
+void LinkFabric::AdvanceTo(double t, std::vector<Completion>* completed) {
+  assert(t + kTimeEps >= now_);
+  if (t < now_) t = now_;
+  std::vector<Completion> due;
+  // Latency-stage completions already have fixed times.
+  for (size_t i = 0; i < latency_.size();) {
+    if (latency_[i].time <= t * (1 + kTimeEps) + kTimeEps) {
+      due.push_back(latency_[i]);
+      latency_[i] = latency_.back();
+      latency_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  while (now_ < t) {
+    // Earliest head drain among active links.
+    double next_drain = kInf;
+    for (const Link& l : links_) {
+      if (l.active() && l.rate > 0) {
+        next_drain = std::min(next_drain, now_ + l.head_remaining / l.rate);
+      }
+    }
+    const double step_end = std::min(t, next_drain);
+    const double dt = step_end - now_;
+    if (dt > 0) {
+      for (Link& l : links_) {
+        if (l.active() && l.rate > 0) l.head_remaining -= l.rate * dt;
+      }
+      now_ = step_end;
+    }
+    if (next_drain <= t * (1 + kTimeEps) + kTimeEps) {
+      bool set_changed = false;
+      for (Link& l : links_) {
+        // Pop every head that has drained; successors start immediately at
+        // the same rate (no set change while the queue stays non-empty).
+        while (l.active() && l.rate > 0 &&
+               l.head_remaining <= l.queue.front().size * 1e-12 + 1e-9 * l.rate) {
+          const Message m = l.queue.front();
+          l.queue.pop_front();
+          --queued_;
+          bytes_delivered_ += m.size;
+          ++messages_delivered_;
+          due.push_back(Completion{m.id, m.cookie, now_ + config_.base_latency_seconds});
+          if (l.active()) {
+            l.head_remaining = l.queue.front().size;
+            // The message-rate cap depends on the head size; recompute if it
+            // could bind.
+            if (config_.message_rate_per_host > 0) set_changed = true;
+          } else {
+            set_changed = true;
+          }
+        }
+      }
+      if (set_changed) RecomputeRates();
+    } else {
+      break;  // No drain before t.
+    }
+  }
+  now_ = t;
+  // Completions whose latency has elapsed by t are delivered; later ones stay.
+  for (size_t i = 0; i < due.size();) {
+    if (due[i].time > t * (1 + kTimeEps) + kTimeEps) {
+      latency_.push_back(due[i]);
+      due[i] = due.back();
+      due.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Completion& a, const Completion& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.id < b.id;
+  });
+  completed->insert(completed->end(), due.begin(), due.end());
+}
+
+double LinkFabric::LinkRate(uint32_t src, uint32_t dst) const {
+  return link(src, dst).rate;
+}
+
+}  // namespace rdmajoin

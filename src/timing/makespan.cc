@@ -1,0 +1,27 @@
+#include "timing/makespan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace rdmajoin {
+
+double LptMakespan(const std::vector<double>& task_seconds, uint32_t workers) {
+  assert(workers > 0);
+  if (task_seconds.empty()) return 0.0;
+  std::vector<double> sorted = task_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  std::priority_queue<double, std::vector<double>, std::greater<double>> loads;
+  for (uint32_t w = 0; w < workers; ++w) loads.push(0.0);
+  double makespan = 0.0;
+  for (double t : sorted) {
+    double load = loads.top();
+    loads.pop();
+    load += t;
+    makespan = std::max(makespan, load);
+    loads.push(load);
+  }
+  return makespan;
+}
+
+}  // namespace rdmajoin

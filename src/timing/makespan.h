@@ -1,0 +1,17 @@
+#ifndef RDMAJOIN_TIMING_MAKESPAN_H_
+#define RDMAJOIN_TIMING_MAKESPAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rdmajoin {
+
+/// Longest-processing-time-first list scheduling: tasks are sorted by
+/// decreasing cost and greedily assigned to the least-loaded worker. Models
+/// the per-NUMA-region task queues of the build/probe phase; the returned
+/// makespan is the phase time of one machine.
+double LptMakespan(const std::vector<double>& task_seconds, uint32_t workers);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_TIMING_MAKESPAN_H_

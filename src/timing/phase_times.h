@@ -1,0 +1,22 @@
+#ifndef RDMAJOIN_TIMING_PHASE_TIMES_H_
+#define RDMAJOIN_TIMING_PHASE_TIMES_H_
+
+namespace rdmajoin {
+
+/// Virtual execution time of each join phase, in full-scale seconds. This is
+/// the breakdown the paper's stacked-bar figures (5b, 7a, 7b, 9) report.
+struct PhaseTimes {
+  double histogram_seconds = 0;
+  double network_partition_seconds = 0;
+  double local_partition_seconds = 0;
+  double build_probe_seconds = 0;
+
+  double TotalSeconds() const {
+    return histogram_seconds + network_partition_seconds + local_partition_seconds +
+           build_probe_seconds;
+  }
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_TIMING_PHASE_TIMES_H_

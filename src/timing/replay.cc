@@ -1,0 +1,389 @@
+#include "timing/replay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "sim/link_fabric.h"
+#include "timing/makespan.h"
+
+namespace rdmajoin {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Simulation state of one partitioning thread during the network pass.
+struct ThreadSim {
+  uint32_t machine = 0;
+  uint32_t thread = 0;
+  const ThreadNetTrace* tr = nullptr;
+
+  enum class State { kComputing, kBlockedCredit, kBlockedFlow, kDone };
+  State state = State::kComputing;
+
+  size_t next_send = 0;
+  double time = 0;
+  uint64_t compute_done = 0;  // actual bytes
+  uint32_t blocked_slot = 0;
+  uint64_t blocked_flow = 0;
+  std::unordered_map<uint32_t, uint32_t> outstanding;  // slot -> in-flight count
+};
+
+struct FlowInfo {
+  size_t thread_index;
+  uint32_t slot;
+  uint32_t dst;
+  double virtual_bytes;
+};
+
+/// Per-send sender-side CPU overheads (virtual seconds).
+double PerSendOverhead(const ClusterConfig& cluster, const MachineTrace& mt,
+                       double virtual_wire_bytes) {
+  double extra = mt.per_send_registration_seconds;
+  if (cluster.transport == TransportKind::kTcp) {
+    // Kernel crossing plus the copy into the socket buffer.
+    extra += cluster.tcp.per_message_seconds;
+    extra += virtual_wire_bytes / cluster.tcp.sender_copy_bytes_per_sec;
+  }
+  return extra;
+}
+
+}  // namespace
+
+ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
+                         const RunTrace& trace) {
+  ReplayReport report;
+  const uint32_t nm = cluster.num_machines;
+  assert(trace.machines.size() == nm);
+  const double scale = trace.scale_up;
+  const CostModel& costs = cluster.costs;
+  const uint32_t cores = cluster.cores_per_machine;
+
+  // ---- Histogram phase: all cores scan the machine's input, then the
+  // machine-level histograms are exchanged over the control plane. ----
+  for (uint32_t m = 0; m < nm; ++m) {
+    const double vbytes = static_cast<double>(trace.machines[m].histogram_bytes) * scale;
+    const double t =
+        vbytes / (static_cast<double>(cores) * costs.histogram_bytes_per_sec) +
+        trace.machines[m].histogram_exchange_seconds;
+    report.phases.histogram_seconds = std::max(report.phases.histogram_seconds, t);
+  }
+
+  // ---- Network partitioning pass: discrete-event simulation. ----
+  FabricConfig fc = cluster.fabric;
+  fc.num_hosts = nm;
+  if (cluster.transport == TransportKind::kTcp) {
+    fc.egress_bytes_per_sec = cluster.tcp.bytes_per_sec;
+    fc.ingress_bytes_per_sec = cluster.tcp.bytes_per_sec;
+    fc.message_rate_per_host = 0.0;  // Per-message cost is paid by the CPU.
+  }
+  LinkFabric fabric(fc);
+
+  std::vector<ThreadSim> threads;
+  for (uint32_t m = 0; m < nm; ++m) {
+    const auto& mt = trace.machines[m];
+    for (uint32_t t = 0; t < mt.net_threads.size(); ++t) {
+      ThreadSim ts;
+      ts.machine = m;
+      ts.thread = t;
+      ts.tr = &mt.net_threads[t];
+      ts.state = ThreadSim::State::kComputing;
+      threads.push_back(std::move(ts));
+    }
+  }
+
+  const uint32_t credits = cluster.interleave == InterleavePolicy::kNonInterleaved
+                               ? 1
+                               : config.buffers_per_partition;
+  const bool has_receiver_copy = cluster.transport == TransportKind::kRdmaChannel ||
+                                 cluster.transport == TransportKind::kTcp;
+
+  report.receiver_busy_seconds.assign(nm, 0.0);
+  report.net_thread_finish_seconds.assign(nm, 0.0);
+  std::vector<double> receiver_ready(nm, 0.0);  // FIFO service completion time
+  // Receiver-not-ready backpressure: a message only releases its sender-side
+  // buffer credit once a receive-ring slot is free again, i.e. once the
+  // receiver finished servicing the message `ring_depth` positions earlier.
+  // ring_slot_free[m] holds the service-finish times of the last `ring`
+  // messages of machine m (circular).
+  const uint32_t ring = config.recv_buffers_per_link * (nm > 1 ? nm - 1 : 1);
+  std::vector<std::vector<double>> ring_slot_free(
+      nm, std::vector<double>(ring, 0.0));
+  std::vector<uint64_t> ring_pos(nm, 0);
+  std::unordered_map<uint64_t, FlowInfo> flows;
+  double total_virtual_wire = 0;
+
+  const double ps_part = costs.partition_bytes_per_sec;
+
+  // Virtual time a thread needs to reach compute position `target_bytes`.
+  auto compute_time_to = [&](const ThreadSim& ts, uint64_t target_bytes) {
+    const double delta =
+        static_cast<double>(target_bytes - ts.compute_done) * scale / ps_part;
+    return ts.time + delta;
+  };
+
+  // Time at which a thread will next act if unblocked; +inf when waiting.
+  auto next_action_time = [&](const ThreadSim& ts) -> double {
+    switch (ts.state) {
+      case ThreadSim::State::kDone:
+      case ThreadSim::State::kBlockedCredit:
+      case ThreadSim::State::kBlockedFlow:
+        return kInf;
+      case ThreadSim::State::kComputing:
+        if (ts.next_send < ts.tr->sends.size()) {
+          return compute_time_to(ts, ts.tr->sends[ts.next_send].compute_bytes_before);
+        }
+        return compute_time_to(ts, ts.tr->compute_bytes);
+    }
+    return kInf;
+  };
+
+  uint64_t active = threads.size();
+  double last_completion = 0;
+  while (active > 0 || fabric.queued_messages() > 0) {
+    // Earliest thread action.
+    double t_thread = kInf;
+    size_t who = 0;
+    for (size_t i = 0; i < threads.size(); ++i) {
+      const double t = next_action_time(threads[i]);
+      if (t < t_thread) {
+        t_thread = t;
+        who = i;
+      }
+    }
+    const double t_net = fabric.NextCompletionTime();
+
+    if (t_net <= t_thread) {
+      if (t_net == kInf) break;  // Nothing left to happen.
+      std::vector<LinkFabric::Completion> done;
+      fabric.AdvanceTo(t_net, &done);
+      for (const auto& c : done) {
+        last_completion = std::max(last_completion, c.time);
+        auto it = flows.find(c.id);
+        assert(it != flows.end());
+        const FlowInfo fi = it->second;
+        flows.erase(it);
+        // Receiver-side service (two-sided copies / TCP receive path) with
+        // receive-ring backpressure: if every ring buffer is still waiting
+        // to be drained, the sender's acknowledgement (and thus its buffer
+        // credit) is delayed until a slot frees up.
+        double credit_time = c.time;
+        if (has_receiver_copy) {
+          double service;
+          if (cluster.transport == TransportKind::kTcp) {
+            service = fi.virtual_bytes / cluster.tcp.receiver_bytes_per_sec +
+                      cluster.tcp.per_message_seconds;
+          } else {
+            service = fi.virtual_bytes / costs.memcpy_bytes_per_sec;
+          }
+          auto& slots = ring_slot_free[fi.dst];
+          const uint64_t pos = ring_pos[fi.dst]++ % ring;
+          const double slot_free_at = slots[pos];
+          const double start =
+              std::max({receiver_ready[fi.dst], c.time, slot_free_at});
+          receiver_ready[fi.dst] = start + service;
+          slots[pos] = receiver_ready[fi.dst];
+          report.receiver_busy_seconds[fi.dst] += service;
+          credit_time = std::max(credit_time, slot_free_at);
+        }
+        // Return the buffer credit and possibly wake the thread.
+        ThreadSim& ts = threads[fi.thread_index];
+        auto out = ts.outstanding.find(fi.slot);
+        assert(out != ts.outstanding.end() && out->second > 0);
+        --out->second;
+        if (ts.state == ThreadSim::State::kBlockedFlow && ts.blocked_flow == c.id) {
+          ts.state = ThreadSim::State::kComputing;
+          ts.time = std::max(ts.time, credit_time);
+        } else if (ts.state == ThreadSim::State::kBlockedCredit &&
+                   ts.blocked_slot == fi.slot && out->second < credits) {
+          ts.state = ThreadSim::State::kComputing;
+          ts.time = std::max(ts.time, credit_time);
+        }
+      }
+      continue;
+    }
+
+    // Thread action.
+    ThreadSim& ts = threads[who];
+    assert(ts.state == ThreadSim::State::kComputing);
+    if (ts.next_send >= ts.tr->sends.size()) {
+      // Final compute stretch: the thread is finished.
+      ts.time = t_thread;
+      ts.compute_done = ts.tr->compute_bytes;
+      ts.state = ThreadSim::State::kDone;
+      --active;
+      report.net_thread_finish_seconds[ts.machine] =
+          std::max(report.net_thread_finish_seconds[ts.machine], ts.time);
+      continue;
+    }
+    const SendRecord& send = ts.tr->sends[ts.next_send];
+    ts.time = t_thread;
+    ts.compute_done = send.compute_bytes_before;
+    const uint32_t out = ts.outstanding[send.slot];
+    if (out >= credits) {
+      ts.state = ThreadSim::State::kBlockedCredit;
+      ts.blocked_slot = send.slot;
+      continue;  // Will retry the same send once a credit returns.
+    }
+    // Post the send: charge sender-side per-message overheads, then inject.
+    const double vbytes = static_cast<double>(send.wire_bytes) * scale;
+    ts.time += PerSendOverhead(cluster, trace.machines[ts.machine], vbytes);
+    const uint32_t flow_src = send.src_machine == SendRecord::kIssuerIsSource
+                                  ? ts.machine
+                                  : send.src_machine;
+    const LinkFabric::MessageId id =
+        fabric.Enqueue(flow_src, send.dst_machine, vbytes, ts.time);
+    flows[id] = FlowInfo{who, send.slot, send.dst_machine, vbytes};
+    ++ts.outstanding[send.slot];
+    total_virtual_wire += vbytes;
+    ++ts.next_send;
+    if (cluster.interleave == InterleavePolicy::kNonInterleaved) {
+      ts.state = ThreadSim::State::kBlockedFlow;
+      ts.blocked_flow = id;
+    }
+  }
+
+  double net_end = last_completion;
+  for (const ThreadSim& ts : threads) net_end = std::max(net_end, ts.time);
+  for (uint32_t m = 0; m < nm; ++m) net_end = std::max(net_end, receiver_ready[m]);
+  double setup = 0;
+  for (uint32_t m = 0; m < nm; ++m) {
+    setup = std::max(setup, trace.machines[m].setup_registration_seconds);
+  }
+  report.phases.network_partition_seconds = net_end + setup;
+  report.last_completion_seconds = last_completion;
+  if (net_end > 0) {
+    report.avg_network_rate_bytes_per_sec = total_virtual_wire / net_end;
+  }
+
+  // ---- Local phase: partitioning passes at full partitioning speed plus
+  // any local sorting (sort-merge operator), all cores. ----
+  for (uint32_t m = 0; m < nm; ++m) {
+    const double vbytes =
+        static_cast<double>(trace.machines[m].local_pass_bytes) * scale;
+    double t = vbytes / (static_cast<double>(cores) * ps_part);
+    t += static_cast<double>(trace.machines[m].sort_bytes) * scale /
+         (static_cast<double>(cores) * costs.sort_bytes_per_sec);
+    report.phases.local_partition_seconds =
+        std::max(report.phases.local_partition_seconds, t);
+  }
+
+  // ---- Build/probe: LPT scheduling of the recorded tasks per machine.
+  // Stolen partition data must first arrive over the network (serialized at
+  // the effective port bandwidth); materialized output is written at memcpy
+  // speed by the probing threads. ----
+  const double port_bandwidth = cluster.transport == TransportKind::kTcp
+                                    ? cluster.tcp.bytes_per_sec
+                                    : cluster.fabric.EffectiveEgress();
+  for (uint32_t m = 0; m < nm; ++m) {
+    const MachineTrace& mt = trace.machines[m];
+    std::vector<double> task_seconds;
+    task_seconds.reserve(mt.tasks.size());
+    for (const BuildProbeTask& task : mt.tasks) {
+      task_seconds.push_back(task.build_bytes * scale / costs.build_bytes_per_sec +
+                             task.probe_bytes * scale / costs.probe_bytes_per_sec);
+    }
+    for (double bytes : mt.merge_tasks) {
+      task_seconds.push_back(bytes * scale / costs.merge_bytes_per_sec);
+    }
+    double t = LptMakespan(task_seconds, cores);
+    t += static_cast<double>(mt.stolen_in_bytes) * scale / port_bandwidth;
+    t += static_cast<double>(mt.materialized_bytes) * scale /
+         (static_cast<double>(cores) * costs.memcpy_bytes_per_sec);
+    report.phases.build_probe_seconds =
+        std::max(report.phases.build_probe_seconds, t);
+  }
+
+  return report;
+}
+
+
+StatusOr<ReplayReport> ReplayConcurrent(const ClusterConfig& cluster,
+                                        const JoinConfig& config,
+                                        const std::vector<RunTrace>& traces) {
+  if (traces.empty()) return Status::InvalidArgument("no traces to replay");
+  const uint32_t nm = cluster.num_machines;
+  const double scale = traces[0].scale_up;
+  for (const RunTrace& t : traces) {
+    if (t.machines.size() != nm) {
+      return Status::InvalidArgument("trace machine count does not match cluster");
+    }
+    if (t.scale_up != scale) {
+      return Status::InvalidArgument("traces must share one scale factor");
+    }
+  }
+  // Merge: per machine, concatenate the queries' thread traces and work
+  // lists. One receiver core then services the combined message stream and
+  // the fabric carries the combined traffic.
+  RunTrace merged;
+  merged.scale_up = scale;
+  merged.machines.resize(nm);
+  for (const RunTrace& t : traces) {
+    for (uint32_t m = 0; m < nm; ++m) {
+      MachineTrace& dst = merged.machines[m];
+      const MachineTrace& src = t.machines[m];
+      dst.histogram_bytes += src.histogram_bytes;
+      dst.histogram_exchange_seconds =
+          std::max(dst.histogram_exchange_seconds, src.histogram_exchange_seconds);
+      dst.net_threads.insert(dst.net_threads.end(), src.net_threads.begin(),
+                             src.net_threads.end());
+      dst.recv_bytes += src.recv_bytes;
+      dst.recv_messages += src.recv_messages;
+      dst.local_pass_bytes += src.local_pass_bytes;
+      dst.sort_bytes += src.sort_bytes;
+      dst.merge_tasks.insert(dst.merge_tasks.end(), src.merge_tasks.begin(),
+                             src.merge_tasks.end());
+      dst.tasks.insert(dst.tasks.end(), src.tasks.begin(), src.tasks.end());
+      dst.stolen_in_bytes += src.stolen_in_bytes;
+      dst.materialized_bytes += src.materialized_bytes;
+      dst.setup_registration_seconds =
+          std::max(dst.setup_registration_seconds, src.setup_registration_seconds);
+      dst.per_send_registration_seconds = std::max(
+          dst.per_send_registration_seconds, src.per_send_registration_seconds);
+    }
+  }
+  // Fair time-sharing: with Q queries each thread effectively runs at 1/Q of
+  // its core (the merged trace has Q threads per core).
+  const double q = static_cast<double>(traces.size());
+  ClusterConfig shared = cluster;
+  shared.costs.partition_bytes_per_sec /= q;
+  shared.costs.histogram_bytes_per_sec /= q;
+  shared.costs.build_bytes_per_sec /= q;
+  shared.costs.probe_bytes_per_sec /= q;
+  shared.costs.sort_bytes_per_sec /= q;
+  shared.costs.merge_bytes_per_sec /= q;
+  // The receiver core is one physical core servicing all queries: its copy
+  // rate is NOT divided (the merged stream is serviced sequentially).
+  // Build/probe and local phases are summed workloads on shared cores: the
+  // merged task lists under the scaled rates already model that. But the
+  // histogram and local phases would double-charge (bytes summed AND rate
+  // divided); undo one of the two by restoring the rates for barrier phases.
+  shared.costs.histogram_bytes_per_sec = cluster.costs.histogram_bytes_per_sec;
+  shared.costs.partition_bytes_per_sec = cluster.costs.partition_bytes_per_sec;
+  shared.costs.sort_bytes_per_sec = cluster.costs.sort_bytes_per_sec;
+  shared.costs.build_bytes_per_sec = cluster.costs.build_bytes_per_sec;
+  shared.costs.probe_bytes_per_sec = cluster.costs.probe_bytes_per_sec;
+  shared.costs.merge_bytes_per_sec = cluster.costs.merge_bytes_per_sec;
+  // What remains scaled: the per-thread partitioning rate inside the network
+  // pass, where each query's threads genuinely timeshare the cores.
+  ClusterConfig net_shared = shared;
+  net_shared.costs.partition_bytes_per_sec =
+      cluster.costs.partition_bytes_per_sec / q;
+  // Network pass with contention + timesharing.
+  ReplayReport net_report = ReplayTrace(net_shared, config, merged);
+  // Barrier phases with summed bytes at full rates (cores process the
+  // queries' combined volume either way).
+  ReplayReport barrier_report = ReplayTrace(shared, config, merged);
+  ReplayReport report = barrier_report;
+  report.phases.network_partition_seconds =
+      net_report.phases.network_partition_seconds;
+  report.receiver_busy_seconds = net_report.receiver_busy_seconds;
+  report.net_thread_finish_seconds = net_report.net_thread_finish_seconds;
+  report.last_completion_seconds = net_report.last_completion_seconds;
+  report.avg_network_rate_bytes_per_sec = net_report.avg_network_rate_bytes_per_sec;
+  return report;
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,59 @@
+#ifndef RDMAJOIN_TIMING_REPLAY_H_
+#define RDMAJOIN_TIMING_REPLAY_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "join/join_config.h"
+#include "timing/phase_times.h"
+#include "timing/trace.h"
+#include "util/statusor.h"
+
+namespace rdmajoin {
+
+/// Outputs of the discrete-event timing replay.
+struct ReplayReport {
+  PhaseTimes phases;
+  /// Seconds each machine's receiver core spent copying incoming two-sided
+  /// messages during the network pass.
+  std::vector<double> receiver_busy_seconds;
+  /// When each machine's partitioning threads finished computing (max over
+  /// threads), network pass only.
+  std::vector<double> net_thread_finish_seconds;
+  /// Completion time of the last in-flight message.
+  double last_completion_seconds = 0;
+  /// Average rate at which wire bytes drained during the network pass.
+  double avg_network_rate_bytes_per_sec = 0;
+};
+
+/// Replays an execution trace against the cluster's cost and network models
+/// and returns virtual full-scale phase times.
+///
+/// The network partitioning pass is simulated event by event: each
+/// partitioning thread advances along its compute timeline at psPart,
+/// posts its recorded sends into a fluid-flow fabric, and blocks when the
+/// double-buffering credits of a partition slot are exhausted (or, in the
+/// non-interleaved variant, after every send). Receiver cores service
+/// incoming messages FIFO at the memcpy rate. The histogram, local
+/// partitioning and build/probe phases are barrier-synchronized compute
+/// phases evaluated per machine (build/probe via LPT scheduling of the
+/// recorded tasks).
+ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
+                         const RunTrace& trace);
+
+/// Replays several independently-captured traces as if their operators ran
+/// concurrently on one cluster (the co-scheduling question the paper's
+/// Section 7 leaves open): every machine's cores are time-shared fairly
+/// across the queries (compute rates divided by the query count) while all
+/// network traffic contends in one fabric and one receiver core services the
+/// combined message stream. Returns the phase times of the combined
+/// workload, i.e. when the last query finishes each phase.
+///
+/// All traces must have the same machine count and scale factor.
+StatusOr<ReplayReport> ReplayConcurrent(const ClusterConfig& cluster,
+                                        const JoinConfig& config,
+                                        const std::vector<RunTrace>& traces);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_TIMING_REPLAY_H_

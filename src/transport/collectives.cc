@@ -1,0 +1,167 @@
+#include "transport/collectives.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rdmajoin {
+
+StatusOr<std::unique_ptr<CollectiveNetwork>> CollectiveNetwork::Create(
+    uint32_t num_machines, uint64_t element_capacity, const CostModel& costs) {
+  if (num_machines == 0) {
+    return Status::InvalidArgument("need at least one machine");
+  }
+  if (element_capacity == 0) {
+    return Status::InvalidArgument("element capacity must be positive");
+  }
+  auto net = std::unique_ptr<CollectiveNetwork>(new CollectiveNetwork());
+  RDMAJOIN_RETURN_IF_ERROR(net->Init(num_machines, element_capacity, costs));
+  return net;
+}
+
+CollectiveNetwork::~CollectiveNetwork() {
+  for (uint32_t s = 0; s < num_machines_; ++s) {
+    for (uint32_t d = 0; d < num_machines_; ++d) {
+      if (s == d) continue;
+      Link& l = link(s, d);
+      if (!l.recv_buffer.empty()) {
+        (void)devices_[d]->DeregisterMemory(l.recv_mr);
+      }
+    }
+    if (!send_buffers_.empty() && !send_buffers_[s].empty()) {
+      (void)devices_[s]->DeregisterMemory(send_mrs_[s]);
+    }
+  }
+  links_.clear();
+}
+
+Status CollectiveNetwork::Init(uint32_t num_machines, uint64_t element_capacity,
+                               const CostModel& costs) {
+  num_machines_ = num_machines;
+  element_capacity_ = element_capacity;
+  devices_.reserve(num_machines);
+  for (uint32_t m = 0; m < num_machines; ++m) {
+    devices_.push_back(std::make_unique<RdmaDevice>(m, nullptr, costs));
+  }
+  send_buffers_.resize(num_machines);
+  send_mrs_.resize(num_machines);
+  for (uint32_t m = 0; m < num_machines; ++m) {
+    send_buffers_[m].resize(element_capacity);
+    auto mr = devices_[m]->RegisterMemory(
+        reinterpret_cast<uint8_t*>(send_buffers_[m].data()),
+        element_capacity * sizeof(uint64_t));
+    RDMAJOIN_RETURN_IF_ERROR(mr.status());
+    send_mrs_[m] = *mr;
+  }
+  links_.resize(static_cast<size_t>(num_machines) * num_machines);
+  for (uint32_t s = 0; s < num_machines; ++s) {
+    for (uint32_t d = 0; d < num_machines; ++d) {
+      if (s == d) continue;
+      Link& l = link(s, d);
+      l.src_send_cq = std::make_unique<CompletionQueue>();
+      l.src_recv_cq = std::make_unique<CompletionQueue>();
+      l.dst_send_cq = std::make_unique<CompletionQueue>();
+      l.dst_recv_cq = std::make_unique<CompletionQueue>();
+      l.src_qp = std::make_unique<QueuePair>(devices_[s].get(), l.src_send_cq.get(),
+                                             l.src_recv_cq.get());
+      l.dst_qp = std::make_unique<QueuePair>(devices_[d].get(), l.dst_send_cq.get(),
+                                             l.dst_recv_cq.get());
+      RDMAJOIN_RETURN_IF_ERROR(QueuePair::Connect(l.src_qp.get(), l.dst_qp.get()));
+      l.recv_buffer.resize(element_capacity);
+      auto mr = devices_[d]->RegisterMemory(
+          reinterpret_cast<uint8_t*>(l.recv_buffer.data()),
+          element_capacity * sizeof(uint64_t));
+      RDMAJOIN_RETURN_IF_ERROR(mr.status());
+      l.recv_mr = *mr;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::vector<uint64_t>>> CollectiveNetwork::AllGather(
+    const std::vector<std::vector<uint64_t>>& locals) {
+  if (locals.size() != num_machines_) {
+    return Status::InvalidArgument("need one contribution per machine");
+  }
+  const uint64_t n = locals.empty() ? 0 : locals[0].size();
+  for (const auto& v : locals) {
+    if (v.size() != n) {
+      return Status::InvalidArgument("contributions must have equal size");
+    }
+  }
+  if (n > element_capacity_) {
+    return Status::OutOfRange("contribution exceeds collective capacity");
+  }
+  const uint64_t bytes = n * sizeof(uint64_t);
+
+  // Post receives, then sends, then drain completions -- the standard verbs
+  // choreography for a mesh exchange.
+  for (uint32_t s = 0; s < num_machines_; ++s) {
+    for (uint32_t d = 0; d < num_machines_; ++d) {
+      if (s == d) continue;
+      RDMAJOIN_RETURN_IF_ERROR(
+          link(s, d).dst_qp->PostRecv(/*wr_id=*/s, link(s, d).recv_mr.lkey, 0, bytes));
+    }
+  }
+  for (uint32_t s = 0; s < num_machines_; ++s) {
+    std::memcpy(send_buffers_[s].data(), locals[s].data(), bytes);
+    for (uint32_t d = 0; d < num_machines_; ++d) {
+      if (s == d) continue;
+      RDMAJOIN_RETURN_IF_ERROR(
+          link(s, d).src_qp->PostSend(/*wr_id=*/d, send_mrs_[s].lkey, 0, bytes));
+      ++messages_sent_;
+      WorkCompletion wc;
+      if (!link(s, d).src_send_cq->PollOne(&wc) || !wc.success) {
+        return Status::Internal("missing send completion in all-gather");
+      }
+      if (!link(s, d).dst_recv_cq->PollOne(&wc) || !wc.success) {
+        return Status::Internal("missing recv completion in all-gather");
+      }
+    }
+  }
+
+  // Assemble each machine's view: its own vector plus every peer's.
+  std::vector<std::vector<uint64_t>> views(num_machines_);
+  for (uint32_t m = 0; m < num_machines_; ++m) {
+    views[m].reserve(num_machines_ * n);
+    for (uint32_t src = 0; src < num_machines_; ++src) {
+      const uint64_t* data =
+          src == m ? locals[m].data() : link(src, m).recv_buffer.data();
+      views[m].insert(views[m].end(), data, data + n);
+    }
+  }
+  return views;
+}
+
+StatusOr<std::vector<uint64_t>> CollectiveNetwork::AllReduceSum(
+    const std::vector<std::vector<uint64_t>>& locals) {
+  auto views = AllGather(locals);
+  RDMAJOIN_RETURN_IF_ERROR(views.status());
+  const uint64_t n = locals.empty() ? 0 : locals[0].size();
+  std::vector<uint64_t> sum(n, 0);
+  // Every machine reduces its own view; they are identical by construction,
+  // which the debug build asserts.
+  for (uint32_t m = 0; m < num_machines_; ++m) {
+    std::vector<uint64_t> local_sum(n, 0);
+    for (uint32_t src = 0; src < num_machines_; ++src) {
+      for (uint64_t i = 0; i < n; ++i) local_sum[i] += (*views)[m][src * n + i];
+    }
+    if (m == 0) {
+      sum = std::move(local_sum);
+    } else {
+      assert(local_sum == sum && "all-reduce views diverged");
+    }
+  }
+  return sum;
+}
+
+double CollectiveNetwork::ExchangeSeconds(uint32_t num_machines,
+                                          uint64_t bytes_per_machine,
+                                          double bandwidth, double latency) {
+  if (num_machines <= 1) return 0.0;
+  const double peers = num_machines - 1;
+  // Every host serializes its NM-1 outgoing copies over its port and pays
+  // one propagation latency for the last message to land.
+  return peers * static_cast<double>(bytes_per_machine) / bandwidth + latency;
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,92 @@
+#ifndef RDMAJOIN_TRANSPORT_COLLECTIVES_H_
+#define RDMAJOIN_TRANSPORT_COLLECTIVES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "rdma/verbs.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace rdmajoin {
+
+/// Control-plane collectives over the verbs substrate.
+///
+/// Section 4.1: "The machine-level histograms are then exchanged over the
+/// network. They can either be sent to a predesignated coordinator or
+/// distributed among all the nodes." This class implements the all-to-all
+/// variant as a verbs-level all-gather (every machine posts its vector to
+/// every peer through two-sided sends into preregistered receive regions),
+/// plus the reductions the join needs on top.
+///
+/// Collectives run on the control path before the network partitioning pass;
+/// their (small) cost is modeled analytically by ExchangeSeconds and charged
+/// to the histogram phase.
+class CollectiveNetwork {
+ public:
+  /// Builds a full mesh of queue pairs between `num_machines` devices.
+  /// `element_capacity` is the largest vector (in uint64 elements) a single
+  /// collective call may exchange.
+  static StatusOr<std::unique_ptr<CollectiveNetwork>> Create(
+      uint32_t num_machines, uint64_t element_capacity,
+      const CostModel& costs = CostModel());
+
+  ~CollectiveNetwork();
+  CollectiveNetwork(const CollectiveNetwork&) = delete;
+  CollectiveNetwork& operator=(const CollectiveNetwork&) = delete;
+
+  uint32_t num_machines() const { return num_machines_; }
+
+  /// All-gather: machine m contributes `locals[m]`; returns, for each
+  /// machine, the concatenation of every machine's contribution (the result
+  /// each machine would hold). All contributions must have equal size.
+  StatusOr<std::vector<std::vector<uint64_t>>> AllGather(
+      const std::vector<std::vector<uint64_t>>& locals);
+
+  /// All-reduce (sum): element-wise sum of every machine's contribution,
+  /// as seen by every machine. Implemented as all-gather + local reduction,
+  /// the way the join combines machine-level histograms into the global
+  /// histogram.
+  StatusOr<std::vector<uint64_t>> AllReduceSum(
+      const std::vector<std::vector<uint64_t>>& locals);
+
+  /// Analytical cost of one all-gather of `bytes_per_machine` bytes on a
+  /// fabric with per-host bandwidth `bandwidth` and base latency `latency`:
+  /// every host sends NM-1 messages and receives NM-1 messages.
+  static double ExchangeSeconds(uint32_t num_machines, uint64_t bytes_per_machine,
+                                double bandwidth, double latency);
+
+  /// Total control messages sent so far (for tests/stats).
+  uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  CollectiveNetwork() = default;
+  Status Init(uint32_t num_machines, uint64_t element_capacity,
+              const CostModel& costs);
+
+  uint32_t num_machines_ = 0;
+  uint64_t element_capacity_ = 0;
+  uint64_t messages_sent_ = 0;
+  std::vector<std::unique_ptr<RdmaDevice>> devices_;
+  struct Link {
+    std::unique_ptr<QueuePair> src_qp;
+    std::unique_ptr<QueuePair> dst_qp;
+    std::unique_ptr<CompletionQueue> src_send_cq;
+    std::unique_ptr<CompletionQueue> src_recv_cq;
+    std::unique_ptr<CompletionQueue> dst_send_cq;
+    std::unique_ptr<CompletionQueue> dst_recv_cq;
+    std::vector<uint64_t> recv_buffer;  // dst-side registered region
+    MemoryRegion recv_mr;
+  };
+  std::vector<Link> links_;  // [src * NM + dst]
+  Link& link(uint32_t src, uint32_t dst) { return links_[src * num_machines_ + dst]; }
+  // Per-machine registered send staging.
+  std::vector<std::vector<uint64_t>> send_buffers_;
+  std::vector<MemoryRegion> send_mrs_;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_TRANSPORT_COLLECTIVES_H_

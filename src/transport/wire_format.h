@@ -1,0 +1,34 @@
+#ifndef RDMAJOIN_TRANSPORT_WIRE_FORMAT_H_
+#define RDMAJOIN_TRANSPORT_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace rdmajoin {
+
+/// Header written at the start of every two-sided message so the receiver
+/// can route the payload to the right partition buffer (channel semantics
+/// carry no addressing information, unlike one-sided writes).
+struct WireHeader {
+  uint32_t partition = 0;
+  /// 0 = inner relation (R), 1 = outer relation (S).
+  uint32_t relation = 0;
+  uint64_t payload_bytes = 0;
+};
+
+inline constexpr uint64_t kWireHeaderBytes = sizeof(WireHeader);
+static_assert(sizeof(WireHeader) == 16, "wire header must be 16 bytes");
+
+inline void WriteWireHeader(uint8_t* buf, const WireHeader& h) {
+  std::memcpy(buf, &h, sizeof(h));
+}
+
+inline WireHeader ReadWireHeader(const uint8_t* buf) {
+  WireHeader h;
+  std::memcpy(&h, buf, sizeof(h));
+  return h;
+}
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_TRANSPORT_WIRE_FORMAT_H_

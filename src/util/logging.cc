@@ -1,0 +1,71 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rdmajoin {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+bool g_env_checked = false;
+Logger::Sink& GlobalSink() {
+  static Logger::Sink* sink = new Logger::Sink();
+  return *sink;
+}
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::InitFromEnvironment() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  const char* env = std::getenv("RDMAJOIN_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) {
+    g_level = LogLevel::kDebug;
+  } else if (std::strcmp(env, "info") == 0) {
+    g_level = LogLevel::kInfo;
+  } else if (std::strcmp(env, "warning") == 0) {
+    g_level = LogLevel::kWarning;
+  } else if (std::strcmp(env, "error") == 0) {
+    g_level = LogLevel::kError;
+  }
+}
+
+LogLevel Logger::level() {
+  InitFromEnvironment();
+  return g_level;
+}
+
+void Logger::SetLevel(LogLevel level) {
+  g_env_checked = true;  // Explicit setting overrides the environment.
+  g_level = level;
+}
+
+void Logger::SetSink(Sink sink) { GlobalSink() = std::move(sink); }
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (level < Logger::level()) return;
+  if (GlobalSink()) {
+    GlobalSink()(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[rdmajoin %s] %s\n", LogLevelName(level), message.c_str());
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,71 @@
+#ifndef RDMAJOIN_UTIL_STATUSOR_H_
+#define RDMAJOIN_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rdmajoin {
+
+/// Holds either a value of type T or an error Status. Mirrors
+/// absl::StatusOr<T> for the subset of the interface this library needs.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  /// Constructs from a value; the resulting StatusOr is OK.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked with assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates its
+/// error status to the caller.
+#define RDMAJOIN_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto RDMAJOIN_CONCAT_(_sor_, __LINE__) = (expr);  \
+  if (!RDMAJOIN_CONCAT_(_sor_, __LINE__).ok())      \
+    return RDMAJOIN_CONCAT_(_sor_, __LINE__).status(); \
+  lhs = std::move(RDMAJOIN_CONCAT_(_sor_, __LINE__)).value()
+
+#define RDMAJOIN_CONCAT_IMPL_(a, b) a##b
+#define RDMAJOIN_CONCAT_(a, b) RDMAJOIN_CONCAT_IMPL_(a, b)
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_UTIL_STATUSOR_H_

@@ -1,0 +1,45 @@
+#ifndef RDMAJOIN_UTIL_TABLE_PRINTER_H_
+#define RDMAJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rdmajoin {
+
+/// Collects rows of string cells and prints them as an aligned text table or
+/// as CSV. Every benchmark harness uses this to emit the rows/series of the
+/// paper figure it reproduces.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Adds a data row; the cell count must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits.
+  static std::string Num(double value, int precision = 2);
+  static std::string Int(long long value);
+
+  /// Prints an aligned table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Prints comma-separated values (header + rows) to `out`.
+  void PrintCsv(std::FILE* out = stdout) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_UTIL_TABLE_PRINTER_H_

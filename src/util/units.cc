@@ -1,0 +1,42 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace rdmajoin {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu GiB",
+                  static_cast<unsigned long long>(bytes / kGiB));
+  } else if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu MiB",
+                  static_cast<unsigned long long>(bytes / kMiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%llu KiB",
+                  static_cast<unsigned long long>(bytes / kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  return buf;
+}
+
+std::string FormatRateMBps(double bytes_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f MB/s", bytes_per_second / kMB);
+  return buf;
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,32 @@
+#ifndef RDMAJOIN_UTIL_UNITS_H_
+#define RDMAJOIN_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rdmajoin {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// The paper quotes rates in decimal megabytes per second (e.g. 955 MB/s,
+/// 3400 MB/s); these constants convert between those units and bytes/seconds.
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+/// One million tuples -- the paper sizes relations as "2048 million tuples".
+inline constexpr uint64_t kMillionTuples = 1000 * 1000;
+
+/// Formats a byte count with a binary-unit suffix ("64 KiB", "1.5 GiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats seconds with millisecond precision ("5.754 s").
+std::string FormatSeconds(double seconds);
+
+/// Formats a rate in MB/s (decimal).
+std::string FormatRateMBps(double bytes_per_second);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_UTIL_UNITS_H_

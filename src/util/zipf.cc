@@ -1,0 +1,30 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdmajoin {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  assert(n > 0);
+  assert(theta > 0.0);
+  cdf_.resize(n_);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < n_; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta_);
+    cdf_[k] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (double& v : cdf_) v *= inv;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,62 @@
+#include "workload/relation.h"
+
+#include <cassert>
+
+namespace rdmajoin {
+
+Relation::Relation(uint32_t tuple_bytes) : tuple_bytes_(tuple_bytes) {
+  assert(tuple_bytes >= kNarrowTupleBytes && tuple_bytes % 8 == 0);
+}
+
+void Relation::Reserve(uint64_t n) { data_.reserve(n * tuple_bytes_); }
+
+void Relation::Resize(uint64_t n) {
+  data_.resize(n * tuple_bytes_, 0);
+  num_tuples_ = n;
+}
+
+void Relation::Clear() {
+  data_.clear();
+  num_tuples_ = 0;
+}
+
+void Relation::Deallocate() {
+  std::vector<uint8_t>().swap(data_);
+  num_tuples_ = 0;
+}
+
+void Relation::SetTuple(uint64_t i, uint64_t key, uint64_t rid) {
+  uint8_t* t = TupleAt(i);
+  std::memcpy(t + kKeyOffset, &key, sizeof(key));
+  std::memcpy(t + kRidOffset, &rid, sizeof(rid));
+  for (uint32_t j = kNarrowTupleBytes; j < tuple_bytes_; ++j) {
+    t[j] = PayloadByte(key, j);
+  }
+}
+
+void Relation::AppendRaw(const uint8_t* tuples, uint64_t count) {
+  data_.insert(data_.end(), tuples, tuples + count * tuple_bytes_);
+  num_tuples_ += count;
+}
+
+void Relation::Append(uint64_t key, uint64_t rid) {
+  const uint64_t i = num_tuples_;
+  Resize(i + 1);
+  SetTuple(i, key, rid);
+}
+
+Status Relation::VerifyPayloads() const {
+  for (uint64_t i = 0; i < num_tuples_; ++i) {
+    const uint8_t* t = TupleAt(i);
+    const uint64_t key = Key(i);
+    for (uint32_t j = kNarrowTupleBytes; j < tuple_bytes_; ++j) {
+      if (t[j] != PayloadByte(key, j)) {
+        return Status::Internal("payload corruption at tuple " + std::to_string(i) +
+                                " byte " + std::to_string(j));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,141 @@
+#include "baseline/radix_join.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace rdmajoin {
+namespace {
+
+Relation Flatten(const DistributedRelation& rel) {
+  Relation out(rel.tuple_bytes());
+  for (const auto& c : rel.chunks) out.AppendRaw(c.data(), c.num_tuples());
+  return out;
+}
+
+TEST(RadixJoin, MatchesGroundTruthOnUniformWorkload) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 30000;
+  spec.outer_tuples = 90000;
+  auto w = GenerateWorkload(spec, 1);
+  ASSERT_TRUE(w.ok());
+  auto result = RadixJoin(w->inner.chunks[0], w->outer.chunks[0]);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.matches, w->truth.expected_matches);
+  EXPECT_EQ(result->stats.key_sum, w->truth.expected_key_sum);
+  EXPECT_EQ(result->stats.inner_rid_sum, w->truth.expected_inner_rid_sum);
+}
+
+TEST(RadixJoin, TwoPassPartitioningMeetsCacheTarget) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 1 << 17;
+  spec.outer_tuples = 1 << 17;
+  auto w = GenerateWorkload(spec, 1);
+  BaselineConfig config;
+  config.bits_pass1 = 4;
+  config.cache_partition_bytes = 16 * 1024;
+  auto result = RadixJoin(w->inner.chunks[0], w->outer.chunks[0], config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->passes_executed, 2u);
+  EXPECT_LE(result->max_final_partition_bytes, config.cache_partition_bytes);
+}
+
+TEST(RadixJoin, SinglePassWhenDataAlreadyFits) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 1000;
+  spec.outer_tuples = 1000;
+  auto w = GenerateWorkload(spec, 1);
+  BaselineConfig config;
+  config.bits_pass1 = 6;
+  config.cache_partition_bytes = 1 << 20;
+  auto result = RadixJoin(w->inner.chunks[0], w->outer.chunks[0], config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->passes_executed, 1u);
+}
+
+TEST(RadixJoin, ExplicitSecondPassBits) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 4096;
+  spec.outer_tuples = 4096;
+  auto w = GenerateWorkload(spec, 1);
+  BaselineConfig config;
+  config.bits_pass1 = 3;
+  config.bits_pass2 = 3;
+  auto result = RadixJoin(w->inner.chunks[0], w->outer.chunks[0], config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->passes_executed, 2u);
+  // 2^6 = 64 radix values; the permutation fills all of them.
+  EXPECT_EQ(result->final_partitions, 64u);
+  EXPECT_EQ(result->stats.matches, spec.outer_tuples);
+}
+
+TEST(RadixJoin, MaterializesPairsWhenAsked) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 200;
+  spec.outer_tuples = 600;
+  auto w = GenerateWorkload(spec, 1);
+  BaselineConfig config;
+  config.bits_pass1 = 3;
+  config.materialize_results = true;
+  auto result = RadixJoin(w->inner.chunks[0], w->outer.chunks[0], config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.pairs.size(), 600u);
+}
+
+TEST(RadixJoin, RejectsBadConfig) {
+  Relation r(16), s(16);
+  r.Append(1, 1);
+  s.Append(1, 1);
+  EXPECT_FALSE(RadixJoin(r, s, BaselineConfig{.bits_pass1 = 0}).ok());
+  EXPECT_FALSE(RadixJoin(r, s, BaselineConfig{.bits_pass1 = 25}).ok());
+  Relation wide(32);
+  wide.Append(1, 1);
+  EXPECT_FALSE(RadixJoin(r, wide).ok());
+}
+
+TEST(RadixJoin, AgreesWithReferenceOnSkewedData) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 1 << 12;
+  spec.outer_tuples = 1 << 15;
+  spec.zipf_theta = 1.2;
+  auto w = GenerateWorkload(spec, 1);
+  ASSERT_TRUE(w.ok());
+  const Relation r = Flatten(w->inner);
+  const Relation s = Flatten(w->outer);
+  JoinResultStats ref = ReferenceHashJoin(r, s);
+  auto radix = RadixJoin(r, s, BaselineConfig{.bits_pass1 = 5});
+  ASSERT_TRUE(radix.ok());
+  EXPECT_EQ(radix->stats.matches, ref.matches);
+  EXPECT_EQ(radix->stats.key_sum, ref.key_sum);
+  EXPECT_EQ(radix->stats.inner_rid_sum, ref.inner_rid_sum);
+}
+
+TEST(ReferenceHashJoin, HandlesNonMatchingAndDuplicateKeys) {
+  Relation r(16), s(16);
+  r.Append(1, 10);
+  r.Append(1, 11);  // Duplicate inner key: 2 matches per outer tuple.
+  r.Append(2, 20);
+  s.Append(1, 100);
+  s.Append(3, 300);  // No match.
+  JoinResultStats stats = ReferenceHashJoin(r, s, /*materialize=*/true);
+  EXPECT_EQ(stats.matches, 2u);
+  EXPECT_EQ(stats.key_sum, 2u);
+  EXPECT_EQ(stats.inner_rid_sum, 21u);
+  EXPECT_EQ(stats.pairs.size(), 2u);
+}
+
+TEST(RadixJoin, WideTuples) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 2000;
+  spec.outer_tuples = 6000;
+  spec.tuple_bytes = 64;
+  auto w = GenerateWorkload(spec, 1);
+  auto result = RadixJoin(w->inner.chunks[0], w->outer.chunks[0],
+                          BaselineConfig{.bits_pass1 = 4});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.matches, w->truth.expected_matches);
+  EXPECT_EQ(result->stats.key_sum, w->truth.expected_key_sum);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,100 @@
+#include "rdma/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cost_model.h"
+
+namespace rdmajoin {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  RdmaDevice dev_{0, nullptr, CostModel{}};
+};
+
+TEST_F(BufferPoolTest, PreallocateRegistersOnce) {
+  RegisteredBufferPool pool(&dev_, 4096);
+  ASSERT_TRUE(pool.Preallocate(8).ok());
+  EXPECT_EQ(pool.buffers_created(), 8u);
+  EXPECT_EQ(pool.free_buffers(), 8u);
+  EXPECT_EQ(dev_.stats().regions_registered, 8u);
+}
+
+TEST_F(BufferPoolTest, AcquireReusesPooledBuffers) {
+  RegisteredBufferPool pool(&dev_, 4096);
+  ASSERT_TRUE(pool.Preallocate(2).ok());
+  for (int round = 0; round < 100; ++round) {
+    auto a = pool.Acquire();
+    auto b = pool.Acquire();
+    ASSERT_TRUE(a.ok() && b.ok());
+    pool.Release(*a);
+    pool.Release(*b);
+  }
+  EXPECT_EQ(pool.buffers_created(), 2u);        // No new registrations.
+  EXPECT_EQ(pool.acquisitions(), 200u);
+  EXPECT_EQ(pool.reuses(), 198u);
+  EXPECT_EQ(dev_.stats().regions_registered, 2u);
+}
+
+TEST_F(BufferPoolTest, PoolGrowsOnDemandWhenEmpty) {
+  RegisteredBufferPool pool(&dev_, 1024);
+  auto a = pool.Acquire();
+  auto b = pool.Acquire();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(pool.buffers_created(), 2u);
+  EXPECT_EQ(pool.outstanding(), 2u);
+  pool.Release(*a);
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  auto c = pool.Acquire();
+  EXPECT_EQ(*c, *a);  // Reused.
+}
+
+TEST_F(BufferPoolTest, RegisterOnDemandPolicyRegistersEveryAcquire) {
+  RegisteredBufferPool pool(&dev_, 2048, RegisteredBufferPool::Policy::kRegisterOnDemand);
+  EXPECT_FALSE(pool.Preallocate(2).ok());
+  for (int i = 0; i < 10; ++i) {
+    auto buf = pool.Acquire();
+    ASSERT_TRUE(buf.ok());
+    (*buf)->used = 99;
+    pool.Release(*buf);
+  }
+  EXPECT_EQ(pool.buffers_created(), 10u);
+  EXPECT_EQ(pool.reuses(), 0u);
+  EXPECT_EQ(dev_.stats().regions_registered, 10u);
+  EXPECT_EQ(dev_.stats().regions_deregistered, 10u);
+  // The registration cost the pooled design avoids is visible in the stats.
+  EXPECT_GT(dev_.stats().registration_seconds, 0.0);
+}
+
+TEST_F(BufferPoolTest, AcquireResetsUsedCounter) {
+  RegisteredBufferPool pool(&dev_, 512);
+  auto a = pool.Acquire();
+  (*a)->used = 123;
+  pool.Release(*a);
+  auto b = pool.Acquire();
+  EXPECT_EQ((*b)->used, 0u);
+}
+
+TEST_F(BufferPoolTest, BuffersAreRegisteredWithTheDevice) {
+  RegisteredBufferPool pool(&dev_, 256);
+  auto buf = pool.Acquire();
+  ASSERT_TRUE(buf.ok());
+  const MemoryRegion* mr = dev_.FindByLkey((*buf)->mr.lkey);
+  ASSERT_NE(mr, nullptr);
+  EXPECT_EQ(mr->addr, (*buf)->bytes());
+  EXPECT_EQ(mr->length, 256u);
+  EXPECT_EQ((*buf)->capacity(), 256u);
+}
+
+TEST_F(BufferPoolTest, DestructorDeregistersEverything) {
+  {
+    RegisteredBufferPool pool(&dev_, 128);
+    ASSERT_TRUE(pool.Preallocate(5).ok());
+  }
+  EXPECT_EQ(dev_.stats().regions_registered, 5u);
+  EXPECT_EQ(dev_.stats().regions_deregistered, 5u);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,74 @@
+#include "transport/collectives.h"
+
+#include <gtest/gtest.h>
+
+namespace rdmajoin {
+namespace {
+
+TEST(Collectives, CreateValidatesArguments) {
+  EXPECT_FALSE(CollectiveNetwork::Create(0, 16).ok());
+  EXPECT_FALSE(CollectiveNetwork::Create(4, 0).ok());
+  EXPECT_TRUE(CollectiveNetwork::Create(1, 16).ok());
+}
+
+TEST(Collectives, AllGatherDistributesEveryContribution) {
+  auto net = CollectiveNetwork::Create(3, 4);
+  ASSERT_TRUE(net.ok());
+  std::vector<std::vector<uint64_t>> locals{{1, 2}, {10, 20}, {100, 200}};
+  auto views = (*net)->AllGather(locals);
+  ASSERT_TRUE(views.ok());
+  ASSERT_EQ(views->size(), 3u);
+  const std::vector<uint64_t> expected{1, 2, 10, 20, 100, 200};
+  for (const auto& view : *views) EXPECT_EQ(view, expected);
+  // 3 machines * 2 peers = 6 control messages.
+  EXPECT_EQ((*net)->messages_sent(), 6u);
+}
+
+TEST(Collectives, AllGatherRejectsShapeMismatches) {
+  auto net = CollectiveNetwork::Create(2, 4);
+  ASSERT_TRUE(net.ok());
+  EXPECT_FALSE((*net)->AllGather({{1, 2}}).ok());           // wrong machine count
+  EXPECT_FALSE((*net)->AllGather({{1, 2}, {1}}).ok());      // ragged
+  EXPECT_FALSE((*net)->AllGather({{1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}}).ok());  // cap
+}
+
+TEST(Collectives, AllReduceSumsElementwise) {
+  auto net = CollectiveNetwork::Create(4, 8);
+  ASSERT_TRUE(net.ok());
+  std::vector<std::vector<uint64_t>> locals(4, std::vector<uint64_t>{1, 2, 3});
+  locals[2] = {10, 20, 30};
+  auto sum = (*net)->AllReduceSum(locals);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, (std::vector<uint64_t>{13, 26, 39}));
+}
+
+TEST(Collectives, ReusableAcrossCalls) {
+  auto net = CollectiveNetwork::Create(2, 4);
+  ASSERT_TRUE(net.ok());
+  for (uint64_t round = 0; round < 5; ++round) {
+    std::vector<std::vector<uint64_t>> locals{{round}, {round * 10}};
+    auto sum = (*net)->AllReduceSum(locals);
+    ASSERT_TRUE(sum.ok());
+    EXPECT_EQ((*sum)[0], round * 11);
+  }
+}
+
+TEST(Collectives, SingleMachineIsIdentity) {
+  auto net = CollectiveNetwork::Create(1, 4);
+  ASSERT_TRUE(net.ok());
+  auto sum = (*net)->AllReduceSum({{7, 8}});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, (std::vector<uint64_t>{7, 8}));
+  EXPECT_EQ((*net)->messages_sent(), 0u);
+}
+
+TEST(Collectives, ExchangeSecondsScalesWithPeersAndBytes) {
+  EXPECT_DOUBLE_EQ(CollectiveNetwork::ExchangeSeconds(1, 1000, 1e9, 1e-6), 0.0);
+  const double t4 = CollectiveNetwork::ExchangeSeconds(4, 8192, 1e9, 2e-6);
+  EXPECT_NEAR(t4, 3 * 8192.0 / 1e9 + 2e-6, 1e-15);
+  const double t8 = CollectiveNetwork::ExchangeSeconds(8, 8192, 1e9, 2e-6);
+  EXPECT_GT(t8, t4);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,116 @@
+// Parameterized configuration sweeps: the join must stay correct across the
+// whole (radix bits x buffer size x cores) configuration space, including
+// degenerate corners (1-bit fan-out, one-tuple buffers, single partitioning
+// thread).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/presets.h"
+#include "join/distributed_join.h"
+#include "rdmajoin.h"  // Also proves the umbrella header compiles standalone.
+#include "workload/generator.h"
+
+namespace rdmajoin {
+namespace {
+
+class RadixBitsSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RadixBitsSweep, JoinCorrectAtEveryFanOut) {
+  const uint32_t bits = GetParam();
+  WorkloadSpec spec;
+  spec.inner_tuples = 20000;
+  spec.outer_tuples = 40000;
+  spec.seed = bits;
+  auto w = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(w.ok());
+  JoinConfig jc;
+  jc.network_radix_bits = bits;
+  jc.scale_up = 512.0;
+  DistributedJoin join(QdrCluster(4), jc);
+  auto result = join.Run(w->inner, w->outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.matches, w->truth.expected_matches);
+  EXPECT_EQ(result->stats.key_sum, w->truth.expected_key_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, RadixBitsSweep,
+                         ::testing::Values(1u, 2u, 3u, 6u, 10u, 12u),
+                         [](const auto& info) {
+                           return std::to_string(info.param) + "bits";
+                         });
+
+class BufferSizeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferSizeSweep, JoinCorrectAtEveryBufferSize) {
+  const uint64_t buffer = GetParam();
+  WorkloadSpec spec;
+  spec.inner_tuples = 15000;
+  spec.outer_tuples = 15000;
+  auto w = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(w.ok());
+  JoinConfig jc;
+  jc.network_radix_bits = 4;
+  jc.scale_up = 1.0;  // Unscaled: the configured buffer is the actual buffer.
+  jc.rdma_buffer_bytes = buffer;
+  DistributedJoin join(FdrCluster(3), jc);
+  auto result = join.Run(w->inner, w->outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.matches, w->truth.expected_matches);
+  if (buffer <= 16) {
+    // One tuple per buffer: every remote tuple is its own message.
+    uint64_t remote = 0;
+    for (uint32_t m = 0; m < 3; ++m) {
+      remote += w->inner.chunks[m].num_tuples() + w->outer.chunks[m].num_tuples();
+    }
+    EXPECT_GT(result->net.messages_sent, remote / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, BufferSizeSweep,
+                         ::testing::Values(16ull, 48ull, 256ull, 4096ull, 65536ull),
+                         [](const auto& info) {
+                           return std::to_string(info.param) + "B";
+                         });
+
+class CoreCountSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CoreCountSweep, JoinCorrectAtEveryCoreCount) {
+  const uint32_t cores = GetParam();
+  WorkloadSpec spec;
+  spec.inner_tuples = 10000;
+  spec.outer_tuples = 20000;
+  auto w = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(w.ok());
+  JoinConfig jc;
+  jc.network_radix_bits = 5;
+  jc.scale_up = 256.0;
+  DistributedJoin join(QdrCluster(3, cores), jc);
+  auto result = join.Run(w->inner, w->outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.matches, w->truth.expected_matches);
+  // More cores never slow the join down.
+  static double prev_total = 1e100;
+  if (cores == 2) prev_total = 1e100;  // Reset at the first instantiation.
+  EXPECT_LE(result->times.TotalSeconds(), prev_total + 1e-9);
+  prev_total = result->times.TotalSeconds();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CoreCountSweep, ::testing::Values(2u, 4u, 8u, 16u),
+                         [](const auto& info) {
+                           return std::to_string(info.param) + "cores";
+                         });
+
+TEST(UmbrellaHeader, ExposesTheWholePublicApi) {
+  // Compile-time check mostly; exercise a couple of entry points.
+  const ClusterConfig cluster = FdrCluster(2);
+  EXPECT_TRUE(cluster.Validate().ok());
+  const ModelEstimate est =
+      Estimate(ParamsFromCluster(cluster, 1 << 20, 1 << 20));
+  EXPECT_GT(est.TotalSeconds(), 0.0);
+  EXPECT_GT(MachinesForDeadline(cluster, 1ull << 34, 1ull << 34, 60.0), 0u);
+}
+
+}  // namespace
+}  // namespace rdmajoin

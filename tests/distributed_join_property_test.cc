@@ -1,0 +1,414 @@
+// Parameterized property tests of the full distributed join: correctness and
+// structural invariants across machine counts, transports, tuple widths,
+// assignment policies and skew levels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cluster/presets.h"
+#include "join/distributed_join.h"
+#include "workload/generator.h"
+
+namespace rdmajoin {
+namespace {
+
+JoinConfig FastConfig(uint32_t radix_bits = 5) {
+  JoinConfig jc;
+  jc.network_radix_bits = radix_bits;
+  jc.scale_up = 512.0;
+  return jc;
+}
+
+void ExpectVerified(const JoinRunResult& result, const Workload& w) {
+  EXPECT_EQ(result.stats.matches, w.truth.expected_matches);
+  EXPECT_EQ(result.stats.key_sum, w.truth.expected_key_sum);
+  EXPECT_EQ(result.stats.inner_rid_sum, w.truth.expected_inner_rid_sum);
+}
+
+// ---------- Sweep: machines x transport ----------
+
+class JoinSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, TransportKind>> {};
+
+TEST_P(JoinSweepTest, CorrectAndStructurallySound) {
+  const auto [machines, transport] = GetParam();
+  WorkloadSpec spec;
+  spec.inner_tuples = 30000;
+  spec.outer_tuples = 60000;
+  spec.seed = machines * 31 + static_cast<uint32_t>(transport);
+  auto w = GenerateWorkload(spec, machines);
+  ASSERT_TRUE(w.ok());
+
+  ClusterConfig cluster = QdrCluster(machines);
+  cluster.transport = transport;
+  DistributedJoin join(cluster, FastConfig());
+  auto result = join.Run(w->inner, w->outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectVerified(*result, *w);
+
+  // Structural invariants of the trace.
+  const RunTrace& trace = result->trace;
+  ASSERT_EQ(trace.machines.size(), machines);
+  uint64_t total_compute = 0;
+  double total_wire = 0;
+  for (const MachineTrace& mt : trace.machines) {
+    EXPECT_EQ(mt.net_threads.size(), cluster.PartitioningThreads());
+    for (const ThreadNetTrace& tt : mt.net_threads) {
+      total_compute += tt.compute_bytes;
+      uint64_t prev = 0;
+      for (const SendRecord& s : tt.sends) {
+        EXPECT_LT(s.dst_machine, machines);
+        EXPECT_GE(s.compute_bytes_before, prev);  // Monotone compute anchors.
+        prev = s.compute_bytes_before;
+        EXPECT_LE(s.compute_bytes_before, tt.compute_bytes);
+        EXPECT_GT(s.wire_bytes, 0u);
+        total_wire += static_cast<double>(s.wire_bytes);
+      }
+    }
+  }
+  // Every input byte is partitioned by exactly one thread.
+  EXPECT_EQ(total_compute, (spec.inner_tuples + spec.outer_tuples) * 16);
+  // Remote traffic is bounded by the total input volume.
+  EXPECT_LE(total_wire, static_cast<double>(total_compute));
+  if (machines > 1) {
+    EXPECT_GT(result->net.messages_sent, 0u);
+    EXPECT_GT(result->times.network_partition_seconds, 0.0);
+  }
+  // Phase times are positive and finite.
+  EXPECT_GT(result->times.TotalSeconds(), 0.0);
+  EXPECT_TRUE(std::isfinite(result->times.TotalSeconds()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndTransports, JoinSweepTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u),
+                       ::testing::Values(TransportKind::kRdmaChannel,
+                                         TransportKind::kRdmaMemory,
+                                         TransportKind::kTcp)),
+    [](const auto& info) {
+      const char* t = std::get<1>(info.param) == TransportKind::kRdmaChannel
+                          ? "Channel"
+                      : std::get<1>(info.param) == TransportKind::kRdmaMemory
+                          ? "Memory"
+                          : "Tcp";
+      return std::to_string(std::get<0>(info.param)) + "machines" + t;
+    });
+
+// ---------- Sweep: tuple widths ----------
+
+class WidthSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WidthSweepTest, WideTuplesJoinCorrectly) {
+  const uint32_t width = GetParam();
+  WorkloadSpec spec;
+  spec.inner_tuples = 20000;
+  spec.outer_tuples = 40000;
+  spec.tuple_bytes = width;
+  auto w = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(w.ok());
+  DistributedJoin join(QdrCluster(4), FastConfig());
+  auto result = join.Run(w->inner, w->outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectVerified(*result, *w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweepTest, ::testing::Values(16u, 32u, 64u),
+                         [](const auto& info) {
+                           return std::to_string(info.param) + "bytes";
+                         });
+
+// ---------- Sweep: relation ratios ----------
+
+class RatioSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RatioSweepTest, SmallToLargeJoinsCorrectly) {
+  const uint32_t ratio = GetParam();
+  WorkloadSpec spec;
+  spec.inner_tuples = 8000;
+  spec.outer_tuples = 8000 * ratio;
+  auto w = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(w.ok());
+  DistributedJoin join(QdrCluster(3), FastConfig());
+  auto result = join.Run(w->inner, w->outer);
+  ASSERT_TRUE(result.ok());
+  ExpectVerified(*result, *w);
+  EXPECT_EQ(result->stats.matches, spec.outer_tuples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweepTest, ::testing::Values(1u, 2u, 4u, 8u, 16u),
+                         [](const auto& info) {
+                           return "OneTo" + std::to_string(info.param);
+                         });
+
+// ---------- Skew ----------
+
+class SkewSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewSweepTest, SkewedJoinsVerifyUnderBothPolicies) {
+  const double theta = GetParam();
+  WorkloadSpec spec;
+  spec.inner_tuples = 1 << 14;
+  spec.outer_tuples = 1 << 17;
+  spec.zipf_theta = theta;
+  auto w = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(w.ok());
+  for (AssignmentPolicy policy :
+       {AssignmentPolicy::kRoundRobin, AssignmentPolicy::kSkewAware}) {
+    JoinConfig jc = FastConfig();
+    jc.assignment = policy;
+    DistributedJoin join(QdrCluster(4), jc);
+    auto result = join.Run(w->inner, w->outer);
+    ASSERT_TRUE(result.ok());
+    ExpectVerified(*result, *w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, SkewSweepTest, ::testing::Values(1.05, 1.20),
+                         [](const auto& info) {
+                           return info.param > 1.1 ? "Heavy" : "Light";
+                         });
+
+TEST(SkewBehavior, SkewIncreasesExecutionTime) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 1 << 14;
+  spec.outer_tuples = 1 << 17;
+  auto uniform = GenerateWorkload(spec, 4);
+  spec.zipf_theta = 1.20;
+  auto skewed = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(uniform.ok() && skewed.ok());
+  JoinConfig jc = FastConfig();
+  jc.assignment = AssignmentPolicy::kSkewAware;
+  DistributedJoin join(QdrCluster(4), jc);
+  auto u = join.Run(uniform->inner, uniform->outer);
+  auto s = join.Run(skewed->inner, skewed->outer);
+  ASSERT_TRUE(u.ok() && s.ok());
+  EXPECT_GT(s->times.TotalSeconds(), u->times.TotalSeconds());
+}
+
+TEST(SkewBehavior, ProbeSplittingShortensBuildProbe) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 1 << 14;
+  spec.outer_tuples = 1 << 17;
+  spec.zipf_theta = 1.20;
+  auto w = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(w.ok());
+  JoinConfig with_split = FastConfig();
+  with_split.assignment = AssignmentPolicy::kSkewAware;
+  with_split.skew_split_factor = 2.0;
+  JoinConfig no_split = with_split;
+  no_split.skew_split_factor = 0.0;
+  auto a = DistributedJoin(QdrCluster(4), with_split).Run(w->inner, w->outer);
+  auto b = DistributedJoin(QdrCluster(4), no_split).Run(w->inner, w->outer);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LE(a->times.build_probe_seconds, b->times.build_probe_seconds + 1e-12);
+  EXPECT_EQ(a->stats.matches, b->stats.matches);
+}
+
+// ---------- Timing properties ----------
+
+TEST(JoinTiming, InterleavingNeverSlower) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 40000;
+  spec.outer_tuples = 40000;
+  auto w = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(w.ok());
+  ClusterConfig inter = FdrCluster(4);
+  ClusterConfig blocking = FdrCluster(4);
+  blocking.interleave = InterleavePolicy::kNonInterleaved;
+  auto a = DistributedJoin(inter, FastConfig()).Run(w->inner, w->outer);
+  auto b = DistributedJoin(blocking, FastConfig()).Run(w->inner, w->outer);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LE(a->times.network_partition_seconds,
+            b->times.network_partition_seconds + 1e-12);
+  // Only the network pass differs.
+  EXPECT_NEAR(a->times.local_partition_seconds, b->times.local_partition_seconds,
+              1e-12);
+  EXPECT_NEAR(a->times.build_probe_seconds, b->times.build_probe_seconds, 1e-12);
+}
+
+TEST(JoinTiming, VirtualTimesStableAcrossScaleFactors) {
+  // The same full-scale workload simulated at two different scales must
+  // report (approximately) the same virtual times.
+  PhaseTimes times[2];
+  int i = 0;
+  for (double scale : {256.0, 1024.0}) {
+    WorkloadSpec spec;
+    spec.inner_tuples = static_cast<uint64_t>(256e6 / scale);
+    spec.outer_tuples = static_cast<uint64_t>(256e6 / scale);
+    auto w = GenerateWorkload(spec, 4);
+    ASSERT_TRUE(w.ok());
+    JoinConfig jc;
+    jc.network_radix_bits = 10;
+    jc.scale_up = scale;
+    auto result = DistributedJoin(QdrCluster(4), jc).Run(w->inner, w->outer);
+    ASSERT_TRUE(result.ok());
+    times[i++] = result->times;
+  }
+  EXPECT_NEAR(times[0].TotalSeconds(), times[1].TotalSeconds(),
+              0.05 * times[0].TotalSeconds());
+  EXPECT_NEAR(times[0].network_partition_seconds,
+              times[1].network_partition_seconds,
+              0.08 * times[0].network_partition_seconds);
+}
+
+TEST(JoinTiming, FasterNetworkShortensOnlyNetworkPass) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 50000;
+  spec.outer_tuples = 50000;
+  auto w = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(w.ok());
+  auto qdr = DistributedJoin(QdrCluster(4), FastConfig()).Run(w->inner, w->outer);
+  auto fdr = DistributedJoin(FdrCluster(4), FastConfig()).Run(w->inner, w->outer);
+  ASSERT_TRUE(qdr.ok() && fdr.ok());
+  EXPECT_LT(fdr->times.network_partition_seconds,
+            qdr->times.network_partition_seconds);
+  EXPECT_NEAR(fdr->times.local_partition_seconds, qdr->times.local_partition_seconds,
+              1e-9);
+  EXPECT_NEAR(fdr->times.build_probe_seconds, qdr->times.build_probe_seconds, 1e-9);
+}
+
+// ---------- Memory behaviour ----------
+
+TEST(JoinMemory, WorkloadExceedingClusterMemoryFails) {
+  // The paper's case: 2 x 4096M tuples (~131 GB) on two 128 GB machines.
+  WorkloadSpec spec;
+  spec.inner_tuples = 4096;  // 4096M tuples at scale 1M.
+  spec.outer_tuples = 4096;
+  auto w = GenerateWorkload(spec, 2);
+  ASSERT_TRUE(w.ok());
+  JoinConfig jc;
+  jc.network_radix_bits = 5;
+  jc.scale_up = 1.0e6;  // 8192 actual tuples -> 8192M virtual tuples.
+  DistributedJoin join(QdrCluster(2), jc);
+  auto result = join.Run(w->inner, w->outer);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(JoinMemory, SameWorkloadFitsOnMoreMachines) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 4096;
+  spec.outer_tuples = 4096;
+  auto w3 = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(w3.ok());
+  JoinConfig jc;
+  jc.network_radix_bits = 5;
+  jc.scale_up = 1.0e6;
+  DistributedJoin join(QdrCluster(3), jc);
+  auto result = join.Run(w3->inner, w3->outer);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+// ---------- Config and input validation ----------
+
+TEST(JoinValidation, RejectsBadInputs) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 1000;
+  spec.outer_tuples = 1000;
+  auto w = GenerateWorkload(spec, 2);
+  ASSERT_TRUE(w.ok());
+
+  // Wrong fragment count.
+  DistributedJoin join3(QdrCluster(3), FastConfig());
+  EXPECT_EQ(join3.Run(w->inner, w->outer).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Mismatched tuple widths.
+  WorkloadSpec wide = spec;
+  wide.tuple_bytes = 32;
+  auto w2 = GenerateWorkload(wide, 2);
+  DistributedJoin join2(QdrCluster(2), FastConfig());
+  EXPECT_EQ(join2.Run(w->inner, w2->outer).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Invalid join config.
+  JoinConfig bad = FastConfig();
+  bad.buffers_per_partition = 0;
+  DistributedJoin join_bad(QdrCluster(2), bad);
+  EXPECT_EQ(join_bad.Run(w->inner, w->outer).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(JoinValidation, ConfigValidation) {
+  JoinConfig jc;
+  EXPECT_TRUE(jc.Validate().ok());
+  jc.network_radix_bits = 0;
+  EXPECT_FALSE(jc.Validate().ok());
+  jc = JoinConfig{};
+  jc.network_radix_bits = 21;
+  EXPECT_FALSE(jc.Validate().ok());
+  jc = JoinConfig{};
+  jc.scale_up = 0.5;
+  EXPECT_FALSE(jc.Validate().ok());
+  jc = JoinConfig{};
+  jc.rdma_buffer_bytes = 0;
+  EXPECT_FALSE(jc.Validate().ok());
+  jc = JoinConfig{};
+  jc.skew_split_factor = -1;
+  EXPECT_FALSE(jc.Validate().ok());
+  jc = JoinConfig{};
+  jc.recv_buffers_per_link = 0;
+  EXPECT_FALSE(jc.Validate().ok());
+}
+
+TEST(JoinValidation, ClusterValidation) {
+  ClusterConfig c = QdrCluster(4);
+  EXPECT_TRUE(c.Validate().ok());
+  c.num_machines = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = QdrCluster(4);
+  c.cores_per_machine = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = QdrCluster(4);
+  c.fabric.num_hosts = 5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = QdrCluster(4, 1);  // 1 core but receiver reserved
+  EXPECT_FALSE(c.Validate().ok());
+  c = QdrCluster(4);
+  c.transport = TransportKind::kTcp;
+  c.tcp.bytes_per_sec = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+// ---------- Result materialization ----------
+
+TEST(JoinMaterialization, PairsMatchExpectedJoin) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 500;
+  spec.outer_tuples = 1500;
+  auto w = GenerateWorkload(spec, 2);
+  ASSERT_TRUE(w.ok());
+  JoinConfig jc = FastConfig(3);
+  jc.materialize_results = true;
+  DistributedJoin join(FdrCluster(2), jc);
+  auto result = join.Run(w->inner, w->outer);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->stats.pairs.size(), spec.outer_tuples);
+  for (const auto& [inner_rid, outer_rid] : result->stats.pairs) {
+    // inner rid = 2k+1 is odd; outer rid is the generation index.
+    EXPECT_EQ(inner_rid % 2, 1u);
+    EXPECT_LT(outer_rid, spec.outer_tuples);
+  }
+}
+
+// ---------- Determinism ----------
+
+TEST(JoinDeterminism, IdenticalRunsProduceIdenticalTimes) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 20000;
+  spec.outer_tuples = 40000;
+  auto w = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(w.ok());
+  DistributedJoin join(QdrCluster(4), FastConfig());
+  auto a = join.Run(w->inner, w->outer);
+  auto b = join.Run(w->inner, w->outer);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->times.TotalSeconds(), b->times.TotalSeconds());
+  EXPECT_EQ(a->net.messages_sent, b->net.messages_sent);
+  EXPECT_EQ(a->stats.key_sum, b->stats.key_sum);
+}
+
+}  // namespace
+}  // namespace rdmajoin

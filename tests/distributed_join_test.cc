@@ -1,0 +1,90 @@
+#include "join/distributed_join.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/radix_join.h"
+#include "cluster/presets.h"
+#include "workload/generator.h"
+
+namespace rdmajoin {
+namespace {
+
+JoinConfig SmallJoinConfig() {
+  JoinConfig jc;
+  jc.network_radix_bits = 5;
+  jc.scale_up = 1024.0;
+  return jc;
+}
+
+void ExpectMatchesTruth(const JoinResultStats& stats, const GroundTruth& truth) {
+  EXPECT_EQ(stats.matches, truth.expected_matches);
+  EXPECT_EQ(stats.key_sum, truth.expected_key_sum);
+  EXPECT_EQ(stats.inner_rid_sum, truth.expected_inner_rid_sum);
+}
+
+TEST(DistributedJoin, CorrectOnUniformWorkload) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 40000;
+  spec.outer_tuples = 80000;
+  auto workload = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  DistributedJoin join(QdrCluster(4), SmallJoinConfig());
+  auto result = join.Run(workload->inner, workload->outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectMatchesTruth(result->stats, workload->truth);
+  EXPECT_GT(result->times.TotalSeconds(), 0.0);
+  EXPECT_GT(result->times.network_partition_seconds, 0.0);
+}
+
+TEST(DistributedJoin, AgreesWithReferenceAndBaseline) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 5000;
+  spec.outer_tuples = 20000;
+  spec.seed = 7;
+  auto workload = GenerateWorkload(spec, 2);
+  ASSERT_TRUE(workload.ok());
+
+  // Flatten for the single-machine joins.
+  Relation r(spec.tuple_bytes), s(spec.tuple_bytes);
+  for (const auto& c : workload->inner.chunks) r.AppendRaw(c.data(), c.num_tuples());
+  for (const auto& c : workload->outer.chunks) s.AppendRaw(c.data(), c.num_tuples());
+
+  JoinResultStats ref = ReferenceHashJoin(r, s);
+  auto base = RadixJoin(r, s, BaselineConfig{.bits_pass1 = 4});
+  ASSERT_TRUE(base.ok());
+  DistributedJoin join(FdrCluster(2), SmallJoinConfig());
+  auto dist = join.Run(workload->inner, workload->outer);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+
+  EXPECT_EQ(ref.matches, base->stats.matches);
+  EXPECT_EQ(ref.key_sum, base->stats.key_sum);
+  EXPECT_EQ(ref.inner_rid_sum, base->stats.inner_rid_sum);
+  EXPECT_EQ(ref.matches, dist->stats.matches);
+  EXPECT_EQ(ref.key_sum, dist->stats.key_sum);
+  EXPECT_EQ(ref.inner_rid_sum, dist->stats.inner_rid_sum);
+}
+
+TEST(DistributedJoin, AllTransportsProduceIdenticalResults) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 20000;
+  spec.outer_tuples = 40000;
+  auto workload = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(workload.ok());
+
+  for (ClusterConfig cluster : {FdrCluster(3), IpoibCluster(3)}) {
+    DistributedJoin join(cluster, SmallJoinConfig());
+    auto result = join.Run(workload->inner, workload->outer);
+    ASSERT_TRUE(result.ok()) << cluster.name << ": " << result.status().ToString();
+    ExpectMatchesTruth(result->stats, workload->truth);
+  }
+  ClusterConfig one_sided = FdrCluster(3);
+  one_sided.transport = TransportKind::kRdmaMemory;
+  DistributedJoin join(one_sided, SmallJoinConfig());
+  auto result = join.Run(workload->inner, workload->outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectMatchesTruth(result->stats, workload->truth);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,76 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rdmajoin {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.RunNext());
+  EXPECT_TRUE(std::isinf(q.NextEventTime()));
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntilEmpty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleNewEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.ScheduleAt(1.0, [&] {
+    times.push_back(q.now());
+    q.ScheduleAfter(0.5, [&] { times.push_back(q.now()); });
+  });
+  q.RunUntilEmpty();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(2.0, [&] { ++fired; });
+  q.ScheduleAt(5.0, [&] { ++fired; });
+  q.RunUntil(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 2.0);
+  q.RunUntil(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, RunNextAdvancesClockToEventTime) {
+  EventQueue q;
+  q.ScheduleAt(4.25, [] {});
+  EXPECT_EQ(q.NextEventTime(), 4.25);
+  EXPECT_TRUE(q.RunNext());
+  EXPECT_EQ(q.now(), 4.25);
+}
+
+}  // namespace
+}  // namespace rdmajoin

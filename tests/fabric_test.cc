@@ -1,0 +1,207 @@
+#include "sim/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rdmajoin {
+namespace {
+
+FabricConfig BasicConfig(uint32_t hosts = 4) {
+  FabricConfig f;
+  f.num_hosts = hosts;
+  f.egress_bytes_per_sec = 1000.0;  // Small numbers keep the math exact.
+  f.ingress_bytes_per_sec = 1000.0;
+  f.message_rate_per_host = 0.0;
+  f.congestion_bytes_per_sec_per_extra_host = 0.0;
+  f.base_latency_seconds = 0.0;
+  f.sharing = SharingPolicy::kEqualShare;
+  return f;
+}
+
+std::vector<Fabric::Completion> DrainAt(Fabric* fabric, double t) {
+  std::vector<Fabric::Completion> done;
+  fabric->AdvanceTo(t, &done);
+  return done;
+}
+
+TEST(FabricConfig, ValidatesRanges) {
+  FabricConfig f = BasicConfig();
+  EXPECT_TRUE(f.Validate().ok());
+  f.num_hosts = 0;
+  EXPECT_FALSE(f.Validate().ok());
+  f = BasicConfig();
+  f.egress_bytes_per_sec = 0;
+  EXPECT_FALSE(f.Validate().ok());
+  f = BasicConfig();
+  f.congestion_bytes_per_sec_per_extra_host = 400.0;  // 3 * 400 > 1000
+  EXPECT_FALSE(f.Validate().ok());
+}
+
+TEST(FabricConfig, EffectiveEgressAppliesCongestionTerm) {
+  FabricConfig f = BasicConfig(5);
+  f.congestion_bytes_per_sec_per_extra_host = 100.0;
+  EXPECT_DOUBLE_EQ(f.EffectiveEgress(), 1000.0 - 4 * 100.0);
+}
+
+TEST(Fabric, SingleFlowRunsAtFullBandwidth) {
+  Fabric fabric(BasicConfig());
+  fabric.Inject(0, 1, 500.0, 0.0, /*cookie=*/7);
+  EXPECT_DOUBLE_EQ(fabric.NextCompletionTime(), 0.5);
+  auto done = DrainAt(&fabric, 0.5);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].cookie, 7u);
+  EXPECT_DOUBLE_EQ(done[0].time, 0.5);
+  EXPECT_DOUBLE_EQ(fabric.total_bytes_delivered(), 500.0);
+  EXPECT_EQ(fabric.messages_delivered(), 1u);
+}
+
+TEST(Fabric, TwoFlowsFromOneHostShareEgress) {
+  Fabric fabric(BasicConfig());
+  auto a = fabric.Inject(0, 1, 500.0, 0.0);
+  auto b = fabric.Inject(0, 2, 500.0, 0.0);
+  // Each runs at 500 B/s.
+  EXPECT_DOUBLE_EQ(fabric.FlowRate(a), 500.0);
+  EXPECT_DOUBLE_EQ(fabric.FlowRate(b), 500.0);
+  auto done = DrainAt(&fabric, 1.0);
+  EXPECT_EQ(done.size(), 2u);
+}
+
+TEST(Fabric, TwoFlowsIntoOneHostShareIngress) {
+  Fabric fabric(BasicConfig());
+  auto a = fabric.Inject(0, 2, 500.0, 0.0);
+  auto b = fabric.Inject(1, 2, 500.0, 0.0);
+  EXPECT_DOUBLE_EQ(fabric.FlowRate(a), 500.0);
+  EXPECT_DOUBLE_EQ(fabric.FlowRate(b), 500.0);
+}
+
+TEST(Fabric, CompletionFreesBandwidthForRemainingFlows) {
+  Fabric fabric(BasicConfig());
+  fabric.Inject(0, 1, 250.0, 0.0, 1);  // Done at t=0.5 (rate 500).
+  fabric.Inject(0, 2, 500.0, 0.0, 2);  // 250 B left at t=0.5, then full rate.
+  auto done = DrainAt(&fabric, 0.5);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].cookie, 1u);
+  // Remaining flow finishes 250 bytes at 1000 B/s -> t = 0.75.
+  EXPECT_NEAR(fabric.NextCompletionTime(), 0.75, 1e-9);
+  done = DrainAt(&fabric, 0.75);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].cookie, 2u);
+}
+
+TEST(Fabric, MessageRateCapLimitsSmallMessages) {
+  FabricConfig f = BasicConfig();
+  f.message_rate_per_host = 10.0;  // A 1-byte message streams at 10 B/s.
+  Fabric fabric(f);
+  auto id = fabric.Inject(0, 1, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(fabric.FlowRate(id), 10.0);
+  // Large messages saturate the port instead.
+  Fabric fabric2(f);
+  auto big = fabric2.Inject(0, 1, 1000.0, 0.0);
+  EXPECT_DOUBLE_EQ(fabric2.FlowRate(big), 1000.0);
+}
+
+TEST(Fabric, BaseLatencyDelaysCompletionNotBandwidth) {
+  FabricConfig f = BasicConfig();
+  f.base_latency_seconds = 0.1;
+  Fabric fabric(f);
+  fabric.Inject(0, 1, 1000.0, 0.0);
+  // Drains at t=1.0, completes at t=1.1.
+  auto done = DrainAt(&fabric, 1.05);
+  EXPECT_TRUE(done.empty());
+  EXPECT_EQ(fabric.in_latency_flows(), 1u);
+  done = DrainAt(&fabric, 1.1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].time, 1.1, 1e-9);
+}
+
+TEST(Fabric, EqualShareIsNotWorkConservingButMaxMinIs) {
+  // Host 0 sends to hosts 1 and 2; host 3 also sends to host 1.
+  // Under equal share, the 0->2 flow gets min(1000/2, 1000/1) = 500.
+  // Under max-min, the 0->1 flow is bottlenecked at the shared ingress of
+  // host 1 (500 each with 3->1), freeing egress for 0->2.
+  for (auto policy : {SharingPolicy::kEqualShare, SharingPolicy::kMaxMin}) {
+    FabricConfig f = BasicConfig();
+    f.sharing = policy;
+    Fabric fabric(f);
+    auto f01 = fabric.Inject(0, 1, 1e6, 0.0);
+    auto f02 = fabric.Inject(0, 2, 1e6, 0.0);
+    auto f31 = fabric.Inject(3, 1, 1e6, 0.0);
+    EXPECT_DOUBLE_EQ(fabric.FlowRate(f01), 500.0);
+    EXPECT_DOUBLE_EQ(fabric.FlowRate(f31), 500.0);
+    if (policy == SharingPolicy::kEqualShare) {
+      EXPECT_DOUBLE_EQ(fabric.FlowRate(f02), 500.0);
+    } else {
+      EXPECT_DOUBLE_EQ(fabric.FlowRate(f02), 500.0);
+      // Max-min should give f02 the leftover egress of host 0: 1000-500.
+      // (With the bottleneck fixed at 500, host 0 has 500 left for f02.)
+    }
+  }
+}
+
+TEST(Fabric, MaxMinRedistributesLeftoverEgress) {
+  FabricConfig f = BasicConfig();
+  f.sharing = SharingPolicy::kMaxMin;
+  Fabric fabric(f);
+  // 0->1 and 2->1 share host 1's ingress: 500 each.
+  // 0->3 then gets host 0's remaining egress: 500 under max-min... but the
+  // first filling round gives every flow 333.3 at host 0's egress? No:
+  // the tightest constraint is ingress(1)/2 = 500 vs egress(0)/2 = 500;
+  // ties freeze both; 0->3 then gets the remaining 500.
+  auto f01 = fabric.Inject(0, 1, 1e6, 0.0);
+  auto f21 = fabric.Inject(2, 1, 1e6, 0.0);
+  auto f03 = fabric.Inject(0, 3, 1e6, 0.0);
+  EXPECT_DOUBLE_EQ(fabric.FlowRate(f01), 500.0);
+  EXPECT_DOUBLE_EQ(fabric.FlowRate(f21), 500.0);
+  EXPECT_DOUBLE_EQ(fabric.FlowRate(f03), 500.0);
+}
+
+TEST(Fabric, ConservesBytesAcrossManyRandomFlows) {
+  FabricConfig f = BasicConfig(6);
+  f.base_latency_seconds = 1e-4;
+  Fabric fabric(f);
+  double injected = 0.0;
+  uint64_t seed = 12345;
+  auto next = [&seed] {
+    seed ^= seed >> 12;
+    seed ^= seed << 25;
+    seed ^= seed >> 27;
+    return seed * UINT64_C(0x2545F4914F6CDD1D);
+  };
+  double t = 0.0;
+  std::vector<Fabric::Completion> done;
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t src = next() % 6;
+    uint32_t dst = next() % 6;
+    if (dst == src) dst = (dst + 1) % 6;
+    const double bytes = 1.0 + static_cast<double>(next() % 1000);
+    injected += bytes;
+    fabric.Inject(src, dst, bytes, t);
+    t += 0.001 * static_cast<double>(next() % 10);
+    fabric.AdvanceTo(t, &done);
+  }
+  fabric.AdvanceTo(t + 1e6, &done);
+  EXPECT_EQ(done.size(), 200u);
+  EXPECT_NEAR(fabric.total_bytes_delivered(), injected, injected * 1e-9);
+  EXPECT_EQ(fabric.active_flows(), 0u);
+  EXPECT_EQ(fabric.in_latency_flows(), 0u);
+  // Completion times are non-decreasing in the drained order.
+  for (size_t i = 1; i < done.size(); ++i) {
+    EXPECT_LE(done[i - 1].time, done[i].time * (1 + 1e-12));
+  }
+}
+
+TEST(Fabric, PerHostDeliveryAccounting) {
+  Fabric fabric(BasicConfig());
+  fabric.Inject(0, 1, 300.0, 0.0);
+  fabric.Inject(2, 1, 700.0, 0.0);
+  std::vector<Fabric::Completion> done;
+  fabric.AdvanceTo(10.0, &done);
+  EXPECT_DOUBLE_EQ(fabric.bytes_delivered_from(0), 300.0);
+  EXPECT_DOUBLE_EQ(fabric.bytes_delivered_from(2), 700.0);
+  EXPECT_DOUBLE_EQ(fabric.bytes_delivered_from(3), 0.0);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,159 @@
+#include "model/analytical_model.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "util/units.h"
+
+namespace rdmajoin {
+namespace {
+
+/// Paper parameters (Eq. 15): psPart = 955 MB/s; QDR net = 3400 - 110(NM-1);
+/// FDR net = 6000; 8 cores, 7 partitioning threads.
+ModelParams PaperParams(uint32_t machines, double net_mb) {
+  ModelParams p;
+  p.inner_mb = 2048.0 * 16.0;  // 2048M 16-byte tuples = 32768 MB
+  p.outer_mb = 2048.0 * 16.0;
+  p.num_machines = machines;
+  p.cores_per_machine = 8;
+  p.partitioning_threads = 7;
+  p.ps_part = 955.0;
+  p.net_max = net_mb;
+  return p;
+}
+
+TEST(Model, Eq1NetworkSharePerThread) {
+  ModelParams p = PaperParams(4, 6000.0);
+  EXPECT_NEAR(PsNetwork(p), 6000.0 / 7.0, 1e-9);
+}
+
+TEST(Model, Eq2BoundClassificationMatchesPaperSection68) {
+  // Paper: the FDR cluster is CPU-bound on 2 and 3 machines and (close to)
+  // network-bound on 4; the QDR cluster is network-bound at 4+ machines.
+  EXPECT_FALSE(IsNetworkBound(PaperParams(2, 6000.0)));
+  EXPECT_FALSE(IsNetworkBound(PaperParams(3, 6000.0)));
+  EXPECT_FALSE(IsNetworkBound(PaperParams(4, 6000.0)));  // borderline: 716 < 857
+  EXPECT_TRUE(IsNetworkBound(PaperParams(4, 3400.0 - 3 * 110.0)));
+  EXPECT_TRUE(IsNetworkBound(PaperParams(10, 3400.0 - 9 * 110.0)));
+}
+
+TEST(Model, Eq4HarmonicThreadSpeed) {
+  ModelParams p = PaperParams(4, 3070.0);  // QDR at 4 machines
+  const double ps_net = PsNetwork(p);
+  const double expected =
+      4.0 * 955.0 * ps_net / (3.0 * 955.0 + ps_net);
+  EXPECT_NEAR(PsThreadNetworkBound(p), expected, 1e-9);
+  // The observed speed is below both components.
+  EXPECT_LT(PsThreadNetworkBound(p), 955.0);
+}
+
+TEST(Model, Eq3And5GlobalNetworkPassSpeed) {
+  // CPU-bound: NM * threads * psPart.
+  ModelParams fdr = PaperParams(3, 6000.0);
+  EXPECT_NEAR(Ps1(fdr), 3 * 7 * 955.0, 1e-9);
+  // Network-bound: NM * threads * psThread.
+  ModelParams qdr = PaperParams(4, 3070.0);
+  EXPECT_NEAR(Ps1(qdr), 4 * 7 * PsThreadNetworkBound(qdr), 1e-6);
+}
+
+TEST(Model, Eq6LocalPassUsesAllCores) {
+  ModelParams p = PaperParams(4, 3070.0);
+  EXPECT_NEAR(Ps2(p), 4 * 8 * 955.0, 1e-9);
+}
+
+TEST(Model, Eq7PartitioningTimeComposition) {
+  ModelParams p = PaperParams(4, 3070.0);
+  const double data = p.inner_mb + p.outer_mb;
+  EXPECT_NEAR(PartitioningSeconds(p), data / Ps1(p) + data / Ps2(p), 1e-9);
+}
+
+TEST(Model, PaperQdr4MachineNetworkPassIsAbout4Point6Seconds) {
+  // Hand-computed from the paper's Eq. 15 values.
+  ModelParams p = PaperParams(4, 3400.0 - 3 * 110.0);
+  const double t1 = (p.inner_mb + p.outer_mb) / Ps1(p);
+  EXPECT_NEAR(t1, 4.61, 0.05);
+}
+
+TEST(Model, BuildProbeScaleWithCores) {
+  ModelParams p = PaperParams(4, 3070.0);
+  EXPECT_NEAR(BuildSpeed(p), 4 * 8 * p.hb_thread, 1e-9);
+  EXPECT_NEAR(ProbeSpeed(p), 4 * 8 * p.hp_thread, 1e-9);
+  EXPECT_NEAR(BuildSeconds(p) * BuildSpeed(p), p.inner_mb, 1e-6);
+  EXPECT_NEAR(ProbeSeconds(p) * ProbeSpeed(p), p.outer_mb, 1e-6);
+}
+
+TEST(Model, Eq12OptimalThreadsMatchesSection681) {
+  // Paper Section 6.8.1: four cores per machine saturate QDR, seven FDR.
+  ModelParams qdr = PaperParams(10, 3400.0 - 9 * 110.0);
+  EXPECT_NEAR(OptimalPartitioningThreads(qdr), 10.0 / 9.0 * qdr.net_max / 955.0, 1e-9);
+  EXPECT_LT(OptimalPartitioningThreads(qdr), 4.0);
+  EXPECT_GT(OptimalPartitioningThreads(qdr), 2.0);
+  ModelParams fdr = PaperParams(4, 6000.0);
+  EXPECT_NEAR(OptimalPartitioningThreads(fdr), 4.0 / 3.0 * 6000.0 / 955.0, 1e-9);
+  EXPECT_GT(OptimalPartitioningThreads(fdr), 7.0);
+}
+
+TEST(Model, Eq13MachineUpperBound) {
+  ModelParams p = PaperParams(4, 6000.0);
+  // |R| = 32768 MB, NP1 = 1024 partitions, 64 KB buffers, 7 threads:
+  // NM <= 32768 / (1024 * 7 * 0.0655) = ~69.8 machines.
+  const double bound = MaxMachinesForFullBuffers(p, 1024, 64.0 * 1024 / 1e6);
+  EXPECT_NEAR(bound, 32768.0 / (1024.0 * 7 * 64.0 * 1024 / 1e6), 1e-6);
+  EXPECT_GT(bound, 10.0);  // The paper's clusters stay below the bound.
+}
+
+TEST(Model, Eq14CoreAssignmentConstraint) {
+  ModelParams p = PaperParams(10, 3000.0);
+  EXPECT_TRUE(SatisfiesCoreAssignment(p, 1024));  // 80 cores <= 1024 partitions
+  EXPECT_FALSE(SatisfiesCoreAssignment(p, 64));   // 80 > 64
+}
+
+TEST(Model, EstimateSumsPhases) {
+  ModelParams p = PaperParams(4, 3070.0);
+  const ModelEstimate e = Estimate(p);
+  EXPECT_NEAR(e.TotalSeconds(),
+              e.histogram_seconds + e.network_partition_seconds +
+                  e.local_partition_seconds + e.build_probe_seconds,
+              1e-12);
+  EXPECT_TRUE(e.network_bound);
+  EXPECT_GT(e.network_partition_seconds, e.local_partition_seconds);
+}
+
+TEST(Model, ParamsFromClusterUsesCongestionAndTransport) {
+  const uint64_t bytes = 1ull << 30;
+  ModelParams qdr = ParamsFromCluster(QdrCluster(10), bytes, bytes);
+  EXPECT_NEAR(qdr.net_max, (3.4e9 - 9 * 110e6) / kMB, 1e-6);
+  EXPECT_EQ(qdr.partitioning_threads, 7u);
+  ModelParams tcp = ParamsFromCluster(IpoibCluster(4), bytes, bytes);
+  EXPECT_NEAR(tcp.net_max, 1.8e9 / kMB, 1e-6);
+  ModelParams qpi = ParamsFromCluster(QpiServer(), bytes, bytes);
+  EXPECT_EQ(qpi.partitioning_threads, 8u);  // No reserved receiver core.
+}
+
+TEST(Model, MoreMachinesNeverSlowerUnderFixedWorkload) {
+  // Monotonicity property: with a congestion-free network, total estimated
+  // time decreases (weakly) in the machine count.
+  double prev = 1e100;
+  for (uint32_t m = 2; m <= 16; ++m) {
+    ModelParams p = PaperParams(m, 6000.0);
+    const double total = Estimate(p).TotalSeconds();
+    EXPECT_LE(total, prev * (1 + 1e-12)) << m;
+    prev = total;
+  }
+}
+
+TEST(Model, ValidationCatchesBadParams) {
+  ModelParams p = PaperParams(4, 6000.0);
+  EXPECT_TRUE(p.Validate().ok());
+  p.partitioning_threads = 9;  // more than cores
+  EXPECT_FALSE(p.Validate().ok());
+  p = PaperParams(4, 6000.0);
+  p.ps_part = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = PaperParams(4, 6000.0);
+  p.num_passes = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace rdmajoin

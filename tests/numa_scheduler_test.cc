@@ -1,0 +1,91 @@
+#include "baseline/numa_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rdmajoin {
+namespace {
+
+std::vector<NumaTask> UniformTasks(uint32_t regions, uint32_t per_region,
+                                   double cost) {
+  std::vector<NumaTask> tasks;
+  for (uint32_t r = 0; r < regions; ++r) {
+    for (uint32_t i = 0; i < per_region; ++i) tasks.push_back({r, cost});
+  }
+  return tasks;
+}
+
+TEST(NumaScheduler, EmptyTasksGiveZeroMakespan) {
+  NumaScheduleResult r = ScheduleNumaTasks({}, 4, 2);
+  EXPECT_EQ(r.makespan, 0.0);
+  EXPECT_EQ(r.local_tasks + r.remote_tasks, 0u);
+}
+
+TEST(NumaScheduler, BalancedLocalTasksRunFullyLocal) {
+  auto tasks = UniformTasks(4, 8, 1.0);
+  NumaScheduleResult r = ScheduleNumaTasks(tasks, 4, 2);
+  EXPECT_EQ(r.remote_tasks, 0u);
+  EXPECT_EQ(r.local_tasks, 32u);
+  // 8 tasks per region over 2 workers: makespan 4.
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(NumaScheduler, IdleRegionsStealWithPenalty) {
+  // All tasks in region 0; other regions' workers must steal.
+  std::vector<NumaTask> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back({0, 1.0});
+  NumaScheduleResult r = ScheduleNumaTasks(tasks, 2, 2, /*remote_penalty=*/2.0);
+  EXPECT_GT(r.remote_tasks, 0u);
+  EXPECT_EQ(r.local_tasks + r.remote_tasks, 8u);
+  // With 4 workers (2 local at cost 1, 2 remote at cost 2) the makespan must
+  // beat the 2-worker local-only schedule (4.0).
+  EXPECT_LT(r.makespan, 4.0);
+}
+
+TEST(NumaScheduler, NumaAwareBeatsSharedQueueUnderPenalty) {
+  Random rng(17);
+  std::vector<NumaTask> tasks;
+  for (int i = 0; i < 256; ++i) {
+    tasks.push_back({static_cast<uint32_t>(rng.Uniform(4)),
+                     0.5 + rng.NextDouble()});
+  }
+  NumaScheduleResult aware = ScheduleNumaTasks(tasks, 4, 2, 2.0, /*numa_aware=*/true);
+  NumaScheduleResult shared =
+      ScheduleNumaTasks(tasks, 4, 2, 2.0, /*numa_aware=*/false);
+  // The shared queue ignores locality: most executions are remote.
+  EXPECT_GT(shared.remote_tasks, shared.local_tasks);
+  EXPECT_GT(aware.local_tasks, aware.remote_tasks);
+  EXPECT_LT(aware.makespan, shared.makespan);
+}
+
+TEST(NumaScheduler, NoPenaltyMakesPoliciesComparable) {
+  Random rng(18);
+  std::vector<NumaTask> tasks;
+  for (int i = 0; i < 128; ++i) {
+    tasks.push_back({static_cast<uint32_t>(rng.Uniform(2)), 0.5 + rng.NextDouble()});
+  }
+  NumaScheduleResult aware = ScheduleNumaTasks(tasks, 2, 4, 1.0, true);
+  NumaScheduleResult shared = ScheduleNumaTasks(tasks, 2, 4, 1.0, false);
+  // With no remote penalty both policies are near-optimal list schedules.
+  EXPECT_NEAR(aware.makespan, shared.makespan, 0.15 * shared.makespan);
+}
+
+TEST(NumaScheduler, AllTasksExecuteExactlyOnce) {
+  Random rng(19);
+  std::vector<NumaTask> tasks;
+  for (int i = 0; i < 500; ++i) {
+    tasks.push_back({static_cast<uint32_t>(rng.Uniform(8)), rng.NextDouble()});
+  }
+  NumaScheduleResult r = ScheduleNumaTasks(tasks, 8, 3, 1.7);
+  EXPECT_EQ(r.local_tasks + r.remote_tasks, 500u);
+  // Makespan bounded below by total/(workers) with penalty 1 and above by
+  // total * penalty on one worker.
+  double total = 0;
+  for (const auto& t : tasks) total += t.cost_seconds;
+  EXPECT_GE(r.makespan, total / 24 - 1e-9);
+  EXPECT_LE(r.makespan, total * 1.7 + 1e-9);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "timing/makespan.h"
+#include "timing/replay.h"
+
+namespace rdmajoin {
+namespace {
+
+// ---------- Makespan ----------
+
+TEST(Makespan, EmptyAndSingleWorker) {
+  EXPECT_EQ(LptMakespan({}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(LptMakespan({1, 2, 3}, 1), 6.0);
+}
+
+TEST(Makespan, PerfectlyDivisibleTasks) {
+  EXPECT_DOUBLE_EQ(LptMakespan({1, 1, 1, 1}, 4), 1.0);
+  EXPECT_DOUBLE_EQ(LptMakespan({2, 2, 1, 1, 1, 1}, 2), 4.0);
+}
+
+TEST(Makespan, DominantTaskSetsLowerBound) {
+  EXPECT_DOUBLE_EQ(LptMakespan({10, 1, 1, 1}, 4), 10.0);
+}
+
+TEST(Makespan, NeverBelowAverageLoadNorAboveSum) {
+  const std::vector<double> tasks{3, 1, 4, 1, 5, 9, 2, 6};
+  for (uint32_t w : {1u, 2u, 3u, 5u, 8u}) {
+    const double ms = LptMakespan(tasks, w);
+    double sum = 0, max = 0;
+    for (double t : tasks) {
+      sum += t;
+      max = std::max(max, t);
+    }
+    EXPECT_GE(ms, std::max(sum / w, max) - 1e-12);
+    EXPECT_LE(ms, sum + 1e-12);
+  }
+}
+
+TEST(Makespan, MoreWorkersNeverIncreaseMakespan) {
+  const std::vector<double> tasks{7, 3, 3, 2, 2, 2, 1, 1, 1, 1};
+  double prev = 1e100;
+  for (uint32_t w = 1; w <= 12; ++w) {
+    const double ms = LptMakespan(tasks, w);
+    EXPECT_LE(ms, prev + 1e-12);
+    prev = ms;
+  }
+}
+
+// ---------- Replay ----------
+
+/// A minimal hand-built trace: 2 machines, 1 partitioning thread each, one
+/// send per thread. All quantities chosen for closed-form verification.
+RunTrace TinyTrace(double scale = 1.0) {
+  RunTrace trace;
+  trace.scale_up = scale;
+  trace.machines.resize(2);
+  for (uint32_t m = 0; m < 2; ++m) {
+    MachineTrace& mt = trace.machines[m];
+    mt.histogram_bytes = 6000;  // bytes
+    mt.net_threads.resize(1);
+    mt.net_threads[0].compute_bytes = 1910;  // 2 us at 955 B/us... (scaled)
+    mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, 955});
+    mt.local_pass_bytes = 1910;
+    mt.tasks.push_back(BuildProbeTask{800, 1600});
+  }
+  return trace;
+}
+
+ClusterConfig TinyCluster() {
+  ClusterConfig c = FdrCluster(2, 2);  // 1 partitioning thread + receiver
+  // Use round numbers: psPart 955 B/s (!), net 1000 B/s, etc. by scaling the
+  // cost model down to byte-granularity rates.
+  c.costs.partition_bytes_per_sec = 955.0;
+  c.costs.histogram_bytes_per_sec = 3000.0;
+  c.costs.build_bytes_per_sec = 800.0;
+  c.costs.probe_bytes_per_sec = 1600.0;
+  c.costs.memcpy_bytes_per_sec = 1e15;  // Receiver never binds.
+  c.fabric.egress_bytes_per_sec = 1000.0;
+  c.fabric.ingress_bytes_per_sec = 1000.0;
+  c.fabric.message_rate_per_host = 0;
+  c.fabric.base_latency_seconds = 0;
+  return c;
+}
+
+TEST(Replay, HistogramPhaseUsesAllCores) {
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, TinyTrace());
+  // 6000 bytes / (2 cores * 3000 B/s) = 1 s.
+  EXPECT_NEAR(r.phases.histogram_seconds, 1.0, 1e-9);
+}
+
+TEST(Replay, NetworkPassComputePlusTransfer) {
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, TinyTrace());
+  // Thread computes 955 bytes (1 s), posts 1000-byte send (1 s at 1000 B/s),
+  // computes remaining 955 bytes (1 s). Send completes at 2 s; thread
+  // finishes at 2 s; phase = 2 s.
+  EXPECT_NEAR(r.phases.network_partition_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(r.net_thread_finish_seconds[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.last_completion_seconds, 2.0, 1e-9);
+}
+
+TEST(Replay, LocalPassChargesRecordedBytes) {
+  RunTrace trace = TinyTrace();
+  ReplayReport one = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  // 1910 bytes / (2 cores * 955 B/s) = 1 s.
+  EXPECT_NEAR(one.phases.local_partition_seconds, 1.0, 1e-9);
+  for (auto& m : trace.machines) m.local_pass_bytes *= 2;  // Two passes.
+  ReplayReport two = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  EXPECT_NEAR(two.phases.local_partition_seconds, 2.0, 1e-9);
+}
+
+TEST(Replay, BuildProbeUsesTaskRates) {
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, TinyTrace());
+  // One task per machine: 800/800 + 1600/1600 = 2 s on one core.
+  EXPECT_NEAR(r.phases.build_probe_seconds, 2.0, 1e-9);
+}
+
+TEST(Replay, ScaleUpMultipliesVirtualTime) {
+  ReplayReport r1 = ReplayTrace(TinyCluster(), JoinConfig{}, TinyTrace(1.0));
+  ReplayReport r2 = ReplayTrace(TinyCluster(), JoinConfig{}, TinyTrace(2.0));
+  EXPECT_NEAR(r2.phases.histogram_seconds, 2 * r1.phases.histogram_seconds, 1e-9);
+  EXPECT_NEAR(r2.phases.local_partition_seconds,
+              2 * r1.phases.local_partition_seconds, 1e-9);
+  EXPECT_NEAR(r2.phases.build_probe_seconds, 2 * r1.phases.build_probe_seconds,
+              1e-9);
+}
+
+TEST(Replay, NonInterleavedBlocksOnEachSend) {
+  RunTrace trace;
+  trace.scale_up = 1.0;
+  trace.machines.resize(2);
+  for (uint32_t m = 0; m < 2; ++m) {
+    MachineTrace& mt = trace.machines[m];
+    mt.net_threads.resize(1);
+    // Two back-to-back sends with zero compute between them.
+    mt.net_threads[0].compute_bytes = 955;
+    mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, 955});
+    mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, 955});
+  }
+  ClusterConfig cluster = TinyCluster();
+  ReplayReport inter = ReplayTrace(cluster, JoinConfig{}, trace);
+  cluster.interleave = InterleavePolicy::kNonInterleaved;
+  ReplayReport blocking = ReplayTrace(cluster, JoinConfig{}, trace);
+  // Interleaved: compute 1s, both sends pipelined FIFO: done at 3 s.
+  EXPECT_NEAR(inter.phases.network_partition_seconds, 3.0, 1e-9);
+  // Non-interleaved is no faster (here the link is the bottleneck either
+  // way, so both take 3 s; the difference appears when compute overlaps).
+  EXPECT_GE(blocking.phases.network_partition_seconds,
+            inter.phases.network_partition_seconds - 1e-9);
+}
+
+TEST(Replay, InterleavingOverlapsComputeWithTransfer) {
+  // One thread, two sends separated by 1 s of compute each. Interleaved:
+  // transfer of send 1 overlaps compute toward send 2.
+  RunTrace trace;
+  trace.scale_up = 1.0;
+  trace.machines.resize(2);
+  for (uint32_t m = 0; m < 2; ++m) {
+    MachineTrace& mt = trace.machines[m];
+    mt.net_threads.resize(1);
+    mt.net_threads[0].compute_bytes = 1910;
+    mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, 955});
+    mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, 1910});
+  }
+  ClusterConfig cluster = TinyCluster();
+  ReplayReport inter = ReplayTrace(cluster, JoinConfig{}, trace);
+  cluster.interleave = InterleavePolicy::kNonInterleaved;
+  ReplayReport blocking = ReplayTrace(cluster, JoinConfig{}, trace);
+  // Interleaved: compute [0,1], send1 [1,2] overlaps compute [1,2];
+  // send2 posted at 2, done at 3. Total 3 s.
+  EXPECT_NEAR(inter.phases.network_partition_seconds, 3.0, 1e-9);
+  // Blocking: compute [0,1], send1 [1,2], compute [2,3], send2 [3,4].
+  EXPECT_NEAR(blocking.phases.network_partition_seconds, 4.0, 1e-9);
+}
+
+TEST(Replay, CreditExhaustionStallsThread) {
+  // One thread emits 4 sends to the same slot with no compute in between.
+  // With 2 credits the thread stalls until earlier transfers finish; the
+  // final send cannot be posted before 2 completions happened.
+  RunTrace trace;
+  trace.scale_up = 1.0;
+  trace.machines.resize(2);
+  for (uint32_t m = 0; m < 2; ++m) {
+    MachineTrace& mt = trace.machines[m];
+    mt.net_threads.resize(1);
+    mt.net_threads[0].compute_bytes = 955;
+    for (int i = 0; i < 4; ++i) {
+      mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, 955});
+    }
+  }
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  // Compute 1 s, then 4 sequential 1 s transfers on the link: last done at 5.
+  EXPECT_NEAR(r.phases.network_partition_seconds, 5.0, 1e-9);
+  // The thread itself could only post send #3 after send #1 completed (2 s)
+  // and send #4 after send #2 (3 s): it finishes at 3 s, not 1 s.
+  EXPECT_NEAR(r.net_thread_finish_seconds[0], 3.0, 1e-9);
+}
+
+TEST(Replay, ReceiverCopyTracked) {
+  ClusterConfig cluster = TinyCluster();
+  cluster.costs.memcpy_bytes_per_sec = 500.0;  // Slow receiver: 2 s per KB.
+  ReplayReport r = ReplayTrace(cluster, JoinConfig{}, TinyTrace());
+  // Each machine receives one 1000-byte message at t=2: service 2 s -> ends 4.
+  EXPECT_NEAR(r.receiver_busy_seconds[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.phases.network_partition_seconds, 4.0, 1e-9);
+}
+
+TEST(Replay, ReceiveRingBackpressureThrottlesSender) {
+  // One thread sends 4 messages back to back into a machine whose receiver
+  // services each in 2 s. With a generous ring the sender never feels it;
+  // with a 1-slot ring each message must wait for the previous service.
+  RunTrace trace;
+  trace.scale_up = 1.0;
+  trace.machines.resize(2);
+  for (uint32_t m = 0; m < 2; ++m) {
+    MachineTrace& mt = trace.machines[m];
+    mt.net_threads.resize(1);
+    mt.net_threads[0].compute_bytes = 955;
+    for (int i = 0; i < 4; ++i) {
+      mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, 955});
+    }
+  }
+  ClusterConfig cluster = TinyCluster();
+  cluster.costs.memcpy_bytes_per_sec = 500.0;  // 2 s service per message.
+  JoinConfig roomy;
+  roomy.recv_buffers_per_link = 64;
+  JoinConfig tight;
+  tight.recv_buffers_per_link = 1;
+  ReplayReport loose = ReplayTrace(cluster, roomy, trace);
+  ReplayReport rnr = ReplayTrace(cluster, tight, trace);
+  // Either way the phase ends when the receiver drains its 4 x 2 s service
+  // chain (starting at the first arrival, t=2): 10 s.
+  EXPECT_NEAR(loose.phases.network_partition_seconds, 10.0, 1e-9);
+  EXPECT_NEAR(rnr.phases.network_partition_seconds, 10.0, 1e-9);
+  // The backpressure is visible at the sender: with one ring slot, each
+  // buffer credit waits for the receiver to service the previous message,
+  // so the thread finishes posting later (t=4 instead of t=3).
+  EXPECT_NEAR(loose.net_thread_finish_seconds[0], 3.0, 1e-9);
+  EXPECT_NEAR(rnr.net_thread_finish_seconds[0], 4.0, 1e-9);
+}
+
+TEST(Replay, OneSidedTransportHasNoReceiverCost) {
+  ClusterConfig cluster = TinyCluster();
+  cluster.transport = TransportKind::kRdmaMemory;
+  cluster.costs.memcpy_bytes_per_sec = 1.0;  // Would be catastrophic if used.
+  ReplayReport r = ReplayTrace(cluster, JoinConfig{}, TinyTrace());
+  EXPECT_NEAR(r.phases.network_partition_seconds, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.receiver_busy_seconds[0], 0.0);
+}
+
+TEST(Replay, TcpChargesSenderOverheads) {
+  ClusterConfig cluster = TinyCluster();
+  cluster.transport = TransportKind::kTcp;
+  cluster.tcp.bytes_per_sec = 1000.0;
+  cluster.tcp.per_message_seconds = 0.5;
+  cluster.tcp.sender_copy_bytes_per_sec = 1000.0;  // 1 s copy per send.
+  cluster.tcp.receiver_bytes_per_sec = 1e15;
+  ReplayReport r = ReplayTrace(cluster, JoinConfig{}, TinyTrace());
+  // Compute 1 s + copy 1 s + syscall 0.5 s -> send posted at 2.5, transfer
+  // 1 s -> 3.5; the receiving kernel pays another 0.5 s per message.
+  EXPECT_NEAR(r.phases.network_partition_seconds, 4.0, 1e-9);
+  EXPECT_NEAR(r.receiver_busy_seconds[0], 0.5, 1e-9);
+}
+
+TEST(Replay, SetupRegistrationDelaysPhase) {
+  RunTrace trace = TinyTrace();
+  trace.machines[0].setup_registration_seconds = 0.75;
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  EXPECT_NEAR(r.phases.network_partition_seconds, 2.75, 1e-9);
+}
+
+TEST(Replay, PerSendRegistrationSlowsThread) {
+  RunTrace trace = TinyTrace();
+  for (auto& m : trace.machines) m.per_send_registration_seconds = 0.25;
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  // Send posted at 1.25 instead of 1.0; completes 2.25.
+  EXPECT_NEAR(r.phases.network_partition_seconds, 2.25, 1e-9);
+}
+
+TEST(Replay, SingleMachineTraceHasNoNetworkActivity) {
+  RunTrace trace;
+  trace.scale_up = 1.0;
+  trace.machines.resize(1);
+  trace.machines[0].histogram_bytes = 3000;
+  trace.machines[0].net_threads.resize(1);
+  trace.machines[0].net_threads[0].compute_bytes = 955;
+  trace.machines[0].local_pass_bytes = 1910;
+  trace.machines[0].tasks.push_back(BuildProbeTask{800, 0});
+  ClusterConfig cluster = TinyCluster();
+  cluster.num_machines = 1;
+  cluster.fabric.num_hosts = 1;
+  ReplayReport r = ReplayTrace(cluster, JoinConfig{}, trace);
+  EXPECT_NEAR(r.phases.network_partition_seconds, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.last_completion_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,155 @@
+#include "timing/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cluster/presets.h"
+#include "join/distributed_join.h"
+#include "timing/replay.h"
+#include "workload/generator.h"
+
+namespace rdmajoin {
+namespace {
+
+RunTrace SampleTrace() {
+  RunTrace trace;
+  trace.scale_up = 512.0;
+  trace.machines.resize(2);
+  MachineTrace& m0 = trace.machines[0];
+  m0.histogram_bytes = 12345;
+  m0.histogram_exchange_seconds = 1.5e-5;
+  m0.recv_bytes = 777;
+  m0.recv_messages = 3;
+  m0.local_pass_bytes = 4242;
+  m0.sort_bytes = 11;
+  m0.stolen_in_bytes = 22;
+  m0.materialized_bytes = 33;
+  m0.setup_registration_seconds = 0.25;
+  m0.per_send_registration_seconds = 0.125;
+  m0.net_threads.resize(2);
+  m0.net_threads[0].compute_bytes = 1000;
+  m0.net_threads[0].sends.push_back(SendRecord{1, 7, 64, 500});
+  m0.net_threads[0].sends.push_back(SendRecord{1, 8, 32, 900});
+  m0.net_threads[1].compute_bytes = 999;
+  m0.tasks.push_back(BuildProbeTask{10.5, 20.25, 10.5});
+  m0.merge_tasks.push_back(123.0);
+  trace.machines[1].histogram_bytes = 54321;
+  return trace;
+}
+
+void ExpectTracesEqual(const RunTrace& a, const RunTrace& b) {
+  EXPECT_EQ(a.scale_up, b.scale_up);
+  ASSERT_EQ(a.machines.size(), b.machines.size());
+  for (size_t m = 0; m < a.machines.size(); ++m) {
+    const MachineTrace& x = a.machines[m];
+    const MachineTrace& y = b.machines[m];
+    EXPECT_EQ(x.histogram_bytes, y.histogram_bytes);
+    EXPECT_EQ(x.histogram_exchange_seconds, y.histogram_exchange_seconds);
+    EXPECT_EQ(x.recv_bytes, y.recv_bytes);
+    EXPECT_EQ(x.recv_messages, y.recv_messages);
+    EXPECT_EQ(x.local_pass_bytes, y.local_pass_bytes);
+    EXPECT_EQ(x.sort_bytes, y.sort_bytes);
+    EXPECT_EQ(x.stolen_in_bytes, y.stolen_in_bytes);
+    EXPECT_EQ(x.materialized_bytes, y.materialized_bytes);
+    EXPECT_EQ(x.setup_registration_seconds, y.setup_registration_seconds);
+    EXPECT_EQ(x.per_send_registration_seconds, y.per_send_registration_seconds);
+    ASSERT_EQ(x.net_threads.size(), y.net_threads.size());
+    for (size_t t = 0; t < x.net_threads.size(); ++t) {
+      EXPECT_EQ(x.net_threads[t].compute_bytes, y.net_threads[t].compute_bytes);
+      ASSERT_EQ(x.net_threads[t].sends.size(), y.net_threads[t].sends.size());
+      for (size_t s = 0; s < x.net_threads[t].sends.size(); ++s) {
+        EXPECT_EQ(x.net_threads[t].sends[s].dst_machine,
+                  y.net_threads[t].sends[s].dst_machine);
+        EXPECT_EQ(x.net_threads[t].sends[s].slot, y.net_threads[t].sends[s].slot);
+        EXPECT_EQ(x.net_threads[t].sends[s].wire_bytes,
+                  y.net_threads[t].sends[s].wire_bytes);
+        EXPECT_EQ(x.net_threads[t].sends[s].compute_bytes_before,
+                  y.net_threads[t].sends[s].compute_bytes_before);
+      }
+    }
+    ASSERT_EQ(x.tasks.size(), y.tasks.size());
+    for (size_t t = 0; t < x.tasks.size(); ++t) {
+      EXPECT_EQ(x.tasks[t].build_bytes, y.tasks[t].build_bytes);
+      EXPECT_EQ(x.tasks[t].probe_bytes, y.tasks[t].probe_bytes);
+      EXPECT_EQ(x.tasks[t].table_bytes, y.tasks[t].table_bytes);
+    }
+    EXPECT_EQ(x.merge_tasks, y.merge_tasks);
+  }
+}
+
+TEST(TraceIo, RoundTripsHandBuiltTrace) {
+  const RunTrace original = SampleTrace();
+  const std::string json = TraceToJson(original);
+  auto parsed = TraceFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectTracesEqual(original, *parsed);
+}
+
+TEST(TraceIo, RoundTripsRealJoinTraceAndReplaysIdentically) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 20000;
+  spec.outer_tuples = 40000;
+  auto w = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(w.ok());
+  JoinConfig jc;
+  jc.network_radix_bits = 5;
+  jc.scale_up = 512.0;
+  const ClusterConfig cluster = QdrCluster(3);
+  auto result = DistributedJoin(cluster, jc).Run(w->inner, w->outer);
+  ASSERT_TRUE(result.ok());
+
+  auto parsed = TraceFromJson(TraceToJson(result->trace));
+  ASSERT_TRUE(parsed.ok());
+  ExpectTracesEqual(result->trace, *parsed);
+  // Replaying the deserialized trace reproduces the original times exactly.
+  const ReplayReport replayed = ReplayTrace(cluster, jc, *parsed);
+  EXPECT_EQ(replayed.phases.TotalSeconds(), result->times.TotalSeconds());
+  // ...and replaying under a faster network shortens only the network pass
+  // (the what-if tool's core property).
+  ClusterConfig hdr = cluster;
+  hdr.fabric.egress_bytes_per_sec = 25e9;
+  hdr.fabric.ingress_bytes_per_sec = 25e9;
+  hdr.fabric.congestion_bytes_per_sec_per_extra_host = 0;
+  const ReplayReport whatif = ReplayTrace(hdr, jc, *parsed);
+  EXPECT_LT(whatif.phases.network_partition_seconds,
+            replayed.phases.network_partition_seconds);
+  EXPECT_EQ(whatif.phases.local_partition_seconds,
+            replayed.phases.local_partition_seconds);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const RunTrace original = SampleTrace();
+  const std::string path = ::testing::TempDir() + "/trace_io_test.json";
+  ASSERT_TRUE(WriteTraceFile(original, path).ok());
+  auto loaded = ReadTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectTracesEqual(original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReadMissingFileFails) {
+  EXPECT_EQ(ReadTraceFile("/nonexistent/trace.json").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TraceIo, RejectsMalformedJson) {
+  EXPECT_FALSE(TraceFromJson("").ok());
+  EXPECT_FALSE(TraceFromJson("{").ok());
+  EXPECT_FALSE(TraceFromJson("{\"scale_up\":}").ok());
+  EXPECT_FALSE(TraceFromJson("{\"unknown_key\":1}").ok());
+  EXPECT_FALSE(TraceFromJson("{\"scale_up\":1} trailing").ok());
+  EXPECT_FALSE(
+      TraceFromJson("{\"machines\":[{\"net_threads\":[{\"bogus\":1}]}]}").ok());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  RunTrace empty;
+  auto parsed = TraceFromJson(TraceToJson(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->machines.size(), 0u);
+  EXPECT_EQ(parsed->scale_up, 1.0);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,220 @@
+#include "rdma/verbs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "cluster/cost_model.h"
+#include "cluster/memory_space.h"
+
+namespace rdmajoin {
+namespace {
+
+class VerbsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_a_ = std::make_unique<RdmaDevice>(0, nullptr, CostModel{});
+    dev_b_ = std::make_unique<RdmaDevice>(1, nullptr, CostModel{});
+    qp_a_ = std::make_unique<QueuePair>(dev_a_.get(), &send_cq_a_, &recv_cq_a_);
+    qp_b_ = std::make_unique<QueuePair>(dev_b_.get(), &send_cq_b_, &recv_cq_b_);
+    ASSERT_TRUE(QueuePair::Connect(qp_a_.get(), qp_b_.get()).ok());
+  }
+
+  std::unique_ptr<RdmaDevice> dev_a_, dev_b_;
+  CompletionQueue send_cq_a_, recv_cq_a_, send_cq_b_, recv_cq_b_;
+  std::unique_ptr<QueuePair> qp_a_, qp_b_;
+};
+
+TEST_F(VerbsTest, RegisterAndDeregister) {
+  uint8_t buf[256];
+  auto mr = dev_a_->RegisterMemory(buf, sizeof(buf));
+  ASSERT_TRUE(mr.ok());
+  EXPECT_NE(mr->lkey, 0u);
+  EXPECT_NE(mr->rkey, mr->lkey);
+  EXPECT_EQ(dev_a_->FindByLkey(mr->lkey), dev_a_->FindByRkey(mr->rkey));
+  EXPECT_EQ(dev_a_->stats().regions_registered, 1u);
+  EXPECT_GT(dev_a_->stats().registration_seconds, 0.0);
+  ASSERT_TRUE(dev_a_->DeregisterMemory(*mr).ok());
+  EXPECT_EQ(dev_a_->FindByLkey(mr->lkey), nullptr);
+  EXPECT_EQ(dev_a_->stats().regions_deregistered, 1u);
+}
+
+TEST_F(VerbsTest, RegisterRejectsEmptyRegion) {
+  EXPECT_FALSE(dev_a_->RegisterMemory(nullptr, 16).ok());
+  uint8_t b;
+  EXPECT_FALSE(dev_a_->RegisterMemory(&b, 0).ok());
+}
+
+TEST_F(VerbsTest, DeregisterUnknownRegionFails) {
+  MemoryRegion fake;
+  fake.lkey = 999;
+  EXPECT_EQ(dev_a_->DeregisterMemory(fake).code(), StatusCode::kNotFound);
+}
+
+TEST_F(VerbsTest, RegistrationCostGrowsWithPages) {
+  CostModel costs;
+  uint8_t small_buf[4096];
+  std::vector<uint8_t> big_buf(64 * 4096);
+  RdmaDevice dev(9, nullptr, costs);
+  auto small = dev.RegisterMemory(small_buf, sizeof(small_buf));
+  const double t_small = dev.stats().registration_seconds;
+  auto big = dev.RegisterMemory(big_buf.data(), big_buf.size());
+  const double t_big = dev.stats().registration_seconds - t_small;
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(t_big, t_small);
+  EXPECT_NEAR(t_big - costs.reg_base_seconds,
+              64 * (t_small - costs.reg_base_seconds), 1e-12);
+}
+
+TEST_F(VerbsTest, SendRecvMovesDataIntoPostedReceive) {
+  uint8_t src[64], dst[64];
+  for (int i = 0; i < 64; ++i) src[i] = static_cast<uint8_t>(i);
+  std::memset(dst, 0, sizeof(dst));
+  auto mr_src = dev_a_->RegisterMemory(src, sizeof(src));
+  auto mr_dst = dev_b_->RegisterMemory(dst, sizeof(dst));
+  ASSERT_TRUE(mr_src.ok() && mr_dst.ok());
+
+  ASSERT_TRUE(qp_b_->PostRecv(11, mr_dst->lkey, 0, sizeof(dst)).ok());
+  ASSERT_TRUE(qp_a_->PostSend(22, mr_src->lkey, 0, sizeof(src)).ok());
+
+  WorkCompletion wc;
+  ASSERT_TRUE(send_cq_a_.PollOne(&wc));
+  EXPECT_EQ(wc.op, WorkCompletion::Op::kSend);
+  EXPECT_EQ(wc.wr_id, 22u);
+  ASSERT_TRUE(recv_cq_b_.PollOne(&wc));
+  EXPECT_EQ(wc.op, WorkCompletion::Op::kRecv);
+  EXPECT_EQ(wc.wr_id, 11u);
+  EXPECT_EQ(wc.byte_len, sizeof(src));
+  EXPECT_EQ(std::memcmp(src, dst, sizeof(src)), 0);
+}
+
+TEST_F(VerbsTest, SendWithoutPostedReceiveFails) {
+  uint8_t src[16];
+  auto mr = dev_a_->RegisterMemory(src, sizeof(src));
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(qp_a_->PostSend(1, mr->lkey, 0, sizeof(src)).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(VerbsTest, SendLargerThanReceiveBufferFails) {
+  uint8_t src[64], dst[16];
+  auto mr_src = dev_a_->RegisterMemory(src, sizeof(src));
+  auto mr_dst = dev_b_->RegisterMemory(dst, sizeof(dst));
+  ASSERT_TRUE(qp_b_->PostRecv(1, mr_dst->lkey, 0, sizeof(dst)).ok());
+  EXPECT_EQ(qp_a_->PostSend(2, mr_src->lkey, 0, sizeof(src)).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(VerbsTest, ReceivesConsumedInFifoOrder) {
+  uint8_t src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  uint8_t dst[32];
+  auto mr_src = dev_a_->RegisterMemory(src, sizeof(src));
+  auto mr_dst = dev_b_->RegisterMemory(dst, sizeof(dst));
+  ASSERT_TRUE(qp_b_->PostRecv(100, mr_dst->lkey, 0, 8).ok());
+  ASSERT_TRUE(qp_b_->PostRecv(101, mr_dst->lkey, 8, 8).ok());
+  ASSERT_TRUE(qp_a_->PostSend(0, mr_src->lkey, 0, 8).ok());
+  ASSERT_TRUE(qp_a_->PostSend(0, mr_src->lkey, 0, 8).ok());
+  WorkCompletion wc;
+  ASSERT_TRUE(recv_cq_b_.PollOne(&wc));
+  EXPECT_EQ(wc.wr_id, 100u);
+  ASSERT_TRUE(recv_cq_b_.PollOne(&wc));
+  EXPECT_EQ(wc.wr_id, 101u);
+}
+
+TEST_F(VerbsTest, OneSidedWriteReachesRemoteRegion) {
+  uint8_t src[32], dst[64];
+  for (int i = 0; i < 32; ++i) src[i] = static_cast<uint8_t>(0xA0 + i);
+  std::memset(dst, 0, sizeof(dst));
+  auto mr_src = dev_a_->RegisterMemory(src, sizeof(src));
+  auto mr_dst = dev_b_->RegisterMemory(dst, sizeof(dst));
+  ASSERT_TRUE(
+      qp_a_->PostWrite(5, mr_src->lkey, 0, mr_dst->rkey, 16, sizeof(src)).ok());
+  WorkCompletion wc;
+  ASSERT_TRUE(send_cq_a_.PollOne(&wc));
+  EXPECT_EQ(wc.op, WorkCompletion::Op::kWrite);
+  EXPECT_EQ(std::memcmp(dst + 16, src, sizeof(src)), 0);
+  // No receiver-side completion for one-sided operations.
+  EXPECT_EQ(recv_cq_b_.depth(), 0u);
+}
+
+TEST_F(VerbsTest, OneSidedWriteOutOfBoundsFails) {
+  uint8_t src[32], dst[32];
+  auto mr_src = dev_a_->RegisterMemory(src, sizeof(src));
+  auto mr_dst = dev_b_->RegisterMemory(dst, sizeof(dst));
+  EXPECT_EQ(
+      qp_a_->PostWrite(5, mr_src->lkey, 0, mr_dst->rkey, 16, sizeof(src)).code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST_F(VerbsTest, OneSidedWriteWithBadRkeyFails) {
+  uint8_t src[32];
+  auto mr_src = dev_a_->RegisterMemory(src, sizeof(src));
+  EXPECT_EQ(qp_a_->PostWrite(5, mr_src->lkey, 0, /*rkey=*/4242, 0, 8).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(VerbsTest, OneSidedReadPullsRemoteData) {
+  uint8_t remote[32], local[32];
+  for (int i = 0; i < 32; ++i) remote[i] = static_cast<uint8_t>(i * 3);
+  std::memset(local, 0, sizeof(local));
+  auto mr_remote = dev_b_->RegisterMemory(remote, sizeof(remote));
+  auto mr_local = dev_a_->RegisterMemory(local, sizeof(local));
+  ASSERT_TRUE(qp_a_->PostRead(6, mr_local->lkey, 0, mr_remote->rkey, 0, 32).ok());
+  WorkCompletion wc;
+  ASSERT_TRUE(send_cq_a_.PollOne(&wc));
+  EXPECT_EQ(wc.op, WorkCompletion::Op::kRead);
+  EXPECT_EQ(std::memcmp(local, remote, 32), 0);
+}
+
+TEST_F(VerbsTest, UnconnectedQueuePairRejectsOperations) {
+  RdmaDevice dev(7, nullptr, CostModel{});
+  CompletionQueue scq, rcq;
+  QueuePair qp(&dev, &scq, &rcq);
+  uint8_t buf[8];
+  auto mr = dev.RegisterMemory(buf, sizeof(buf));
+  EXPECT_EQ(qp.PostSend(0, mr->lkey, 0, 8).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(qp.PostWrite(0, mr->lkey, 0, 1, 0, 8).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VerbsTest, ConnectRejectsReuseAndSelf) {
+  RdmaDevice dev(8, nullptr, CostModel{});
+  CompletionQueue scq, rcq;
+  QueuePair qp(&dev, &scq, &rcq);
+  EXPECT_FALSE(QueuePair::Connect(&qp, &qp).ok());
+  EXPECT_FALSE(QueuePair::Connect(qp_a_.get(), &qp).ok());  // a already paired
+}
+
+TEST(VerbsPinning, RegistrationPinsMemoryAndEnforcesLimits) {
+  MemorySpace mem(/*capacity=*/1 << 20, /*pin_limit=*/4096);
+  ASSERT_TRUE(mem.Reserve(8192).ok());
+  RdmaDevice dev(0, &mem, CostModel{});
+  std::vector<uint8_t> buf(8192);
+  // Pin limit is 4096: registering 8192 must fail.
+  EXPECT_EQ(dev.RegisterMemory(buf.data(), 8192).status().code(),
+            StatusCode::kResourceExhausted);
+  auto mr = dev.RegisterMemory(buf.data(), 4096);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(mem.pinned(), 4096u);
+  ASSERT_TRUE(dev.DeregisterMemory(*mr).ok());
+  EXPECT_EQ(mem.pinned(), 0u);
+  mem.Release(8192);
+}
+
+TEST(VerbsPinning, PinScaleConvertsToFullScaleBytes) {
+  MemorySpace mem(/*capacity=*/1 << 20);
+  ASSERT_TRUE(mem.Reserve(512 * 1024).ok());
+  RdmaDevice dev(0, &mem, CostModel{}, /*pin_scale=*/128.0);
+  std::vector<uint8_t> buf(1024);
+  auto mr = dev.RegisterMemory(buf.data(), buf.size());
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(mem.pinned(), 128u * 1024u);
+  ASSERT_TRUE(dev.DeregisterMemory(*mr).ok());
+  EXPECT_EQ(mem.pinned(), 0u);
+  mem.Release(512 * 1024);
+}
+
+}  // namespace
+}  // namespace rdmajoin

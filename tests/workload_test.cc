@@ -1,0 +1,193 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "util/zipf.h"
+#include "workload/relation.h"
+
+namespace rdmajoin {
+namespace {
+
+TEST(Relation, BasicAccessors) {
+  Relation r(16);
+  EXPECT_EQ(r.tuple_bytes(), 16u);
+  EXPECT_TRUE(r.empty());
+  r.Append(7, 15);
+  r.Append(9, 19);
+  EXPECT_EQ(r.num_tuples(), 2u);
+  EXPECT_EQ(r.size_bytes(), 32u);
+  EXPECT_EQ(r.Key(0), 7u);
+  EXPECT_EQ(r.Rid(0), 15u);
+  EXPECT_EQ(r.Key(1), 9u);
+  EXPECT_EQ(r.Rid(1), 19u);
+}
+
+TEST(Relation, WideTuplePayloadPattern) {
+  for (uint32_t width : {32u, 64u}) {
+    Relation r(width);
+    r.Resize(10);
+    for (uint64_t i = 0; i < 10; ++i) r.SetTuple(i, i * 13, i);
+    EXPECT_TRUE(r.VerifyPayloads().ok()) << "width " << width;
+    // Corrupt one payload byte and expect detection.
+    r.TupleAt(5)[width - 1] ^= 0xFF;
+    EXPECT_FALSE(r.VerifyPayloads().ok()) << "width " << width;
+  }
+}
+
+TEST(Relation, AppendRawCopiesTuples) {
+  Relation a(16), b(16);
+  a.Append(1, 2);
+  a.Append(3, 4);
+  b.AppendRaw(a.data(), 2);
+  EXPECT_EQ(b.num_tuples(), 2u);
+  EXPECT_EQ(b.Key(1), 3u);
+  EXPECT_EQ(b.Rid(1), 4u);
+}
+
+TEST(WorkloadSpec, Validation) {
+  WorkloadSpec spec;
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.inner_tuples = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = WorkloadSpec{};
+  spec.outer_tuples = spec.inner_tuples - 1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = WorkloadSpec{};
+  spec.tuple_bytes = 20;  // not a multiple of 8
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = WorkloadSpec{};
+  spec.tuple_bytes = 8;  // too narrow
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = WorkloadSpec{};
+  spec.zipf_theta = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(GenerateWorkload, InnerKeysAreDistinctPermutation) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 10000;
+  spec.outer_tuples = 10000;
+  auto w = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(w.ok());
+  std::set<uint64_t> keys;
+  for (const auto& chunk : w->inner.chunks) {
+    for (uint64_t i = 0; i < chunk.num_tuples(); ++i) {
+      EXPECT_LT(chunk.Key(i), spec.inner_tuples);
+      EXPECT_EQ(chunk.Rid(i), InnerRidForKey(chunk.Key(i)));
+      keys.insert(chunk.Key(i));
+    }
+  }
+  EXPECT_EQ(keys.size(), spec.inner_tuples);
+}
+
+TEST(GenerateWorkload, UniformOuterHasExactMatchCounts) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 1000;
+  spec.outer_tuples = 4000;  // ratio 1:4
+  auto w = GenerateWorkload(spec, 2);
+  ASSERT_TRUE(w.ok());
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (const auto& chunk : w->outer.chunks) {
+    for (uint64_t i = 0; i < chunk.num_tuples(); ++i) ++counts[chunk.Key(i)];
+  }
+  ASSERT_EQ(counts.size(), spec.inner_tuples);
+  for (const auto& [key, n] : counts) EXPECT_EQ(n, 4u) << "key " << key;
+}
+
+TEST(GenerateWorkload, GroundTruthMatchesBruteForce) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 500;
+  spec.outer_tuples = 2000;
+  spec.seed = 3;
+  auto w = GenerateWorkload(spec, 2);
+  ASSERT_TRUE(w.ok());
+  uint64_t key_sum = 0, rid_sum = 0, n = 0;
+  for (const auto& chunk : w->outer.chunks) {
+    for (uint64_t i = 0; i < chunk.num_tuples(); ++i) {
+      ++n;
+      key_sum += chunk.Key(i);
+      rid_sum += InnerRidForKey(chunk.Key(i));
+    }
+  }
+  EXPECT_EQ(w->truth.expected_matches, n);
+  EXPECT_EQ(w->truth.expected_key_sum, key_sum);
+  EXPECT_EQ(w->truth.expected_inner_rid_sum, rid_sum);
+}
+
+TEST(GenerateWorkload, FragmentsEvenly) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 1003;  // Not divisible by 4.
+  spec.outer_tuples = 2005;
+  auto w = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->inner.total_tuples(), spec.inner_tuples);
+  EXPECT_EQ(w->outer.total_tuples(), spec.outer_tuples);
+  for (const auto& chunk : w->inner.chunks) {
+    EXPECT_GE(chunk.num_tuples(), spec.inner_tuples / 4);
+    EXPECT_LE(chunk.num_tuples(), spec.inner_tuples / 4 + 1);
+  }
+}
+
+TEST(GenerateWorkload, DeterministicForSameSeed) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 2000;
+  spec.outer_tuples = 4000;
+  spec.seed = 11;
+  auto a = GenerateWorkload(spec, 2);
+  auto b = GenerateWorkload(spec, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->truth.expected_key_sum, b->truth.expected_key_sum);
+  for (size_t m = 0; m < 2; ++m) {
+    ASSERT_EQ(a->inner.chunks[m].num_tuples(), b->inner.chunks[m].num_tuples());
+    EXPECT_EQ(a->inner.chunks[m].Key(0), b->inner.chunks[m].Key(0));
+  }
+  spec.seed = 12;
+  auto c = GenerateWorkload(spec, 2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->outer.chunks[0].Key(0), c->outer.chunks[0].Key(0));
+}
+
+TEST(GenerateWorkload, ZipfOuterIsSkewed) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 1 << 14;
+  spec.outer_tuples = 1 << 17;
+  spec.zipf_theta = 1.20;
+  auto w = GenerateWorkload(spec, 2);
+  ASSERT_TRUE(w.ok());
+  std::unordered_map<uint64_t, uint64_t> counts;
+  uint64_t max_count = 0;
+  for (const auto& chunk : w->outer.chunks) {
+    for (uint64_t i = 0; i < chunk.num_tuples(); ++i) {
+      EXPECT_LT(chunk.Key(i), spec.inner_tuples);
+      max_count = std::max(max_count, ++counts[chunk.Key(i)]);
+    }
+  }
+  // Rank 0 of a Zipf(1.2) over 16K values should hold >> 1/16K of the mass.
+  EXPECT_GT(max_count, spec.outer_tuples / 100);
+}
+
+TEST(ZipfGenerator, RespectsDomainAndMonotoneFrequency) {
+  ZipfGenerator zipf(100, 1.05, 9);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Next()];
+  // Frequency of rank 0 exceeds rank 10 exceeds rank 90.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfGenerator, HigherThetaIsMoreSkewed) {
+  ZipfGenerator low(1000, 1.05, 5);
+  ZipfGenerator high(1000, 1.20, 5);
+  uint64_t low_rank0 = 0, high_rank0 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (low.Next() == 0) ++low_rank0;
+    if (high.Next() == 0) ++high_rank0;
+  }
+  EXPECT_GT(high_rank0, low_rank0);
+}
+
+}  // namespace
+}  // namespace rdmajoin
