@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_assignment.dir/abl_assignment.cc.o"
+  "CMakeFiles/abl_assignment.dir/abl_assignment.cc.o.d"
+  "abl_assignment"
+  "abl_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

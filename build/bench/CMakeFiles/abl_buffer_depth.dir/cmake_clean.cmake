@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_buffer_depth.dir/abl_buffer_depth.cc.o"
+  "CMakeFiles/abl_buffer_depth.dir/abl_buffer_depth.cc.o.d"
+  "abl_buffer_depth"
+  "abl_buffer_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_buffer_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eq13_buffer_fill.dir/abl_eq13_buffer_fill.cc.o"
+  "CMakeFiles/abl_eq13_buffer_fill.dir/abl_eq13_buffer_fill.cc.o.d"
+  "abl_eq13_buffer_fill"
+  "abl_eq13_buffer_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eq13_buffer_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

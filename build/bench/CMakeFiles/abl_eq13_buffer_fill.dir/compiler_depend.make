@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_eq13_buffer_fill.
+# This may be replaced when dependencies are built.

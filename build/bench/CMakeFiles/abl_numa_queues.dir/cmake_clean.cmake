@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_numa_queues.dir/abl_numa_queues.cc.o"
+  "CMakeFiles/abl_numa_queues.dir/abl_numa_queues.cc.o.d"
+  "abl_numa_queues"
+  "abl_numa_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_numa_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

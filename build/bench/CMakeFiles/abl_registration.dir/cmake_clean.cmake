@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_registration.dir/abl_registration.cc.o"
+  "CMakeFiles/abl_registration.dir/abl_registration.cc.o.d"
+  "abl_registration"
+  "abl_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

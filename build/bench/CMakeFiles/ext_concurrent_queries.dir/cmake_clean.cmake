@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_concurrent_queries.dir/ext_concurrent_queries.cc.o"
+  "CMakeFiles/ext_concurrent_queries.dir/ext_concurrent_queries.cc.o.d"
+  "ext_concurrent_queries"
+  "ext_concurrent_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_concurrent_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_materialization.dir/ext_materialization.cc.o"
+  "CMakeFiles/ext_materialization.dir/ext_materialization.cc.o.d"
+  "ext_materialization"
+  "ext_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05a_cluster_comparison.dir/fig05a_cluster_comparison.cc.o"
+  "CMakeFiles/fig05a_cluster_comparison.dir/fig05a_cluster_comparison.cc.o.d"
+  "fig05a_cluster_comparison"
+  "fig05a_cluster_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05a_cluster_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

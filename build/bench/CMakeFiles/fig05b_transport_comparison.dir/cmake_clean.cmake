@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05b_transport_comparison.dir/fig05b_transport_comparison.cc.o"
+  "CMakeFiles/fig05b_transport_comparison.dir/fig05b_transport_comparison.cc.o.d"
+  "fig05b_transport_comparison"
+  "fig05b_transport_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05b_transport_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

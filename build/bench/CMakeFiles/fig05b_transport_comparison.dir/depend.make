@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05b_transport_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06a_large_to_large.dir/fig06a_large_to_large.cc.o"
+  "CMakeFiles/fig06a_large_to_large.dir/fig06a_large_to_large.cc.o.d"
+  "fig06a_large_to_large"
+  "fig06a_large_to_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06a_large_to_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

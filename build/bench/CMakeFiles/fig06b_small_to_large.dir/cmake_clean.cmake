@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_small_to_large.dir/fig06b_small_to_large.cc.o"
+  "CMakeFiles/fig06b_small_to_large.dir/fig06b_small_to_large.cc.o.d"
+  "fig06b_small_to_large"
+  "fig06b_small_to_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_small_to_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06b_small_to_large.
+# This may be replaced when dependencies are built.

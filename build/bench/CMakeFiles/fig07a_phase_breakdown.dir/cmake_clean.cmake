@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07a_phase_breakdown.dir/fig07a_phase_breakdown.cc.o"
+  "CMakeFiles/fig07a_phase_breakdown.dir/fig07a_phase_breakdown.cc.o.d"
+  "fig07a_phase_breakdown"
+  "fig07a_phase_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

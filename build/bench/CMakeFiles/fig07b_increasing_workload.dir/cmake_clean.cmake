@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_increasing_workload.dir/fig07b_increasing_workload.cc.o"
+  "CMakeFiles/fig07b_increasing_workload.dir/fig07b_increasing_workload.cc.o.d"
+  "fig07b_increasing_workload"
+  "fig07b_increasing_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_increasing_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

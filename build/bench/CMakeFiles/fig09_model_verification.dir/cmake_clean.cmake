@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_model_verification.dir/fig09_model_verification.cc.o"
+  "CMakeFiles/fig09_model_verification.dir/fig09_model_verification.cc.o.d"
+  "fig09_model_verification"
+  "fig09_model_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_model_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_join_kernels.dir/micro_join_kernels.cc.o"
+  "CMakeFiles/micro_join_kernels.dir/micro_join_kernels.cc.o.d"
+  "micro_join_kernels"
+  "micro_join_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_join_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec67_wide_tuples.dir/sec67_wide_tuples.cc.o"
+  "CMakeFiles/sec67_wide_tuples.dir/sec67_wide_tuples.cc.o.d"
+  "sec67_wide_tuples"
+  "sec67_wide_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec67_wide_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

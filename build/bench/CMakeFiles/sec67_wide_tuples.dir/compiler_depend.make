@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec67_wide_tuples.
+# This may be replaced when dependencies are built.

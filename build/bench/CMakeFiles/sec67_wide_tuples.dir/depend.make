@@ -1,0 +1,2 @@
+# Empty dependencies file for sec67_wide_tuples.
+# This may be replaced when dependencies are built.

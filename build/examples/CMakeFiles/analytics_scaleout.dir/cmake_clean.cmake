@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_scaleout.dir/analytics_scaleout.cpp.o"
+  "CMakeFiles/analytics_scaleout.dir/analytics_scaleout.cpp.o.d"
+  "analytics_scaleout"
+  "analytics_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_pipeline.dir/operator_pipeline.cpp.o"
+  "CMakeFiles/operator_pipeline.dir/operator_pipeline.cpp.o.d"
+  "operator_pipeline"
+  "operator_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

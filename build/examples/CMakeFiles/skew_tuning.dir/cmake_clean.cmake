@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_tuning.dir/skew_tuning.cpp.o"
+  "CMakeFiles/skew_tuning.dir/skew_tuning.cpp.o.d"
+  "skew_tuning"
+  "skew_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_baseline.dir/numa_scheduler.cc.o"
+  "CMakeFiles/rdmajoin_baseline.dir/numa_scheduler.cc.o.d"
+  "CMakeFiles/rdmajoin_baseline.dir/radix_join.cc.o"
+  "CMakeFiles/rdmajoin_baseline.dir/radix_join.cc.o.d"
+  "librdmajoin_baseline.a"
+  "librdmajoin_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_cluster.dir/cluster.cc.o"
+  "CMakeFiles/rdmajoin_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/rdmajoin_cluster.dir/memory_space.cc.o"
+  "CMakeFiles/rdmajoin_cluster.dir/memory_space.cc.o.d"
+  "CMakeFiles/rdmajoin_cluster.dir/presets.cc.o"
+  "CMakeFiles/rdmajoin_cluster.dir/presets.cc.o.d"
+  "librdmajoin_cluster.a"
+  "librdmajoin_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdmajoin_cluster.a"
+)

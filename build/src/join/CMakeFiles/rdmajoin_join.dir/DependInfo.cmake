@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/assignment.cc" "src/join/CMakeFiles/rdmajoin_join.dir/assignment.cc.o" "gcc" "src/join/CMakeFiles/rdmajoin_join.dir/assignment.cc.o.d"
+  "/root/repo/src/join/distributed_join.cc" "src/join/CMakeFiles/rdmajoin_join.dir/distributed_join.cc.o" "gcc" "src/join/CMakeFiles/rdmajoin_join.dir/distributed_join.cc.o.d"
+  "/root/repo/src/join/exchange.cc" "src/join/CMakeFiles/rdmajoin_join.dir/exchange.cc.o" "gcc" "src/join/CMakeFiles/rdmajoin_join.dir/exchange.cc.o.d"
+  "/root/repo/src/join/hash_table.cc" "src/join/CMakeFiles/rdmajoin_join.dir/hash_table.cc.o" "gcc" "src/join/CMakeFiles/rdmajoin_join.dir/hash_table.cc.o.d"
+  "/root/repo/src/join/histogram.cc" "src/join/CMakeFiles/rdmajoin_join.dir/histogram.cc.o" "gcc" "src/join/CMakeFiles/rdmajoin_join.dir/histogram.cc.o.d"
+  "/root/repo/src/join/local_partition.cc" "src/join/CMakeFiles/rdmajoin_join.dir/local_partition.cc.o" "gcc" "src/join/CMakeFiles/rdmajoin_join.dir/local_partition.cc.o.d"
+  "/root/repo/src/join/report.cc" "src/join/CMakeFiles/rdmajoin_join.dir/report.cc.o" "gcc" "src/join/CMakeFiles/rdmajoin_join.dir/report.cc.o.d"
+  "/root/repo/src/join/swwc_scatter.cc" "src/join/CMakeFiles/rdmajoin_join.dir/swwc_scatter.cc.o" "gcc" "src/join/CMakeFiles/rdmajoin_join.dir/swwc_scatter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/join/CMakeFiles/rdmajoin_join_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdmajoin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rdmajoin_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rdmajoin_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/rdmajoin_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rdmajoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmajoin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmajoin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

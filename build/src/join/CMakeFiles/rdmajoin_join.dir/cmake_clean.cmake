@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_join.dir/assignment.cc.o"
+  "CMakeFiles/rdmajoin_join.dir/assignment.cc.o.d"
+  "CMakeFiles/rdmajoin_join.dir/distributed_join.cc.o"
+  "CMakeFiles/rdmajoin_join.dir/distributed_join.cc.o.d"
+  "CMakeFiles/rdmajoin_join.dir/exchange.cc.o"
+  "CMakeFiles/rdmajoin_join.dir/exchange.cc.o.d"
+  "CMakeFiles/rdmajoin_join.dir/hash_table.cc.o"
+  "CMakeFiles/rdmajoin_join.dir/hash_table.cc.o.d"
+  "CMakeFiles/rdmajoin_join.dir/histogram.cc.o"
+  "CMakeFiles/rdmajoin_join.dir/histogram.cc.o.d"
+  "CMakeFiles/rdmajoin_join.dir/local_partition.cc.o"
+  "CMakeFiles/rdmajoin_join.dir/local_partition.cc.o.d"
+  "CMakeFiles/rdmajoin_join.dir/report.cc.o"
+  "CMakeFiles/rdmajoin_join.dir/report.cc.o.d"
+  "CMakeFiles/rdmajoin_join.dir/swwc_scatter.cc.o"
+  "CMakeFiles/rdmajoin_join.dir/swwc_scatter.cc.o.d"
+  "librdmajoin_join.a"
+  "librdmajoin_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

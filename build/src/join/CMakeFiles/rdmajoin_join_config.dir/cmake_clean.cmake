@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_join_config.dir/join_config.cc.o"
+  "CMakeFiles/rdmajoin_join_config.dir/join_config.cc.o.d"
+  "librdmajoin_join_config.a"
+  "librdmajoin_join_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_join_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

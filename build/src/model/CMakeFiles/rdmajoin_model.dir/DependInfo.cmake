@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analytical_model.cc" "src/model/CMakeFiles/rdmajoin_model.dir/analytical_model.cc.o" "gcc" "src/model/CMakeFiles/rdmajoin_model.dir/analytical_model.cc.o.d"
+  "/root/repo/src/model/planner.cc" "src/model/CMakeFiles/rdmajoin_model.dir/planner.cc.o" "gcc" "src/model/CMakeFiles/rdmajoin_model.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/rdmajoin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmajoin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmajoin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_model.dir/analytical_model.cc.o"
+  "CMakeFiles/rdmajoin_model.dir/analytical_model.cc.o.d"
+  "CMakeFiles/rdmajoin_model.dir/planner.cc.o"
+  "CMakeFiles/rdmajoin_model.dir/planner.cc.o.d"
+  "librdmajoin_model.a"
+  "librdmajoin_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_operators.dir/distributed_aggregate.cc.o"
+  "CMakeFiles/rdmajoin_operators.dir/distributed_aggregate.cc.o.d"
+  "CMakeFiles/rdmajoin_operators.dir/plan.cc.o"
+  "CMakeFiles/rdmajoin_operators.dir/plan.cc.o.d"
+  "CMakeFiles/rdmajoin_operators.dir/radix_sort.cc.o"
+  "CMakeFiles/rdmajoin_operators.dir/radix_sort.cc.o.d"
+  "CMakeFiles/rdmajoin_operators.dir/sort_merge_join.cc.o"
+  "CMakeFiles/rdmajoin_operators.dir/sort_merge_join.cc.o.d"
+  "CMakeFiles/rdmajoin_operators.dir/sort_utils.cc.o"
+  "CMakeFiles/rdmajoin_operators.dir/sort_utils.cc.o.d"
+  "librdmajoin_operators.a"
+  "librdmajoin_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/buffer_pool.cc" "src/rdma/CMakeFiles/rdmajoin_rdma.dir/buffer_pool.cc.o" "gcc" "src/rdma/CMakeFiles/rdmajoin_rdma.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/rdma/verbs.cc" "src/rdma/CMakeFiles/rdmajoin_rdma.dir/verbs.cc.o" "gcc" "src/rdma/CMakeFiles/rdmajoin_rdma.dir/verbs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/rdmajoin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmajoin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmajoin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

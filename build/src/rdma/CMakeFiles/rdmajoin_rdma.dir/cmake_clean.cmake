@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_rdma.dir/buffer_pool.cc.o"
+  "CMakeFiles/rdmajoin_rdma.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/rdmajoin_rdma.dir/verbs.cc.o"
+  "CMakeFiles/rdmajoin_rdma.dir/verbs.cc.o.d"
+  "librdmajoin_rdma.a"
+  "librdmajoin_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_sim.dir/event_queue.cc.o"
+  "CMakeFiles/rdmajoin_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/rdmajoin_sim.dir/fabric.cc.o"
+  "CMakeFiles/rdmajoin_sim.dir/fabric.cc.o.d"
+  "CMakeFiles/rdmajoin_sim.dir/link_fabric.cc.o"
+  "CMakeFiles/rdmajoin_sim.dir/link_fabric.cc.o.d"
+  "librdmajoin_sim.a"
+  "librdmajoin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/makespan.cc" "src/timing/CMakeFiles/rdmajoin_timing.dir/makespan.cc.o" "gcc" "src/timing/CMakeFiles/rdmajoin_timing.dir/makespan.cc.o.d"
+  "/root/repo/src/timing/replay.cc" "src/timing/CMakeFiles/rdmajoin_timing.dir/replay.cc.o" "gcc" "src/timing/CMakeFiles/rdmajoin_timing.dir/replay.cc.o.d"
+  "/root/repo/src/timing/trace_io.cc" "src/timing/CMakeFiles/rdmajoin_timing.dir/trace_io.cc.o" "gcc" "src/timing/CMakeFiles/rdmajoin_timing.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rdmajoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdmajoin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmajoin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/rdmajoin_join_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_timing.dir/makespan.cc.o"
+  "CMakeFiles/rdmajoin_timing.dir/makespan.cc.o.d"
+  "CMakeFiles/rdmajoin_timing.dir/replay.cc.o"
+  "CMakeFiles/rdmajoin_timing.dir/replay.cc.o.d"
+  "CMakeFiles/rdmajoin_timing.dir/trace_io.cc.o"
+  "CMakeFiles/rdmajoin_timing.dir/trace_io.cc.o.d"
+  "librdmajoin_timing.a"
+  "librdmajoin_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/channel.cc" "src/transport/CMakeFiles/rdmajoin_transport.dir/channel.cc.o" "gcc" "src/transport/CMakeFiles/rdmajoin_transport.dir/channel.cc.o.d"
+  "/root/repo/src/transport/collectives.cc" "src/transport/CMakeFiles/rdmajoin_transport.dir/collectives.cc.o" "gcc" "src/transport/CMakeFiles/rdmajoin_transport.dir/collectives.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdma/CMakeFiles/rdmajoin_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdmajoin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmajoin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/rdmajoin_join_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmajoin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

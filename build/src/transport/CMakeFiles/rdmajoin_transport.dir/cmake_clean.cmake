@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_transport.dir/channel.cc.o"
+  "CMakeFiles/rdmajoin_transport.dir/channel.cc.o.d"
+  "CMakeFiles/rdmajoin_transport.dir/collectives.cc.o"
+  "CMakeFiles/rdmajoin_transport.dir/collectives.cc.o.d"
+  "librdmajoin_transport.a"
+  "librdmajoin_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

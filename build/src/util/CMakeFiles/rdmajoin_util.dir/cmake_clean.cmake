@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_util.dir/logging.cc.o"
+  "CMakeFiles/rdmajoin_util.dir/logging.cc.o.d"
+  "CMakeFiles/rdmajoin_util.dir/status.cc.o"
+  "CMakeFiles/rdmajoin_util.dir/status.cc.o.d"
+  "CMakeFiles/rdmajoin_util.dir/table_printer.cc.o"
+  "CMakeFiles/rdmajoin_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/rdmajoin_util.dir/units.cc.o"
+  "CMakeFiles/rdmajoin_util.dir/units.cc.o.d"
+  "CMakeFiles/rdmajoin_util.dir/zipf.cc.o"
+  "CMakeFiles/rdmajoin_util.dir/zipf.cc.o.d"
+  "librdmajoin_util.a"
+  "librdmajoin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

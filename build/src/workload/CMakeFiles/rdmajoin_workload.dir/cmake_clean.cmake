@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_workload.dir/generator.cc.o"
+  "CMakeFiles/rdmajoin_workload.dir/generator.cc.o.d"
+  "CMakeFiles/rdmajoin_workload.dir/relation.cc.o"
+  "CMakeFiles/rdmajoin_workload.dir/relation.cc.o.d"
+  "librdmajoin_workload.a"
+  "librdmajoin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

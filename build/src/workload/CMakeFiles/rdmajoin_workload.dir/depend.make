@@ -1,0 +1,2 @@
+# Empty dependencies file for rdmajoin_workload.
+# This may be replaced when dependencies are built.

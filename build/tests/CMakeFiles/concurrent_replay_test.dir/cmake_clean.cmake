@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_replay_test.dir/concurrent_replay_test.cc.o"
+  "CMakeFiles/concurrent_replay_test.dir/concurrent_replay_test.cc.o.d"
+  "concurrent_replay_test"
+  "concurrent_replay_test.pdb"
+  "concurrent_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

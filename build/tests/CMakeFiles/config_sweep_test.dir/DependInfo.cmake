@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/config_sweep_test.cc" "tests/CMakeFiles/config_sweep_test.dir/config_sweep_test.cc.o" "gcc" "tests/CMakeFiles/config_sweep_test.dir/config_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/rdmajoin_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/operators/CMakeFiles/rdmajoin_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/rdmajoin_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rdmajoin_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rdmajoin_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/rdmajoin_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rdmajoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rdmajoin_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdmajoin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmajoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmajoin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/rdmajoin_join_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

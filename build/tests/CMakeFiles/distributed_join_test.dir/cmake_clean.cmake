@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_join_test.dir/distributed_join_test.cc.o"
+  "CMakeFiles/distributed_join_test.dir/distributed_join_test.cc.o.d"
+  "distributed_join_test"
+  "distributed_join_test.pdb"
+  "distributed_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

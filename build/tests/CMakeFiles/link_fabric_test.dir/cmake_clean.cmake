@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_fabric_test.dir/link_fabric_test.cc.o"
+  "CMakeFiles/link_fabric_test.dir/link_fabric_test.cc.o.d"
+  "link_fabric_test"
+  "link_fabric_test.pdb"
+  "link_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

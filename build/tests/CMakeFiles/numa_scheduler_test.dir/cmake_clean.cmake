@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_scheduler_test.dir/numa_scheduler_test.cc.o"
+  "CMakeFiles/numa_scheduler_test.dir/numa_scheduler_test.cc.o.d"
+  "numa_scheduler_test"
+  "numa_scheduler_test.pdb"
+  "numa_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pull_exchange_test.dir/pull_exchange_test.cc.o"
+  "CMakeFiles/pull_exchange_test.dir/pull_exchange_test.cc.o.d"
+  "pull_exchange_test"
+  "pull_exchange_test.pdb"
+  "pull_exchange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pull_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

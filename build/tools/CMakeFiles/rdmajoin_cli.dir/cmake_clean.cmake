@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_cli.dir/rdmajoin_cli.cc.o"
+  "CMakeFiles/rdmajoin_cli.dir/rdmajoin_cli.cc.o.d"
+  "rdmajoin_cli"
+  "rdmajoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmajoin_whatif.dir/rdmajoin_whatif.cc.o"
+  "CMakeFiles/rdmajoin_whatif.dir/rdmajoin_whatif.cc.o.d"
+  "rdmajoin_whatif"
+  "rdmajoin_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmajoin_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
