@@ -164,7 +164,8 @@ StatusOr<JoinRunResult> DistributedJoin::Run(const DistributedRelation& inner,
   // all-gather) and reduce them into the global histograms every machine
   // needs for buffer sizing and the machine-partition assignment.
   if (nm > 1) {
-    auto collectives = CollectiveNetwork::Create(nm, 2ull * parts, cluster_.costs);
+    auto collectives = CollectiveNetwork::Create(nm, 2ull * parts, cluster_.costs,
+                                                 config_.validator);
     RDMAJOIN_RETURN_IF_ERROR(collectives.status());
     std::vector<std::vector<uint64_t>> contributions(nm);
     for (uint32_t m = 0; m < nm; ++m) {

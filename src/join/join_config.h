@@ -7,6 +7,8 @@
 
 namespace rdmajoin {
 
+class ProtocolValidator;
+
 /// How first-pass partitions are assigned to machines (Section 4.1).
 enum class AssignmentPolicy {
   /// Static: partition p goes to machine p mod NM.
@@ -65,6 +67,12 @@ struct JoinConfig {
   /// underloaded ones; the shipped partition data is charged against the
   /// receiving machine's port bandwidth.
   bool enable_work_stealing = false;
+  /// Optional verbs-contract checker (rdma/validator.h). When set, every
+  /// RDMA device, queue pair, completion queue, and buffer pool the executor
+  /// creates reports protocol violations into it; completion queues are
+  /// additionally bounded so overruns become detectable. Must outlive the
+  /// run. Null (the default) disables checking.
+  ProtocolValidator* validator = nullptr;
 
   Status Validate() const;
 

@@ -46,7 +46,8 @@ StatusOr<AggregateRunResult> DistributedAggregate::Run(
   // Histogram + control-plane exchange.
   RelationHistograms hist = ComputeHistograms(input, b1);
   if (nm > 1) {
-    auto collectives = CollectiveNetwork::Create(nm, parts, cluster_.costs);
+    auto collectives = CollectiveNetwork::Create(nm, parts, cluster_.costs,
+                                                 config_.validator);
     RDMAJOIN_RETURN_IF_ERROR(collectives.status());
     auto reduced = (*collectives)->AllReduceSum(hist.per_machine);
     RDMAJOIN_RETURN_IF_ERROR(reduced.status());

@@ -55,8 +55,8 @@ StatusOr<JoinRunResult> DistributedSortMergeJoin::Run(
                                                           256);
   std::vector<uint64_t> sample_pool;
   if (nm > 1) {
-    auto collectives =
-        CollectiveNetwork::Create(nm, samples_per_machine, cluster_.costs);
+    auto collectives = CollectiveNetwork::Create(nm, samples_per_machine,
+                                                 cluster_.costs, config_.validator);
     RDMAJOIN_RETURN_IF_ERROR(collectives.status());
     std::vector<std::vector<uint64_t>> contributions(nm);
     for (uint32_t m = 0; m < nm; ++m) {

@@ -1,0 +1,113 @@
+#include "rdma/validator.h"
+
+#include <cstdio>
+
+namespace rdmajoin {
+
+std::string_view ProtocolViolationName(ProtocolViolation v) {
+  switch (v) {
+    case ProtocolViolation::kUseAfterDeregister:
+      return "use-after-deregister";
+    case ProtocolViolation::kOutOfBounds:
+      return "out-of-bounds";
+    case ProtocolViolation::kReceiverNotReady:
+      return "receiver-not-ready";
+    case ProtocolViolation::kDoubleRelease:
+      return "double-release";
+    case ProtocolViolation::kBufferLeak:
+      return "buffer-leak";
+    case ProtocolViolation::kRegionLeak:
+      return "region-leak";
+    case ProtocolViolation::kCqOverflow:
+      return "cq-overflow";
+  }
+  return "unknown";
+}
+
+uint64_t ProtocolReport::total() const {
+  uint64_t sum = 0;
+  for (uint64_t c : counts) sum += c;
+  return sum;
+}
+
+std::string ProtocolReport::ToString() const {
+  std::string out = "verbs protocol report: " + std::to_string(total()) +
+                    " violation(s)\n";
+  for (size_t i = 0; i < kNumProtocolViolations; ++i) {
+    const auto v = static_cast<ProtocolViolation>(i);
+    char line[80];
+    std::snprintf(line, sizeof(line), "  %-22s %llu\n",
+                  std::string(ProtocolViolationName(v)).c_str(),
+                  static_cast<unsigned long long>(counts[i]));
+    out += line;
+  }
+  if (!samples.empty()) {
+    out += "first occurrences:\n";
+    for (const std::string& s : samples) {
+      out += "  " + s + "\n";
+    }
+    if (dropped_samples > 0) {
+      out += "  ... and " + std::to_string(dropped_samples) + " more\n";
+    }
+  }
+  return out;
+}
+
+void ProtocolValidator::Record(ProtocolViolation v, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++report_.counts[static_cast<size_t>(v)];
+  if (report_.samples.size() < kMaxSamples) {
+    report_.samples.push_back(std::string(ProtocolViolationName(v)) + ": " +
+                              std::move(detail));
+  } else {
+    ++report_.dropped_samples;
+  }
+}
+
+Status ProtocolValidator::Filter(ProtocolViolation v, const Status& error) {
+  Record(v, error.message());
+  return strict() ? error : Status::OK();
+}
+
+void ProtocolValidator::OnRegister(uint32_t device_id, uint32_t lkey,
+                                   uint32_t rkey) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A recycled key is live again; forget that it was ever dead.
+  dead_keys_.erase(KeyId(device_id, lkey));
+  dead_keys_.erase(KeyId(device_id, rkey));
+}
+
+void ProtocolValidator::OnDeregister(uint32_t device_id, uint32_t lkey,
+                                     uint32_t rkey) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_keys_.insert(KeyId(device_id, lkey));
+  dead_keys_.insert(KeyId(device_id, rkey));
+}
+
+bool ProtocolValidator::WasDeregistered(uint32_t device_id, uint32_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_keys_.count(KeyId(device_id, key)) > 0;
+}
+
+uint64_t ProtocolValidator::count(ProtocolViolation v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_.counts[static_cast<size_t>(v)];
+}
+
+uint64_t ProtocolValidator::total_violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_.total();
+}
+
+ProtocolReport ProtocolValidator::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_;
+}
+
+void ProtocolValidator::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  report_ = ProtocolReport{};
+  dead_keys_.clear();
+}
+
+}  // namespace rdmajoin

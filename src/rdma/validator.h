@@ -1,0 +1,126 @@
+#ifndef RDMAJOIN_RDMA_VALIDATOR_H_
+#define RDMAJOIN_RDMA_VALIDATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdmajoin {
+
+/// The verbs protocol contract the join must respect (Section 3.2.1): memory
+/// is registered before the HCA touches it, work requests stay inside their
+/// regions, receives are posted before sends arrive, pooled buffers are
+/// released exactly once, completion queues are drained before they overrun,
+/// and every region is deregistered before its device goes away. The
+/// ProtocolValidator turns each breach of that contract into a typed,
+/// countable violation instead of silent corruption.
+enum class ProtocolViolation : uint8_t {
+  /// A work request (or deregistration) referenced an lkey/rkey that is not
+  /// live on the device -- either deregistered earlier or never registered.
+  kUseAfterDeregister = 0,
+  /// A work request addressed bytes outside its memory region.
+  kOutOfBounds,
+  /// A SEND arrived at a queue pair with no posted receive (RNR).
+  kReceiverNotReady,
+  /// A pooled buffer was released while not outstanding (double release or
+  /// release of a foreign pointer).
+  kDoubleRelease,
+  /// Buffers still outstanding when their pool was destroyed.
+  kBufferLeak,
+  /// Memory regions still registered when their device was destroyed.
+  kRegionLeak,
+  /// A completion was dropped because the completion queue was full.
+  kCqOverflow,
+};
+
+inline constexpr size_t kNumProtocolViolations = 7;
+
+/// Stable kebab-case name, e.g. "use-after-deregister".
+std::string_view ProtocolViolationName(ProtocolViolation v);
+
+/// Aggregated findings of one validation run.
+struct ProtocolReport {
+  std::array<uint64_t, kNumProtocolViolations> counts{};
+  /// First occurrences, capped; each line is "<violation>: <detail>".
+  std::vector<std::string> samples;
+  uint64_t dropped_samples = 0;
+
+  uint64_t total() const;
+  /// Human-readable multi-line summary (one row per violation class).
+  std::string ToString() const;
+};
+
+/// Collects protocol violations reported by RdmaDevice, QueuePair,
+/// CompletionQueue and RegisteredBufferPool. Attach one validator to a
+/// device (RdmaDevice::set_validator) -- or to a whole run through
+/// JoinConfig::validator -- and every component that touches that device
+/// reports into it.
+///
+/// Modes:
+///  - kReport: violations are recorded and the offending operation is
+///    suppressed; posts complete "successfully" with a failed work
+///    completion, mirroring how a real HCA surfaces protection errors.
+///    Use this to replay a whole join and collect the full report
+///    (tools/rdmajoin_check).
+///  - kStrict: violations are recorded and the offending call returns the
+///    underlying error Status immediately, so tests and CI fail at the
+///    first breach. Teardown-time violations (leaks) are always
+///    record-only, since destructors cannot fail.
+///
+/// The validator is internally synchronized; one instance may observe
+/// devices driven from multiple threads.
+class ProtocolValidator {
+ public:
+  enum class Mode { kReport, kStrict };
+
+  explicit ProtocolValidator(Mode mode = Mode::kReport) : mode_(mode) {}
+
+  Mode mode() const { return mode_; }
+  bool strict() const { return mode_ == Mode::kStrict; }
+
+  /// Records one occurrence of `v`. `detail` should identify the offending
+  /// key/buffer/queue, e.g. "PostSend src: lkey 5 deregistered".
+  void Record(ProtocolViolation v, std::string detail);
+
+  /// Records `v` and decides how the call site proceeds: returns `error`
+  /// in strict mode and OK in report mode. Call sites must suppress the
+  /// operation themselves when OK is returned.
+  Status Filter(ProtocolViolation v, const Status& error);
+
+  /// Region lifetime tracking, fed by RdmaDevice, so the validator can tell
+  /// a deregistered key apart from one that never existed.
+  void OnRegister(uint32_t device_id, uint32_t lkey, uint32_t rkey);
+  void OnDeregister(uint32_t device_id, uint32_t lkey, uint32_t rkey);
+  /// True if `key` (an lkey or rkey) was registered on `device_id` and has
+  /// since been deregistered.
+  bool WasDeregistered(uint32_t device_id, uint32_t key) const;
+
+  uint64_t count(ProtocolViolation v) const;
+  uint64_t total_violations() const;
+  /// Snapshot of the accumulated findings.
+  ProtocolReport report() const;
+  /// Clears all counts, samples, and key history.
+  void Reset();
+
+ private:
+  static uint64_t KeyId(uint32_t device_id, uint32_t key) {
+    return (static_cast<uint64_t>(device_id) << 32) | key;
+  }
+
+  static constexpr size_t kMaxSamples = 64;
+
+  const Mode mode_;
+  mutable std::mutex mu_;
+  ProtocolReport report_;
+  std::unordered_set<uint64_t> dead_keys_;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_RDMA_VALIDATOR_H_

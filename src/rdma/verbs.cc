@@ -2,8 +2,27 @@
 
 #include <cassert>
 #include <cstring>
+#include <string>
 
 namespace rdmajoin {
+
+namespace {
+
+/// Distinguishes a key that was deregistered (use-after-free of the region)
+/// from one that never existed; both violate the same contract clause.
+std::string DescribeKey(const RdmaDevice* device, ProtocolValidator* validator,
+                        uint32_t key, const char* what) {
+  std::string desc = std::string(what) + ": key " + std::to_string(key);
+  if (validator != nullptr && validator->WasDeregistered(device->id(), key)) {
+    desc += " was deregistered";
+  } else {
+    desc += " was never registered";
+  }
+  desc += " (device " + std::to_string(device->id()) + ")";
+  return desc;
+}
+
+}  // namespace
 
 size_t CompletionQueue::Poll(size_t max, std::vector<WorkCompletion>* out) {
   size_t n = 0;
@@ -22,14 +41,37 @@ bool CompletionQueue::PollOne(WorkCompletion* out) {
   return true;
 }
 
+bool CompletionQueue::Push(const WorkCompletion& wc, ProtocolValidator* validator) {
+  if (capacity_ != 0 && entries_.size() >= capacity_) {
+    ++overflow_drops_;
+    if (validator != nullptr) {
+      validator->Record(ProtocolViolation::kCqOverflow,
+                        "completion queue full (capacity " +
+                            std::to_string(capacity_) + "), wr_id " +
+                            std::to_string(wc.wr_id) + " dropped");
+    }
+    return false;
+  }
+  entries_.push_back(wc);
+  return true;
+}
+
 RdmaDevice::RdmaDevice(uint32_t device_id, MemorySpace* memory, const CostModel& costs,
                        double pin_scale)
     : device_id_(device_id), memory_(memory), costs_(costs), pin_scale_(pin_scale) {}
 
 RdmaDevice::~RdmaDevice() {
   // Regions leaked by the caller are unpinned so the memory space stays
-  // consistent across tests.
+  // consistent across tests, but each one is a protocol violation: the
+  // contract requires deregistration before the device goes away.
   for (auto& [lkey, mr] : by_lkey_) {
+    if (validator_ != nullptr) {
+      validator_->Record(ProtocolViolation::kRegionLeak,
+                         "device " + std::to_string(device_id_) + ": lkey " +
+                             std::to_string(lkey) + " (" +
+                             std::to_string(mr.length) +
+                             " bytes) still registered at teardown");
+    }
     if (memory_ != nullptr) memory_->Unpin(PinBytes(mr.length));
   }
 }
@@ -52,17 +94,27 @@ StatusOr<MemoryRegion> RdmaDevice::RegisterMemory(uint8_t* addr, uint64_t length
   ++stats_.regions_registered;
   stats_.bytes_registered += length;
   stats_.registration_seconds += costs_.RegistrationSeconds(length);
+  if (validator_ != nullptr) validator_->OnRegister(device_id_, mr.lkey, mr.rkey);
   return mr;
 }
 
 Status RdmaDevice::DeregisterMemory(const MemoryRegion& mr) {
   auto it = by_lkey_.find(mr.lkey);
   if (it == by_lkey_.end()) {
-    return Status::NotFound("memory region not registered with this device");
+    Status error =
+        Status::NotFound("memory region not registered with this device");
+    if (validator_ == nullptr) return error;
+    // Deregistering a dead (or foreign) region is itself a lifetime bug.
+    validator_->Record(ProtocolViolation::kUseAfterDeregister,
+                       DescribeKey(this, validator_, mr.lkey, "DeregisterMemory"));
+    return validator_->strict() ? error : Status::OK();
   }
   if (memory_ != nullptr) memory_->Unpin(PinBytes(it->second.length));
   stats_.deregistration_seconds += costs_.DeregistrationSeconds(it->second.length);
   ++stats_.regions_deregistered;
+  if (validator_ != nullptr) {
+    validator_->OnDeregister(device_id_, it->second.lkey, it->second.rkey);
+  }
   rkey_to_lkey_.erase(it->second.rkey);
   by_lkey_.erase(it);
   return Status::OK();
@@ -109,10 +161,34 @@ Status QueuePair::CheckBounds(const MemoryRegion* mr, uint64_t offset, uint64_t 
   return Status::OK();
 }
 
+Status QueuePair::FailWr(ProtocolViolation violation, const Status& error,
+                         WorkCompletion::Op op, uint64_t wr_id,
+                         CompletionQueue* cq) {
+  ProtocolValidator* validator = local_->validator();
+  if (validator == nullptr) return error;
+  validator->Record(violation, error.message());
+  if (validator->strict()) return error;
+  // Report mode: the post "succeeds" and the violation surfaces as a failed
+  // completion, the way a real HCA delivers protection errors.
+  cq->Push(WorkCompletion{op, wr_id, 0, 0, /*success=*/false}, validator);
+  return Status::OK();
+}
+
 Status QueuePair::PostRecv(uint64_t wr_id, uint32_t lkey, uint64_t offset,
                            uint64_t max_len) {
+  ProtocolValidator* validator = local_->validator();
   const MemoryRegion* mr = local_->FindByLkey(lkey);
-  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(mr, offset, max_len, "PostRecv"));
+  if (mr == nullptr) {
+    Status error = Status::InvalidArgument(
+        DescribeKey(local_, validator, lkey, "PostRecv"));
+    return FailWr(ProtocolViolation::kUseAfterDeregister, error,
+                  WorkCompletion::Op::kRecv, wr_id, recv_cq_);
+  }
+  Status bounds = CheckBounds(mr, offset, max_len, "PostRecv");
+  if (!bounds.ok()) {
+    return FailWr(ProtocolViolation::kOutOfBounds, bounds,
+                  WorkCompletion::Op::kRecv, wr_id, recv_cq_);
+  }
   recv_queue_.push_back(PostedRecv{wr_id, lkey, offset, max_len});
   ++local_->stats_.recvs_posted;
   return Status::OK();
@@ -121,56 +197,122 @@ Status QueuePair::PostRecv(uint64_t wr_id, uint32_t lkey, uint64_t offset,
 Status QueuePair::PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset,
                            uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
+  ProtocolValidator* validator = local_->validator();
   const MemoryRegion* src = local_->FindByLkey(lkey);
-  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(src, offset, len, "PostSend src"));
+  if (src == nullptr) {
+    Status error = Status::InvalidArgument(
+        DescribeKey(local_, validator, lkey, "PostSend src"));
+    return FailWr(ProtocolViolation::kUseAfterDeregister, error,
+                  WorkCompletion::Op::kSend, wr_id, send_cq_);
+  }
+  Status bounds = CheckBounds(src, offset, len, "PostSend src");
+  if (!bounds.ok()) {
+    return FailWr(ProtocolViolation::kOutOfBounds, bounds,
+                  WorkCompletion::Op::kSend, wr_id, send_cq_);
+  }
   if (peer_->recv_queue_.empty()) {
-    return Status::ResourceExhausted("receiver not ready: no posted receive");
+    return FailWr(ProtocolViolation::kReceiverNotReady,
+                  Status::ResourceExhausted("receiver not ready: no posted receive"),
+                  WorkCompletion::Op::kSend, wr_id, send_cq_);
   }
   PostedRecv rx = peer_->recv_queue_.front();
   const MemoryRegion* dst = peer_->local_->FindByLkey(rx.lkey);
-  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(dst, rx.offset, rx.max_len, "PostSend dst"));
+  if (dst == nullptr) {
+    // The receive buffer's region was deregistered after the recv was
+    // posted; the posted receive is consumed, as on real hardware.
+    peer_->recv_queue_.pop_front();
+    Status error = Status::InvalidArgument(
+        DescribeKey(peer_->local_, validator, rx.lkey, "PostSend dst"));
+    return FailWr(ProtocolViolation::kUseAfterDeregister, error,
+                  WorkCompletion::Op::kSend, wr_id, send_cq_);
+  }
   if (len > rx.max_len) {
-    return Status::OutOfRange("message larger than posted receive buffer");
+    return FailWr(ProtocolViolation::kOutOfBounds,
+                  Status::OutOfRange("message larger than posted receive buffer"),
+                  WorkCompletion::Op::kSend, wr_id, send_cq_);
   }
   peer_->recv_queue_.pop_front();
   std::memcpy(dst->addr + rx.offset, src->addr + offset, len);
 
   ++local_->stats_.messages_sent;
   local_->stats_.bytes_sent += len;
-  send_cq_->entries_.push_back(
-      WorkCompletion{WorkCompletion::Op::kSend, wr_id, len, 0, true});
-  peer_->recv_cq_->entries_.push_back(
-      WorkCompletion{WorkCompletion::Op::kRecv, rx.wr_id, len, rx.lkey, true});
+  send_cq_->Push(WorkCompletion{WorkCompletion::Op::kSend, wr_id, len, 0, true},
+                 validator);
+  peer_->recv_cq_->Push(
+      WorkCompletion{WorkCompletion::Op::kRecv, rx.wr_id, len, rx.lkey, true},
+      peer_->local_->validator());
   return Status::OK();
 }
 
 Status QueuePair::PostWrite(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
                             uint32_t rkey, uint64_t remote_offset, uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
+  ProtocolValidator* validator = local_->validator();
   const MemoryRegion* src = local_->FindByLkey(local_lkey);
-  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(src, local_offset, len, "PostWrite src"));
+  if (src == nullptr) {
+    Status error = Status::InvalidArgument(
+        DescribeKey(local_, validator, local_lkey, "PostWrite src"));
+    return FailWr(ProtocolViolation::kUseAfterDeregister, error,
+                  WorkCompletion::Op::kWrite, wr_id, send_cq_);
+  }
+  Status bounds = CheckBounds(src, local_offset, len, "PostWrite src");
+  if (!bounds.ok()) {
+    return FailWr(ProtocolViolation::kOutOfBounds, bounds,
+                  WorkCompletion::Op::kWrite, wr_id, send_cq_);
+  }
   const MemoryRegion* dst = peer_->local_->FindByRkey(rkey);
-  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(dst, remote_offset, len, "PostWrite dst"));
+  if (dst == nullptr) {
+    Status error = Status::InvalidArgument(
+        DescribeKey(peer_->local_, validator, rkey, "PostWrite dst"));
+    return FailWr(ProtocolViolation::kUseAfterDeregister, error,
+                  WorkCompletion::Op::kWrite, wr_id, send_cq_);
+  }
+  bounds = CheckBounds(dst, remote_offset, len, "PostWrite dst");
+  if (!bounds.ok()) {
+    return FailWr(ProtocolViolation::kOutOfBounds, bounds,
+                  WorkCompletion::Op::kWrite, wr_id, send_cq_);
+  }
   std::memcpy(dst->addr + remote_offset, src->addr + local_offset, len);
   ++local_->stats_.writes_posted;
   local_->stats_.bytes_written += len;
   ++local_->stats_.messages_sent;
   local_->stats_.bytes_sent += len;
-  send_cq_->entries_.push_back(
-      WorkCompletion{WorkCompletion::Op::kWrite, wr_id, len, 0, true});
+  send_cq_->Push(WorkCompletion{WorkCompletion::Op::kWrite, wr_id, len, 0, true},
+                 validator);
   return Status::OK();
 }
 
 Status QueuePair::PostRead(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
                            uint32_t rkey, uint64_t remote_offset, uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
+  ProtocolValidator* validator = local_->validator();
   const MemoryRegion* dst = local_->FindByLkey(local_lkey);
-  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(dst, local_offset, len, "PostRead dst"));
+  if (dst == nullptr) {
+    Status error = Status::InvalidArgument(
+        DescribeKey(local_, validator, local_lkey, "PostRead dst"));
+    return FailWr(ProtocolViolation::kUseAfterDeregister, error,
+                  WorkCompletion::Op::kRead, wr_id, send_cq_);
+  }
+  Status bounds = CheckBounds(dst, local_offset, len, "PostRead dst");
+  if (!bounds.ok()) {
+    return FailWr(ProtocolViolation::kOutOfBounds, bounds,
+                  WorkCompletion::Op::kRead, wr_id, send_cq_);
+  }
   const MemoryRegion* src = peer_->local_->FindByRkey(rkey);
-  RDMAJOIN_RETURN_IF_ERROR(CheckBounds(src, remote_offset, len, "PostRead src"));
+  if (src == nullptr) {
+    Status error = Status::InvalidArgument(
+        DescribeKey(peer_->local_, validator, rkey, "PostRead src"));
+    return FailWr(ProtocolViolation::kUseAfterDeregister, error,
+                  WorkCompletion::Op::kRead, wr_id, send_cq_);
+  }
+  bounds = CheckBounds(src, remote_offset, len, "PostRead src");
+  if (!bounds.ok()) {
+    return FailWr(ProtocolViolation::kOutOfBounds, bounds,
+                  WorkCompletion::Op::kRead, wr_id, send_cq_);
+  }
   std::memcpy(dst->addr + local_offset, src->addr + remote_offset, len);
-  send_cq_->entries_.push_back(
-      WorkCompletion{WorkCompletion::Op::kRead, wr_id, len, 0, true});
+  send_cq_->Push(WorkCompletion{WorkCompletion::Op::kRead, wr_id, len, 0, true},
+                 validator);
   return Status::OK();
 }
 

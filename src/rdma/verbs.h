@@ -9,6 +9,7 @@
 
 #include "cluster/cost_model.h"
 #include "cluster/memory_space.h"
+#include "rdma/validator.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -24,6 +25,11 @@ namespace rdmajoin {
 /// all protection checks (lkey/rkey validation, bounds, posted receives) are
 /// enforced, and registration costs are accounted so buffer-management
 /// policies can be compared (Section 3.2.1).
+///
+/// Protocol violations are additionally reported to an optional
+/// ProtocolValidator (rdma/validator.h) attached to the device, which either
+/// fails the offending call (strict mode) or suppresses the operation and
+/// records it for tools/rdmajoin_check (report mode).
 
 class RdmaDevice;
 class QueuePair;
@@ -49,18 +55,35 @@ struct WorkCompletion {
   bool success = true;
 };
 
-/// FIFO of work completions. Shared by any number of queue pairs.
+/// FIFO of work completions. Shared by any number of queue pairs. A capacity
+/// of 0 (the default) means unbounded; with a capacity set, completions
+/// arriving at a full queue are dropped and reported as cq-overflow to the
+/// device's validator -- the simulated equivalent of an IBV_EVENT_CQ_ERR
+/// overrun.
 class CompletionQueue {
  public:
+  explicit CompletionQueue(size_t capacity = 0) : capacity_(capacity) {}
+
   /// Polls up to `max` completions into `out`; returns the number polled.
   size_t Poll(size_t max, std::vector<WorkCompletion>* out);
   /// Returns true and sets `*out` if a completion was available.
   bool PollOne(WorkCompletion* out);
   size_t depth() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  /// Completions dropped because the queue was full.
+  uint64_t overflow_drops() const { return overflow_drops_; }
 
  private:
   friend class QueuePair;
   friend class RdmaDevice;
+
+  /// Appends `wc` unless the queue is full; reports overflow to `validator`
+  /// (may be null) and returns false when the completion was dropped.
+  bool Push(const WorkCompletion& wc, ProtocolValidator* validator);
+
+  size_t capacity_;
+  uint64_t overflow_drops_ = 0;
   std::deque<WorkCompletion> entries_;
 };
 
@@ -94,6 +117,11 @@ class RdmaDevice {
 
   uint32_t id() const { return device_id_; }
 
+  /// Attaches a protocol validator observing this device, its queue pairs
+  /// and any buffer pools drawing from it. Must outlive the device.
+  void set_validator(ProtocolValidator* validator) { validator_ = validator; }
+  ProtocolValidator* validator() const { return validator_; }
+
   /// Registers `[addr, addr+length)` for RDMA access. Pins the pages in the
   /// machine's memory space and charges the registration cost.
   StatusOr<MemoryRegion> RegisterMemory(uint8_t* addr, uint64_t length);
@@ -105,6 +133,9 @@ class RdmaDevice {
   const MemoryRegion* FindByLkey(uint32_t lkey) const;
   /// Looks up a region by remote key; nullptr if unknown.
   const MemoryRegion* FindByRkey(uint32_t rkey) const;
+
+  /// Regions currently registered (not yet deregistered).
+  size_t live_regions() const { return by_lkey_.size(); }
 
   const DeviceStats& stats() const { return stats_; }
   DeviceStats* mutable_stats() { return &stats_; }
@@ -119,6 +150,7 @@ class RdmaDevice {
   MemorySpace* memory_;
   CostModel costs_;
   double pin_scale_;
+  ProtocolValidator* validator_ = nullptr;
   uint32_t next_key_ = 1;
   std::unordered_map<uint32_t, MemoryRegion> by_lkey_;
   std::unordered_map<uint32_t, uint32_t> rkey_to_lkey_;
@@ -127,6 +159,12 @@ class RdmaDevice {
 
 /// A reliable connection between two devices. Supports two-sided SEND/RECV
 /// (channel semantics) and one-sided WRITE/READ (memory semantics).
+///
+/// Error delivery depends on the local device's validator: with none
+/// attached (or in strict mode) a protocol violation fails the Post* call
+/// with an error Status; in report mode the post returns OK, the transfer
+/// is suppressed, and a failed WorkCompletion is delivered instead -- the
+/// way a real HCA surfaces protection errors.
 class QueuePair {
  public:
   /// Connects `local` to `remote`. `send_cq`/`recv_cq` receive this side's
@@ -170,6 +208,12 @@ class QueuePair {
   /// Validates that [offset, offset+len) lies inside the region.
   static Status CheckBounds(const MemoryRegion* mr, uint64_t offset, uint64_t len,
                             const char* what);
+
+  /// Routes a violated work request through the local validator: no
+  /// validator or strict -> returns `error`; report mode -> records the
+  /// violation, delivers a failed completion of `op` to `cq`, returns OK.
+  Status FailWr(ProtocolViolation violation, const Status& error,
+                WorkCompletion::Op op, uint64_t wr_id, CompletionQueue* cq);
 
   RdmaDevice* local_;
   CompletionQueue* send_cq_;

@@ -228,6 +228,7 @@ Status TransportNetwork::Init(const ClusterConfig& cluster, const JoinConfig& co
   for (uint32_t m = 0; m < nm; ++m) {
     devices_.push_back(std::make_unique<RdmaDevice>(m, memories_[m], cluster.costs,
                                                     config.scale_up));
+    devices_.back()->set_validator(config.validator);
   }
 
   auto reserve = [&](uint32_t m, uint64_t actual_bytes) -> Status {
@@ -247,10 +248,18 @@ Status TransportNetwork::Init(const ClusterConfig& cluster, const JoinConfig& co
       for (uint32_t d = 0; d < nm; ++d) {
         if (s == d) continue;
         Link& l = link(s, d);
-        l.src_send_cq = std::make_unique<CompletionQueue>();
-        l.src_recv_cq = std::make_unique<CompletionQueue>();
-        l.dst_send_cq = std::make_unique<CompletionQueue>();
-        l.dst_recv_cq = std::make_unique<CompletionQueue>();
+        // With a validator attached the CQs are bounded like real hardware
+        // CQs, so an undrained queue surfaces as a cq-overflow violation.
+        // The data path drains one completion per Ship, so a depth of ring
+        // size + slack never overflows in a conforming run.
+        const size_t cq_capacity =
+            config.validator == nullptr
+                ? 0
+                : static_cast<size_t>(config.recv_buffers_per_link) + 2;
+        l.src_send_cq = std::make_unique<CompletionQueue>(cq_capacity);
+        l.src_recv_cq = std::make_unique<CompletionQueue>(cq_capacity);
+        l.dst_send_cq = std::make_unique<CompletionQueue>(cq_capacity);
+        l.dst_recv_cq = std::make_unique<CompletionQueue>(cq_capacity);
         l.src_qp = std::make_unique<QueuePair>(devices_[s].get(), l.src_send_cq.get(),
                                                l.src_recv_cq.get());
         l.dst_qp = std::make_unique<QueuePair>(devices_[d].get(), l.dst_send_cq.get(),

@@ -6,7 +6,8 @@
 namespace rdmajoin {
 
 StatusOr<std::unique_ptr<CollectiveNetwork>> CollectiveNetwork::Create(
-    uint32_t num_machines, uint64_t element_capacity, const CostModel& costs) {
+    uint32_t num_machines, uint64_t element_capacity, const CostModel& costs,
+    ProtocolValidator* validator) {
   if (num_machines == 0) {
     return Status::InvalidArgument("need at least one machine");
   }
@@ -14,7 +15,8 @@ StatusOr<std::unique_ptr<CollectiveNetwork>> CollectiveNetwork::Create(
     return Status::InvalidArgument("element capacity must be positive");
   }
   auto net = std::unique_ptr<CollectiveNetwork>(new CollectiveNetwork());
-  RDMAJOIN_RETURN_IF_ERROR(net->Init(num_machines, element_capacity, costs));
+  RDMAJOIN_RETURN_IF_ERROR(
+      net->Init(num_machines, element_capacity, costs, validator));
   return net;
 }
 
@@ -35,12 +37,14 @@ CollectiveNetwork::~CollectiveNetwork() {
 }
 
 Status CollectiveNetwork::Init(uint32_t num_machines, uint64_t element_capacity,
-                               const CostModel& costs) {
+                               const CostModel& costs,
+                               ProtocolValidator* validator) {
   num_machines_ = num_machines;
   element_capacity_ = element_capacity;
   devices_.reserve(num_machines);
   for (uint32_t m = 0; m < num_machines; ++m) {
     devices_.push_back(std::make_unique<RdmaDevice>(m, nullptr, costs));
+    devices_.back()->set_validator(validator);
   }
   send_buffers_.resize(num_machines);
   send_mrs_.resize(num_machines);

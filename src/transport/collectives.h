@@ -28,10 +28,11 @@ class CollectiveNetwork {
  public:
   /// Builds a full mesh of queue pairs between `num_machines` devices.
   /// `element_capacity` is the largest vector (in uint64 elements) a single
-  /// collective call may exchange.
+  /// collective call may exchange. `validator` (optional) observes every
+  /// device for verbs-contract violations and must outlive the network.
   static StatusOr<std::unique_ptr<CollectiveNetwork>> Create(
       uint32_t num_machines, uint64_t element_capacity,
-      const CostModel& costs = CostModel());
+      const CostModel& costs = CostModel(), ProtocolValidator* validator = nullptr);
 
   ~CollectiveNetwork();
   CollectiveNetwork(const CollectiveNetwork&) = delete;
@@ -64,7 +65,7 @@ class CollectiveNetwork {
  private:
   CollectiveNetwork() = default;
   Status Init(uint32_t num_machines, uint64_t element_capacity,
-              const CostModel& costs);
+              const CostModel& costs, ProtocolValidator* validator);
 
   uint32_t num_machines_ = 0;
   uint64_t element_capacity_ = 0;

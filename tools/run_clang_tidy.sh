@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the project sources against a compile_commands.json.
+#
+# Usage: tools/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+#   BUILD_DIR   build tree holding compile_commands.json (default: build)
+#
+# Exits 0 when every file is clean, 1 on findings. When clang-tidy is not
+# installed (the CI image and the dev container only ship gcc), the script
+# prints a notice and exits 0 so it can be wired into pipelines
+# unconditionally.
+set -u
+
+BUILD_DIR="${1:-build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+EXTRA_ARGS=("$@")
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+TIDY_BIN="${CLANG_TIDY:-}"
+if [[ -z "${TIDY_BIN}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      TIDY_BIN="${candidate}"
+      break
+    fi
+  done
+fi
+
+if [[ -z "${TIDY_BIN}" ]]; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH; skipping." >&2
+  echo "Install clang-tidy (or set CLANG_TIDY=/path/to/clang-tidy) to run" >&2
+  echo "the checks configured in .clang-tidy." >&2
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "Configure first: cmake --preset dev (CMAKE_EXPORT_COMPILE_COMMANDS" >&2
+  echo "is on by default)." >&2
+  exit 1
+fi
+
+mapfile -t SOURCES < <(git ls-files 'src/**/*.cc' 'tools/*.cc')
+if [[ "${#SOURCES[@]}" -eq 0 ]]; then
+  echo "run_clang_tidy.sh: no sources found." >&2
+  exit 1
+fi
+
+echo "Running ${TIDY_BIN} on ${#SOURCES[@]} files (${BUILD_DIR}/compile_commands.json)..."
+FAILED=0
+for src in "${SOURCES[@]}"; do
+  if ! "${TIDY_BIN}" -p "${BUILD_DIR}" --quiet "${EXTRA_ARGS[@]}" "${src}"; then
+    FAILED=1
+    echo "clang-tidy: findings in ${src}" >&2
+  fi
+done
+
+if [[ "${FAILED}" -ne 0 ]]; then
+  echo "run_clang_tidy.sh: clang-tidy reported findings." >&2
+  exit 1
+fi
+echo "run_clang_tidy.sh: all clean."
+exit 0
