@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace rdmajoin {
 
@@ -13,6 +14,13 @@ RegisteredBufferPool::RegisteredBufferPool(RdmaDevice* device, uint64_t buffer_b
 }
 
 RegisteredBufferPool::~RegisteredBufferPool() {
+  ProtocolValidator* validator = device_->validator();
+  if (validator != nullptr && !outstanding_.empty()) {
+    validator->Record(ProtocolViolation::kBufferLeak,
+                      std::to_string(outstanding_.size()) +
+                          " buffer(s) still outstanding at pool teardown (device " +
+                          std::to_string(device_->id()) + ")");
+  }
   for (auto& buf : all_) {
     if (buf->data != nullptr) {
       // Best-effort: deregistration failures are impossible for regions this
@@ -53,6 +61,7 @@ StatusOr<RegisteredBuffer*> RegisteredBufferPool::Acquire() {
     RegisteredBuffer* buf = free_.back();
     free_.pop_back();
     buf->used = 0;
+    outstanding_.insert(buf);
     return buf;
   }
   auto buf = CreateBuffer();
@@ -61,15 +70,29 @@ StatusOr<RegisteredBuffer*> RegisteredBufferPool::Acquire() {
     return buf.status();
   }
   (*buf)->used = 0;
+  outstanding_.insert(*buf);
   return *buf;
 }
 
-void RegisteredBufferPool::Release(RegisteredBuffer* buf) {
-  assert(buf != nullptr);
+Status RegisteredBufferPool::Release(RegisteredBuffer* buf) {
+  if (buf == nullptr) {
+    return Status::InvalidArgument("Release of a null buffer");
+  }
+  if (outstanding_.erase(buf) == 0) {
+    // Double release (or a pointer this pool never handed out). Pushing it
+    // onto the free list anyway would hand the same buffer to two owners,
+    // so the release is refused in every mode.
+    Status error = Status::FailedPrecondition(
+        "buffer released while not outstanding (double release?)");
+    ProtocolValidator* validator = device_->validator();
+    if (validator == nullptr) return error;
+    validator->Record(ProtocolViolation::kDoubleRelease, error.message());
+    return validator->strict() ? error : Status::OK();
+  }
   buf->used = 0;
   if (policy_ == Policy::kPooled) {
     free_.push_back(buf);
-    return;
+    return Status::OK();
   }
   // Register-on-demand: tear the buffer down entirely.
   (void)device_->DeregisterMemory(buf->mr);
@@ -77,6 +100,7 @@ void RegisteredBufferPool::Release(RegisteredBuffer* buf) {
                          [buf](const auto& p) { return p.get() == buf; });
   assert(it != all_.end());
   all_.erase(it);
+  return Status::OK();
 }
 
 }  // namespace rdmajoin

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "rdma/verbs.h"
@@ -29,6 +30,12 @@ struct RegisteredBuffer {
 /// registering new memory regions on the fly." The pool implements exactly
 /// that policy; the kRegisterOnDemand policy exists to quantify what it saves
 /// (bench/abl_registration).
+///
+/// The pool enforces the acquire/release contract: a buffer must be released
+/// exactly once per acquisition, and every buffer must be back in the pool
+/// when it is destroyed. Breaches are reported to the device's
+/// ProtocolValidator (double-release, buffer-leak) and, with or without a
+/// validator, never corrupt the free list.
 class RegisteredBufferPool {
  public:
   enum class Policy {
@@ -53,7 +60,10 @@ class RegisteredBufferPool {
   StatusOr<RegisteredBuffer*> Acquire();
 
   /// Returns `buf` to the pool (or deregisters it under kRegisterOnDemand).
-  void Release(RegisteredBuffer* buf);
+  /// Releasing a buffer that is not outstanding is a protocol violation:
+  /// the buffer is left untouched and FailedPrecondition is returned (OK in
+  /// a validator's report mode, after recording the violation).
+  Status Release(RegisteredBuffer* buf);
 
   uint64_t buffer_bytes() const { return buffer_bytes_; }
   Policy policy() const { return policy_; }
@@ -65,7 +75,7 @@ class RegisteredBufferPool {
   /// Acquisitions served without a new registration.
   uint64_t reuses() const { return acquisitions_ - buffers_created_; }
   size_t free_buffers() const { return free_.size(); }
-  size_t outstanding() const { return all_.size() - free_.size(); }
+  size_t outstanding() const { return outstanding_.size(); }
 
  private:
   StatusOr<RegisteredBuffer*> CreateBuffer();
@@ -75,6 +85,8 @@ class RegisteredBufferPool {
   Policy policy_;
   std::vector<std::unique_ptr<RegisteredBuffer>> all_;
   std::vector<RegisteredBuffer*> free_;
+  /// Buffers currently acquired and not yet released.
+  std::unordered_set<RegisteredBuffer*> outstanding_;
   uint64_t buffers_created_ = 0;
   uint64_t acquisitions_ = 0;
 };

@@ -87,6 +87,46 @@ TEST_F(BufferPoolTest, BuffersAreRegisteredWithTheDevice) {
   EXPECT_EQ((*buf)->capacity(), 256u);
 }
 
+// Regression: a double release used to push the same buffer onto the free
+// list twice, so two later Acquire calls handed the same buffer to two
+// owners. The release must be refused and the free list left intact.
+TEST_F(BufferPoolTest, DoubleReleaseIsRefusedAndDoesNotCorruptFreeList) {
+  RegisteredBufferPool pool(&dev_, 4096);
+  auto buf = pool.Acquire();
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(pool.Release(*buf).ok());
+  ASSERT_EQ(pool.free_buffers(), 1u);
+
+  EXPECT_EQ(pool.Release(*buf).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.free_buffers(), 1u);
+
+  auto a = pool.Acquire();
+  auto b = pool.Acquire();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);  // Distinct owners get distinct buffers.
+}
+
+TEST_F(BufferPoolTest, ReleaseOfForeignPointerIsRefused) {
+  RegisteredBufferPool pool(&dev_, 1024);
+  RegisteredBuffer foreign;
+  EXPECT_EQ(pool.Release(&foreign).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.Release(nullptr).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST_F(BufferPoolTest, OutstandingTracksAcquireReleasePairs) {
+  RegisteredBufferPool pool(&dev_, 512);
+  EXPECT_EQ(pool.outstanding(), 0u);
+  auto a = pool.Acquire();
+  auto b = pool.Acquire();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(pool.outstanding(), 2u);
+  ASSERT_TRUE(pool.Release(*a).ok());
+  EXPECT_EQ(pool.outstanding(), 1u);
+  ASSERT_TRUE(pool.Release(*b).ok());
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
 TEST_F(BufferPoolTest, DestructorDeregistersEverything) {
   {
     RegisteredBufferPool pool(&dev_, 128);
