@@ -9,6 +9,24 @@
 
 namespace rdmajoin {
 
+namespace {
+
+/// Runs `fn` when the scope exits, on success and error paths alike. Used to
+/// guarantee staging regions are deregistered before their device goes away.
+template <typename Fn>
+class ScopeExit {
+ public:
+  explicit ScopeExit(Fn fn) : fn_(std::move(fn)) {}
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+  ~ScopeExit() { fn_(); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace
+
 PartitionStore::PartitionStore(uint32_t tuple_bytes, uint32_t num_partitions,
                                uint32_t num_relations)
     : tuple_bytes_(tuple_bytes),
@@ -73,6 +91,13 @@ StatusOr<Exchange::Result> Exchange::Run(
   if (num_relations == 0) return Status::InvalidArgument("no input relations");
   if (assignment_.size() != parts || global_counts_.size() != num_relations) {
     return Status::InvalidArgument("assignment/global count shape mismatch");
+  }
+  if (memories.size() != nm || reservations.size() != nm) {
+    return Status::InvalidArgument(
+        "one memory space and one reservation per machine required");
+  }
+  if (trace == nullptr || trace->machines.size() != nm) {
+    return Status::InvalidArgument("trace must carry one MachineTrace per machine");
   }
   const uint32_t tuple_bytes = inputs[0]->tuple_bytes();
   for (const auto* rel : inputs) {
@@ -180,16 +205,16 @@ StatusOr<Exchange::Result> Exchange::Run(
         RegisteredBuffer* buf = slot[p];
         if (buf == nullptr || buf->used == 0) {
           if (buf != nullptr) {
-            pool.Release(buf);
             slot[p] = nullptr;
+            RDMAJOIN_RETURN_IF_ERROR(pool.Release(buf));
           }
           return Status::OK();
         }
         auto wire = channel->Ship(assignment_[p], p, rel, buf);
         RDMAJOIN_RETURN_IF_ERROR(wire.status());
         tt.sends.push_back(SendRecord{assignment_[p], p, *wire, tt.compute_bytes});
-        pool.Release(buf);
         slot[p] = nullptr;
+        RDMAJOIN_RETURN_IF_ERROR(pool.Release(buf));
         return Status::OK();
       };
 
@@ -257,6 +282,13 @@ StatusOr<Exchange::Result> Exchange::RunPull(
   if (assignment_.size() != parts || global_counts_.size() != num_relations) {
     return Status::InvalidArgument("assignment/global count shape mismatch");
   }
+  if (memories.size() != nm || reservations.size() != nm) {
+    return Status::InvalidArgument(
+        "one memory space and one reservation per machine required");
+  }
+  if (trace == nullptr || trace->machines.size() != nm) {
+    return Status::InvalidArgument("trace must carry one MachineTrace per machine");
+  }
   const uint32_t tuple_bytes = inputs[0]->tuple_bytes();
   for (const auto* rel : inputs) {
     if (rel->chunks.size() != nm) {
@@ -302,6 +334,16 @@ StatusOr<Exchange::Result> Exchange::RunPull(
   // remote partition p of relation rel.
   std::vector<std::vector<Relation>> stage(nm);
   std::vector<std::vector<MemoryRegion>> stage_mrs(nm);
+  // Every exit path -- including errors below, which used to leak the pinned
+  // staging regions into device teardown -- deregisters whatever was
+  // registered. Runs before `net` is destroyed (declaration order).
+  ScopeExit deregister_staging([&stage_mrs, &net] {
+    for (uint32_t m = 0; m < stage_mrs.size(); ++m) {
+      for (const MemoryRegion& mr : stage_mrs[m]) {
+        if (mr.length > 0) (void)net.device(m)->DeregisterMemory(mr);
+      }
+    }
+  });
   for (uint32_t m = 0; m < nm; ++m) {
     MachineTrace& mt = trace->machines[m];
     mt.net_threads.resize(threads);
@@ -376,11 +418,11 @@ StatusOr<Exchange::Result> Exchange::RunPull(
                 len));
             WorkCompletion wc;
             if (!net.reader_cq(d, s)->PollOne(&wc) || !wc.success) {
-              pool.Release(*buf);
+              (void)pool.Release(*buf);
               return Status::Internal("missing read completion");
             }
             result.stores[d]->Deliver(p, rel, (*buf)->bytes(), len);
-            pool.Release(*buf);
+            RDMAJOIN_RETURN_IF_ERROR(pool.Release(*buf));
             SendRecord read;
             read.dst_machine = d;
             read.slot = p;
@@ -394,15 +436,6 @@ StatusOr<Exchange::Result> Exchange::RunPull(
     }
     result.pool_buffers_created += pool.buffers_created();
     result.pool_acquisitions += pool.acquisitions();
-  }
-
-  // Deregister staging regions before the devices go away with `net`.
-  for (uint32_t m = 0; m < nm; ++m) {
-    for (size_t s = 0; s < stage[m].size(); ++s) {
-      if (!stage[m][s].empty()) {
-        (void)net.device(m)->DeregisterMemory(stage_mrs[m][s]);
-      }
-    }
   }
 
   for (uint32_t m = 0; m < nm; ++m) {

@@ -234,5 +234,50 @@ TEST(Exchange, ValidatesInputShapes) {
   EXPECT_FALSE(result.ok());
 }
 
+// Regression: wrong-size memory/reservation/trace vectors used to be indexed
+// out of bounds instead of rejected.
+TEST(Exchange, RejectsMismatchedMemoryReservationAndTraceShapes) {
+  for (TransportKind transport :
+       {TransportKind::kRdmaChannel, TransportKind::kRdmaRead}) {
+    ClusterConfig cluster = FdrCluster(2);
+    cluster.transport = transport;
+    JoinConfig config;
+    config.network_radix_bits = 3;
+    RadixPartitioner partitioner(3);
+    auto assignment = RoundRobinAssignment(8, 2);
+    WorkloadSpec spec;
+    spec.inner_tuples = 100;
+    spec.outer_tuples = 100;
+    auto w = GenerateWorkload(spec, 2);
+    ASSERT_TRUE(w.ok());
+    RelationHistograms hist = ComputeHistograms(w->inner, 3);
+    Exchange exchange(cluster, config, &partitioner, assignment, {hist.global});
+    std::vector<MemorySpace> memories(2, MemorySpace(1ull << 30));
+    ScopedReservation r0(&memories[0]), r1(&memories[1]);
+    RunTrace trace;
+    trace.machines.resize(2);
+
+    // One memory space for two machines.
+    auto short_mem =
+        exchange.Run({&w->inner}, {&memories[0]}, {&r0, &r1}, &trace);
+    ASSERT_FALSE(short_mem.ok());
+    EXPECT_EQ(short_mem.status().code(), StatusCode::kInvalidArgument);
+
+    // One reservation for two machines.
+    auto short_res = exchange.Run({&w->inner}, {&memories[0], &memories[1]},
+                                  {&r0}, &trace);
+    ASSERT_FALSE(short_res.ok());
+    EXPECT_EQ(short_res.status().code(), StatusCode::kInvalidArgument);
+
+    // Trace sized for the wrong machine count.
+    RunTrace short_trace;
+    short_trace.machines.resize(1);
+    auto bad_trace = exchange.Run({&w->inner}, {&memories[0], &memories[1]},
+                                  {&r0, &r1}, &short_trace);
+    ASSERT_FALSE(bad_trace.ok());
+    EXPECT_EQ(bad_trace.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 }  // namespace
 }  // namespace rdmajoin

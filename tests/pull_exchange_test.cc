@@ -5,8 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "cluster/presets.h"
+#include "join/assignment.h"
 #include "join/distributed_join.h"
+#include "join/exchange.h"
+#include "join/histogram.h"
+#include "join/partitioner.h"
 #include "operators/distributed_aggregate.h"
+#include "rdma/validator.h"
 #include "workload/generator.h"
 
 namespace rdmajoin {
@@ -100,6 +105,69 @@ TEST(PullExchange, AggregationWorksOverPull) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->stats.groups, spec.inner_tuples);
   EXPECT_EQ(result->stats.total_count, spec.outer_tuples);
+}
+
+// Regression: a pull pass that fails midway used to return without
+// deregistering the staging regions it had already registered, leaking
+// pinned regions into device teardown. Machine 1's memory is sized so its
+// store reservations fit exactly and its staged-bytes reservation is the
+// first thing to fail -- after machine 0 has fully registered its staging
+// regions.
+TEST(PullExchange, FailedRunDeregistersStagingRegions) {
+  const uint32_t nm = 3;
+  WorkloadSpec spec;
+  spec.inner_tuples = 9000;
+  spec.outer_tuples = 9000;
+  auto w = GenerateWorkload(spec, nm);
+  ASSERT_TRUE(w.ok());
+
+  ClusterConfig cluster = PullCluster(nm);
+  JoinConfig config = FastConfig();
+  ProtocolValidator validator(ProtocolValidator::Mode::kStrict);
+  config.validator = &validator;
+  const double scale = config.scale_up;
+  auto virt = [scale](uint64_t actual) {
+    return static_cast<uint64_t>(static_cast<double>(actual) * scale);
+  };
+
+  const uint32_t bits = config.network_radix_bits;
+  const uint32_t parts = 1u << bits;
+  RadixPartitioner partitioner(bits);
+  RelationHistograms hist_r = ComputeHistograms(w->inner, bits);
+  RelationHistograms hist_s = ComputeHistograms(w->outer, bits);
+  auto assignment = RoundRobinAssignment(parts, nm);
+
+  // Machine 1's exact store-reservation demand, mirroring Exchange::RunPull.
+  uint64_t stores_m1 = 0;
+  for (uint32_t p = 0; p < parts; ++p) {
+    if (assignment[p] != 1) continue;
+    stores_m1 += virt((hist_r.global[p] + hist_s.global[p]) * 16);
+  }
+
+  Exchange exchange(cluster, config, &partitioner, assignment,
+                    {hist_r.global, hist_s.global});
+  RunTrace trace;
+  trace.scale_up = scale;
+  trace.machines.resize(nm);
+  std::vector<MemorySpace> memories;
+  memories.emplace_back(1ull << 40);
+  memories.emplace_back(stores_m1);  // Nothing left for the staged bytes.
+  memories.emplace_back(1ull << 40);
+  std::vector<std::unique_ptr<ScopedReservation>> res;
+  std::vector<MemorySpace*> mptrs;
+  std::vector<ScopedReservation*> rptrs;
+  for (uint32_t m = 0; m < nm; ++m) {
+    res.push_back(std::make_unique<ScopedReservation>(&memories[m]));
+    mptrs.push_back(&memories[m]);
+    rptrs.push_back(res[m].get());
+  }
+  auto result = exchange.Run({&w->inner, &w->outer}, mptrs, rptrs, &trace);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status().ToString();
+  EXPECT_EQ(validator.count(ProtocolViolation::kRegionLeak), 0u)
+      << validator.report().ToString();
+  EXPECT_EQ(validator.total_violations(), 0u);
 }
 
 TEST(PullExchange, MovesSameVolumeAsPush) {
