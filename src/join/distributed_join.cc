@@ -336,7 +336,9 @@ StatusOr<JoinRunResult> DistributedJoin::Run(const DistributedRelation& inner,
   }
 
   // ---- Timing replay. ----
-  result.replay = ReplayTrace(cluster_, config_, result.trace);
+  ReplayOptions replay_options;
+  replay_options.metrics = config_.metrics;
+  result.replay = ReplayTrace(cluster_, config_, result.trace, replay_options);
   result.times = result.replay.phases;
   RDMAJOIN_LOG(kInfo) << "join of " << (inner.total_tuples() + outer.total_tuples())
                       << " actual tuples on " << cluster_.name << ": "

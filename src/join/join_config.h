@@ -7,6 +7,7 @@
 
 namespace rdmajoin {
 
+class MetricsRegistry;
 class ProtocolValidator;
 
 /// How first-pass partitions are assigned to machines (Section 4.1).
@@ -73,6 +74,12 @@ struct JoinConfig {
   /// additionally bounded so overruns become detectable. Must outlive the
   /// run. Null (the default) disables checking.
   ProtocolValidator* validator = nullptr;
+  /// Optional observability registry (util/metrics.h). When set, every RDMA
+  /// device records work-request, registration and buffer-pool metrics under
+  /// "rdma.dev<m>.", the timing replay records per-host fabric utilization
+  /// under "fabric." and per-machine phase gauges under "join.". Must
+  /// outlive the run. Null (the default) disables metrics.
+  MetricsRegistry* metrics = nullptr;
 
   Status Validate() const;
 

@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "util/metrics.h"
 #include "util/units.h"
 
 namespace rdmajoin {
@@ -35,7 +36,8 @@ std::string VerifyAgainstTruth(const JoinResultStats& stats,
 }
 
 std::string FormatRunReport(const ClusterConfig& cluster, const JoinRunResult& result,
-                            const GroundTruth* truth) {
+                            const GroundTruth* truth,
+                            const MetricsRegistry* metrics) {
   std::string out;
   const PhaseTimes& t = result.times;
   Appendf(&out, "=== join run on %s (%u machines x %u cores) ===\n",
@@ -72,6 +74,33 @@ std::string FormatRunReport(const ClusterConfig& cluster, const JoinRunResult& r
   Appendf(&out, "buffer pool: %llu acquisitions, %llu registrations\n",
           static_cast<unsigned long long>(result.net.pool_acquisitions),
           static_cast<unsigned long long>(result.net.pool_buffers_created));
+  if (metrics != nullptr) {
+    out.append("observability:\n");
+    for (uint32_t m = 0; m < cluster.num_machines; ++m) {
+      const std::string host = "fabric.host" + std::to_string(m);
+      const Counter* egress = metrics->FindCounter(host + ".egress_bytes");
+      const Counter* ingress = metrics->FindCounter(host + ".ingress_bytes");
+      if (egress != nullptr && ingress != nullptr) {
+        Appendf(&out, "  host%u: %s out, %s in", m,
+                FormatBytes(static_cast<uint64_t>(egress->value())).c_str(),
+                FormatBytes(static_cast<uint64_t>(ingress->value())).c_str());
+      }
+      const std::string dev = "rdma.dev" + std::to_string(m);
+      const Counter* reg_bytes = metrics->FindCounter(dev + ".bytes_registered");
+      const Gauge* pool_hw = metrics->FindGauge(dev + ".pool_outstanding");
+      if (reg_bytes != nullptr) {
+        Appendf(&out, ", %s registered",
+                FormatBytes(static_cast<uint64_t>(reg_bytes->value())).c_str());
+      }
+      if (pool_hw != nullptr) {
+        Appendf(&out, ", pool high-water %.0f buffers", pool_hw->max());
+      }
+      if ((egress != nullptr && ingress != nullptr) || reg_bytes != nullptr ||
+          pool_hw != nullptr) {
+        out.append("\n");
+      }
+    }
+  }
   if (truth != nullptr) {
     Appendf(&out, "result: %s\n", VerifyAgainstTruth(result.stats, *truth).c_str());
   }

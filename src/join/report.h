@@ -9,12 +9,19 @@
 
 namespace rdmajoin {
 
+class MetricsRegistry;
+
 /// Formats a human-readable report of one join run: phase breakdown,
 /// network utilization, receiver load, buffer-pool behaviour and (when a
 /// ground truth is supplied) the verification verdict. Used by the CLI and
 /// examples; benches print figure-shaped tables instead.
+///
+/// When `metrics` is the registry the run recorded into (JoinConfig::metrics)
+/// an observability section is appended: per-host delivered bytes and the
+/// per-device registration and buffer-pool high-water numbers.
 std::string FormatRunReport(const ClusterConfig& cluster, const JoinRunResult& result,
-                            const GroundTruth* truth = nullptr);
+                            const GroundTruth* truth = nullptr,
+                            const MetricsRegistry* metrics = nullptr);
 
 /// One-line verdict: "verified (N matches)" or a mismatch description.
 std::string VerifyAgainstTruth(const JoinResultStats& stats, const GroundTruth& truth);

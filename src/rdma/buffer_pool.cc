@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "util/metrics.h"
+
 namespace rdmajoin {
 
 RegisteredBufferPool::RegisteredBufferPool(RdmaDevice* device, uint64_t buffer_bytes,
@@ -62,6 +64,7 @@ StatusOr<RegisteredBuffer*> RegisteredBufferPool::Acquire() {
     free_.pop_back();
     buf->used = 0;
     outstanding_.insert(buf);
+    UpdateOccupancy();
     return buf;
   }
   auto buf = CreateBuffer();
@@ -71,7 +74,16 @@ StatusOr<RegisteredBuffer*> RegisteredBufferPool::Acquire() {
   }
   (*buf)->used = 0;
   outstanding_.insert(*buf);
+  UpdateOccupancy();
   return *buf;
+}
+
+void RegisteredBufferPool::UpdateOccupancy() {
+  // The gauge's max() is the occupancy high-water mark across every pool
+  // drawing on the device.
+  if (const DeviceMetrics* m = device_->metrics()) {
+    m->pool_outstanding->Set(static_cast<double>(outstanding_.size()));
+  }
 }
 
 Status RegisteredBufferPool::Release(RegisteredBuffer* buf) {
@@ -90,6 +102,7 @@ Status RegisteredBufferPool::Release(RegisteredBuffer* buf) {
     return validator->strict() ? error : Status::OK();
   }
   buf->used = 0;
+  UpdateOccupancy();
   if (policy_ == Policy::kPooled) {
     free_.push_back(buf);
     return Status::OK();

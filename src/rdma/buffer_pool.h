@@ -79,6 +79,9 @@ class RegisteredBufferPool {
 
  private:
   StatusOr<RegisteredBuffer*> CreateBuffer();
+  /// Pushes the current outstanding count into the device's occupancy gauge
+  /// (no-op when metrics are disabled).
+  void UpdateOccupancy();
 
   RdmaDevice* device_;
   uint64_t buffer_bytes_;

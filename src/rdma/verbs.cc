@@ -4,9 +4,32 @@
 #include <cstring>
 #include <string>
 
+#include "util/metrics.h"
+
 namespace rdmajoin {
 
 namespace {
+
+/// Counts a completion that was actually delivered to a CQ (a completion
+/// dropped on overflow is not counted). `m` may be null.
+void CountCompletion(const DeviceMetrics* m, const WorkCompletion& wc) {
+  if (m == nullptr) return;
+  switch (wc.op) {
+    case WorkCompletion::Op::kSend:
+      m->send_completed->Increment();
+      break;
+    case WorkCompletion::Op::kRecv:
+      m->recv_completed->Increment();
+      break;
+    case WorkCompletion::Op::kWrite:
+      m->write_completed->Increment();
+      break;
+    case WorkCompletion::Op::kRead:
+      m->read_completed->Increment();
+      break;
+  }
+  if (!wc.success) m->failed_completions->Increment();
+}
 
 /// Distinguishes a key that was deregistered (use-after-free of the region)
 /// from one that never existed; both violate the same contract clause.
@@ -60,6 +83,26 @@ RdmaDevice::RdmaDevice(uint32_t device_id, MemorySpace* memory, const CostModel&
                        double pin_scale)
     : device_id_(device_id), memory_(memory), costs_(costs), pin_scale_(pin_scale) {}
 
+void RdmaDevice::EnableMetrics(MetricsRegistry* registry,
+                               const std::string& prefix) {
+  metrics_.send_posted = registry->GetCounter(prefix + ".send_posted");
+  metrics_.recv_posted = registry->GetCounter(prefix + ".recv_posted");
+  metrics_.write_posted = registry->GetCounter(prefix + ".write_posted");
+  metrics_.read_posted = registry->GetCounter(prefix + ".read_posted");
+  metrics_.send_completed = registry->GetCounter(prefix + ".send_completed");
+  metrics_.recv_completed = registry->GetCounter(prefix + ".recv_completed");
+  metrics_.write_completed = registry->GetCounter(prefix + ".write_completed");
+  metrics_.read_completed = registry->GetCounter(prefix + ".read_completed");
+  metrics_.failed_completions =
+      registry->GetCounter(prefix + ".failed_completions");
+  metrics_.regions_registered =
+      registry->GetCounter(prefix + ".regions_registered");
+  metrics_.bytes_registered = registry->GetCounter(prefix + ".bytes_registered");
+  metrics_.live_regions = registry->GetGauge(prefix + ".live_regions");
+  metrics_.pool_outstanding = registry->GetGauge(prefix + ".pool_outstanding");
+  metrics_enabled_ = true;
+}
+
 RdmaDevice::~RdmaDevice() {
   // Regions leaked by the caller are unpinned so the memory space stays
   // consistent across tests, but each one is a protocol violation: the
@@ -94,6 +137,11 @@ StatusOr<MemoryRegion> RdmaDevice::RegisterMemory(uint8_t* addr, uint64_t length
   ++stats_.regions_registered;
   stats_.bytes_registered += length;
   stats_.registration_seconds += costs_.RegistrationSeconds(length);
+  if (metrics_enabled_) {
+    metrics_.regions_registered->Increment();
+    metrics_.bytes_registered->Add(static_cast<double>(length));
+    metrics_.live_regions->Set(static_cast<double>(by_lkey_.size()));
+  }
   if (validator_ != nullptr) validator_->OnRegister(device_id_, mr.lkey, mr.rkey);
   return mr;
 }
@@ -117,6 +165,9 @@ Status RdmaDevice::DeregisterMemory(const MemoryRegion& mr) {
   }
   rkey_to_lkey_.erase(it->second.rkey);
   by_lkey_.erase(it);
+  if (metrics_enabled_) {
+    metrics_.live_regions->Set(static_cast<double>(by_lkey_.size()));
+  }
   return Status::OK();
 }
 
@@ -170,12 +221,14 @@ Status QueuePair::FailWr(ProtocolViolation violation, const Status& error,
   if (validator->strict()) return error;
   // Report mode: the post "succeeds" and the violation surfaces as a failed
   // completion, the way a real HCA delivers protection errors.
-  cq->Push(WorkCompletion{op, wr_id, 0, 0, /*success=*/false}, validator);
+  const WorkCompletion wc{op, wr_id, 0, 0, /*success=*/false};
+  if (cq->Push(wc, validator)) CountCompletion(local_->metrics(), wc);
   return Status::OK();
 }
 
 Status QueuePair::PostRecv(uint64_t wr_id, uint32_t lkey, uint64_t offset,
                            uint64_t max_len) {
+  if (const DeviceMetrics* m = local_->metrics()) m->recv_posted->Increment();
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* mr = local_->FindByLkey(lkey);
   if (mr == nullptr) {
@@ -197,6 +250,7 @@ Status QueuePair::PostRecv(uint64_t wr_id, uint32_t lkey, uint64_t offset,
 Status QueuePair::PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset,
                            uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
+  if (const DeviceMetrics* m = local_->metrics()) m->send_posted->Increment();
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* src = local_->FindByLkey(lkey);
   if (src == nullptr) {
@@ -236,17 +290,22 @@ Status QueuePair::PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset,
 
   ++local_->stats_.messages_sent;
   local_->stats_.bytes_sent += len;
-  send_cq_->Push(WorkCompletion{WorkCompletion::Op::kSend, wr_id, len, 0, true},
-                 validator);
-  peer_->recv_cq_->Push(
-      WorkCompletion{WorkCompletion::Op::kRecv, rx.wr_id, len, rx.lkey, true},
-      peer_->local_->validator());
+  const WorkCompletion send_wc{WorkCompletion::Op::kSend, wr_id, len, 0, true};
+  if (send_cq_->Push(send_wc, validator)) {
+    CountCompletion(local_->metrics(), send_wc);
+  }
+  const WorkCompletion recv_wc{WorkCompletion::Op::kRecv, rx.wr_id, len, rx.lkey,
+                               true};
+  if (peer_->recv_cq_->Push(recv_wc, peer_->local_->validator())) {
+    CountCompletion(peer_->local_->metrics(), recv_wc);
+  }
   return Status::OK();
 }
 
 Status QueuePair::PostWrite(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
                             uint32_t rkey, uint64_t remote_offset, uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
+  if (const DeviceMetrics* m = local_->metrics()) m->write_posted->Increment();
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* src = local_->FindByLkey(local_lkey);
   if (src == nullptr) {
@@ -277,14 +336,15 @@ Status QueuePair::PostWrite(uint64_t wr_id, uint32_t local_lkey, uint64_t local_
   local_->stats_.bytes_written += len;
   ++local_->stats_.messages_sent;
   local_->stats_.bytes_sent += len;
-  send_cq_->Push(WorkCompletion{WorkCompletion::Op::kWrite, wr_id, len, 0, true},
-                 validator);
+  const WorkCompletion wc{WorkCompletion::Op::kWrite, wr_id, len, 0, true};
+  if (send_cq_->Push(wc, validator)) CountCompletion(local_->metrics(), wc);
   return Status::OK();
 }
 
 Status QueuePair::PostRead(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
                            uint32_t rkey, uint64_t remote_offset, uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
+  if (const DeviceMetrics* m = local_->metrics()) m->read_posted->Increment();
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* dst = local_->FindByLkey(local_lkey);
   if (dst == nullptr) {
@@ -311,8 +371,8 @@ Status QueuePair::PostRead(uint64_t wr_id, uint32_t local_lkey, uint64_t local_o
                   WorkCompletion::Op::kRead, wr_id, send_cq_);
   }
   std::memcpy(dst->addr + local_offset, src->addr + remote_offset, len);
-  send_cq_->Push(WorkCompletion{WorkCompletion::Op::kRead, wr_id, len, 0, true},
-                 validator);
+  const WorkCompletion wc{WorkCompletion::Op::kRead, wr_id, len, 0, true};
+  if (send_cq_->Push(wc, validator)) CountCompletion(local_->metrics(), wc);
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -14,6 +15,10 @@
 #include "util/statusor.h"
 
 namespace rdmajoin {
+
+class Counter;
+class Gauge;
+class MetricsRegistry;
 
 /// A verbs-style RDMA interface executing against simulated machine memory.
 ///
@@ -87,6 +92,28 @@ class CompletionQueue {
   std::deque<WorkCompletion> entries_;
 };
 
+/// Metric handles for one device, created by RdmaDevice::EnableMetrics. The
+/// pointed-to metrics live in the attached MetricsRegistry; the pointers are
+/// shared with QueuePair (work-request accounting) and RegisteredBufferPool
+/// (occupancy high-water via the gauge's max()).
+struct DeviceMetrics {
+  Counter* send_posted;
+  Counter* recv_posted;
+  Counter* write_posted;
+  Counter* read_posted;
+  Counter* send_completed;
+  Counter* recv_completed;
+  Counter* write_completed;
+  Counter* read_completed;
+  /// Completions delivered with success == false (report-mode violations).
+  Counter* failed_completions;
+  Counter* regions_registered;
+  Counter* bytes_registered;
+  Gauge* live_regions;
+  /// Buffers currently acquired from pools drawing on this device.
+  Gauge* pool_outstanding;
+};
+
 /// Cumulative statistics of one device, including the virtual time spent on
 /// memory registration (the hidden cost the buffer pool amortizes).
 struct DeviceStats {
@@ -122,6 +149,15 @@ class RdmaDevice {
   void set_validator(ProtocolValidator* validator) { validator_ = validator; }
   ProtocolValidator* validator() const { return validator_; }
 
+  /// Attaches observability instrumentation reporting into `registry` under
+  /// `<prefix>.` (e.g. `rdma.dev0.send_posted`, `.bytes_registered`,
+  /// `.pool_outstanding`). `registry` must outlive the device.
+  void EnableMetrics(MetricsRegistry* registry, const std::string& prefix);
+  /// Metric handles, or nullptr when metrics are disabled.
+  const DeviceMetrics* metrics() const {
+    return metrics_enabled_ ? &metrics_ : nullptr;
+  }
+
   /// Registers `[addr, addr+length)` for RDMA access. Pins the pages in the
   /// machine's memory space and charges the registration cost.
   StatusOr<MemoryRegion> RegisterMemory(uint8_t* addr, uint64_t length);
@@ -155,6 +191,8 @@ class RdmaDevice {
   std::unordered_map<uint32_t, MemoryRegion> by_lkey_;
   std::unordered_map<uint32_t, uint32_t> rkey_to_lkey_;
   DeviceStats stats_;
+  DeviceMetrics metrics_{};
+  bool metrics_enabled_ = false;
 };
 
 /// A reliable connection between two devices. Supports two-sided SEND/RECV

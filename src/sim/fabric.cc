@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/metrics.h"
+
 namespace rdmajoin {
 
 namespace {
@@ -38,10 +40,32 @@ double Fabric::FlowCap(const Flow& f) const {
   return f.size * config_.message_rate_per_host;
 }
 
+void Fabric::EnableMetrics(MetricsRegistry* registry, const std::string& prefix,
+                           double utilization_bucket_seconds) {
+  host_metrics_.clear();
+  host_metrics_.reserve(config_.num_hosts);
+  for (uint32_t h = 0; h < config_.num_hosts; ++h) {
+    const std::string host = prefix + ".host" + std::to_string(h);
+    host_metrics_.push_back(HostMetrics{
+        registry->GetCounter(host + ".egress_bytes"),
+        registry->GetCounter(host + ".ingress_bytes"),
+        registry->GetTimeSeries(host + ".egress_active_bytes",
+                                utilization_bucket_seconds),
+        registry->GetTimeSeries(host + ".ingress_active_bytes",
+                                utilization_bucket_seconds)});
+  }
+  active_flows_gauge_ = registry->GetGauge(prefix + ".active_flows");
+  messages_counter_ = registry->GetCounter(prefix + ".messages");
+  message_bytes_histogram_ = registry->GetHistogram(prefix + ".message_bytes");
+}
+
 Fabric::FlowId Fabric::Inject(uint32_t src, uint32_t dst, double bytes, double now,
                               uint64_t cookie) {
   assert(src < config_.num_hosts && dst < config_.num_hosts);
-  assert(bytes > 0);
+  // An "empty message" has no meaning in a fluid byte-flow model; rejecting
+  // it identically in debug and release builds keeps the delivery statistics
+  // (messages_delivered, bytes_delivered_from) trustworthy everywhere.
+  if (!(bytes > 0)) return kInvalidFlow;
   assert(now + kTimeEps >= now_ && "fabric time cannot move backwards");
   // Bring transfers up to date before the flow set changes. Completions that
   // come due are buffered and handed out by the next AdvanceTo call.
@@ -55,6 +79,11 @@ Fabric::FlowId Fabric::Inject(uint32_t src, uint32_t dst, double bytes, double n
   f.rate = 0.0;
   f.cookie = cookie;
   flows_.push_back(f);
+  if (active_flows_gauge_ != nullptr) {
+    active_flows_gauge_->Set(static_cast<double>(flows_.size()));
+    messages_counter_->Increment();
+    message_bytes_histogram_->Observe(bytes);
+  }
   RecomputeRates();
   return f.id;
 }
@@ -87,7 +116,14 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
     const double step_end = std::min(t, next_drain);
     const double dt = step_end - now_;
     if (dt > 0) {
-      for (Flow& f : flows_) f.remaining -= f.rate * dt;
+      for (Flow& f : flows_) {
+        f.remaining -= f.rate * dt;
+        if (!host_metrics_.empty() && f.rate > 0) {
+          const double moved = f.rate * dt;
+          host_metrics_[f.src].egress_activity->AddRange(now_, step_end, moved);
+          host_metrics_[f.dst].ingress_activity->AddRange(now_, step_end, moved);
+        }
+      }
       now_ = step_end;
     }
     bool drained_any = false;
@@ -96,7 +132,7 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
         Flow& f = flows_[i];
         const bool done = f.rate > 0 && f.remaining <= f.size * kTimeEps + 1e-9 * f.rate;
         if (done) {
-          latency_.push_back(LatencyFlow{f.id, f.cookie, f.src, f.size,
+          latency_.push_back(LatencyFlow{f.id, f.cookie, f.src, f.dst, f.size,
                                          now_ + config_.base_latency_seconds});
           flows_[i] = flows_.back();
           flows_.pop_back();
@@ -104,6 +140,9 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
         } else {
           ++i;
         }
+      }
+      if (drained_any && active_flows_gauge_ != nullptr) {
+        active_flows_gauge_->Set(static_cast<double>(flows_.size()));
       }
       if (drained_any) RecomputeRates();
     }
@@ -133,6 +172,10 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
     bytes_delivered_ += lf.size;
     bytes_from_host_[lf.src] += lf.size;
     ++messages_delivered_;
+    if (!host_metrics_.empty()) {
+      host_metrics_[lf.src].egress_bytes->Add(lf.size);
+      host_metrics_[lf.dst].ingress_bytes->Add(lf.size);
+    }
     completed->push_back(Completion{lf.id, lf.cookie, lf.complete_at});
   }
 }
@@ -209,8 +252,13 @@ void Fabric::RecomputeMaxMin() {
         const double cap = FlowCap(flows_[i]);
         if (cap <= min_cap * (1 + kTimeEps)) {
           flows_[i].rate = cap;
-          egress_left[flows_[i].src] -= cap;
-          ingress_left[flows_[i].dst] -= cap;
+          // Clamp: repeated subtraction accumulates floating-point error that
+          // can drive the residual capacity (and with it the next round's
+          // fair share) negative.
+          egress_left[flows_[i].src] =
+              std::max(0.0, egress_left[flows_[i].src] - cap);
+          ingress_left[flows_[i].dst] =
+              std::max(0.0, ingress_left[flows_[i].dst] - cap);
           fixed[i] = true;
           --unfixed;
         }
@@ -226,8 +274,8 @@ void Fabric::RecomputeMaxMin() {
       const double i_share = ingress_left[f.dst] / dst_cnt[f.dst];
       if (std::min(e_share, i_share) <= bottleneck * (1 + kTimeEps)) {
         flows_[i].rate = bottleneck;
-        egress_left[f.src] -= bottleneck;
-        ingress_left[f.dst] -= bottleneck;
+        egress_left[f.src] = std::max(0.0, egress_left[f.src] - bottleneck);
+        ingress_left[f.dst] = std::max(0.0, ingress_left[f.dst] - bottleneck);
         fixed[i] = true;
         --unfixed;
         froze = true;

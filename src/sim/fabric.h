@@ -3,12 +3,19 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
 
 namespace rdmajoin {
+
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class TimeSeries;
 
 /// How concurrent transfers share link capacity.
 enum class SharingPolicy {
@@ -86,8 +93,25 @@ class Fabric {
   /// Injects a message of `bytes` bytes from `src` to `dst` at virtual time
   /// `now` (must be >= the last time passed to AdvanceTo/Inject). `cookie` is
   /// returned with the completion. Returns the flow id.
+  ///
+  /// `bytes` must be positive: a zero-byte (or negative, or NaN) message is
+  /// rejected with kInvalidFlow in every build mode -- no flow is created and
+  /// nothing is counted in the delivery statistics. Callers that model
+  /// zero-payload control messages should charge base_latency_seconds
+  /// themselves.
   FlowId Inject(uint32_t src, uint32_t dst, double bytes, double now,
                 uint64_t cookie = 0);
+
+  /// Attaches observability instrumentation reporting into `registry` under
+  /// `<prefix>.`: per-host delivered-byte counters
+  /// (`<prefix>.host<h>.egress_bytes` / `.ingress_bytes`, which track
+  /// bytes_delivered_from exactly), per-host activity timelines
+  /// (`.egress_active_bytes` / `.ingress_active_bytes`, bytes transferred per
+  /// `utilization_bucket_seconds` bucket), a concurrent-flow gauge
+  /// (`<prefix>.active_flows`), a message counter and a message-size
+  /// histogram. `registry` must outlive the fabric; call before injecting.
+  void EnableMetrics(MetricsRegistry* registry, const std::string& prefix,
+                     double utilization_bucket_seconds);
 
   /// Earliest tentative completion time under current rates; +infinity if no
   /// flow is active or in its latency stage.
@@ -127,8 +151,16 @@ class Fabric {
     FlowId id;
     uint64_t cookie;
     uint32_t src;
+    uint32_t dst;
     double size;
     double complete_at;
+  };
+  /// Per-host metric handles; empty when metrics are disabled.
+  struct HostMetrics {
+    Counter* egress_bytes;
+    Counter* ingress_bytes;
+    TimeSeries* egress_activity;
+    TimeSeries* ingress_activity;
   };
 
   void RecomputeRates();
@@ -148,6 +180,11 @@ class Fabric {
   // Completions that came due while Inject advanced the clock; delivered on
   // the next AdvanceTo call.
   std::vector<Completion> pending_completions_;
+  // Metric handles (all null / empty when metrics are disabled).
+  std::vector<HostMetrics> host_metrics_;
+  Gauge* active_flows_gauge_ = nullptr;
+  Counter* messages_counter_ = nullptr;
+  Histogram* message_bytes_histogram_ = nullptr;
 };
 
 }  // namespace rdmajoin

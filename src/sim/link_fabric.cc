@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/metrics.h"
+
 namespace rdmajoin {
 
 namespace {
@@ -21,6 +23,26 @@ LinkFabric::LinkFabric(const FabricConfig& config) : config_(config) {
       link(s, d).dst = d;
     }
   }
+}
+
+void LinkFabric::EnableMetrics(MetricsRegistry* registry,
+                               const std::string& prefix,
+                               double utilization_bucket_seconds) {
+  host_metrics_.clear();
+  host_metrics_.reserve(config_.num_hosts);
+  for (uint32_t h = 0; h < config_.num_hosts; ++h) {
+    const std::string host = prefix + ".host" + std::to_string(h);
+    host_metrics_.push_back(HostMetrics{
+        registry->GetCounter(host + ".egress_bytes"),
+        registry->GetCounter(host + ".ingress_bytes"),
+        registry->GetTimeSeries(host + ".egress_active_bytes",
+                                utilization_bucket_seconds),
+        registry->GetTimeSeries(host + ".ingress_active_bytes",
+                                utilization_bucket_seconds)});
+  }
+  queued_gauge_ = registry->GetGauge(prefix + ".active_flows");
+  messages_counter_ = registry->GetCounter(prefix + ".messages");
+  message_bytes_histogram_ = registry->GetHistogram(prefix + ".message_bytes");
 }
 
 double LinkFabric::LinkCap(const Link& l) const {
@@ -79,8 +101,10 @@ void LinkFabric::RecomputeRates() {
       for (Link* l : unfixed) {
         if (LinkCap(*l) <= min_cap * (1 + kTimeEps)) {
           l->rate = LinkCap(*l);
-          egress_left[l->src] -= l->rate;
-          ingress_left[l->dst] -= l->rate;
+          // Clamp: repeated subtraction accumulates floating-point error that
+          // can drive the residual capacity negative.
+          egress_left[l->src] = std::max(0.0, egress_left[l->src] - l->rate);
+          ingress_left[l->dst] = std::max(0.0, ingress_left[l->dst] - l->rate);
         } else {
           rest.push_back(l);
         }
@@ -91,8 +115,8 @@ void LinkFabric::RecomputeRates() {
         const double i_share = ingress_left[l->dst] / dc[l->dst];
         if (std::min(e_share, i_share) <= bottleneck * (1 + kTimeEps)) {
           l->rate = bottleneck;
-          egress_left[l->src] -= bottleneck;
-          ingress_left[l->dst] -= bottleneck;
+          egress_left[l->src] = std::max(0.0, egress_left[l->src] - bottleneck);
+          ingress_left[l->dst] = std::max(0.0, ingress_left[l->dst] - bottleneck);
         } else {
           rest.push_back(l);
         }
@@ -107,7 +131,9 @@ void LinkFabric::RecomputeRates() {
 LinkFabric::MessageId LinkFabric::Enqueue(uint32_t src, uint32_t dst, double bytes,
                                           double now, uint64_t cookie) {
   assert(src < config_.num_hosts && dst < config_.num_hosts && src != dst);
-  assert(bytes > 0);
+  // Reject empty messages identically in debug and release builds so the
+  // delivery statistics stay trustworthy everywhere.
+  if (!(bytes > 0)) return kInvalidMessage;
   assert(now + kTimeEps >= now_);
   if (now > now_) {
     // Bring service up to date; completions are buffered in latency_ and in
@@ -122,6 +148,11 @@ LinkFabric::MessageId LinkFabric::Enqueue(uint32_t src, uint32_t dst, double byt
   const bool was_active = l.active();
   l.queue.push_back(Message{next_id_, cookie, bytes});
   ++queued_;
+  if (queued_gauge_ != nullptr) {
+    queued_gauge_->Set(static_cast<double>(queued_));
+    messages_counter_->Increment();
+    message_bytes_histogram_->Observe(bytes);
+  }
   if (!was_active) {
     l.head_remaining = bytes;
     RecomputeRates();
@@ -166,7 +197,14 @@ void LinkFabric::AdvanceTo(double t, std::vector<Completion>* completed) {
     const double dt = step_end - now_;
     if (dt > 0) {
       for (Link& l : links_) {
-        if (l.active() && l.rate > 0) l.head_remaining -= l.rate * dt;
+        if (l.active() && l.rate > 0) {
+          l.head_remaining -= l.rate * dt;
+          if (!host_metrics_.empty()) {
+            const double moved = l.rate * dt;
+            host_metrics_[l.src].egress_activity->AddRange(now_, step_end, moved);
+            host_metrics_[l.dst].ingress_activity->AddRange(now_, step_end, moved);
+          }
+        }
       }
       now_ = step_end;
     }
@@ -182,6 +220,11 @@ void LinkFabric::AdvanceTo(double t, std::vector<Completion>* completed) {
           --queued_;
           bytes_delivered_ += m.size;
           ++messages_delivered_;
+          if (!host_metrics_.empty()) {
+            host_metrics_[l.src].egress_bytes->Add(m.size);
+            host_metrics_[l.dst].ingress_bytes->Add(m.size);
+            queued_gauge_->Set(static_cast<double>(queued_));
+          }
           due.push_back(Completion{m.id, m.cookie, now_ + config_.base_latency_seconds});
           if (l.active()) {
             l.head_remaining = l.queue.front().size;

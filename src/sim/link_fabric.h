@@ -27,6 +27,7 @@ namespace rdmajoin {
 class LinkFabric {
  public:
   using MessageId = uint64_t;
+  static constexpr MessageId kInvalidMessage = 0;
   struct Completion {
     MessageId id;
     uint64_t cookie;
@@ -42,8 +43,22 @@ class LinkFabric {
   /// Enqueues a message of `bytes` bytes at virtual time `now` (monotone
   /// non-decreasing across calls). Messages on the same (src, dst) link
   /// complete in FIFO order.
+  ///
+  /// `bytes` must be positive: a zero-byte (or negative, or NaN) message is
+  /// rejected with kInvalidMessage in every build mode -- nothing is queued
+  /// and nothing is counted in the delivery statistics.
   MessageId Enqueue(uint32_t src, uint32_t dst, double bytes, double now,
                     uint64_t cookie = 0);
+
+  /// Attaches observability instrumentation reporting into `registry` under
+  /// `<prefix>.`, with the same metric names as Fabric::EnableMetrics:
+  /// per-host delivered-byte counters (`<prefix>.host<h>.egress_bytes` /
+  /// `.ingress_bytes`), per-host activity timelines
+  /// (`.egress_active_bytes` / `.ingress_active_bytes`), a queued-message
+  /// gauge (`<prefix>.active_flows`), a message counter and a message-size
+  /// histogram. `registry` must outlive the fabric; call before enqueuing.
+  void EnableMetrics(MetricsRegistry* registry, const std::string& prefix,
+                     double utilization_bucket_seconds);
 
   /// Earliest tentative completion; +infinity if idle.
   double NextCompletionTime() const;
@@ -80,6 +95,14 @@ class LinkFabric {
   void RecomputeRates();
   double LinkCap(const Link& l) const;
 
+  /// Per-host metric handles; empty when metrics are disabled.
+  struct HostMetrics {
+    Counter* egress_bytes;
+    Counter* ingress_bytes;
+    TimeSeries* egress_activity;
+    TimeSeries* ingress_activity;
+  };
+
   FabricConfig config_;
   double now_ = 0.0;
   MessageId next_id_ = 1;
@@ -89,6 +112,11 @@ class LinkFabric {
   uint64_t messages_delivered_ = 0;
   /// Messages drained but still within base latency.
   std::vector<Completion> latency_;
+  // Metric handles (all null / empty when metrics are disabled).
+  std::vector<HostMetrics> host_metrics_;
+  Gauge* queued_gauge_ = nullptr;
+  Counter* messages_counter_ = nullptr;
+  Histogram* message_bytes_histogram_ = nullptr;
 };
 
 }  // namespace rdmajoin

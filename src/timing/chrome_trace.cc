@@ -1,0 +1,136 @@
+#include "timing/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace rdmajoin {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+double Micros(double seconds) { return seconds * 1e6; }
+
+/// One "X" (complete) slice on machine `pid`.
+void AppendSlice(std::string* out, bool* first, const char* name, uint32_t pid,
+                 double start_seconds, double duration_seconds) {
+  if (!*first) out->append(",");
+  *first = false;
+  out->append("{\"name\":\"");
+  out->append(name);
+  out->append("\",\"ph\":\"X\",\"pid\":");
+  out->append(std::to_string(pid));
+  out->append(",\"tid\":0,\"ts\":");
+  AppendDouble(out, Micros(start_seconds));
+  out->append(",\"dur\":");
+  AppendDouble(out, Micros(duration_seconds));
+  out->append("}");
+}
+
+/// One "C" (counter) sample on machine `pid`.
+void AppendCounter(std::string* out, bool* first, const char* name, uint32_t pid,
+                   double ts_seconds, double value) {
+  if (!*first) out->append(",");
+  *first = false;
+  out->append("{\"name\":\"");
+  out->append(name);
+  out->append("\",\"ph\":\"C\",\"pid\":");
+  out->append(std::to_string(pid));
+  out->append(",\"ts\":");
+  AppendDouble(out, Micros(ts_seconds));
+  out->append(",\"args\":{\"MB/s\":");
+  AppendDouble(out, value);
+  out->append("}}");
+}
+
+/// Emits the utilization counter track of one host from its activity
+/// timeline. Fabric time zero is the network-phase barrier, so samples are
+/// shifted by `offset_seconds`.
+void AppendUtilization(std::string* out, bool* first, const char* name,
+                       uint32_t pid, const TimeSeries& series,
+                       double offset_seconds) {
+  const std::vector<double>& buckets = series.buckets();
+  const double width = series.bucket_seconds();
+  if (buckets.empty() || width <= 0) return;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const double rate_mb = buckets[b] / width / 1e6;
+    AppendCounter(out, first, name, pid,
+                  offset_seconds + static_cast<double>(b) * width, rate_mb);
+  }
+  // Close the track so the last bucket does not extend forever.
+  AppendCounter(out, first, name, pid,
+                offset_seconds + static_cast<double>(buckets.size()) * width,
+                0.0);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const ReplayReport& report,
+                            const MetricsRegistry* metrics) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const uint32_t nm = static_cast<uint32_t>(report.machine_phases.size());
+
+  // Barrier starts: each phase begins globally when the slowest machine has
+  // finished the previous one.
+  const double hist_start = 0.0;
+  const double net_start = report.phases.histogram_seconds;
+  const double local_start = net_start + report.phases.network_partition_seconds;
+  const double bp_start = local_start + report.phases.local_partition_seconds;
+
+  for (uint32_t m = 0; m < nm; ++m) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+    out.append(std::to_string(m));
+    out.append(",\"args\":{\"name\":\"machine");
+    out.append(std::to_string(m));
+    out.append("\"}}");
+    const PhaseTimes& p = report.machine_phases[m];
+    AppendSlice(&out, &first, "histogram", m, hist_start, p.histogram_seconds);
+    AppendSlice(&out, &first, "network_partition", m, net_start,
+                p.network_partition_seconds);
+    AppendSlice(&out, &first, "local_partition", m, local_start,
+                p.local_partition_seconds);
+    AppendSlice(&out, &first, "build_probe", m, bp_start, p.build_probe_seconds);
+  }
+
+  if (metrics != nullptr) {
+    for (uint32_t h = 0; h < nm; ++h) {
+      const std::string host = "fabric.host" + std::to_string(h);
+      const TimeSeries* egress =
+          metrics->FindTimeSeries(host + ".egress_active_bytes");
+      const TimeSeries* ingress =
+          metrics->FindTimeSeries(host + ".ingress_active_bytes");
+      if (egress != nullptr) {
+        AppendUtilization(&out, &first, "egress MB/s", h, *egress, net_start);
+      }
+      if (ingress != nullptr) {
+        AppendUtilization(&out, &first, "ingress MB/s", h, *ingress, net_start);
+      }
+    }
+  }
+
+  out.append("]}");
+  return out;
+}
+
+Status WriteChromeTraceFile(const std::string& path, const ReplayReport& report,
+                            const MetricsRegistry* metrics) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  const std::string json = ChromeTraceJson(report, metrics);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,36 @@
+#ifndef RDMAJOIN_TIMING_CHROME_TRACE_H_
+#define RDMAJOIN_TIMING_CHROME_TRACE_H_
+
+#include <string>
+
+#include "timing/replay.h"
+#include "util/status.h"
+
+namespace rdmajoin {
+
+class MetricsRegistry;
+
+/// Renders one replayed join run as Chrome trace-event JSON, loadable in
+/// chrome://tracing or https://ui.perfetto.dev.
+///
+/// Each machine becomes one process row carrying four "X" (complete) slices,
+/// one per join phase. Phases are barrier-synchronized, so every machine's
+/// slice for a phase starts at the global end of the previous phase and runs
+/// for that machine's own duration -- the white gap up to the barrier is the
+/// skew the stacked-bar figures hide. When `metrics` carries the fabric
+/// instrumentation recorded by ReplayTrace (ReplayOptions::metrics), each
+/// host additionally gets "C" (counter) rows with its egress and ingress
+/// utilization in MB/s over the network-partitioning phase.
+///
+/// Timestamps are microseconds of full-scale virtual time from the start of
+/// the run; fabric time zero is aligned to the network-phase barrier.
+std::string ChromeTraceJson(const ReplayReport& report,
+                            const MetricsRegistry* metrics = nullptr);
+
+/// Writes ChromeTraceJson(...) to `path`.
+Status WriteChromeTraceFile(const std::string& path, const ReplayReport& report,
+                            const MetricsRegistry* metrics = nullptr);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_TIMING_CHROME_TRACE_H_

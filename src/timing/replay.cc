@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <string>
 #include <unordered_map>
 
 #include "sim/link_fabric.h"
 #include "timing/makespan.h"
+#include "util/metrics.h"
 
 namespace rdmajoin {
 
@@ -53,10 +55,11 @@ double PerSendOverhead(const ClusterConfig& cluster, const MachineTrace& mt,
 }  // namespace
 
 ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
-                         const RunTrace& trace) {
+                         const RunTrace& trace, const ReplayOptions& options) {
   ReplayReport report;
   const uint32_t nm = cluster.num_machines;
   assert(trace.machines.size() == nm);
+  report.machine_phases.assign(nm, PhaseTimes{});
   const double scale = trace.scale_up;
   const CostModel& costs = cluster.costs;
   const uint32_t cores = cluster.cores_per_machine;
@@ -68,6 +71,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     const double t =
         vbytes / (static_cast<double>(cores) * costs.histogram_bytes_per_sec) +
         trace.machines[m].histogram_exchange_seconds;
+    report.machine_phases[m].histogram_seconds = t;
     report.phases.histogram_seconds = std::max(report.phases.histogram_seconds, t);
   }
 
@@ -80,6 +84,10 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     fc.message_rate_per_host = 0.0;  // Per-message cost is paid by the CPU.
   }
   LinkFabric fabric(fc);
+  if (options.metrics != nullptr) {
+    fabric.EnableMetrics(options.metrics, "fabric",
+                         options.utilization_bucket_seconds);
+  }
 
   std::vector<ThreadSim> threads;
   for (uint32_t m = 0; m < nm; ++m) {
@@ -114,6 +122,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
   std::vector<uint64_t> ring_pos(nm, 0);
   std::unordered_map<uint64_t, FlowInfo> flows;
   double total_virtual_wire = 0;
+  std::vector<double> last_completion_to(nm, 0.0);
 
   const double ps_part = costs.partition_bytes_per_sec;
 
@@ -163,6 +172,8 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
         last_completion = std::max(last_completion, c.time);
         auto it = flows.find(c.id);
         assert(it != flows.end());
+        last_completion_to[it->second.dst] =
+            std::max(last_completion_to[it->second.dst], c.time);
         const FlowInfo fi = it->second;
         flows.erase(it);
         // Receiver-side service (two-sided copies / TCP receive path) with
@@ -253,6 +264,18 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     setup = std::max(setup, trace.machines[m].setup_registration_seconds);
   }
   report.phases.network_partition_seconds = net_end + setup;
+  // Per-machine view: a machine's network phase ends when its own senders,
+  // its receiver core and its last inbound message are all done.
+  std::vector<double> machine_net_end(nm, 0.0);
+  for (const ThreadSim& ts : threads) {
+    machine_net_end[ts.machine] = std::max(machine_net_end[ts.machine], ts.time);
+  }
+  for (uint32_t m = 0; m < nm; ++m) {
+    machine_net_end[m] = std::max(
+        {machine_net_end[m], receiver_ready[m], last_completion_to[m]});
+    report.machine_phases[m].network_partition_seconds =
+        machine_net_end[m] + trace.machines[m].setup_registration_seconds;
+  }
   report.last_completion_seconds = last_completion;
   if (net_end > 0) {
     report.avg_network_rate_bytes_per_sec = total_virtual_wire / net_end;
@@ -266,6 +289,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     double t = vbytes / (static_cast<double>(cores) * ps_part);
     t += static_cast<double>(trace.machines[m].sort_bytes) * scale /
          (static_cast<double>(cores) * costs.sort_bytes_per_sec);
+    report.machine_phases[m].local_partition_seconds = t;
     report.phases.local_partition_seconds =
         std::max(report.phases.local_partition_seconds, t);
   }
@@ -292,8 +316,24 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     t += static_cast<double>(mt.stolen_in_bytes) * scale / port_bandwidth;
     t += static_cast<double>(mt.materialized_bytes) * scale /
          (static_cast<double>(cores) * costs.memcpy_bytes_per_sec);
+    report.machine_phases[m].build_probe_seconds = t;
     report.phases.build_probe_seconds =
         std::max(report.phases.build_probe_seconds, t);
+  }
+
+  if (options.metrics != nullptr) {
+    for (uint32_t m = 0; m < nm; ++m) {
+      const std::string name = "join.machine" + std::to_string(m);
+      const PhaseTimes& p = report.machine_phases[m];
+      options.metrics->GetGauge(name + ".histogram_seconds")
+          ->Set(p.histogram_seconds);
+      options.metrics->GetGauge(name + ".network_partition_seconds")
+          ->Set(p.network_partition_seconds);
+      options.metrics->GetGauge(name + ".local_partition_seconds")
+          ->Set(p.local_partition_seconds);
+      options.metrics->GetGauge(name + ".build_probe_seconds")
+          ->Set(p.build_probe_seconds);
+    }
   }
 
   return report;
@@ -302,7 +342,8 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
 
 StatusOr<ReplayReport> ReplayConcurrent(const ClusterConfig& cluster,
                                         const JoinConfig& config,
-                                        const std::vector<RunTrace>& traces) {
+                                        const std::vector<RunTrace>& traces,
+                                        const ReplayOptions& options) {
   if (traces.empty()) return Status::InvalidArgument("no traces to replay");
   const uint32_t nm = cluster.num_machines;
   const double scale = traces[0].scale_up;
@@ -371,18 +412,40 @@ StatusOr<ReplayReport> ReplayConcurrent(const ClusterConfig& cluster,
   ClusterConfig net_shared = shared;
   net_shared.costs.partition_bytes_per_sec =
       cluster.costs.partition_bytes_per_sec / q;
-  // Network pass with contention + timesharing.
-  ReplayReport net_report = ReplayTrace(net_shared, config, merged);
   // Barrier phases with summed bytes at full rates (cores process the
   // queries' combined volume either way).
   ReplayReport barrier_report = ReplayTrace(shared, config, merged);
+  // Network pass with contention + timesharing. This call carries the
+  // metrics so fabric utilization and the phase gauges reflect the contended
+  // network (the barrier phases were just overwritten below anyway).
+  ReplayReport net_report = ReplayTrace(net_shared, config, merged, options);
   ReplayReport report = barrier_report;
   report.phases.network_partition_seconds =
       net_report.phases.network_partition_seconds;
+  for (uint32_t m = 0; m < nm; ++m) {
+    report.machine_phases[m].network_partition_seconds =
+        net_report.machine_phases[m].network_partition_seconds;
+  }
   report.receiver_busy_seconds = net_report.receiver_busy_seconds;
   report.net_thread_finish_seconds = net_report.net_thread_finish_seconds;
   report.last_completion_seconds = net_report.last_completion_seconds;
   report.avg_network_rate_bytes_per_sec = net_report.avg_network_rate_bytes_per_sec;
+  if (options.metrics != nullptr) {
+    // Re-emit the gauges from the merged view (histogram/local/build-probe
+    // at full rates, network from the contended pass).
+    for (uint32_t m = 0; m < nm; ++m) {
+      const std::string name = "join.machine" + std::to_string(m);
+      const PhaseTimes& p = report.machine_phases[m];
+      options.metrics->GetGauge(name + ".histogram_seconds")
+          ->Set(p.histogram_seconds);
+      options.metrics->GetGauge(name + ".network_partition_seconds")
+          ->Set(p.network_partition_seconds);
+      options.metrics->GetGauge(name + ".local_partition_seconds")
+          ->Set(p.local_partition_seconds);
+      options.metrics->GetGauge(name + ".build_probe_seconds")
+          ->Set(p.build_probe_seconds);
+    }
+  }
   return report;
 }
 

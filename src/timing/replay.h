@@ -11,9 +11,26 @@
 
 namespace rdmajoin {
 
+class MetricsRegistry;
+
+/// Optional knobs for the timing replay.
+struct ReplayOptions {
+  /// When non-null, the replay records observability metrics into this
+  /// registry: per-host fabric utilization and delivery counters under
+  /// "fabric." (see LinkFabric::EnableMetrics) and per-machine phase-time
+  /// gauges under "join.machine<m>.<phase>_seconds".
+  MetricsRegistry* metrics = nullptr;
+  /// Bucket width of the per-host fabric activity timelines.
+  double utilization_bucket_seconds = 0.01;
+};
+
 /// Outputs of the discrete-event timing replay.
 struct ReplayReport {
   PhaseTimes phases;
+  /// Per-machine phase times. The barrier-synchronized `phases` above are the
+  /// per-phase maxima of these; the per-machine values show the skew a
+  /// Chrome trace visualizes (one timeline row per machine).
+  std::vector<PhaseTimes> machine_phases;
   /// Seconds each machine's receiver core spent copying incoming two-sided
   /// messages during the network pass.
   std::vector<double> receiver_busy_seconds;
@@ -39,7 +56,8 @@ struct ReplayReport {
 /// phases evaluated per machine (build/probe via LPT scheduling of the
 /// recorded tasks).
 ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
-                         const RunTrace& trace);
+                         const RunTrace& trace,
+                         const ReplayOptions& options = ReplayOptions());
 
 /// Replays several independently-captured traces as if their operators ran
 /// concurrently on one cluster (the co-scheduling question the paper's
@@ -52,7 +70,8 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
 /// All traces must have the same machine count and scale factor.
 StatusOr<ReplayReport> ReplayConcurrent(const ClusterConfig& cluster,
                                         const JoinConfig& config,
-                                        const std::vector<RunTrace>& traces);
+                                        const std::vector<RunTrace>& traces,
+                                        const ReplayOptions& options = ReplayOptions());
 
 }  // namespace rdmajoin
 

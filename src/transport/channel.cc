@@ -229,6 +229,10 @@ Status TransportNetwork::Init(const ClusterConfig& cluster, const JoinConfig& co
     devices_.push_back(std::make_unique<RdmaDevice>(m, memories_[m], cluster.costs,
                                                     config.scale_up));
     devices_.back()->set_validator(config.validator);
+    if (config.metrics != nullptr) {
+      devices_.back()->EnableMetrics(config.metrics,
+                                     "rdma.dev" + std::to_string(m));
+    }
   }
 
   auto reserve = [&](uint32_t m, uint64_t actual_bytes) -> Status {

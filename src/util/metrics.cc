@@ -1,0 +1,200 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rdmajoin {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  out->append(s);  // Metric names contain no characters needing escapes.
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  if (v < 0 || std::isnan(v)) return;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  size_t b = 0;
+  // Bucket i holds samples in (2^(i-1), 2^i].
+  while (b + 1 < kBuckets && v > static_cast<double>(uint64_t{1} << b)) ++b;
+  ++buckets_[b];
+}
+
+size_t TimeSeries::BucketFor(double t) {
+  if (t < 0) t = 0;
+  size_t index = static_cast<size_t>(t / bucket_seconds_);
+  while (index >= max_buckets_) {
+    // Coarsen: double the width, fold adjacent buckets together.
+    const size_t folded = (buckets_.size() + 1) / 2;
+    for (size_t i = 0; i < folded; ++i) {
+      double v = buckets_[2 * i];
+      if (2 * i + 1 < buckets_.size()) v += buckets_[2 * i + 1];
+      buckets_[i] = v;
+    }
+    buckets_.resize(folded);
+    bucket_seconds_ *= 2;
+    index = static_cast<size_t>(t / bucket_seconds_);
+  }
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0.0);
+  return index;
+}
+
+void TimeSeries::Add(double t, double v) {
+  buckets_[BucketFor(t)] += v;
+  total_ += v;
+}
+
+void TimeSeries::AddRange(double t0, double t1, double total) {
+  if (t0 < 0) t0 = 0;
+  if (t1 <= t0) {
+    Add(t0, total);
+    return;
+  }
+  const double span = t1 - t0;
+  // Walk bucket by bucket; BucketFor may coarsen mid-walk, so the loop
+  // re-derives the bucket edge from the current width each step.
+  double t = t0;
+  while (t < t1) {
+    const size_t b = BucketFor(t);
+    const double edge = (static_cast<double>(b) + 1.0) * bucket_seconds_;
+    const double upto = std::min(edge, t1);
+    buckets_[b] += total * (upto - t) / span;
+    if (upto <= t) break;  // Defensive: no progress (degenerate widths).
+    t = upto;
+  }
+  total_ += total;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+TimeSeries* MetricsRegistry::GetTimeSeries(const std::string& name,
+                                           double bucket_seconds) {
+  auto& slot = time_series_[name];
+  if (slot == nullptr) slot = std::make_unique<TimeSeries>(bucket_seconds);
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const TimeSeries* MetricsRegistry::FindTimeSeries(const std::string& name) const {
+  auto it = time_series_.find(name);
+  return it == time_series_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    AppendQuoted(&out, name);
+    out += ":";
+    AppendDouble(&out, c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    AppendQuoted(&out, name);
+    out += ":{\"value\":";
+    AppendDouble(&out, g->value());
+    out += ",\"max\":";
+    AppendDouble(&out, g->max());
+    out += "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    AppendQuoted(&out, name);
+    out += ":{\"count\":";
+    AppendDouble(&out, static_cast<double>(h->count()));
+    out += ",\"sum\":";
+    AppendDouble(&out, h->sum());
+    out += ",\"min\":";
+    AppendDouble(&out, h->min());
+    out += ",\"max\":";
+    AppendDouble(&out, h->max());
+    out += ",\"buckets\":[";
+    // [upper_bound, count] for non-empty buckets only.
+    bool first_bucket = true;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h->buckets()[b] == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      out += "[";
+      AppendDouble(&out, static_cast<double>(uint64_t{1} << b));
+      out += ",";
+      AppendDouble(&out, static_cast<double>(h->buckets()[b]));
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "},\"time_series\":{";
+  first = true;
+  for (const auto& [name, ts] : time_series_) {
+    if (!first) out += ",";
+    first = false;
+    AppendQuoted(&out, name);
+    out += ":{\"bucket_seconds\":";
+    AppendDouble(&out, ts->bucket_seconds());
+    out += ",\"total\":";
+    AppendDouble(&out, ts->total());
+    out += ",\"buckets\":[";
+    const std::vector<double>& buckets = ts->buckets();
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      if (b > 0) out += ",";
+      AppendDouble(&out, buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rdmajoin

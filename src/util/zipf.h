@@ -2,7 +2,6 @@
 #define RDMAJOIN_UTIL_ZIPF_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "util/random.h"
 
@@ -13,12 +12,15 @@ namespace rdmajoin {
 ///
 /// The paper's skew experiments (Section 6.5) populate the foreign-key column
 /// of the outer relation with Zipf factors 1.05 (low skew) and 1.20 (high
-/// skew). Sampling uses an inverse-CDF lookup over a precomputed prefix-sum
-/// table with binary search, which is exact and fast enough for the scaled
-/// workload sizes used in the benchmarks.
+/// skew); the Fig. 8 sweep also needs the uniform end (theta = 0). Sampling
+/// uses rejection-inversion (Hoermann & Derflinger, "Rejection-inversion to
+/// generate variates from monotone discrete distributions", 1996): the
+/// discrete probabilities are dominated by an invertible continuous envelope,
+/// so drawing is exact, O(1) per sample with O(1) state -- no O(n) CDF table,
+/// which for the paper's 2B-key relations would cost 16 GB.
 class ZipfGenerator {
  public:
-  /// Builds the CDF for domain size `n` (> 0) and exponent `theta` (> 0).
+  /// Domain size `n` (> 0) and exponent `theta` (>= 0; 0 is uniform).
   ZipfGenerator(uint64_t n, double theta, uint64_t seed);
 
   /// Returns a rank in [0, n); rank 0 is the most frequent.
@@ -28,10 +30,19 @@ class ZipfGenerator {
   double theta() const { return theta_; }
 
  private:
+  /// Integral of the envelope hazard h(x) = x^-theta:
+  /// H(x) = (x^(1-theta) - 1) / (1 - theta), or ln(x) when theta == 1.
+  double HIntegral(double x) const;
+  /// Inverse of HIntegral.
+  double HIntegralInverse(double x) const;
+
   uint64_t n_;
   double theta_;
   Random rng_;
-  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), normalized, size n_.
+  // Precomputed sampler constants (Hoermann & Derflinger eq. 8/18).
+  double h_integral_x1_;         // H(1.5) - 1
+  double h_integral_n_;          // H(n + 0.5)
+  double s_;                     // acceptance shortcut threshold
 };
 
 }  // namespace rdmajoin

@@ -1,0 +1,156 @@
+#include "timing/chrome_trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "join/distributed_join.h"
+#include "util/metrics.h"
+#include "workload/generator.h"
+
+namespace rdmajoin {
+namespace {
+
+/// Structural sanity of a JSON document: balanced braces/brackets outside of
+/// string literals.
+bool BalancedJson(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+JoinConfig SmallJoinConfig() {
+  JoinConfig jc;
+  jc.network_radix_bits = 5;
+  jc.scale_up = 1024.0;
+  return jc;
+}
+
+struct TracedRun {
+  JoinRunResult result;
+  std::string json;
+};
+
+/// Runs a small distributed join with metrics attached and converts its
+/// replay into a Chrome trace.
+TracedRun RunTracedJoin(MetricsRegistry* metrics) {
+  WorkloadSpec spec;
+  spec.inner_tuples = 20000;
+  spec.outer_tuples = 40000;
+  auto workload = GenerateWorkload(spec, 4);
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+
+  JoinConfig config = SmallJoinConfig();
+  config.metrics = metrics;
+  DistributedJoin join(QdrCluster(4), config);
+  auto result = join.Run(workload->inner, workload->outer);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::string json = ChromeTraceJson(result->replay, metrics);
+  return TracedRun{std::move(*result), std::move(json)};
+}
+
+TEST(ChromeTrace, ContainsAllFourPhasesForEveryMachine) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  const std::string& json = run.json;
+  EXPECT_TRUE(BalancedJson(json)) << json.substr(0, 2000);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  for (const char* phase :
+       {"histogram", "network_partition", "local_partition", "build_probe"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + phase + "\""),
+              std::string::npos)
+        << "missing phase slice: " << phase;
+  }
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_NE(json.find("\"machine" + std::to_string(m) + "\""),
+              std::string::npos)
+        << "missing process_name for machine " << m;
+    EXPECT_NE(json.find("\"pid\":" + std::to_string(m)), std::string::npos);
+  }
+  // Phase slices are complete ("X") events with microsecond durations.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsPerHostUtilizationCounters) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  EXPECT_NE(run.json.find("\"egress MB/s\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"ingress MB/s\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"ph\":\"C\""), std::string::npos);
+  // The fabric recorded activity for every host.
+  for (int h = 0; h < 4; ++h) {
+    const TimeSeries* ts = metrics.FindTimeSeries(
+        "fabric.host" + std::to_string(h) + ".egress_active_bytes");
+    ASSERT_NE(ts, nullptr) << "host " << h;
+    EXPECT_GT(ts->total(), 0.0) << "host " << h;
+  }
+}
+
+TEST(ChromeTrace, MetricsSnapshotAgreesWithReport) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  // Acceptance criterion: the snapshot's per-machine join-phase gauges match
+  // the replay report's machine_phases.
+  const ReplayReport& replay = run.result.replay;
+  ASSERT_EQ(replay.machine_phases.size(), 4u);
+  for (int m = 0; m < 4; ++m) {
+    const std::string prefix = "join.machine" + std::to_string(m) + ".";
+    const Gauge* net = metrics.FindGauge(prefix + "network_partition_seconds");
+    ASSERT_NE(net, nullptr);
+    EXPECT_DOUBLE_EQ(net->value(),
+                     replay.machine_phases[m].network_partition_seconds);
+    const Gauge* hist = metrics.FindGauge(prefix + "histogram_seconds");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->value(), replay.machine_phases[m].histogram_seconds);
+  }
+}
+
+TEST(ChromeTrace, TraceWithoutMetricsStillHasPhases) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  const std::string json = ChromeTraceJson(run.result.replay, nullptr);
+  EXPECT_TRUE(BalancedJson(json));
+  EXPECT_NE(json.find("\"build_probe\""), std::string::npos);
+  EXPECT_EQ(json.find("MB/s"), std::string::npos);
+}
+
+TEST(ChromeTrace, WriteChromeTraceFileRoundTrips) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  const std::string path = ::testing::TempDir() + "/chrome_trace_test.json";
+  ASSERT_TRUE(WriteChromeTraceFile(path, run.result.replay, &metrics).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), run.json);
+}
+
+TEST(ChromeTrace, WriteToUnwritablePathFails) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  EXPECT_FALSE(WriteChromeTraceFile("/nonexistent-dir/trace.json",
+                                    run.result.replay, &metrics)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,234 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "rdma/buffer_pool.h"
+#include "rdma/verbs.h"
+#include "sim/fabric.h"
+
+namespace rdmajoin {
+namespace {
+
+/// Structural sanity of a JSON document: balanced braces/brackets outside of
+/// string literals, no trailing garbage. Not a full parser, but enough to
+/// catch missing commas-as-braces and unterminated strings.
+bool BalancedJson(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(Counter, AccumulatesExactly) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.Increment();
+  c.Add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(Gauge, TracksHighWater) {
+  Gauge g;
+  g.Set(5.0);
+  g.Set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 5.0);
+  g.Add(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+  EXPECT_DOUBLE_EQ(g.max(), 12.0);
+}
+
+TEST(Histogram, PowerOfTwoBuckets) {
+  Histogram h;
+  h.Observe(0.5);     // bucket 0: <= 1
+  h.Observe(1.0);     // bucket 0
+  h.Observe(1.5);     // bucket 1: (1, 2]
+  h.Observe(1024.0);  // bucket 10: (512, 1024]
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 1024.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1024.0);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[10], 1u);
+}
+
+TEST(Histogram, IgnoresNegativeAndNan) {
+  Histogram h;
+  h.Observe(-1.0);
+  h.Observe(std::nan(""));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(TimeSeries, AddRangeDistributesProportionally) {
+  TimeSeries ts(1.0);
+  // 30 bytes over [0.5, 3.5): 1/6 in bucket 0, 1/3 in 1, 1/3 in 2, 1/6 in 3.
+  ts.AddRange(0.5, 3.5, 30.0);
+  ASSERT_GE(ts.buckets().size(), 4u);
+  EXPECT_NEAR(ts.buckets()[0], 5.0, 1e-9);
+  EXPECT_NEAR(ts.buckets()[1], 10.0, 1e-9);
+  EXPECT_NEAR(ts.buckets()[2], 10.0, 1e-9);
+  EXPECT_NEAR(ts.buckets()[3], 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ts.total(), 30.0);
+}
+
+TEST(TimeSeries, CoarsensInsteadOfGrowingUnbounded) {
+  TimeSeries ts(1.0, /*max_buckets=*/8);
+  for (int t = 0; t < 100; ++t) ts.Add(t + 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(ts.total(), 100.0);
+  EXPECT_LE(ts.buckets().size(), 8u);
+  EXPECT_GT(ts.bucket_seconds(), 1.0);
+  double sum = 0;
+  for (double b : ts.buckets()) sum += b;
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndFindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.FindCounter("a"), nullptr);
+  Counter* c = reg.GetCounter("a");
+  c->Increment();
+  EXPECT_EQ(reg.GetCounter("a"), c);
+  EXPECT_EQ(reg.FindCounter("a"), c);
+  EXPECT_EQ(reg.FindGauge("a"), nullptr);  // Separate namespaces per type.
+  TimeSeries* ts = reg.GetTimeSeries("t", 0.5);
+  EXPECT_EQ(reg.GetTimeSeries("t", 99.0), ts);
+  EXPECT_DOUBLE_EQ(ts->bucket_seconds(), 0.5);
+}
+
+TEST(MetricsRegistry, ToJsonIsWellFormed) {
+  MetricsRegistry reg;
+  reg.GetCounter("fabric.host0.egress_bytes")->Add(123.0);
+  reg.GetGauge("fabric.active_flows")->Set(4.0);
+  reg.GetHistogram("fabric.message_bytes")->Observe(65536.0);
+  reg.GetTimeSeries("fabric.host0.egress_active_bytes", 0.01)->Add(0.005, 1.0);
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"fabric.host0.egress_bytes\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_series\""), std::string::npos);
+}
+
+TEST(FabricMetrics, DeliveredBytesAgreeWithFabricCounters) {
+  FabricConfig fc;
+  fc.num_hosts = 3;
+  fc.egress_bytes_per_sec = 1000.0;
+  fc.ingress_bytes_per_sec = 1000.0;
+  fc.message_rate_per_host = 0.0;
+  fc.base_latency_seconds = 0.0;
+  Fabric fabric(fc);
+  MetricsRegistry reg;
+  fabric.EnableMetrics(&reg, "fabric", 0.01);
+
+  fabric.Inject(0, 1, 500.0, 0.0);
+  fabric.Inject(0, 2, 250.0, 0.0);
+  fabric.Inject(2, 1, 125.0, 0.1);
+  std::vector<Fabric::Completion> done;
+  fabric.AdvanceTo(10.0, &done);
+  ASSERT_EQ(done.size(), 3u);
+
+  for (uint32_t h = 0; h < fc.num_hosts; ++h) {
+    const Counter* egress =
+        reg.FindCounter("fabric.host" + std::to_string(h) + ".egress_bytes");
+    ASSERT_NE(egress, nullptr);
+    EXPECT_DOUBLE_EQ(egress->value(), fabric.bytes_delivered_from(h));
+  }
+  double ingress_sum = 0;
+  for (uint32_t h = 0; h < fc.num_hosts; ++h) {
+    ingress_sum +=
+        reg.FindCounter("fabric.host" + std::to_string(h) + ".ingress_bytes")
+            ->value();
+  }
+  EXPECT_DOUBLE_EQ(ingress_sum, fabric.total_bytes_delivered());
+  EXPECT_DOUBLE_EQ(reg.FindCounter("fabric.messages")->value(), 3.0);
+  EXPECT_EQ(reg.FindHistogram("fabric.message_bytes")->count(), 3u);
+  EXPECT_GE(reg.FindGauge("fabric.active_flows")->max(), 2.0);
+  // The activity timelines conserve the transferred bytes.
+  double activity = 0;
+  for (uint32_t h = 0; h < fc.num_hosts; ++h) {
+    activity += reg.FindTimeSeries("fabric.host" + std::to_string(h) +
+                                   ".egress_active_bytes")
+                    ->total();
+  }
+  EXPECT_NEAR(activity, fabric.total_bytes_delivered(), 1e-6);
+}
+
+TEST(DeviceMetrics, CountsWorkRequestsRegistrationsAndPoolOccupancy) {
+  MetricsRegistry reg;
+  CostModel costs;
+  RdmaDevice a(0, nullptr, costs);
+  RdmaDevice b(1, nullptr, costs);
+  a.EnableMetrics(&reg, "rdma.dev0");
+  b.EnableMetrics(&reg, "rdma.dev1");
+
+  std::vector<uint8_t> mem_a(1024), mem_b(1024);
+  auto mr_a = a.RegisterMemory(mem_a.data(), mem_a.size());
+  auto mr_b = b.RegisterMemory(mem_b.data(), mem_b.size());
+  ASSERT_TRUE(mr_a.ok());
+  ASSERT_TRUE(mr_b.ok());
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev0.regions_registered")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev0.bytes_registered")->value(), 1024.0);
+  EXPECT_DOUBLE_EQ(reg.FindGauge("rdma.dev0.live_regions")->value(), 1.0);
+
+  CompletionQueue a_send, a_recv, b_send, b_recv;
+  QueuePair qa(&a, &a_send, &a_recv);
+  QueuePair qb(&b, &b_send, &b_recv);
+  ASSERT_TRUE(QueuePair::Connect(&qa, &qb).ok());
+  ASSERT_TRUE(qb.PostRecv(1, mr_b->lkey, 0, 512).ok());
+  ASSERT_TRUE(qa.PostSend(2, mr_a->lkey, 0, 256).ok());
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev0.send_posted")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev0.send_completed")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev1.recv_posted")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev1.recv_completed")->value(), 1.0);
+  ASSERT_TRUE(qa.PostWrite(3, mr_a->lkey, 0, mr_b->rkey, 0, 128).ok());
+  ASSERT_TRUE(qa.PostRead(4, mr_a->lkey, 0, mr_b->rkey, 0, 128).ok());
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev0.write_posted")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev0.read_posted")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev0.write_completed")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev0.read_completed")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.FindCounter("rdma.dev0.failed_completions")->value(), 0.0);
+
+  {
+    RegisteredBufferPool pool(&a, 256);
+    auto b1 = pool.Acquire();
+    auto b2 = pool.Acquire();
+    ASSERT_TRUE(b1.ok());
+    ASSERT_TRUE(b2.ok());
+    ASSERT_TRUE(pool.Release(*b1).ok());
+    ASSERT_TRUE(pool.Release(*b2).ok());
+    auto b3 = pool.Acquire();
+    ASSERT_TRUE(b3.ok());
+    ASSERT_TRUE(pool.Release(*b3).ok());
+  }
+  const Gauge* occupancy = reg.FindGauge("rdma.dev0.pool_outstanding");
+  ASSERT_NE(occupancy, nullptr);
+  EXPECT_DOUBLE_EQ(occupancy->max(), 2.0);  // High-water mark.
+  EXPECT_DOUBLE_EQ(occupancy->value(), 0.0);
+
+  ASSERT_TRUE(a.DeregisterMemory(*mr_a).ok());
+  EXPECT_DOUBLE_EQ(reg.FindGauge("rdma.dev0.live_regions")->value(), 0.0);
+  ASSERT_TRUE(b.DeregisterMemory(*mr_b).ok());
+}
+
+}  // namespace
+}  // namespace rdmajoin

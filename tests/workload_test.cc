@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "util/zipf.h"
 #include "workload/relation.h"
@@ -176,6 +178,52 @@ TEST(ZipfGenerator, RespectsDomainAndMonotoneFrequency) {
   // Frequency of rank 0 exceeds rank 10 exceeds rank 90.
   EXPECT_GT(counts[0], counts[10]);
   EXPECT_GT(counts[10], counts[90]);
+}
+
+// Statistical regression for the rejection-inversion sampler: for a small
+// domain the exact probabilities P(k) = (k+1)^-theta / H_n,theta are cheap to
+// tabulate, so the empirical distribution can be checked against them
+// directly. Each per-rank count is binomial; a 6-sigma band (plus a one-count
+// floor for the tiny-expectation tail) keeps the test deterministic for the
+// fixed seeds yet tight enough to catch an off-by-half in the envelope or a
+// wrong acceptance test. theta = 0 (uniform) and theta = 1 (the harmonic
+// special case of the envelope integral) are included on purpose.
+TEST(ZipfGenerator, MatchesExactCdfOnSmallDomains) {
+  const uint64_t n = 50;
+  const int samples = 400000;
+  for (double theta : {0.0, 0.5, 1.0, 1.05, 1.2}) {
+    ZipfGenerator zipf(n, theta, /*seed=*/1234);
+    std::vector<uint64_t> counts(n, 0);
+    for (int i = 0; i < samples; ++i) {
+      const uint64_t k = zipf.Next();
+      ASSERT_LT(k, n);
+      ++counts[k];
+    }
+    std::vector<double> p(n);
+    double norm = 0.0;
+    for (uint64_t k = 0; k < n; ++k) {
+      p[k] = std::pow(static_cast<double>(k + 1), -theta);
+      norm += p[k];
+    }
+    for (uint64_t k = 0; k < n; ++k) {
+      p[k] /= norm;
+      const double expected = p[k] * samples;
+      const double sigma = std::sqrt(expected * (1.0 - p[k]));
+      EXPECT_NEAR(static_cast<double>(counts[k]), expected, 6.0 * sigma + 1.0)
+          << "theta=" << theta << " rank=" << k;
+    }
+  }
+}
+
+TEST(ZipfGenerator, ThetaZeroIsUniform) {
+  // Before the rejection-inversion rewrite the constructor asserted
+  // theta > 0; the uniform end of the Fig. 8 skew sweep must be accepted.
+  ZipfGenerator zipf(8, 0.0, 3);
+  std::vector<uint64_t> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[zipf.Next()];
+  for (uint64_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]), 10000.0, 600.0) << "rank " << k;
+  }
 }
 
 TEST(ZipfGenerator, HigherThetaIsMoreSkewed) {

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "cluster/presets.h"
@@ -19,6 +20,9 @@
 #include "model/analytical_model.h"
 #include "operators/distributed_aggregate.h"
 #include "operators/sort_merge_join.h"
+#include "timing/chrome_trace.h"
+#include "timing/trace_io.h"
+#include "util/metrics.h"
 #include "util/table_printer.h"
 #include "workload/generator.h"
 
@@ -44,6 +48,9 @@ struct CliOptions {
   bool csv = false;
   bool with_model = false;
   uint64_t seed = 42;
+  std::string trace_out;      // record the execution trace to this file
+  std::string metrics_json;   // write the metrics snapshot to this file
+  std::string chrome_trace;   // write a Chrome trace-event file
 };
 
 void PrintUsage() {
@@ -64,7 +71,11 @@ void PrintUsage() {
       "  --materialize                 write result tuples (Sec. 7)\n"
       "  --model                       also print the Section 5 estimate\n"
       "  --csv                         machine-readable output\n"
-      "  --seed=N                      workload RNG seed\n");
+      "  --seed=N                      workload RNG seed\n"
+      "  --trace-out=PATH              record the execution trace (join ops)\n"
+      "  --metrics-json=PATH           write the metrics snapshot as JSON\n"
+      "  --chrome-trace=PATH           write a Chrome trace-event file\n"
+      "                                (open in chrome://tracing, join ops)\n");
 }
 
 bool ParseCli(int argc, char** argv, CliOptions* opt) {
@@ -114,6 +125,12 @@ bool ParseCli(int argc, char** argv, CliOptions* opt) {
       opt->csv = true;
     } else if (const char* v = value("--seed")) {
       opt->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--trace-out")) {
+      opt->trace_out = v;
+    } else if (const char* v = value("--metrics-json")) {
+      opt->metrics_json = v;
+    } else if (const char* v = value("--chrome-trace")) {
+      opt->chrome_trace = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return false;
@@ -173,6 +190,10 @@ int main(int argc, char** argv) {
                                                : AssignmentPolicy::kRoundRobin;
   config.enable_work_stealing = opt.work_stealing;
   config.materialize_results = opt.materialize;
+  MetricsRegistry metrics;
+  const bool want_metrics =
+      !opt.metrics_json.empty() || !opt.chrome_trace.empty();
+  if (want_metrics) config.metrics = &metrics;
 
   PhaseTimes times;
   std::string verified = "n/a";
@@ -192,6 +213,14 @@ int main(int argc, char** argv) {
                        result->stats.key_sum == workload->truth.expected_key_sum
                    ? "yes"
                    : "NO";
+    if (!opt.trace_out.empty()) {
+      Status s = WriteTraceFile(result->trace, opt.trace_out);
+      if (!s.ok()) return Fail(s);
+    }
+    if (!opt.chrome_trace.empty()) {
+      Status s = WriteChromeTraceFile(opt.chrome_trace, result->replay, &metrics);
+      if (!s.ok()) return Fail(s);
+    }
   } else if (opt.op == "aggregate") {
     auto result = DistributedAggregate(cluster, config).Run(workload->outer);
     if (!result.ok()) return Fail(result.status());
@@ -202,6 +231,15 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown operator: %s\n", opt.op.c_str());
     return 1;
+  }
+  if (!opt.metrics_json.empty()) {
+    std::ofstream out(opt.metrics_json, std::ios::binary);
+    const std::string json = metrics.ToJson();
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.metrics_json.c_str());
+      return 1;
+    }
   }
 
   TablePrinter table(opt.csv ? "" : cluster.name + ", " + opt.op);

@@ -1,0 +1,138 @@
+// Converts a recorded execution trace into a Chrome trace-event file: the
+// trace is replayed against a cluster model with metrics enabled, and the
+// resulting per-machine phase timeline plus per-host fabric utilization is
+// written as JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+//   # Record a trace (either tool works):
+//   rdmajoin_cli --machines=4 --inner=64 --outer=64 --trace-out=/tmp/j.trace
+//   # Convert it:
+//   rdmajoin_trace --trace=/tmp/j.trace --out=/tmp/j.chrome.json
+//   # Optionally also dump the metrics snapshot:
+//   rdmajoin_trace --trace=/tmp/j.trace --out=/tmp/j.chrome.json
+//                  --metrics-json=/tmp/j.metrics.json
+//
+// The machine count is taken from the trace; the cluster preset supplies the
+// hardware model the replay runs under.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cluster/presets.h"
+#include "join/join_config.h"
+#include "timing/chrome_trace.h"
+#include "timing/replay.h"
+#include "timing/trace_io.h"
+#include "util/metrics.h"
+
+namespace {
+
+using namespace rdmajoin;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintUsage() {
+  std::printf(
+      "rdmajoin_trace -- render a recorded join trace as a Chrome trace\n\n"
+      "  --trace=PATH            input trace (rdmajoin_cli --trace-out,\n"
+      "                          rdmajoin_whatif --capture)\n"
+      "  --out=PATH              output Chrome trace-event JSON file\n"
+      "  --metrics-json=PATH     also write the metrics snapshot as JSON\n"
+      "  --cluster=qdr|fdr|ipoib hardware preset for the replay (default qdr)\n"
+      "  --cores=N               cores per machine (default 8)\n"
+      "  --bucket-ms=F           utilization bucket width in milliseconds\n"
+      "                          (default 10)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, out_path, metrics_path, cluster_name = "qdr";
+  uint32_t cores = 8;
+  double bucket_ms = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) == 0 && arg.size() > len && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (const char* v = value("--trace")) {
+      trace_path = v;
+    } else if (const char* v = value("--out")) {
+      out_path = v;
+    } else if (const char* v = value("--metrics-json")) {
+      metrics_path = v;
+    } else if (const char* v = value("--cluster")) {
+      cluster_name = v;
+    } else if (const char* v = value("--cores")) {
+      cores = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--bucket-ms")) {
+      bucket_ms = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (trace_path.empty() || out_path.empty()) {
+    std::fprintf(stderr, "usage: rdmajoin_trace --trace=FILE --out=FILE\n");
+    return 1;
+  }
+  if (bucket_ms <= 0) {
+    std::fprintf(stderr, "--bucket-ms must be positive\n");
+    return 1;
+  }
+
+  auto trace = ReadTraceFile(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  const uint32_t machines = static_cast<uint32_t>(trace->machines.size());
+  if (machines == 0) {
+    std::fprintf(stderr, "trace has no machines\n");
+    return 1;
+  }
+
+  ClusterConfig cluster;
+  if (cluster_name == "qdr") {
+    cluster = QdrCluster(machines, cores);
+  } else if (cluster_name == "fdr") {
+    cluster = FdrCluster(machines, cores);
+  } else if (cluster_name == "ipoib") {
+    cluster = IpoibCluster(machines, cores);
+  } else {
+    std::fprintf(stderr, "unknown cluster %s\n", cluster_name.c_str());
+    return 1;
+  }
+
+  JoinConfig config;
+  config.scale_up = trace->scale_up;
+
+  MetricsRegistry metrics;
+  ReplayOptions options;
+  options.metrics = &metrics;
+  options.utilization_bucket_seconds = bucket_ms / 1e3;
+  const ReplayReport report = ReplayTrace(cluster, config, *trace, options);
+
+  Status s = WriteChromeTraceFile(out_path, report, &metrics);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s (%u machines, %.3f virtual s)\n", out_path.c_str(),
+              machines, report.phases.TotalSeconds());
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::binary);
+    const std::string json = metrics.ToJson();
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    if (!out) return Fail(Status::Internal("short write to " + metrics_path));
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
