@@ -29,20 +29,29 @@ int main(int argc, char** argv) {
       {"dynamic skew-aware, split (paper)", AssignmentPolicy::kSkewAware, 2.0},
   };
 
+  bench::BenchReporter reporter("abl_assignment", opt);
   for (double theta : {1.05, 1.20}) {
     TablePrinter table("Zipf " + TablePrinter::Num(theta));
     table.SetHeader({"configuration", "network_part", "local+bp", "total",
                      "verified"});
     for (const Config& cfg : configs) {
+      const std::string label =
+          "zipf " + TablePrinter::Num(theta) + "/" + cfg.label;
+      const bench::BenchReporter::Config row_config = {
+          {"zipf_theta", TablePrinter::Num(theta)},
+          {"configuration", cfg.label},
+          {"split_factor", TablePrinter::Num(cfg.split_factor)}};
       auto run = bench::RunPaperJoin(
           QdrCluster(8), 128, 2048, opt, theta, 16, [&cfg](JoinConfig* jc) {
             jc->assignment = cfg.assignment;
             jc->skew_split_factor = cfg.split_factor;
           });
       if (!run.ok) {
+        reporter.AddError(label, row_config, run.error);
         table.AddRow({cfg.label, "-", "-", run.error, "-"});
         continue;
       }
+      reporter.AddRun(label, row_config, run);
       table.AddRow({cfg.label, TablePrinter::Num(run.times.network_partition_seconds),
                     TablePrinter::Num(run.times.local_partition_seconds +
                                       run.times.build_probe_seconds),
@@ -51,5 +60,5 @@ int main(int argc, char** argv) {
     }
     table.Print();
   }
-  return 0;
+  return reporter.Finish();
 }

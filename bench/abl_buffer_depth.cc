@@ -25,17 +25,23 @@ int main(int argc, char** argv) {
       "Ablation: double-buffering depth, 2048M x 2048M, 8 QDR machines\n");
   bench::PrintScaleNote(opt);
 
+  bench::BenchReporter reporter("abl_buffer_depth", opt);
   TablePrinter table("execution time vs buffers per (thread, partition)");
   table.SetHeader({"buffers_per_slot", "network_part", "total", "verified"});
   for (uint32_t depth : {1u, 2u, 3u, 4u, 8u}) {
+    const std::string label = "depth " + TablePrinter::Int(depth);
+    const bench::BenchReporter::Config config = {
+        {"buffers_per_partition", TablePrinter::Int(depth)}};
     auto run = bench::RunPaperJoin(QdrCluster(8), 2048, 2048, opt, 0.0, 16,
                                    [depth](JoinConfig* jc) {
                                      jc->buffers_per_partition = depth;
                                    });
     if (!run.ok) {
+      reporter.AddError(label, config, run.error);
       table.AddRow({TablePrinter::Int(depth), "-", run.error, "-"});
       continue;
     }
+    reporter.AddRun(label, config, run);
     table.AddRow({TablePrinter::Int(depth),
                   TablePrinter::Num(run.times.network_partition_seconds),
                   TablePrinter::Num(run.times.TotalSeconds()),

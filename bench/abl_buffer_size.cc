@@ -24,20 +24,29 @@ int main(int argc, char** argv) {
   bench::Options opt = bench::ParseOptions(argc, argv);
   std::printf("Ablation (Sec 6.2): RDMA buffer size, 512M x 512M, 4 FDR machines\n\n");
 
+  bench::BenchReporter reporter("abl_buffer_size", opt);
   TablePrinter table("execution time vs buffer size");
   table.SetHeader({"buffer_size", "network_part", "total", "messages", "verified"});
   for (uint64_t kb : {4, 8, 16, 32, 64, 128, 256, 512}) {
     const uint64_t bytes = kb * 1024;
     bench::Options sized = opt;
     sized.scale_up = static_cast<double>(bytes) / 32.0;
+    const std::string label = FormatBytes(bytes);
+    // Each row runs at its own scale (buffer/32); record it so the JSON is
+    // self-describing even though the document header carries opt.scale_up.
+    const bench::BenchReporter::Config config = {
+        {"buffer_bytes", std::to_string(bytes)},
+        {"row_scale_up", TablePrinter::Num(sized.scale_up, 0)}};
     auto run = bench::RunPaperJoin(FdrCluster(4), 512, 512, sized, 0.0, 16,
                                    [bytes](JoinConfig* jc) {
                                      jc->rdma_buffer_bytes = bytes;
                                    });
     if (!run.ok) {
+      reporter.AddError(label, config, run.error);
       table.AddRow({FormatBytes(bytes), "-", run.error, "-", "-"});
       continue;
     }
+    reporter.AddRun(label, config, run);
     table.AddRow({FormatBytes(bytes),
                   TablePrinter::Num(run.times.network_partition_seconds),
                   TablePrinter::Num(run.times.TotalSeconds()),
@@ -49,5 +58,5 @@ int main(int argc, char** argv) {
   } else {
     table.Print();
   }
-  return 0;
+  return reporter.Finish();
 }

@@ -29,15 +29,23 @@ int main(int argc, char** argv) {
   std::printf("Eq. 13 bound for full buffers: %.1f machines\n\n",
               MaxMachinesForFullBuffers(params, 1024, 64.0 * 1024 / 1e6));
 
+  bench::BenchReporter reporter("abl_eq13_buffer_fill", opt);
   TablePrinter table("buffer fill and network pass vs machine count");
   table.SetHeader({"machines", "messages", "avg_fill_KB", "network_part",
                    "total", "verified"});
   for (uint32_t m = 2; m <= 10; m += 2) {
+    const std::string label = TablePrinter::Int(m) + " machines";
+    const bench::BenchReporter::Config config = {
+        {"machines", TablePrinter::Int(m)},
+        {"inner_mtuples", "64"},
+        {"outer_mtuples", "2048"}};
     auto run = bench::RunPaperJoin(QdrCluster(m), inner_m, outer_m, opt);
     if (!run.ok) {
+      reporter.AddError(label, config, run.error);
       table.AddRow({TablePrinter::Int(m), "-", "-", "-", run.error, "-"});
       continue;
     }
+    reporter.AddRun(label, config, run);
     const double avg_fill =
         run.net.virtual_wire_bytes / static_cast<double>(run.net.messages_sent);
     table.AddRow({TablePrinter::Int(m),
@@ -55,5 +63,5 @@ int main(int argc, char** argv) {
   std::printf("Expected shape: average buffer fill drops with the machine count as\n"
               "the small inner relation spreads over more (thread, partition)\n"
               "buffer sets; the outer relation keeps its buffers full.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
                      mean_cost * (0.5 + rng.NextDouble())});
   }
 
+  bench::BenchReporter reporter("abl_numa_queues", opt);
   TablePrinter table("build/probe makespan by queue policy");
   table.SetHeader({"remote_penalty", "shared queue (s)", "NUMA queues (s)",
                    "speedup", "locality"});
@@ -41,6 +42,12 @@ int main(int argc, char** argv) {
         ScheduleNumaTasks(tasks, regions, workers, penalty, /*numa_aware=*/true);
     const double locality =
         100.0 * aware.local_tasks / (aware.local_tasks + aware.remote_tasks);
+    const bench::BenchReporter::Config config = {
+        {"remote_penalty", TablePrinter::Num(penalty, 1)}};
+    reporter.AddMeasurement("shared/penalty " + TablePrinter::Num(penalty, 1),
+                            config, shared.makespan);
+    reporter.AddMeasurement("numa/penalty " + TablePrinter::Num(penalty, 1),
+                            config, aware.makespan);
     table.AddRow({TablePrinter::Num(penalty, 1),
                   TablePrinter::Num(shared.makespan, 4),
                   TablePrinter::Num(aware.makespan, 4),
@@ -52,5 +59,5 @@ int main(int argc, char** argv) {
   } else {
     table.Print();
   }
-  return 0;
+  return reporter.Finish();
 }

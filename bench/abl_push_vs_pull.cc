@@ -31,17 +31,22 @@ int main(int argc, char** argv) {
       {"one-sided READ (pull)", TransportKind::kRdmaRead},
   };
 
+  bench::BenchReporter reporter("abl_push_vs_pull", opt);
   TablePrinter table("transport design space");
   table.SetHeader({"variant", "network_part", "setup_reg_s", "total",
                    "messages", "verified"});
   for (const Variant& v : variants) {
+    const bench::BenchReporter::Config config = {{"transport", v.label},
+                                                 {"mtuples", "2048"}};
     ClusterConfig cluster = FdrCluster(4);
     cluster.transport = v.transport;
     auto run = bench::RunPaperJoin(cluster, 2048, 2048, opt);
     if (!run.ok) {
+      reporter.AddError(v.label, config, run.error);
       table.AddRow({v.label, "-", "-", run.error, "-", "-"});
       continue;
     }
+    reporter.AddRun(v.label, config, run);
     table.AddRow({v.label, TablePrinter::Num(run.times.network_partition_seconds),
                   TablePrinter::Num(run.net.setup_registration_seconds, 3),
                   TablePrinter::Num(run.times.TotalSeconds()),
@@ -53,5 +58,5 @@ int main(int argc, char** argv) {
   } else {
     table.Print();
   }
-  return 0;
+  return reporter.Finish();
 }

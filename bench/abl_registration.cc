@@ -19,19 +19,26 @@ int main(int argc, char** argv) {
       "2048M x 2048M, 4 FDR machines\n");
   bench::PrintScaleNote(opt);
 
+  bench::BenchReporter reporter("abl_registration", opt);
   TablePrinter table("execution time by buffer management policy");
   table.SetHeader({"policy", "network_part", "total", "pool_registrations",
                    "pool_acquisitions", "verified"});
   for (bool pooled : {true, false}) {
+    const char* label = pooled ? "preregistered pool" : "register on the fly";
+    const bench::BenchReporter::Config config = {
+        {"preregister_buffers", pooled ? "true" : "false"},
+        {"mtuples", "2048"}};
     auto run = bench::RunPaperJoin(FdrCluster(4), 2048, 2048, opt, 0.0, 16,
                                    [pooled](JoinConfig* jc) {
                                      jc->preregister_buffers = pooled;
                                    });
     if (!run.ok) {
+      reporter.AddError(label, config, run.error);
       table.AddRow({pooled ? "preregistered pool" : "register on the fly", "-",
                     run.error, "-", "-", "-"});
       continue;
     }
+    reporter.AddRun(label, config, run);
     table.AddRow({pooled ? "preregistered pool" : "register on the fly",
                   TablePrinter::Num(run.times.network_partition_seconds),
                   TablePrinter::Num(run.times.TotalSeconds()),
@@ -44,5 +51,5 @@ int main(int argc, char** argv) {
   } else {
     table.Print();
   }
-  return 0;
+  return reporter.Finish();
 }

@@ -1,14 +1,23 @@
 #ifndef RDMAJOIN_BENCH_BENCH_COMMON_H_
 #define RDMAJOIN_BENCH_BENCH_COMMON_H_
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "join/distributed_join.h"
+#include "model/analytical_model.h"
+#include "rdma/validator.h"
+#include "timing/attribution.h"
+#include "util/bench_json.h"
+#include "util/json.h"
 #include "workload/generator.h"
 
 namespace rdmajoin {
@@ -25,24 +34,109 @@ struct Options {
   double scale_up = 1024.0;
   bool csv = false;
   uint64_t seed = 42;
+  /// Machine-readable results: every harness emits BENCH_<name>.json next to
+  /// its table output unless --no-json is given; --json-out overrides the
+  /// path. tools/rdmajoin_analyze renders and diffs these files.
+  bool json = true;
+  std::string json_out;
 };
 
-inline Options ParseOptions(int argc, char** argv, double default_scale = 1024.0) {
+inline void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scale=N] [--seed=N] [--csv] [--json-out=PATH] [--no-json]\n"
+      "  --scale=N        virtual scale-up factor, N >= 1 (also env "
+      "RDMAJOIN_SCALE_UP)\n"
+      "  --seed=N         workload RNG seed (default 42)\n"
+      "  --csv            print tables as CSV\n"
+      "  --json-out=PATH  write the machine-readable results to PATH\n"
+      "                   (default BENCH_<bench>.json in the working dir)\n"
+      "  --no-json        skip writing the JSON results file\n",
+      argv0);
+}
+
+/// Strict numeric parsing: the whole token must be a finite number. Protects
+/// against --scale=abc silently becoming scale 1 (a 1024x slower run).
+inline bool ParseDoubleValue(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (!(v == v) || v > 1e300 || v < -1e300) return false;  // NaN / inf
+  return *out = v, true;
+}
+
+inline bool ParseU64Value(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(text, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+[[noreturn]] inline void OptionError(const char* argv0, const std::string& what) {
+  std::fprintf(stderr, "error: %s\n\n", what.c_str());
+  PrintUsage(argv0);
+  std::exit(2);
+}
+
+/// Parses the shared bench flags. Unknown flags and malformed values are
+/// fatal (exit 2 with usage) -- a typo must not silently run a default
+/// configuration. `extra_flags` names additional zero-argument flags the
+/// individual harness handles itself (e.g. fig03's --presets).
+inline Options ParseOptions(int argc, char** argv, double default_scale = 1024.0,
+                            const std::vector<std::string>& extra_flags = {}) {
   Options opt;
   opt.scale_up = default_scale;
   if (const char* env = std::getenv("RDMAJOIN_SCALE_UP")) {
-    opt.scale_up = std::atof(env);
-  }
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
-      opt.scale_up = std::atof(argv[i] + 8);
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      opt.csv = true;
-    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    if (!ParseDoubleValue(env, &opt.scale_up)) {
+      OptionError(argv[0], std::string("RDMAJOIN_SCALE_UP is not a number: '") +
+                               env + "'");
     }
   }
-  if (opt.scale_up < 1.0) opt.scale_up = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      if (!ParseDoubleValue(arg + 8, &opt.scale_up)) {
+        OptionError(argv[0], std::string("invalid --scale value: '") + (arg + 8) +
+                                 "' (expected a number >= 1)");
+      }
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      if (!ParseU64Value(arg + 7, &opt.seed)) {
+        OptionError(argv[0], std::string("invalid --seed value: '") + (arg + 7) +
+                                 "' (expected an unsigned integer)");
+      }
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      opt.json_out = arg + 11;
+      if (opt.json_out.empty()) {
+        OptionError(argv[0], "--json-out requires a path");
+      }
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strcmp(arg, "--no-json") == 0) {
+      opt.json = false;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    } else {
+      bool known_extra = false;
+      for (const std::string& extra : extra_flags) {
+        if (extra == arg) {
+          known_extra = true;
+          break;
+        }
+      }
+      if (!known_extra) {
+        OptionError(argv[0], std::string("unknown flag: '") + arg + "'");
+      }
+    }
+  }
+  if (opt.scale_up < 1.0) {
+    OptionError(argv[0], "--scale must be >= 1 (times are virtual full-scale "
+                         "seconds; scale 1 replays the full workload)");
+  }
   return opt;
 }
 
@@ -55,6 +149,11 @@ struct RunOutcome {
   JoinResultStats stats;
   NetworkSummary net;
   ReplayReport replay;
+  /// Verbs-contract conformance of the run (PR 1 validator, report mode):
+  /// every bench doubles as a protocol-conformance check. Non-zero counts
+  /// surface in the table footer and the bench JSON.
+  uint64_t protocol_violations = 0;
+  ProtocolReport protocol;
 };
 
 /// Extra knobs applied on top of the default JoinConfig.
@@ -84,8 +183,15 @@ inline RunOutcome RunPaperJoin(const ClusterConfig& cluster, double inner_mtuple
   jc.scale_up = opt.scale_up;
   if (zipf_theta > 0) jc.assignment = AssignmentPolicy::kSkewAware;
   if (tweak) tweak(&jc);
+  // Every bench run is also a protocol-conformance run: the validator
+  // observes all verbs traffic in report (non-strict) mode, so violations
+  // are counted instead of failing the run.
+  ProtocolValidator validator(ProtocolValidator::Mode::kReport);
+  if (jc.validator == nullptr) jc.validator = &validator;
   DistributedJoin join(cluster, jc);
   auto result = join.Run(workload->inner, workload->outer);
+  out.protocol = jc.validator->report();
+  out.protocol_violations = out.protocol.total();
   if (!result.ok()) {
     out.error = result.status().ToString();
     return out;
@@ -107,6 +213,220 @@ inline void PrintScaleNote(const Options& opt) {
       "virtual full-scale seconds)\n\n",
       opt.scale_up, opt.scale_up);
 }
+
+/// Collects every data point of one bench run and writes the
+/// schema-versioned machine-readable twin of the printed tables:
+/// BENCH_<name>.json (util/bench_json.h documents the schema,
+/// tools/rdmajoin_analyze renders and regression-diffs it).
+///
+/// Output is deterministic for a fixed (seed, scale) configuration -- no
+/// timestamps, shortest-round-trip number formatting -- so identical-seed
+/// reruns diff clean and the committed baselines in bench/baselines/ gate
+/// perf regressions in CI.
+class BenchReporter {
+ public:
+  /// Config key/value pairs describing one row's parameters.
+  using Config = std::vector<std::pair<std::string, std::string>>;
+
+  BenchReporter(std::string bench_name, const Options& opt)
+      : name_(std::move(bench_name)), opt_(opt) {}
+
+  /// Full join run: phases, attribution, verification, protocol counts.
+  /// `paper_seconds` is the figure's reference value (<= 0: none);
+  /// `model` the closed-form prediction for this point, when one exists.
+  void AddRun(const std::string& label, const Config& config,
+              const RunOutcome& run, double paper_seconds = 0,
+              const ModelEstimate* model = nullptr) {
+    std::string row;
+    OpenRow(&row, label, config);
+    if (!run.ok) {
+      row += ",\"ok\":false,\"error\":\"" + JsonEscape(run.error) + "\"";
+      CloseRow(&row);
+      return;
+    }
+    row += ",\"ok\":true,\"verified\":";
+    row += run.verified ? "true" : "false";
+    row += ",\"measured_seconds\":" + JsonNumber(run.times.TotalSeconds());
+    row += ",\"phases\":" + PhasesJson(run.times);
+    row += ",\"attribution\":" + AttributionJson(run.replay.attribution);
+    row += ",\"protocol_violations\":" + JsonNumber(static_cast<double>(run.protocol_violations));
+    if (paper_seconds > 0) {
+      row += ",\"paper_seconds\":" + JsonNumber(paper_seconds);
+    }
+    if (model != nullptr) {
+      row += ",\"model\":" + ModelJson(*model, run.times);
+    }
+    CloseRow(&row);
+  }
+
+  /// Scalar measurement (bandwidth probes, replay-only harnesses) in the
+  /// unit named by `unit`; also mirrored into measured_seconds when the
+  /// measurement is a duration so the regression gate can diff it.
+  void AddMeasurement(const std::string& label, const Config& config,
+                      double value, const std::string& unit = "seconds",
+                      double paper_value = 0) {
+    std::string row;
+    OpenRow(&row, label, config);
+    row += ",\"ok\":true,\"verified\":true";
+    if (unit == "seconds") {
+      row += ",\"measured_seconds\":" + JsonNumber(value);
+    } else {
+      row += ",\"measured_value\":" + JsonNumber(value);
+      row += ",\"unit\":\"" + JsonEscape(unit) + "\"";
+    }
+    if (paper_value > 0) {
+      row += ",\"paper_" + JsonEscape(unit) + "\":" + JsonNumber(paper_value);
+    }
+    CloseRow(&row);
+  }
+
+  /// A point that failed to run (out of memory, invalid config, ...).
+  void AddError(const std::string& label, const Config& config,
+                const std::string& error) {
+    std::string row;
+    OpenRow(&row, label, config);
+    row += ",\"ok\":false,\"error\":\"" + JsonEscape(error) + "\"";
+    CloseRow(&row);
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += "  \"schema_version\":" + std::to_string(kBenchJsonSchemaVersion) + ",\n";
+    out += "  \"bench\":\"" + JsonEscape(name_) + "\",\n";
+    out += "  \"scale_up\":" + JsonNumber(opt_.scale_up) + ",\n";
+    out += "  \"seed\":" + JsonNumber(static_cast<double>(opt_.seed)) + ",\n";
+    out += "  \"rows\":[\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += "    " + rows_[i];
+      if (i + 1 < rows_.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the JSON file (unless --no-json) and prints its path. Returns
+  /// false when the file cannot be written.
+  bool Write() const {
+    if (!opt_.json) return true;
+    const std::string path =
+        opt_.json_out.empty() ? "BENCH_" + name_ + ".json" : opt_.json_out;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << ToJson();
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+      return false;
+    }
+    std::printf("# wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+  /// Convenience for main(): write and turn failure into an exit code.
+  int Finish() const { return Write() ? 0 : 1; }
+
+  const std::string& name() const { return name_; }
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  static std::string ConfigValueJson(const std::string& v) {
+    // Emit numeric-looking values as JSON numbers, everything else quoted.
+    const bool numeric_start =
+        !v.empty() && (std::isdigit(static_cast<unsigned char>(v[0])) ||
+                       (v[0] == '-' && v.size() > 1 &&
+                        std::isdigit(static_cast<unsigned char>(v[1]))));
+    if (numeric_start) {
+      char* end = nullptr;
+      std::strtod(v.c_str(), &end);
+      if (end != nullptr && *end == '\0') return v;
+    }
+    return "\"" + JsonEscape(v) + "\"";
+  }
+
+  void OpenRow(std::string* row, const std::string& label, const Config& config) {
+    *row = "{\"label\":\"" + JsonEscape(label) + "\"";
+    *row += ",\"config\":{";
+    for (size_t i = 0; i < config.size(); ++i) {
+      if (i > 0) *row += ",";
+      *row += "\"" + JsonEscape(config[i].first) +
+              "\":" + ConfigValueJson(config[i].second);
+    }
+    *row += "}";
+  }
+
+  void CloseRow(std::string* row) {
+    *row += "}";
+    rows_.push_back(std::move(*row));
+  }
+
+  static std::string PhasesJson(const PhaseTimes& t) {
+    return "{\"histogram_seconds\":" + JsonNumber(t.histogram_seconds) +
+           ",\"network_partition_seconds\":" + JsonNumber(t.network_partition_seconds) +
+           ",\"local_partition_seconds\":" + JsonNumber(t.local_partition_seconds) +
+           ",\"build_probe_seconds\":" + JsonNumber(t.build_probe_seconds) + "}";
+  }
+
+  static std::string BreakdownJson(const PhaseAttribution& b) {
+    return "{\"compute_seconds\":" + JsonNumber(b.compute_seconds) +
+           ",\"network_seconds\":" + JsonNumber(b.network_seconds) +
+           ",\"buffer_stall_seconds\":" + JsonNumber(b.buffer_stall_seconds) +
+           ",\"barrier_wait_seconds\":" + JsonNumber(b.barrier_wait_seconds) + "}";
+  }
+
+  static std::string AttributionJson(const AttributionReport& attr) {
+    std::string out = "{\"critical_path\":[";
+    bool first = true;
+    for (const CriticalPathStep& step : attr.CriticalPath()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"phase\":\"" + std::string(JoinPhaseName(step.phase)) + "\"";
+      out += ",\"machine\":" + JsonNumber(step.machine);
+      out += ",\"seconds\":" + JsonNumber(step.phase_seconds);
+      out += ",\"breakdown\":" + BreakdownJson(step.breakdown) + "}";
+    }
+    out += "]";
+    const PhaseAttribution total = attr.CriticalPathBreakdown();
+    out += ",\"totals\":" + BreakdownJson(total);
+    // The invariant the analyzer checks: the critical-path components must
+    // reproduce the replayed makespan.
+    out += ",\"makespan_check_seconds\":" + JsonNumber(total.TotalSeconds());
+    out += "}";
+    return out;
+  }
+
+  static std::string ModelJson(const ModelEstimate& est, const PhaseTimes& measured) {
+    PhaseTimes predicted;
+    predicted.histogram_seconds = est.histogram_seconds;
+    predicted.network_partition_seconds = est.network_partition_seconds;
+    predicted.local_partition_seconds = est.local_partition_seconds;
+    predicted.build_probe_seconds = est.build_probe_seconds;
+    const ModelResidual r = ResidualAgainst(measured, predicted);
+    std::string out = "{\"total_seconds\":" + JsonNumber(predicted.TotalSeconds());
+    out += ",\"phases\":" + PhasesJson(predicted);
+    out += ",\"network_bound\":";
+    out += est.network_bound ? "true" : "false";
+    out += ",\"residual_seconds\":" + JsonNumber(r.total_residual_seconds);
+    out += ",\"residual_phases\":{\"histogram_seconds\":" +
+           JsonNumber(r.histogram_residual_seconds) +
+           ",\"network_partition_seconds\":" +
+           JsonNumber(r.network_partition_residual_seconds) +
+           ",\"local_partition_seconds\":" +
+           JsonNumber(r.local_partition_residual_seconds) +
+           ",\"build_probe_seconds\":" + JsonNumber(r.build_probe_residual_seconds) +
+           "}";
+    out += ",\"relative_error\":" + JsonNumber(r.relative_error);
+    out += "}";
+    return out;
+  }
+
+  std::string name_;
+  Options opt_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace bench
 }  // namespace rdmajoin

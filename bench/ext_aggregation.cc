@@ -18,27 +18,38 @@ int main(int argc, char** argv) {
   std::printf("Extension: distributed aggregation, 4096M tuples, 128M groups, QDR\n");
   bench::PrintScaleNote(opt);
 
+  bench::BenchReporter reporter("ext_aggregation", opt);
   TablePrinter table("execution time per phase (seconds)");
   table.SetHeader({"machines", "histogram", "network_part", "aggregate", "total",
                    "Mtuples/s", "verified"});
   for (uint32_t m = 2; m <= 10; m += 2) {
+    const std::string label = TablePrinter::Int(m) + " machines";
+    const bench::BenchReporter::Config config = {
+        {"machines", TablePrinter::Int(m)},
+        {"tuples_m", "4096"},
+        {"groups_m", "128"}};
     WorkloadSpec spec;
     spec.inner_tuples = static_cast<uint64_t>(128e6 / opt.scale_up);
     spec.outer_tuples = static_cast<uint64_t>(4096e6 / opt.scale_up);
     spec.seed = opt.seed;
     auto w = GenerateWorkload(spec, m);
-    if (!w.ok()) continue;
+    if (!w.ok()) {
+      reporter.AddError(label, config, w.status().ToString());
+      continue;
+    }
     JoinConfig jc;
     jc.scale_up = opt.scale_up;
     DistributedAggregate agg(QdrCluster(m), jc);
     auto result = agg.Run(w->outer);
     if (!result.ok()) {
+      reporter.AddError(label, config, result.status().ToString());
       table.AddRow({TablePrinter::Int(m), "-", "-", "-",
                     result.status().ToString(), "-", "-"});
       continue;
     }
     const bool verified = result->stats.total_count == spec.outer_tuples &&
                           result->stats.groups == spec.inner_tuples;
+    reporter.AddMeasurement(label, config, result->times.TotalSeconds());
     table.AddRow({TablePrinter::Int(m),
                   TablePrinter::Num(result->times.histogram_seconds),
                   TablePrinter::Num(result->times.network_partition_seconds),
@@ -52,5 +63,5 @@ int main(int argc, char** argv) {
   } else {
     table.Print();
   }
-  return 0;
+  return reporter.Finish();
 }

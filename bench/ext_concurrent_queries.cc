@@ -49,14 +49,24 @@ int main(int argc, char** argv) {
     traces.push_back(std::move(result->trace));
   }
 
+  bench::BenchReporter reporter("ext_concurrent_queries", opt);
   TablePrinter table("co-running N identical joins");
   table.SetHeader({"queries", "combined_total_s", "vs_solo", "vs_serial",
                    "network_part_s"});
   for (size_t n = 1; n <= traces.size(); ++n) {
+    const std::string label =
+        TablePrinter::Int(static_cast<long long>(n)) + " queries";
+    const bench::BenchReporter::Config config = {
+        {"queries", TablePrinter::Int(static_cast<long long>(n))},
+        {"mtuples", "1024"}};
     std::vector<RunTrace> subset(traces.begin(), traces.begin() + n);
     auto report = ReplayConcurrent(cluster, jc, subset);
-    if (!report.ok()) continue;
+    if (!report.ok()) {
+      reporter.AddError(label, config, report.status().ToString());
+      continue;
+    }
     const double total = report->phases.TotalSeconds();
+    reporter.AddMeasurement(label, config, total);
     table.AddRow({TablePrinter::Int(static_cast<long long>(n)),
                   TablePrinter::Num(total),
                   TablePrinter::Num(total / solo_total, 2) + "x",
@@ -73,5 +83,5 @@ int main(int argc, char** argv) {
       "co-scheduling buys nothing on a saturated cluster. A scheduler must\n"
       "overlap one query's CPU-bound phases with another's network pass to\n"
       "win, which is the open problem the paper's Section 7 points at.\n");
-  return 0;
+  return reporter.Finish();
 }

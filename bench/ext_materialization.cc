@@ -18,18 +18,29 @@ int main(int argc, char** argv) {
   std::printf("Extension: result materialization, 4 FDR machines\n");
   bench::PrintScaleNote(opt);
 
+  bench::BenchReporter reporter("ext_materialization", opt);
   TablePrinter table("pipeline vs materialized result (seconds)");
   table.SetHeader({"workload", "pipeline_total", "materialized_total",
                    "bp pipeline", "bp materialized", "output/input"});
   for (double ratio : {1.0, 4.0, 8.0}) {
     const double inner = 512;
     const double outer = inner * ratio;
+    const std::string workload = TablePrinter::Num(inner, 0) + "M x " +
+                                 TablePrinter::Num(outer, 0) + "M";
+    const bench::BenchReporter::Config config = {
+        {"inner_mtuples", TablePrinter::Num(inner, 0)},
+        {"outer_mtuples", TablePrinter::Num(outer, 0)}};
     auto a = bench::RunPaperJoin(FdrCluster(4), inner, outer, opt);
     auto b = bench::RunPaperJoin(FdrCluster(4), inner, outer, opt, 0.0, 16,
                                  [](JoinConfig* jc) {
                                    jc->materialize_results = true;
                                  });
-    if (!a.ok || !b.ok) continue;
+    if (!a.ok || !b.ok) {
+      reporter.AddError(workload, config, !a.ok ? a.error : b.error);
+      continue;
+    }
+    reporter.AddRun("pipeline/" + workload, config, a);
+    reporter.AddRun("materialized/" + workload, config, b);
     const double out_ratio = outer * 16 / ((inner + outer) * 16);
     table.AddRow({TablePrinter::Num(inner, 0) + "M x " +
                       TablePrinter::Num(outer, 0) + "M",
@@ -44,5 +55,5 @@ int main(int argc, char** argv) {
   } else {
     table.Print();
   }
-  return 0;
+  return reporter.Finish();
 }

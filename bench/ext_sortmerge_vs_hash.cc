@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   std::printf("Extension: sort-merge vs radix hash join, 2048M x 2048M, FDR\n");
   bench::PrintScaleNote(opt);
 
+  bench::BenchReporter reporter("ext_sortmerge_vs_hash", opt);
   TablePrinter table("execution time (seconds)");
   table.SetHeader({"machines", "algorithm", "network_part", "local(sort/part)",
                    "merge/build-probe", "total", "verified"});
@@ -35,6 +36,11 @@ int main(int argc, char** argv) {
                        const GroundTruth& truth) {
       const bool verified = result->stats.matches == truth.expected_matches &&
                             result->stats.key_sum == truth.expected_key_sum;
+      reporter.AddMeasurement(
+          std::string(name) + "/" + TablePrinter::Int(m) + " machines",
+          {{"algorithm", name}, {"machines", TablePrinter::Int(m)},
+           {"mtuples", "2048"}},
+          result->times.TotalSeconds());
       table.AddRow({TablePrinter::Int(m), name,
                     TablePrinter::Num(result->times.network_partition_seconds),
                     TablePrinter::Num(result->times.local_partition_seconds),
@@ -54,5 +60,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Expected shape: equal network passes; the radix hash join's local\n"
               "pass beats the sort, so it wins overall.\n");
-  return 0;
+  return reporter.Finish();
 }

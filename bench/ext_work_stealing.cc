@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   // shipping a byte is cheaper than probing it -- rarely on QDR. With
   // splitting off, the hottest partition pins a single thread and stealing
   // recovers most of the imbalance across machines.
+  bench::BenchReporter reporter("ext_work_stealing", opt);
   for (bool splitting : {true, false}) {
     TablePrinter table(splitting ? "with probe splitting (paper config)"
                                  : "without probe splitting");
@@ -35,11 +36,23 @@ int main(int argc, char** argv) {
             jc->skew_split_factor = splitting ? 2.0 : 0.0;
           };
         };
+        const std::string point = std::string(splitting ? "split" : "nosplit") +
+                                  "/" + TablePrinter::Int(m) + " machines/zipf " +
+                                  TablePrinter::Num(theta, 2);
+        const bench::BenchReporter::Config config = {
+            {"splitting", splitting ? "true" : "false"},
+            {"machines", TablePrinter::Int(m)},
+            {"zipf_theta", TablePrinter::Num(theta, 2)}};
         bench::RunOutcome base = bench::RunPaperJoin(QdrCluster(m), 128, 2048, opt,
                                                      theta, 16, tweak(false));
         bench::RunOutcome steal = bench::RunPaperJoin(QdrCluster(m), 128, 2048, opt,
                                                       theta, 16, tweak(true));
-        if (!base.ok || !steal.ok) continue;
+        if (!base.ok || !steal.ok) {
+          reporter.AddError(point, config, !base.ok ? base.error : steal.error);
+          continue;
+        }
+        reporter.AddRun("base/" + point, config, base);
+        reporter.AddRun("steal/" + point, config, steal);
         table.AddRow({TablePrinter::Int(m),
                       theta == 0 ? "none" : TablePrinter::Num(theta),
                       TablePrinter::Num(base.times.build_probe_seconds),
@@ -57,5 +70,5 @@ int main(int argc, char** argv) {
   std::printf("Reading: stealing helps most when intra-machine splitting is\n"
               "unavailable; with splitting on, shipping bytes costs nearly as much\n"
               "as probing them, so little migration is profitable on QDR.\n");
-  return 0;
+  return reporter.Finish();
 }

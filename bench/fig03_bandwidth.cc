@@ -75,11 +75,13 @@ void PrintPresets() {
 
 int main(int argc, char** argv) {
   using namespace rdmajoin;
-  const bench::Options opt = bench::ParseOptions(argc, argv);
+  const bench::Options opt =
+      bench::ParseOptions(argc, argv, /*default_scale=*/1024.0, {"--presets"});
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--presets") == 0) PrintPresets();
   }
   std::printf("Figure 3: point-to-point bandwidth vs message size\n\n");
+  bench::BenchReporter reporter("fig03_bandwidth", opt);
 
   TablePrinter table("bandwidth (MB/s) by message size");
   table.SetHeader({"message_size", "QDR", "FDR"});
@@ -89,6 +91,12 @@ int main(int argc, char** argv) {
     const double total = std::max<double>(size * 64.0, 4e6);
     const double bw_qdr = MeasureBandwidth(qdr, static_cast<double>(size), total);
     const double bw_fdr = MeasureBandwidth(fdr, static_cast<double>(size), total);
+    const bench::BenchReporter::Config config = {
+        {"message_bytes", std::to_string(size)}};
+    reporter.AddMeasurement("qdr/" + FormatBytes(size), config, bw_qdr / 1e6,
+                            "mbps", size >= 8192 ? 3400.0 : 0.0);
+    reporter.AddMeasurement("fdr/" + FormatBytes(size), config, bw_fdr / 1e6,
+                            "mbps", size >= 8192 ? 6000.0 : 0.0);
     table.AddRow({FormatBytes(size), TablePrinter::Num(bw_qdr / 1e6, 1),
                   TablePrinter::Num(bw_fdr / 1e6, 1)});
   }
@@ -99,5 +107,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Expected shape: bandwidth grows with message size and saturates at\n"
               "~3400 MB/s (QDR) / ~6000 MB/s (FDR) from 8 KiB messages onward.\n");
-  return 0;
+  return reporter.Finish();
 }

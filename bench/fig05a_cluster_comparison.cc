@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const bench::Options opt = bench::ParseOptions(argc, argv);
   std::printf("Figure 5a: single server vs FDR vs QDR (32 cores total)\n");
   bench::PrintScaleNote(opt);
+  bench::BenchReporter reporter("fig05a_cluster_comparison", opt);
 
   TablePrinter table("execution time (seconds)");
   table.SetHeader({"tuples/relation", "system", "partitioning", "build_probe",
@@ -26,20 +27,29 @@ int main(int argc, char** argv) {
   struct System {
     const char* label;
     ClusterConfig cluster;
+    // Paper's total seconds for 1024M/2048M/4096M tuples per relation.
+    double paper[3];
   };
   const System systems[] = {
-      {"single (QPI)", QpiServer(4, 8)},
-      {"FDR x4", FdrCluster(4, 8)},
-      {"QDR x4", QdrCluster(4, 8)},
+      {"single (QPI)", QpiServer(4, 8), {2.19, 4.47, 9.02}},
+      {"FDR x4", FdrCluster(4, 8), {3.21, 5.75, 11.00}},
+      {"QDR x4", QdrCluster(4, 8), {3.50, 7.19, 13.96}},
   };
-  for (double size : sizes) {
+  for (int si = 0; si < 3; ++si) {
+    const double size = sizes[si];
     for (const System& sys : systems) {
+      const std::string label =
+          TablePrinter::Num(size, 0) + "M/" + sys.label;
+      const bench::BenchReporter::Config config = {
+          {"mtuples", TablePrinter::Num(size, 0)}, {"system", sys.label}};
       auto run = bench::RunPaperJoin(sys.cluster, size, size, opt);
       if (!run.ok) {
+        reporter.AddError(label, config, run.error);
         table.AddRow({TablePrinter::Num(size, 0) + "M", sys.label, "-", "-",
                       run.error, "-"});
         continue;
       }
+      reporter.AddRun(label, config, run, sys.paper[si]);
       const double partitioning = run.times.histogram_seconds +
                                   run.times.network_partition_seconds +
                                   run.times.local_partition_seconds;
@@ -57,5 +67,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Expected shape: single < FDR < QDR at every size; execution time\n"
               "roughly doubles with the data size.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -18,14 +18,17 @@ int main(int argc, char** argv) {
   std::printf("Figure 5b: transport variants, 2048M x 2048M tuples, 4 FDR machines\n");
   bench::PrintScaleNote(opt);
 
+
+  bench::BenchReporter reporter("fig05b_transport_comparison", opt);
   struct Variant {
     const char* label;
     ClusterConfig cluster;
+    double paper_seconds;
   };
   Variant variants[] = {
-      {"TCP (IPoIB)", IpoibCluster(4)},
-      {"RDMA non-interleaved", FdrCluster(4)},
-      {"RDMA interleaved", FdrCluster(4)},
+      {"TCP (IPoIB)", IpoibCluster(4), 15.69},
+      {"RDMA non-interleaved", FdrCluster(4), 7.03},
+      {"RDMA interleaved", FdrCluster(4), 5.75},
   };
   variants[1].cluster.interleave = InterleavePolicy::kNonInterleaved;
 
@@ -35,12 +38,16 @@ int main(int argc, char** argv) {
   double net_pass[3] = {0, 0, 0};
   int i = 0;
   for (const Variant& v : variants) {
+    const bench::BenchReporter::Config config = {{"variant", v.label},
+                                                 {"mtuples", "2048"}};
     auto run = bench::RunPaperJoin(v.cluster, 2048, 2048, opt);
     if (!run.ok) {
+      reporter.AddError(v.label, config, run.error);
       table.AddRow({v.label, "-", "-", "-", "-", run.error, "-"});
       ++i;
       continue;
     }
+    reporter.AddRun(v.label, config, run, v.paper_seconds);
     net_pass[i++] = run.times.network_partition_seconds;
     table.AddRow({v.label, TablePrinter::Num(run.times.histogram_seconds),
                   TablePrinter::Num(run.times.network_partition_seconds),
@@ -61,5 +68,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Expected shape: TCP >> non-interleaved RDMA > interleaved RDMA;\n"
               "all differences confined to the network partitioning pass.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -16,18 +16,26 @@ int main(int argc, char** argv) {
   const bench::Options opt = bench::ParseOptions(argc, argv);
   std::printf("Figure 6a: large-to-large joins, QDR cluster\n");
   bench::PrintScaleNote(opt);
+  bench::BenchReporter reporter("fig06a_large_to_large", opt);
 
   TablePrinter table("total execution time (seconds)");
   table.SetHeader({"machines", "1024M x 1024M", "2048M x 2048M", "4096M x 4096M"});
   for (uint32_t m = 2; m <= 10; ++m) {
     std::vector<std::string> row{TablePrinter::Int(m)};
     for (double size : {1024.0, 2048.0, 4096.0}) {
+      const std::string label = TablePrinter::Int(m) + " machines/" +
+                                TablePrinter::Num(size, 0) + "M";
+      const bench::BenchReporter::Config config = {
+          {"machines", TablePrinter::Int(m)},
+          {"mtuples", TablePrinter::Num(size, 0)}};
       auto run = bench::RunPaperJoin(QdrCluster(m), size, size, opt);
       if (!run.ok) {
         // The paper hits the same wall: 2x4096M tuples (~128 GB) exceed the
         // memory of two 128 GB machines once partitions are materialized.
+        reporter.AddError(label, config, run.error);
         row.push_back("n/a (out of memory)");
       } else {
+        reporter.AddRun(label, config, run);
         row.push_back(TablePrinter::Num(run.times.TotalSeconds()) +
                       (run.verified ? "" : " UNVERIFIED"));
       }
@@ -41,5 +49,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Expected shape: time doubles with relation size; sub-linear speed-up\n"
               "with machine count; the largest workload does not fit on 2 machines.\n");
-  return 0;
+  return reporter.Finish();
 }

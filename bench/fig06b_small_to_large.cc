@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const bench::Options opt = bench::ParseOptions(argc, argv);
   std::printf("Figure 6b: small-to-large joins, outer fixed at 2048M, QDR cluster\n");
   bench::PrintScaleNote(opt);
+  bench::BenchReporter reporter("fig06b_small_to_large", opt);
 
   TablePrinter table("total execution time (seconds)");
   table.SetHeader({"machines", "2048M (1:1)", "1024M (1:2)", "512M (1:4)",
@@ -22,7 +23,18 @@ int main(int argc, char** argv) {
   for (uint32_t m = 2; m <= 10; ++m) {
     std::vector<std::string> row{TablePrinter::Int(m)};
     for (double inner : {2048.0, 1024.0, 512.0, 256.0}) {
+      const std::string label = TablePrinter::Int(m) + " machines/inner " +
+                                TablePrinter::Num(inner, 0) + "M";
+      const bench::BenchReporter::Config config = {
+          {"machines", TablePrinter::Int(m)},
+          {"inner_mtuples", TablePrinter::Num(inner, 0)},
+          {"outer_mtuples", "2048"}};
       auto run = bench::RunPaperJoin(QdrCluster(m), inner, 2048.0, opt);
+      if (run.ok) {
+        reporter.AddRun(label, config, run);
+      } else {
+        reporter.AddError(label, config, run.error);
+      }
       row.push_back(run.ok ? TablePrinter::Num(run.times.TotalSeconds()) +
                                  (run.verified ? "" : " UNVERIFIED")
                            : "n/a");
@@ -36,5 +48,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Expected shape: halving the inner relation reduces the time, with\n"
               "the 1:8 workload close to half the 1:1 time.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -15,16 +15,26 @@ int main(int argc, char** argv) {
   const bench::Options opt = bench::ParseOptions(argc, argv);
   std::printf("Figure 7a: phase breakdown, 2048M x 2048M tuples, QDR cluster\n");
   bench::PrintScaleNote(opt);
+  bench::BenchReporter reporter("fig07a_phase_breakdown", opt);
 
   TablePrinter table("execution time per phase (seconds)");
   table.SetHeader({"machines", "histogram", "network_part", "local_part",
                    "build_probe", "total", "verified"});
+  // Paper totals for the points Figure 7a calls out explicitly.
+  const auto paper_total = [](uint32_t m) {
+    return m == 2 ? 11.16 : m == 4 ? 7.19 : m == 10 ? 3.84 : 0.0;
+  };
   for (uint32_t m = 2; m <= 10; ++m) {
+    const std::string label = TablePrinter::Int(m) + " machines";
+    const bench::BenchReporter::Config config = {
+        {"machines", TablePrinter::Int(m)}, {"mtuples", "2048"}};
     auto run = bench::RunPaperJoin(QdrCluster(m), 2048, 2048, opt);
     if (!run.ok) {
+      reporter.AddError(label, config, run.error);
       table.AddRow({TablePrinter::Int(m), "-", "-", "-", "-", run.error, "-"});
       continue;
     }
+    reporter.AddRun(label, config, run, paper_total(m));
     table.AddRow({TablePrinter::Int(m), TablePrinter::Num(run.times.histogram_seconds),
                   TablePrinter::Num(run.times.network_partition_seconds),
                   TablePrinter::Num(run.times.local_partition_seconds),
@@ -37,5 +47,5 @@ int main(int argc, char** argv) {
   } else {
     table.Print();
   }
-  return 0;
+  return reporter.Finish();
 }

@@ -16,18 +16,27 @@ int main(int argc, char** argv) {
   const bench::Options opt = bench::ParseOptions(argc, argv);
   std::printf("Figure 7b: scale-out with increasing workload, QDR cluster\n");
   bench::PrintScaleNote(opt);
+  bench::BenchReporter reporter("fig07b_increasing_workload", opt);
 
   TablePrinter table("execution time per phase (seconds)");
   table.SetHeader({"machines", "tuples/relation", "histogram", "network_part",
                    "local_part", "build_probe", "total", "verified"});
   for (uint32_t m = 2; m <= 10; ++m) {
     const double size = 1024.0 + 512.0 * (m - 2);
+    const std::string label = TablePrinter::Int(m) + " machines/" +
+                              TablePrinter::Num(size, 0) + "M";
+    const bench::BenchReporter::Config config = {
+        {"machines", TablePrinter::Int(m)},
+        {"mtuples", TablePrinter::Num(size, 0)}};
+    const double paper = m == 2 ? 5.69 : m == 10 ? 9.97 : 0.0;
     auto run = bench::RunPaperJoin(QdrCluster(m), size, size, opt);
     if (!run.ok) {
+      reporter.AddError(label, config, run.error);
       table.AddRow({TablePrinter::Int(m), TablePrinter::Num(size, 0) + "M", "-", "-",
                     "-", "-", run.error, "-"});
       continue;
     }
+    reporter.AddRun(label, config, run, paper);
     table.AddRow({TablePrinter::Int(m), TablePrinter::Num(size, 0) + "M",
                   TablePrinter::Num(run.times.histogram_seconds),
                   TablePrinter::Num(run.times.network_partition_seconds),
@@ -43,5 +52,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Expected shape: flat local pass and build/probe, growing network\n"
               "partitioning pass, total rising from ~5.7s to ~10s.\n");
-  return 0;
+  return reporter.Finish();
 }

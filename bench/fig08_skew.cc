@@ -27,18 +27,34 @@ int main(int argc, char** argv) {
   };
   const SkewLevel levels[] = {{"no skew", 0.0}, {"light (1.05)", 1.05},
                               {"heavy (1.20)", 1.20}};
+  // Paper totals: rows are 4 then 8 machines, columns the three skew levels.
+  const double paper[2][3] = {{4.19, 5.04, 8.51}, {2.49, 4.41, 8.19}};
+  bench::BenchReporter reporter("fig08_skew", opt);
 
   TablePrinter table("execution time per phase (seconds)");
   table.SetHeader({"machines", "skew", "histogram", "network_part",
                    "local+build_probe", "total", "verified"});
+  int mi = 0;
   for (uint32_t m : {4u, 8u}) {
+    int li = 0;
     for (const SkewLevel& level : levels) {
+      const std::string label =
+          TablePrinter::Int(m) + " machines/" + level.label;
+      const bench::BenchReporter::Config config = {
+          {"machines", TablePrinter::Int(m)},
+          {"zipf_theta", TablePrinter::Num(level.theta, 2)},
+          {"inner_mtuples", "128"},
+          {"outer_mtuples", "2048"}};
       auto run = bench::RunPaperJoin(QdrCluster(m), 128, 2048, opt, level.theta);
       if (!run.ok) {
+        reporter.AddError(label, config, run.error);
         table.AddRow({TablePrinter::Int(m), level.label, "-", "-", "-", run.error,
                       "-"});
+        ++li;
         continue;
       }
+      reporter.AddRun(label, config, run, paper[mi][li]);
+      ++li;
       table.AddRow({TablePrinter::Int(m), level.label,
                     TablePrinter::Num(run.times.histogram_seconds),
                     TablePrinter::Num(run.times.network_partition_seconds),
@@ -47,6 +63,7 @@ int main(int argc, char** argv) {
                     TablePrinter::Num(run.times.TotalSeconds()),
                     run.verified ? "yes" : "NO"});
     }
+    ++mi;
   }
   if (opt.csv) {
     table.PrintCsv();
@@ -55,5 +72,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Expected shape: time grows with the skew factor; heavy skew nearly\n"
               "erases the benefit of doubling the machine count.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -20,14 +20,24 @@ namespace {
 
 using namespace rdmajoin;
 
-void RunSeries(const char* title, const std::vector<ClusterConfig>& clusters,
-               const bench::Options& opt, double* sum_abs_dev, int* count) {
+void RunSeries(const char* title, const char* series,
+               const std::vector<ClusterConfig>& clusters,
+               const bench::Options& opt, bench::BenchReporter* reporter,
+               double* sum_abs_dev, int* count) {
   TablePrinter table(title);
   table.SetHeader({"machines", "measured_total", "estimated_total", "deviation",
                    "meas_net_part", "est_net_part", "bound"});
   for (const ClusterConfig& cluster : clusters) {
+    const std::string label = std::string(series) + "/" +
+                              TablePrinter::Int(cluster.num_machines) +
+                              " machines";
+    const bench::BenchReporter::Config config = {
+        {"series", series},
+        {"machines", TablePrinter::Int(cluster.num_machines)},
+        {"mtuples", "2048"}};
     auto run = bench::RunPaperJoin(cluster, 2048, 2048, opt);
     if (!run.ok) {
+      reporter->AddError(label, config, run.error);
       table.AddRow({TablePrinter::Int(cluster.num_machines), run.error, "-", "-", "-",
                     "-", "-"});
       continue;
@@ -35,6 +45,9 @@ void RunSeries(const char* title, const std::vector<ClusterConfig>& clusters,
     const uint64_t bytes = static_cast<uint64_t>(2048.0 * 1e6 * 16.0);
     ModelParams params = ParamsFromCluster(cluster, bytes, bytes);
     const ModelEstimate est = Estimate(params);
+    // Every fig09 point carries the model prediction, so the bench JSON
+    // reports per-point residuals (total and per phase).
+    reporter->AddRun(label, config, run, /*paper_seconds=*/0, &est);
     const double dev = run.times.TotalSeconds() - est.TotalSeconds();
     *sum_abs_dev += std::fabs(dev);
     ++*count;
@@ -55,19 +68,21 @@ int main(int argc, char** argv) {
   const bench::Options opt = bench::ParseOptions(argc, argv);
   std::printf("Figure 9: model verification, 2048M x 2048M tuples\n");
   bench::PrintScaleNote(opt);
+  bench::BenchReporter reporter("fig09_model_verification", opt);
 
   double sum_abs_dev = 0;
   int count = 0;
-  RunSeries("Figure 9a: FDR cluster (measured vs estimated, seconds)",
-            {FdrCluster(2), FdrCluster(3), FdrCluster(4)}, opt, &sum_abs_dev, &count);
-  RunSeries("Figure 9b: QDR cluster (measured vs estimated, seconds)",
-            {QdrCluster(4), QdrCluster(6), QdrCluster(8), QdrCluster(10)}, opt,
+  RunSeries("Figure 9a: FDR cluster (measured vs estimated, seconds)", "fig09a",
+            {FdrCluster(2), FdrCluster(3), FdrCluster(4)}, opt, &reporter,
             &sum_abs_dev, &count);
+  RunSeries("Figure 9b: QDR cluster (measured vs estimated, seconds)", "fig09b",
+            {QdrCluster(4), QdrCluster(6), QdrCluster(8), QdrCluster(10)}, opt,
+            &reporter, &sum_abs_dev, &count);
   if (count > 0) {
     std::printf("Average |deviation|: %.2f s (paper: 0.17 s)\n",
                 sum_abs_dev / count);
   }
   std::printf("Expected shape: model and measurement agree closely; FDR is\n"
               "CPU-bound at 2-3 machines, QDR network-bound throughout.\n");
-  return 0;
+  return reporter.Finish();
 }

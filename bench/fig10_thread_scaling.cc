@@ -18,14 +18,28 @@ namespace {
 using namespace rdmajoin;
 
 void RunSeries(const char* title, bool qdr, uint32_t min_m, uint32_t max_m,
-               const bench::Options& opt) {
+               const bench::Options& opt, bench::BenchReporter* reporter) {
   TablePrinter table(title);
   table.SetHeader({"machines", "net_part 4 cores", "net_part 8 cores"});
+  const char* net = qdr ? "qdr" : "fdr";
   for (uint32_t m = min_m; m <= max_m; ++m) {
     std::vector<std::string> row{TablePrinter::Int(m)};
     for (uint32_t cores : {4u, 8u}) {
+      const std::string label = std::string(net) + "/" + TablePrinter::Int(m) +
+                                " machines/" + TablePrinter::Int(cores) +
+                                " cores";
+      const bench::BenchReporter::Config config = {
+          {"network", net},
+          {"machines", TablePrinter::Int(m)},
+          {"cores", TablePrinter::Int(cores)},
+          {"mtuples", "2048"}};
       const ClusterConfig cluster = qdr ? QdrCluster(m, cores) : FdrCluster(m, cores);
       auto run = bench::RunPaperJoin(cluster, 2048, 2048, opt);
+      if (run.ok) {
+        reporter->AddRun(label, config, run);
+      } else {
+        reporter->AddError(label, config, run.error);
+      }
       row.push_back(run.ok ? TablePrinter::Num(run.times.network_partition_seconds)
                            : "n/a");
     }
@@ -41,9 +55,12 @@ int main(int argc, char** argv) {
   const bench::Options opt = bench::ParseOptions(argc, argv);
   std::printf("Figure 10: network partitioning pass, 4 vs 8 cores per machine\n");
   bench::PrintScaleNote(opt);
+  bench::BenchReporter reporter("fig10_thread_scaling", opt);
 
-  RunSeries("Figure 10a: QDR cluster (seconds)", /*qdr=*/true, 2, 10, opt);
-  RunSeries("Figure 10b: FDR cluster (seconds)", /*qdr=*/false, 2, 4, opt);
+  RunSeries("Figure 10a: QDR cluster (seconds)", /*qdr=*/true, 2, 10, opt,
+            &reporter);
+  RunSeries("Figure 10b: FDR cluster (seconds)", /*qdr=*/false, 2, 4, opt,
+            &reporter);
 
   // Section 6.8.1: the optimal number of partitioning threads (Eq. 12).
   const uint64_t bytes = static_cast<uint64_t>(2048.0 * 1e6 * 16.0);
@@ -62,5 +79,5 @@ int main(int argc, char** argv) {
   eq12.Print();
   std::printf("Expected shape: QDR sees little gain from 8 cores once the network\n"
               "saturates (>=5 machines); FDR benefits from 8 cores throughout.\n");
-  return 0;
+  return reporter.Finish();
 }

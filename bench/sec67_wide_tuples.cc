@@ -21,19 +21,27 @@ int main(int argc, char** argv) {
     uint32_t bytes;
   };
   const Width widths[] = {{2048, 16}, {1024, 32}, {512, 64}};
+  bench::BenchReporter reporter("sec67_wide_tuples", opt);
 
   TablePrinter table("execution time per phase (seconds)");
   table.SetHeader({"workload", "histogram", "network_part", "local_part",
                    "build_probe", "total", "verified"});
   for (const Width& w : widths) {
+    const std::string label = TablePrinter::Num(w.mtuples, 0) + "M x " +
+                              TablePrinter::Int(w.bytes) + "B";
+    const bench::BenchReporter::Config config = {
+        {"mtuples", TablePrinter::Num(w.mtuples, 0)},
+        {"tuple_bytes", TablePrinter::Int(w.bytes)}};
     auto run = bench::RunPaperJoin(QdrCluster(4), w.mtuples, w.mtuples, opt,
                                    /*zipf=*/0.0, w.bytes);
     if (!run.ok) {
+      reporter.AddError(label, config, run.error);
       table.AddRow({TablePrinter::Num(w.mtuples, 0) + "M x " +
                         TablePrinter::Int(w.bytes) + "B",
                     "-", "-", "-", "-", run.error, "-"});
       continue;
     }
+    reporter.AddRun(label, config, run);
     table.AddRow({TablePrinter::Num(w.mtuples, 0) + "M x " +
                       TablePrinter::Int(w.bytes) + "B",
                   TablePrinter::Num(run.times.histogram_seconds),
@@ -50,5 +58,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Expected shape: all three rows (same byte volume) take the same\n"
               "time in every phase.\n");
-  return 0;
+  return reporter.Finish();
 }

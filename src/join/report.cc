@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "timing/attribution.h"
 #include "util/metrics.h"
 #include "util/units.h"
 
@@ -74,6 +75,7 @@ std::string FormatRunReport(const ClusterConfig& cluster, const JoinRunResult& r
   Appendf(&out, "buffer pool: %llu acquisitions, %llu registrations\n",
           static_cast<unsigned long long>(result.net.pool_acquisitions),
           static_cast<unsigned long long>(result.net.pool_buffers_created));
+  out.append(FormatAttribution(result.replay.attribution));
   if (metrics != nullptr) {
     out.append("observability:\n");
     for (uint32_t m = 0; m < cluster.num_machines; ++m) {

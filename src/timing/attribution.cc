@@ -1,0 +1,148 @@
+#include "timing/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace rdmajoin {
+
+namespace {
+
+double PhaseSeconds(const PhaseTimes& t, JoinPhase phase) {
+  switch (phase) {
+    case JoinPhase::kHistogram:
+      return t.histogram_seconds;
+    case JoinPhase::kNetworkPartition:
+      return t.network_partition_seconds;
+    case JoinPhase::kLocalPartition:
+      return t.local_partition_seconds;
+    case JoinPhase::kBuildProbe:
+      return t.build_probe_seconds;
+  }
+  return 0;
+}
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string_view JoinPhaseName(JoinPhase phase) {
+  switch (phase) {
+    case JoinPhase::kHistogram:
+      return "histogram";
+    case JoinPhase::kNetworkPartition:
+      return "network-partition";
+    case JoinPhase::kLocalPartition:
+      return "local-partition";
+    case JoinPhase::kBuildProbe:
+      return "build-probe";
+  }
+  return "unknown";
+}
+
+PhaseAttribution MachineAttribution::Total() const {
+  PhaseAttribution total;
+  for (const PhaseAttribution& p : phases) total += p;
+  return total;
+}
+
+std::vector<CriticalPathStep> AttributionReport::CriticalPath() const {
+  std::vector<CriticalPathStep> path;
+  if (machines.empty()) return path;
+  for (size_t p = 0; p < kNumJoinPhases; ++p) {
+    CriticalPathStep step;
+    step.phase = static_cast<JoinPhase>(p);
+    step.machine = critical_machine[p];
+    step.phase_seconds = PhaseSeconds(phases, step.phase);
+    step.breakdown = machines[step.machine].phases[p];
+    path.push_back(step);
+  }
+  return path;
+}
+
+PhaseAttribution AttributionReport::CriticalPathBreakdown() const {
+  PhaseAttribution total;
+  for (const CriticalPathStep& step : CriticalPath()) total += step.breakdown;
+  return total;
+}
+
+void FinalizeAttribution(const std::vector<PhaseTimes>& machine_phases,
+                         const PhaseTimes& phases, AttributionReport* attribution) {
+  attribution->phases = phases;
+  const size_t nm = machine_phases.size();
+  if (attribution->machines.size() < nm) attribution->machines.resize(nm);
+  for (size_t p = 0; p < kNumJoinPhases; ++p) {
+    const JoinPhase phase = static_cast<JoinPhase>(p);
+    const double global = PhaseSeconds(phases, phase);
+    uint32_t critical = 0;
+    double critical_time = -1;
+    for (size_t m = 0; m < nm; ++m) {
+      const double mine = PhaseSeconds(machine_phases[m], phase);
+      if (mine > critical_time) {
+        critical_time = mine;
+        critical = static_cast<uint32_t>(m);
+      }
+      // The machine idles at the barrier from its own finish until the
+      // global phase end; max() guards against tiny negative differences
+      // from floating-point noise.
+      attribution->machines[m].phases[p].barrier_wait_seconds =
+          std::max(0.0, global - mine);
+    }
+    attribution->critical_machine[p] = critical;
+  }
+}
+
+std::string FormatAttribution(const AttributionReport& attribution) {
+  std::string out;
+  if (attribution.machines.empty()) return out;
+  out.append("attribution (per-phase critical machine):\n");
+  for (const CriticalPathStep& step : attribution.CriticalPath()) {
+    const PhaseAttribution& b = step.breakdown;
+    const double total = step.phase_seconds > 0 ? step.phase_seconds : 1.0;
+    Appendf(&out,
+            "  %-18s machine %-3u %8.3f s = compute %5.1f%% | network %5.1f%% "
+            "| buffer stall %5.1f%% | barrier %5.1f%%\n",
+            std::string(JoinPhaseName(step.phase)).c_str(), step.machine,
+            step.phase_seconds, 100 * b.compute_seconds / total,
+            100 * b.network_seconds / total, 100 * b.buffer_stall_seconds / total,
+            100 * b.barrier_wait_seconds / total);
+  }
+  const PhaseAttribution cp = attribution.CriticalPathBreakdown();
+  const double makespan = attribution.MakespanSeconds();
+  Appendf(&out,
+          "  critical path: %.3f s (compute %.3f, network %.3f, buffer stall "
+          "%.3f, barrier %.3f)\n",
+          makespan, cp.compute_seconds, cp.network_seconds,
+          cp.buffer_stall_seconds, cp.barrier_wait_seconds);
+  return out;
+}
+
+ModelResidual ResidualAgainst(const PhaseTimes& measured,
+                              const PhaseTimes& predicted) {
+  ModelResidual r;
+  r.measured = measured;
+  r.predicted = predicted;
+  r.histogram_residual_seconds =
+      measured.histogram_seconds - predicted.histogram_seconds;
+  r.network_partition_residual_seconds =
+      measured.network_partition_seconds - predicted.network_partition_seconds;
+  r.local_partition_residual_seconds =
+      measured.local_partition_seconds - predicted.local_partition_seconds;
+  r.build_probe_residual_seconds =
+      measured.build_probe_seconds - predicted.build_probe_seconds;
+  r.total_residual_seconds = measured.TotalSeconds() - predicted.TotalSeconds();
+  if (predicted.TotalSeconds() > 0) {
+    r.relative_error = std::fabs(r.total_residual_seconds) / predicted.TotalSeconds();
+  }
+  return r;
+}
+
+}  // namespace rdmajoin

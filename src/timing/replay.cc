@@ -31,6 +31,14 @@ struct ThreadSim {
   uint32_t blocked_slot = 0;
   uint64_t blocked_flow = 0;
   std::unordered_map<uint32_t, uint32_t> outstanding;  // slot -> in-flight count
+
+  // Wall-clock attribution of this thread's timeline: every advancement of
+  // `time` lands in exactly one bucket, so compute + credit_stall +
+  // flow_stall always equals `time`.
+  double compute_seconds = 0;
+  double credit_stall_seconds = 0;
+  double flow_stall_seconds = 0;
+  double stall_start = 0;
 };
 
 struct FlowInfo {
@@ -60,6 +68,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
   const uint32_t nm = cluster.num_machines;
   assert(trace.machines.size() == nm);
   report.machine_phases.assign(nm, PhaseTimes{});
+  report.attribution.machines.assign(nm, MachineAttribution{});
   const double scale = trace.scale_up;
   const CostModel& costs = cluster.costs;
   const uint32_t cores = cluster.cores_per_machine;
@@ -68,11 +77,15 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
   // machine-level histograms are exchanged over the control plane. ----
   for (uint32_t m = 0; m < nm; ++m) {
     const double vbytes = static_cast<double>(trace.machines[m].histogram_bytes) * scale;
-    const double t =
-        vbytes / (static_cast<double>(cores) * costs.histogram_bytes_per_sec) +
-        trace.machines[m].histogram_exchange_seconds;
+    const double scan =
+        vbytes / (static_cast<double>(cores) * costs.histogram_bytes_per_sec);
+    const double t = scan + trace.machines[m].histogram_exchange_seconds;
     report.machine_phases[m].histogram_seconds = t;
     report.phases.histogram_seconds = std::max(report.phases.histogram_seconds, t);
+    PhaseAttribution& attr =
+        report.attribution.machines[m].at(JoinPhase::kHistogram);
+    attr.compute_seconds = scan;
+    attr.network_seconds = trace.machines[m].histogram_exchange_seconds;
   }
 
   // ---- Network partitioning pass: discrete-event simulation. ----
@@ -207,10 +220,12 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
         if (ts.state == ThreadSim::State::kBlockedFlow && ts.blocked_flow == c.id) {
           ts.state = ThreadSim::State::kComputing;
           ts.time = std::max(ts.time, credit_time);
+          ts.flow_stall_seconds += ts.time - ts.stall_start;
         } else if (ts.state == ThreadSim::State::kBlockedCredit &&
                    ts.blocked_slot == fi.slot && out->second < credits) {
           ts.state = ThreadSim::State::kComputing;
           ts.time = std::max(ts.time, credit_time);
+          ts.credit_stall_seconds += ts.time - ts.stall_start;
         }
       }
       continue;
@@ -221,6 +236,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     assert(ts.state == ThreadSim::State::kComputing);
     if (ts.next_send >= ts.tr->sends.size()) {
       // Final compute stretch: the thread is finished.
+      ts.compute_seconds += t_thread - ts.time;
       ts.time = t_thread;
       ts.compute_done = ts.tr->compute_bytes;
       ts.state = ThreadSim::State::kDone;
@@ -230,17 +246,21 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
       continue;
     }
     const SendRecord& send = ts.tr->sends[ts.next_send];
+    ts.compute_seconds += t_thread - ts.time;
     ts.time = t_thread;
     ts.compute_done = send.compute_bytes_before;
     const uint32_t out = ts.outstanding[send.slot];
     if (out >= credits) {
       ts.state = ThreadSim::State::kBlockedCredit;
       ts.blocked_slot = send.slot;
+      ts.stall_start = ts.time;
       continue;  // Will retry the same send once a credit returns.
     }
     // Post the send: charge sender-side per-message overheads, then inject.
     const double vbytes = static_cast<double>(send.wire_bytes) * scale;
-    ts.time += PerSendOverhead(cluster, trace.machines[ts.machine], vbytes);
+    const double overhead = PerSendOverhead(cluster, trace.machines[ts.machine], vbytes);
+    ts.time += overhead;
+    ts.compute_seconds += overhead;
     const uint32_t flow_src = send.src_machine == SendRecord::kIssuerIsSource
                                   ? ts.machine
                                   : send.src_machine;
@@ -253,6 +273,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     if (cluster.interleave == InterleavePolicy::kNonInterleaved) {
       ts.state = ThreadSim::State::kBlockedFlow;
       ts.blocked_flow = id;
+      ts.stall_start = ts.time;
     }
   }
 
@@ -267,14 +288,32 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
   // Per-machine view: a machine's network phase ends when its own senders,
   // its receiver core and its last inbound message are all done.
   std::vector<double> machine_net_end(nm, 0.0);
+  std::vector<const ThreadSim*> lead_thread(nm, nullptr);
   for (const ThreadSim& ts : threads) {
-    machine_net_end[ts.machine] = std::max(machine_net_end[ts.machine], ts.time);
+    if (ts.time > machine_net_end[ts.machine]) {
+      machine_net_end[ts.machine] = ts.time;
+      lead_thread[ts.machine] = &ts;
+    }
   }
   for (uint32_t m = 0; m < nm; ++m) {
+    const double lead_finish = machine_net_end[m];
     machine_net_end[m] = std::max(
         {machine_net_end[m], receiver_ready[m], last_completion_to[m]});
     report.machine_phases[m].network_partition_seconds =
         machine_net_end[m] + trace.machines[m].setup_registration_seconds;
+    // Decompose along the machine's critical chain: its last-finishing
+    // partitioning thread, then the tail until the machine's receiver core
+    // and last inbound transfer are done (pure network wait -- the CPU has
+    // nothing left to do). Registration setup is CPU work.
+    PhaseAttribution& attr =
+        report.attribution.machines[m].at(JoinPhase::kNetworkPartition);
+    attr.compute_seconds = trace.machines[m].setup_registration_seconds;
+    if (lead_thread[m] != nullptr) {
+      attr.compute_seconds += lead_thread[m]->compute_seconds;
+      attr.buffer_stall_seconds = lead_thread[m]->credit_stall_seconds;
+      attr.network_seconds = lead_thread[m]->flow_stall_seconds;
+    }
+    attr.network_seconds += machine_net_end[m] - lead_finish;
   }
   report.last_completion_seconds = last_completion;
   if (net_end > 0) {
@@ -292,6 +331,9 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     report.machine_phases[m].local_partition_seconds = t;
     report.phases.local_partition_seconds =
         std::max(report.phases.local_partition_seconds, t);
+    report.attribution.machines[m]
+        .at(JoinPhase::kLocalPartition)
+        .compute_seconds = t;
   }
 
   // ---- Build/probe: LPT scheduling of the recorded tasks per machine.
@@ -312,14 +354,23 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     for (double bytes : mt.merge_tasks) {
       task_seconds.push_back(bytes * scale / costs.merge_bytes_per_sec);
     }
-    double t = LptMakespan(task_seconds, cores);
-    t += static_cast<double>(mt.stolen_in_bytes) * scale / port_bandwidth;
-    t += static_cast<double>(mt.materialized_bytes) * scale /
-         (static_cast<double>(cores) * costs.memcpy_bytes_per_sec);
+    const double lpt = LptMakespan(task_seconds, cores);
+    const double stolen_transfer =
+        static_cast<double>(mt.stolen_in_bytes) * scale / port_bandwidth;
+    const double materialize =
+        static_cast<double>(mt.materialized_bytes) * scale /
+        (static_cast<double>(cores) * costs.memcpy_bytes_per_sec);
+    const double t = lpt + stolen_transfer + materialize;
     report.machine_phases[m].build_probe_seconds = t;
     report.phases.build_probe_seconds =
         std::max(report.phases.build_probe_seconds, t);
+    PhaseAttribution& attr =
+        report.attribution.machines[m].at(JoinPhase::kBuildProbe);
+    attr.compute_seconds = lpt + materialize;
+    attr.network_seconds = stolen_transfer;
   }
+
+  FinalizeAttribution(report.machine_phases, report.phases, &report.attribution);
 
   if (options.metrics != nullptr) {
     for (uint32_t m = 0; m < nm; ++m) {
@@ -430,6 +481,15 @@ StatusOr<ReplayReport> ReplayConcurrent(const ClusterConfig& cluster,
   report.net_thread_finish_seconds = net_report.net_thread_finish_seconds;
   report.last_completion_seconds = net_report.last_completion_seconds;
   report.avg_network_rate_bytes_per_sec = net_report.avg_network_rate_bytes_per_sec;
+  // Attribution: barrier phases from the full-rate replay, the network pass
+  // from the contended replay, then re-derive barrier waits and the critical
+  // chain against the combined phase times.
+  constexpr size_t kNetPhase = static_cast<size_t>(JoinPhase::kNetworkPartition);
+  for (uint32_t m = 0; m < nm; ++m) {
+    report.attribution.machines[m].phases[kNetPhase] =
+        net_report.attribution.machines[m].phases[kNetPhase];
+  }
+  FinalizeAttribution(report.machine_phases, report.phases, &report.attribution);
   if (options.metrics != nullptr) {
     // Re-emit the gauges from the merged view (histogram/local/build-probe
     // at full rates, network from the contended pass).

@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.h"
 #include "join/join_config.h"
+#include "timing/attribution.h"
 #include "timing/phase_times.h"
 #include "timing/trace.h"
 #include "util/statusor.h"
@@ -41,6 +42,11 @@ struct ReplayReport {
   double last_completion_seconds = 0;
   /// Average rate at which wire bytes drained during the network pass.
   double avg_network_rate_bytes_per_sec = 0;
+  /// Critical-path attribution: per machine and phase, the wall-clock split
+  /// into compute / network / buffer-stall / barrier-wait, plus the
+  /// critical-machine chain (timing/attribution.h). The components sum to
+  /// the global phase times exactly.
+  AttributionReport attribution;
 };
 
 /// Replays an execution trace against the cluster's cost and network models

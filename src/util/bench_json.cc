@@ -1,0 +1,177 @@
+#include "util/bench_json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rdmajoin {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+}  // namespace
+
+const BenchJsonRow* BenchJsonDocument::FindRow(const std::string& label) const {
+  for (const BenchJsonRow& row : rows) {
+    if (row.label == label) return &row;
+  }
+  return nullptr;
+}
+
+StatusOr<BenchJsonDocument> ParseBenchJson(const std::string& json) {
+  RDMAJOIN_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("bench JSON: top level is not an object");
+  }
+  BenchJsonDocument doc;
+  doc.schema_version = static_cast<int>(root.NumberOr("schema_version", 0));
+  if (doc.schema_version != kBenchJsonSchemaVersion) {
+    return Status::InvalidArgument(
+        "bench JSON: unsupported schema_version " +
+        std::to_string(doc.schema_version) + " (expected " +
+        std::to_string(kBenchJsonSchemaVersion) + ")");
+  }
+  doc.bench = root.StringOr("bench", "");
+  if (doc.bench.empty()) {
+    return Status::InvalidArgument("bench JSON: missing 'bench' name");
+  }
+  doc.scale_up = root.NumberOr("scale_up", 0);
+  doc.seed = static_cast<uint64_t>(root.NumberOr("seed", 0));
+  const JsonValue* rows = root.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument("bench JSON: missing 'rows' array");
+  }
+  for (const JsonValue& item : rows->array_items) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("bench JSON: row is not an object");
+    }
+    BenchJsonRow row;
+    row.label = item.StringOr("label", "");
+    if (row.label.empty()) {
+      return Status::InvalidArgument("bench JSON: row without a label");
+    }
+    row.ok = item.BoolOr("ok", false);
+    row.verified = item.BoolOr("verified", false);
+    row.error = item.StringOr("error", "");
+    if (const JsonValue* v = item.Find("measured_seconds");
+        v != nullptr && v->is_number()) {
+      row.measured_seconds = v->number_value;
+      row.has_measured = true;
+    }
+    if (const JsonValue* v = item.Find("paper_seconds");
+        v != nullptr && v->is_number()) {
+      row.paper_seconds = v->number_value;
+      row.has_paper = true;
+    }
+    if (const JsonValue* model = item.Find("model"); model != nullptr) {
+      if (const JsonValue* v = model->Find("total_seconds");
+          v != nullptr && v->is_number()) {
+        row.model_seconds = v->number_value;
+        row.has_model = true;
+        row.residual_seconds = model->NumberOr("residual_seconds", 0);
+      }
+    }
+    row.protocol_violations =
+        static_cast<uint64_t>(item.NumberOr("protocol_violations", 0));
+    row.raw = item;
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+StatusOr<BenchJsonDocument> ReadBenchJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto doc = ParseBenchJson(text.str());
+  if (!doc.ok()) {
+    return Status::InvalidArgument(path + ": " + doc.status().message());
+  }
+  return doc;
+}
+
+std::string BenchDiffResult::Summary() const {
+  std::string out;
+  for (const BenchDiffEntry& e : entries) {
+    if (e.missing_in_new) {
+      Appendf(&out, "  %-40s %10.4f s -> MISSING\n", e.label.c_str(),
+              e.old_seconds);
+      continue;
+    }
+    const char* verdict = e.regression     ? "REGRESSION"
+                          : e.improvement ? "improved"
+                                          : "ok";
+    Appendf(&out, "  %-40s %10.4f s -> %10.4f s  (%+7.2f%%)  %s\n",
+            e.label.c_str(), e.old_seconds, e.new_seconds,
+            e.old_seconds > 0 ? 100.0 * e.delta_seconds / e.old_seconds : 0.0,
+            verdict);
+  }
+  Appendf(&out, "%zu row(s): %zu regression(s), %zu improvement(s), %zu missing\n",
+          entries.size(), regressions, improvements, missing);
+  return out;
+}
+
+StatusOr<BenchDiffResult> DiffBenchDocuments(const BenchJsonDocument& baseline,
+                                             const BenchJsonDocument& current,
+                                             const BenchDiffOptions& options) {
+  if (baseline.bench != current.bench) {
+    return Status::InvalidArgument("bench mismatch: baseline is '" +
+                                   baseline.bench + "', current is '" +
+                                   current.bench + "'");
+  }
+  if (baseline.scale_up != current.scale_up) {
+    return Status::InvalidArgument(
+        "scale_up mismatch: baseline ran at " +
+        std::to_string(baseline.scale_up) + ", current at " +
+        std::to_string(current.scale_up) + " -- not comparable");
+  }
+  if (baseline.seed != current.seed) {
+    return Status::InvalidArgument("seed mismatch: baseline used " +
+                                   std::to_string(baseline.seed) +
+                                   ", current used " +
+                                   std::to_string(current.seed));
+  }
+  BenchDiffResult result;
+  for (const BenchJsonRow& old_row : baseline.rows) {
+    if (!old_row.ok || !old_row.has_measured) continue;
+    BenchDiffEntry entry;
+    entry.label = old_row.label;
+    entry.old_seconds = old_row.measured_seconds;
+    const BenchJsonRow* new_row = current.FindRow(old_row.label);
+    if (new_row == nullptr || !new_row->ok || !new_row->has_measured) {
+      entry.missing_in_new = true;
+      if (options.require_all_baseline_rows) ++result.missing;
+      result.entries.push_back(std::move(entry));
+      continue;
+    }
+    entry.new_seconds = new_row->measured_seconds;
+    entry.delta_seconds = entry.new_seconds - entry.old_seconds;
+    entry.ratio = entry.old_seconds > 0 ? entry.new_seconds / entry.old_seconds : 0;
+    const double margin = std::max(
+        entry.old_seconds * options.relative_tolerance,
+        options.absolute_tolerance_seconds);
+    if (entry.delta_seconds > margin) {
+      entry.regression = true;
+      ++result.regressions;
+    } else if (-entry.delta_seconds > margin) {
+      entry.improvement = true;
+      ++result.improvements;
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace rdmajoin

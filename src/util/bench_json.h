@@ -1,0 +1,106 @@
+#ifndef RDMAJOIN_UTIL_BENCH_JSON_H_
+#define RDMAJOIN_UTIL_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/statusor.h"
+
+namespace rdmajoin {
+
+/// The machine-readable bench result schema (`BENCH_<name>.json`) that every
+/// fig/abl/ext harness emits through bench::BenchReporter, and that
+/// tools/rdmajoin_analyze renders and diffs. Version history:
+///   1 -- initial: bench/scale_up/seed header plus rows of
+///        {label, config, measured/paper/model seconds, phases, attribution,
+///         model residuals, protocol violations}.
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+/// One data point of a bench run (one table row / figure point).
+struct BenchJsonRow {
+  std::string label;
+  bool ok = false;
+  bool verified = false;
+  std::string error;
+  /// Total virtual seconds; NaN when the row did not produce a measurement.
+  double measured_seconds = 0;
+  bool has_measured = false;
+  /// The paper's reference value for this point, when the figure states one.
+  double paper_seconds = 0;
+  bool has_paper = false;
+  /// Closed-form model prediction and residual (fig09-style rows).
+  double model_seconds = 0;
+  bool has_model = false;
+  double residual_seconds = 0;
+  uint64_t protocol_violations = 0;
+  /// The row's full JSON object, for consumers that want phases,
+  /// attribution, or config details beyond the typed fields above.
+  JsonValue raw;
+};
+
+/// A parsed BENCH_*.json document.
+struct BenchJsonDocument {
+  int schema_version = 0;
+  std::string bench;
+  double scale_up = 0;
+  uint64_t seed = 0;
+  std::vector<BenchJsonRow> rows;
+
+  const BenchJsonRow* FindRow(const std::string& label) const;
+};
+
+/// Parses and structurally validates a bench JSON document. Rejects unknown
+/// schema versions and rows without labels.
+StatusOr<BenchJsonDocument> ParseBenchJson(const std::string& json);
+
+/// Convenience: read + parse a file.
+StatusOr<BenchJsonDocument> ReadBenchJsonFile(const std::string& path);
+
+/// Regression-gate tolerances. A row regresses when the new measurement
+/// exceeds the old by BOTH margins -- the relative guard absorbs
+/// platform/FP noise proportional to the runtime, the absolute guard keeps
+/// micro-rows (milliseconds) from tripping on rounding.
+struct BenchDiffOptions {
+  double relative_tolerance = 0.05;
+  double absolute_tolerance_seconds = 0.02;
+  /// Also fail when a measured row disappears or stops being ok/verified in
+  /// the new document (on by default: silently dropping a slow point must
+  /// not pass the gate).
+  bool require_all_baseline_rows = true;
+};
+
+/// One row's comparison.
+struct BenchDiffEntry {
+  std::string label;
+  double old_seconds = 0;
+  double new_seconds = 0;
+  double delta_seconds = 0;   // new - old
+  double ratio = 0;           // new / old (0 when old == 0)
+  bool regression = false;
+  bool improvement = false;   // faster by more than the same margins
+  bool missing_in_new = false;
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDiffEntry> entries;
+  size_t regressions = 0;
+  size_t improvements = 0;
+  size_t missing = 0;
+  bool HasRegressions() const { return regressions > 0 || missing > 0; }
+  /// Human-readable comparison table plus verdict line.
+  std::string Summary() const;
+};
+
+/// Diffs two bench documents row by row (matched on label). Fails with
+/// InvalidArgument when the documents are not comparable: different bench
+/// names, schema versions, scale factors, or seeds -- CI must compare
+/// like for like.
+StatusOr<BenchDiffResult> DiffBenchDocuments(const BenchJsonDocument& baseline,
+                                             const BenchJsonDocument& current,
+                                             const BenchDiffOptions& options);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_UTIL_BENCH_JSON_H_

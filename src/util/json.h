@@ -1,0 +1,58 @@
+#ifndef RDMAJOIN_UTIL_JSON_H_
+#define RDMAJOIN_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace rdmajoin {
+
+/// A parsed JSON document node. Minimal by design: the repo's machine
+/// interchange formats (bench JSON, trace JSON, metrics snapshots) only need
+/// object/array/number/string/bool/null, and keeping the representation a
+/// plain struct keeps consumers (tools/rdmajoin_analyze, tests) simple.
+/// Object member order is preserved.
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  std::vector<std::pair<std::string, JsonValue>> object_members;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed lookups with defaults, for tolerant schema readers.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key, const std::string& fallback) const;
+  bool BoolOr(const std::string& key, bool fallback) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Returns InvalidArgument with an offset on malformed
+/// input. Handles the full escape set including \uXXXX (decoded to UTF-8).
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no surrounding
+/// quotes added).
+std::string JsonEscape(const std::string& s);
+
+/// Formats a double as a JSON number: shortest round-trip form, and the
+/// non-finite values (which JSON cannot represent) as null.
+std::string JsonNumber(double v);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_UTIL_JSON_H_

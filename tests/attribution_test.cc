@@ -1,0 +1,347 @@
+// Tests for the critical-path attribution subsystem (timing/attribution):
+// hand-computed decompositions of small replay traces, and the load-bearing
+// invariant that the per-phase components reproduce the replayed makespan on
+// real end-to-end joins across every transport and policy.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+#include "cluster/presets.h"
+#include "timing/attribution.h"
+#include "timing/replay.h"
+
+namespace rdmajoin {
+namespace {
+
+double GlobalPhaseSeconds(const PhaseTimes& t, size_t p) {
+  switch (static_cast<JoinPhase>(p)) {
+    case JoinPhase::kHistogram:
+      return t.histogram_seconds;
+    case JoinPhase::kNetworkPartition:
+      return t.network_partition_seconds;
+    case JoinPhase::kLocalPartition:
+      return t.local_partition_seconds;
+    case JoinPhase::kBuildProbe:
+      return t.build_probe_seconds;
+  }
+  return 0;
+}
+
+/// Every machine's four components must sum to the global (barrier-to-
+/// barrier) time of every phase -- the decomposition is exact, not a model.
+void ExpectExactDecomposition(const ReplayReport& r, double tol = 1e-9) {
+  ASSERT_FALSE(r.attribution.machines.empty());
+  for (size_t m = 0; m < r.attribution.machines.size(); ++m) {
+    for (size_t p = 0; p < kNumJoinPhases; ++p) {
+      const PhaseAttribution& a = r.attribution.machines[m].phases[p];
+      EXPECT_GE(a.compute_seconds, -tol);
+      EXPECT_GE(a.network_seconds, -tol);
+      EXPECT_GE(a.buffer_stall_seconds, -tol);
+      EXPECT_GE(a.barrier_wait_seconds, -tol);
+      EXPECT_NEAR(a.TotalSeconds(), GlobalPhaseSeconds(r.phases, p), tol)
+          << "machine " << m << " phase " << p;
+    }
+  }
+  EXPECT_NEAR(r.attribution.CriticalPathBreakdown().TotalSeconds(),
+              r.phases.TotalSeconds(), tol);
+}
+
+/// The 2-machine byte-granularity cluster of timing_test.cc: 1 partitioning
+/// thread + 1 receiver core, 1000 B/s links, round-number compute rates.
+ClusterConfig TinyCluster() {
+  ClusterConfig c = FdrCluster(2, 2);
+  c.costs.partition_bytes_per_sec = 955.0;
+  c.costs.histogram_bytes_per_sec = 3000.0;
+  c.costs.build_bytes_per_sec = 800.0;
+  c.costs.probe_bytes_per_sec = 1600.0;
+  c.costs.memcpy_bytes_per_sec = 1e15;
+  c.fabric.egress_bytes_per_sec = 1000.0;
+  c.fabric.ingress_bytes_per_sec = 1000.0;
+  c.fabric.message_rate_per_host = 0;
+  c.fabric.base_latency_seconds = 0;
+  return c;
+}
+
+RunTrace SymmetricTrace(uint64_t compute_bytes, uint64_t send_offset,
+                        int sends_per_thread) {
+  RunTrace trace;
+  trace.scale_up = 1.0;
+  trace.machines.resize(2);
+  for (uint32_t m = 0; m < 2; ++m) {
+    MachineTrace& mt = trace.machines[m];
+    mt.net_threads.resize(1);
+    mt.net_threads[0].compute_bytes = compute_bytes;
+    for (int i = 0; i < sends_per_thread; ++i) {
+      mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, send_offset});
+    }
+  }
+  return trace;
+}
+
+// ---------- Hand-computed single-flow decomposition ----------
+
+TEST(Attribution, FullyOverlappedTransferIsCompute) {
+  // Thread computes 955 B (1 s), posts the send, computes the remaining
+  // 955 B (1 s). The 1 s transfer completes exactly when the compute does:
+  // the network pass is 2 s of pure compute, nothing attributed to network.
+  RunTrace trace = SymmetricTrace(1910, 955, 1);
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  ASSERT_NEAR(r.phases.network_partition_seconds, 2.0, 1e-9);
+  const PhaseAttribution& net =
+      r.attribution.machines[0].at(JoinPhase::kNetworkPartition);
+  EXPECT_NEAR(net.compute_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(net.network_seconds, 0.0, 1e-9);
+  EXPECT_NEAR(net.buffer_stall_seconds, 0.0, 1e-9);
+  EXPECT_NEAR(net.barrier_wait_seconds, 0.0, 1e-9);
+  ExpectExactDecomposition(r);
+}
+
+TEST(Attribution, PostComputeTailIsNetwork) {
+  // All compute (1 s) precedes the send: the thread finishes at 1 s and the
+  // transfer drains until 2 s -- a 1 s pure-network tail.
+  RunTrace trace = SymmetricTrace(955, 955, 1);
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  ASSERT_NEAR(r.phases.network_partition_seconds, 2.0, 1e-9);
+  const PhaseAttribution& net =
+      r.attribution.machines[0].at(JoinPhase::kNetworkPartition);
+  EXPECT_NEAR(net.compute_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(net.network_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(net.buffer_stall_seconds, 0.0, 1e-9);
+  ExpectExactDecomposition(r);
+}
+
+// ---------- Two competing flows on one link ----------
+
+TEST(Attribution, CompetingFlowsLengthenTheNetworkTail) {
+  // Two back-to-back sends, all compute up front. The link serializes them
+  // FIFO: compute 1 s, transfers drain at 3 s -> 2 s of network time.
+  RunTrace trace = SymmetricTrace(955, 955, 2);
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  ASSERT_NEAR(r.phases.network_partition_seconds, 3.0, 1e-9);
+  const PhaseAttribution& net =
+      r.attribution.machines[0].at(JoinPhase::kNetworkPartition);
+  EXPECT_NEAR(net.compute_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(net.network_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(net.buffer_stall_seconds, 0.0, 1e-9);
+  ExpectExactDecomposition(r);
+}
+
+// ---------- Buffer-stalled sender ----------
+
+TEST(Attribution, CreditExhaustionIsBufferStall) {
+  // Four sends into one slot with two credits (the default): the thread
+  // posts #1/#2 at 1 s, stalls for #3 until #1 completes (2 s) and for #4
+  // until #2 completes (3 s) -- 2 s of buffer stall. The link then drains
+  // until 5 s -- 2 s of network tail.
+  RunTrace trace = SymmetricTrace(955, 955, 4);
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  ASSERT_NEAR(r.phases.network_partition_seconds, 5.0, 1e-9);
+  const PhaseAttribution& net =
+      r.attribution.machines[0].at(JoinPhase::kNetworkPartition);
+  EXPECT_NEAR(net.compute_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(net.buffer_stall_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(net.network_seconds, 2.0, 1e-9);
+  ExpectExactDecomposition(r);
+}
+
+TEST(Attribution, DeeperBuffersConvertStallIntoTail) {
+  // Same trace with 4 credits per slot: the thread never stalls; the link
+  // still drains at 5 s, so the stalled seconds move into the network tail.
+  RunTrace trace = SymmetricTrace(955, 955, 4);
+  JoinConfig jc;
+  jc.buffers_per_partition = 4;
+  ReplayReport r = ReplayTrace(TinyCluster(), jc, trace);
+  ASSERT_NEAR(r.phases.network_partition_seconds, 5.0, 1e-9);
+  const PhaseAttribution& net =
+      r.attribution.machines[0].at(JoinPhase::kNetworkPartition);
+  EXPECT_NEAR(net.buffer_stall_seconds, 0.0, 1e-9);
+  EXPECT_NEAR(net.network_seconds, 4.0, 1e-9);
+  ExpectExactDecomposition(r);
+}
+
+// ---------- Non-interleaved flow blocking ----------
+
+TEST(Attribution, NonInterleavedBlockingIsNetwork) {
+  // Two sends separated by 1 s of compute each, blocking transport:
+  // compute [0,1], wait [1,2], compute [2,3], wait [3,4].
+  RunTrace trace;
+  trace.scale_up = 1.0;
+  trace.machines.resize(2);
+  for (uint32_t m = 0; m < 2; ++m) {
+    MachineTrace& mt = trace.machines[m];
+    mt.net_threads.resize(1);
+    mt.net_threads[0].compute_bytes = 1910;
+    mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, 955});
+    mt.net_threads[0].sends.push_back(SendRecord{1 - m, 0, 1000, 1910});
+  }
+  ClusterConfig cluster = TinyCluster();
+  cluster.interleave = InterleavePolicy::kNonInterleaved;
+  ReplayReport r = ReplayTrace(cluster, JoinConfig{}, trace);
+  ASSERT_NEAR(r.phases.network_partition_seconds, 4.0, 1e-9);
+  const PhaseAttribution& net =
+      r.attribution.machines[0].at(JoinPhase::kNetworkPartition);
+  EXPECT_NEAR(net.compute_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(net.network_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(net.buffer_stall_seconds, 0.0, 1e-9);
+  ExpectExactDecomposition(r);
+}
+
+// ---------- Barrier-dominated run ----------
+
+TEST(Attribution, SlowMachineImposesBarrierWait) {
+  // Machine 1 scans twice the histogram bytes: 2 s vs 1 s. Machine 0 waits
+  // 1 s at the barrier; machine 1 is the phase's critical machine.
+  RunTrace trace = SymmetricTrace(1910, 955, 1);
+  trace.machines[0].histogram_bytes = 6000;   // 1 s on 2 cores at 3000 B/s.
+  trace.machines[1].histogram_bytes = 12000;  // 2 s.
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  ASSERT_NEAR(r.phases.histogram_seconds, 2.0, 1e-9);
+  const size_t hist = static_cast<size_t>(JoinPhase::kHistogram);
+  EXPECT_EQ(r.attribution.critical_machine[hist], 1u);
+  const PhaseAttribution& m0 = r.attribution.machines[0].at(JoinPhase::kHistogram);
+  EXPECT_NEAR(m0.compute_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(m0.barrier_wait_seconds, 1.0, 1e-9);
+  const PhaseAttribution& m1 = r.attribution.machines[1].at(JoinPhase::kHistogram);
+  EXPECT_NEAR(m1.compute_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(m1.barrier_wait_seconds, 0.0, 1e-9);
+  ExpectExactDecomposition(r);
+}
+
+TEST(Attribution, CriticalPathHasOneStepPerPhase) {
+  RunTrace trace = SymmetricTrace(1910, 955, 1);
+  trace.machines[0].histogram_bytes = 6000;
+  trace.machines[1].histogram_bytes = 6000;
+  trace.machines[0].local_pass_bytes = 1910;
+  trace.machines[1].local_pass_bytes = 1910;
+  trace.machines[0].tasks.push_back(BuildProbeTask{800, 1600});
+  trace.machines[1].tasks.push_back(BuildProbeTask{800, 1600});
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  const auto path = r.attribution.CriticalPath();
+  ASSERT_EQ(path.size(), kNumJoinPhases);
+  double sum = 0;
+  for (const CriticalPathStep& step : path) {
+    EXPECT_NEAR(step.breakdown.TotalSeconds(), step.phase_seconds, 1e-9);
+    sum += step.phase_seconds;
+  }
+  EXPECT_NEAR(sum, r.phases.TotalSeconds(), 1e-9);
+  EXPECT_NEAR(r.attribution.MakespanSeconds(), r.phases.TotalSeconds(), 1e-9);
+}
+
+// ---------- Invariant on real end-to-end joins ----------
+
+bench::Options SmallOptions() {
+  bench::Options opt;
+  opt.scale_up = 8192.0;
+  opt.seed = 42;
+  opt.json = false;
+  return opt;
+}
+
+void ExpectRunDecomposes(const bench::RunOutcome& run) {
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_TRUE(run.verified);
+  // Acceptance bar: attribution reproduces the makespan within 1% on the
+  // critical-path machine chain; by construction it is near-exact.
+  const double makespan = run.replay.phases.TotalSeconds();
+  const double sum = run.replay.attribution.CriticalPathBreakdown().TotalSeconds();
+  EXPECT_NEAR(sum, makespan, 0.01 * makespan);
+  EXPECT_NEAR(sum, makespan, 1e-6 * makespan + 1e-12);
+  for (size_t m = 0; m < run.replay.attribution.machines.size(); ++m) {
+    for (size_t p = 0; p < kNumJoinPhases; ++p) {
+      const PhaseAttribution& a = run.replay.attribution.machines[m].phases[p];
+      EXPECT_NEAR(a.TotalSeconds(), GlobalPhaseSeconds(run.replay.phases, p),
+                  1e-6 * makespan + 1e-12);
+    }
+  }
+}
+
+TEST(AttributionInvariant, UniformJoin) {
+  ExpectRunDecomposes(bench::RunPaperJoin(QdrCluster(4), 64, 64, SmallOptions()));
+}
+
+TEST(AttributionInvariant, SkewedJoinWithStealing) {
+  ExpectRunDecomposes(bench::RunPaperJoin(
+      QdrCluster(4), 16, 128, SmallOptions(), /*zipf_theta=*/1.2, 16,
+      [](JoinConfig* jc) { jc->enable_work_stealing = true; }));
+}
+
+TEST(AttributionInvariant, MaterializedResults) {
+  ExpectRunDecomposes(bench::RunPaperJoin(
+      FdrCluster(2), 64, 64, SmallOptions(), 0.0, 16,
+      [](JoinConfig* jc) { jc->materialize_results = true; }));
+}
+
+TEST(AttributionInvariant, TcpTransport) {
+  ExpectRunDecomposes(
+      bench::RunPaperJoin(IpoibCluster(2), 64, 64, SmallOptions()));
+}
+
+TEST(AttributionInvariant, NonInterleavedTransport) {
+  ClusterConfig cluster = FdrCluster(3);
+  cluster.interleave = InterleavePolicy::kNonInterleaved;
+  ExpectRunDecomposes(bench::RunPaperJoin(cluster, 64, 64, SmallOptions()));
+}
+
+TEST(AttributionInvariant, OneSidedReadTransport) {
+  ClusterConfig cluster = FdrCluster(2);
+  cluster.transport = TransportKind::kRdmaRead;
+  ExpectRunDecomposes(bench::RunPaperJoin(cluster, 64, 64, SmallOptions()));
+}
+
+TEST(AttributionInvariant, TinyBufferDepthStalls) {
+  // Depth-1 buffering forces credit stalls; the invariant must still hold
+  // and some buffer-stall time should be visible somewhere.
+  auto run = bench::RunPaperJoin(QdrCluster(2), 64, 64, SmallOptions(), 0.0, 16,
+                                 [](JoinConfig* jc) {
+                                   jc->buffers_per_partition = 1;
+                                 });
+  ExpectRunDecomposes(run);
+}
+
+// ---------- Model residuals ----------
+
+TEST(ModelResidual, ArithmeticAndRelativeError) {
+  PhaseTimes measured;
+  measured.histogram_seconds = 1.0;
+  measured.network_partition_seconds = 4.0;
+  measured.local_partition_seconds = 2.0;
+  measured.build_probe_seconds = 3.0;
+  PhaseTimes predicted;
+  predicted.histogram_seconds = 1.5;
+  predicted.network_partition_seconds = 3.0;
+  predicted.local_partition_seconds = 2.0;
+  predicted.build_probe_seconds = 1.5;
+  const ModelResidual r = ResidualAgainst(measured, predicted);
+  EXPECT_DOUBLE_EQ(r.histogram_residual_seconds, -0.5);
+  EXPECT_DOUBLE_EQ(r.network_partition_residual_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(r.local_partition_residual_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.build_probe_residual_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(r.total_residual_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(r.relative_error, 2.0 / 8.0);
+}
+
+TEST(ModelResidual, ZeroPredictionHasZeroRelativeError) {
+  const ModelResidual r = ResidualAgainst(PhaseTimes{}, PhaseTimes{});
+  EXPECT_DOUBLE_EQ(r.relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_residual_seconds, 0.0);
+}
+
+// ---------- Formatting ----------
+
+TEST(Attribution, FormatMentionsEveryPhaseAndTheCriticalPath) {
+  RunTrace trace = SymmetricTrace(955, 955, 4);
+  ReplayReport r = ReplayTrace(TinyCluster(), JoinConfig{}, trace);
+  const std::string text = FormatAttribution(r.attribution);
+  EXPECT_NE(text.find("histogram"), std::string::npos);
+  EXPECT_NE(text.find("network-partition"), std::string::npos);
+  EXPECT_NE(text.find("local-partition"), std::string::npos);
+  EXPECT_NE(text.find("build-probe"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+}
+
+TEST(Attribution, EmptyReportFormatsToNothing) {
+  EXPECT_TRUE(FormatAttribution(AttributionReport{}).empty());
+}
+
+}  // namespace
+}  // namespace rdmajoin

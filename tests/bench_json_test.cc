@@ -1,0 +1,357 @@
+// Tests for the machine-readable bench pipeline: the minimal JSON parser,
+// BenchReporter's emitted schema (round-tripped through ParseBenchJson), the
+// regression-gating diff semantics rdmajoin_analyze --diff relies on, and the
+// strict ParseOptions flag validation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/presets.h"
+#include "util/bench_json.h"
+#include "util/json.h"
+
+namespace rdmajoin {
+namespace {
+
+// ---------- JSON parser ----------
+
+TEST(Json, ParsesScalarsAndContainers) {
+  auto v = ParseJson(R"({"a": 1.5, "b": "x\n\"y\"", "c": [true, null], "d": {}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_DOUBLE_EQ(v->NumberOr("a", 0), 1.5);
+  EXPECT_EQ(v->StringOr("b", ""), "x\n\"y\"");
+  const JsonValue* c = v->Find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->is_array());
+  ASSERT_EQ(c->array_items.size(), 2u);
+  EXPECT_TRUE(c->array_items[0].bool_value);
+  EXPECT_TRUE(c->array_items[1].is_null());
+  ASSERT_NE(v->Find("d"), nullptr);
+  EXPECT_TRUE(v->Find("d")->is_object());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(Json, RejectsTrailingGarbageAndMalformedInput) {
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(Json, NumberFormattingRoundTrips) {
+  for (double v : {0.0, 1.0, -2.5, 3.333333333333333, 1e-9, 12345678.901}) {
+    const std::string text = JsonNumber(v);
+    auto parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_DOUBLE_EQ(parsed->number_value, v) << text;
+  }
+  // JSON cannot represent non-finite numbers; they degrade to null.
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "null");
+  EXPECT_EQ(JsonNumber(0.0 / 0.0), "null");
+}
+
+TEST(Json, EscapeCoversControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+}
+
+// ---------- BenchReporter schema round trip ----------
+
+bench::Options TestOptions() {
+  bench::Options opt;
+  opt.scale_up = 8192.0;
+  opt.seed = 42;
+  opt.json = false;  // Tests never write files; they use ToJson() directly.
+  return opt;
+}
+
+TEST(BenchReporter, EmittedDocumentRoundTripsThroughParser) {
+  const bench::Options opt = TestOptions();
+  bench::BenchReporter reporter("unit_test_bench", opt);
+  reporter.AddMeasurement("point one", {{"machines", "4"}}, 3.25, "seconds", 3.0);
+  reporter.AddMeasurement("bandwidth", {{"message_bytes", "65536"}}, 4200.0,
+                          "mbps", 4700.0);
+  reporter.AddError("broken point", {{"machines", "9"}}, "OOM: too big");
+
+  auto doc = ParseBenchJson(reporter.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->schema_version, kBenchJsonSchemaVersion);
+  EXPECT_EQ(doc->bench, "unit_test_bench");
+  EXPECT_DOUBLE_EQ(doc->scale_up, 8192.0);
+  EXPECT_EQ(doc->seed, 42u);
+  ASSERT_EQ(doc->rows.size(), 3u);
+
+  const BenchJsonRow* row = doc->FindRow("point one");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->ok);
+  ASSERT_TRUE(row->has_measured);
+  EXPECT_DOUBLE_EQ(row->measured_seconds, 3.25);
+  ASSERT_TRUE(row->has_paper);
+  EXPECT_DOUBLE_EQ(row->paper_seconds, 3.0);
+  // Config values that look numeric are emitted as JSON numbers.
+  const JsonValue* config = row->raw.Find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_DOUBLE_EQ(config->NumberOr("machines", 0), 4.0);
+
+  // Non-seconds measurements carry their unit and do not become
+  // measured_seconds (the diff gate only compares like-for-like seconds).
+  const BenchJsonRow* bw = doc->FindRow("bandwidth");
+  ASSERT_NE(bw, nullptr);
+  EXPECT_FALSE(bw->has_measured);
+  EXPECT_EQ(bw->raw.StringOr("unit", ""), "mbps");
+  EXPECT_DOUBLE_EQ(bw->raw.NumberOr("measured_value", 0), 4200.0);
+
+  const BenchJsonRow* bad = doc->FindRow("broken point");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_FALSE(bad->ok);
+  EXPECT_FALSE(bad->has_measured);
+  EXPECT_EQ(bad->error, "OOM: too big");
+}
+
+TEST(BenchReporter, RealRunCarriesPhasesAttributionAndViolations) {
+  const bench::Options opt = TestOptions();
+  bench::RunOutcome run = bench::RunPaperJoin(QdrCluster(2), 64, 64, opt);
+  ASSERT_TRUE(run.ok) << run.error;
+
+  bench::BenchReporter reporter("unit_test_bench", opt);
+  reporter.AddRun("2 machines", {{"machines", "2"}}, run);
+  auto doc = ParseBenchJson(reporter.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const BenchJsonRow* row = doc->FindRow("2 machines");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->ok);
+  EXPECT_TRUE(row->verified);
+  ASSERT_TRUE(row->has_measured);
+  EXPECT_NEAR(row->measured_seconds, run.times.TotalSeconds(), 1e-9);
+  EXPECT_EQ(row->protocol_violations, run.protocol_violations);
+
+  const JsonValue* phases = row->raw.Find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_NEAR(phases->NumberOr("network_partition_seconds", -1),
+              run.times.network_partition_seconds, 1e-9);
+
+  // The attribution block must decompose the measured makespan: sum of the
+  // four per-phase totals == measured_seconds (this is what
+  // rdmajoin_analyze's invariant check re-verifies on every file).
+  const JsonValue* attribution = row->raw.Find("attribution");
+  ASSERT_NE(attribution, nullptr);
+  const JsonValue* totals = attribution->Find("totals");
+  ASSERT_NE(totals, nullptr);
+  const double sum = totals->NumberOr("compute_seconds", 0) +
+                     totals->NumberOr("network_seconds", 0) +
+                     totals->NumberOr("buffer_stall_seconds", 0) +
+                     totals->NumberOr("barrier_wait_seconds", 0);
+  EXPECT_NEAR(sum, row->measured_seconds, 1e-6 * row->measured_seconds);
+  const JsonValue* path = attribution->Find("critical_path");
+  ASSERT_NE(path, nullptr);
+  ASSERT_TRUE(path->is_array());
+  EXPECT_EQ(path->array_items.size(), kNumJoinPhases);
+}
+
+TEST(BenchReporter, IdenticalSeedRerunsEmitIdenticalBytes) {
+  // The regression gate depends on deterministic output: same cluster, same
+  // seed, same scale -> byte-identical JSON (no timestamps, stable number
+  // formatting).
+  const bench::Options opt = TestOptions();
+  auto render = [&opt]() {
+    bench::RunOutcome run = bench::RunPaperJoin(FdrCluster(3), 64, 64, opt);
+    bench::BenchReporter reporter("unit_test_bench", opt);
+    reporter.AddRun("3 machines", {{"machines", "3"}}, run);
+    return reporter.ToJson();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+// ---------- Diff / regression gating ----------
+
+std::string Doc(double a_seconds, double b_seconds, const std::string& bench,
+                uint64_t seed = 42, double scale = 8192.0, bool b_ok = true,
+                bool include_b = true) {
+  std::string s = "{\"schema_version\":1,\"bench\":\"" + bench +
+                  "\",\"scale_up\":" + JsonNumber(scale) +
+                  ",\"seed\":" + std::to_string(seed) + ",\"rows\":[";
+  s += "{\"label\":\"a\",\"ok\":true,\"verified\":true,\"measured_seconds\":" +
+       JsonNumber(a_seconds) + "}";
+  if (include_b) {
+    s += ",{\"label\":\"b\",\"ok\":" + std::string(b_ok ? "true" : "false") +
+         ",\"verified\":true,\"measured_seconds\":" + JsonNumber(b_seconds) + "}";
+  }
+  s += "]}";
+  return s;
+}
+
+BenchJsonDocument MustParse(const std::string& json) {
+  auto doc = ParseBenchJson(json);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return *doc;
+}
+
+TEST(BenchDiff, IdenticalDocumentsAreClean) {
+  const BenchJsonDocument doc = MustParse(Doc(4.0, 8.0, "x"));
+  auto diff = DiffBenchDocuments(doc, doc, BenchDiffOptions{});
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff->HasRegressions());
+  EXPECT_EQ(diff->regressions, 0u);
+  EXPECT_EQ(diff->improvements, 0u);
+  EXPECT_EQ(diff->missing, 0u);
+  ASSERT_EQ(diff->entries.size(), 2u);
+}
+
+TEST(BenchDiff, SlowdownBeyondToleranceRegresses) {
+  const BenchJsonDocument base = MustParse(Doc(4.0, 8.0, "x"));
+  const BenchJsonDocument cur = MustParse(Doc(4.0, 8.9, "x"));  // b: +11.25%
+  BenchDiffOptions options;
+  options.relative_tolerance = 0.05;
+  options.absolute_tolerance_seconds = 0.02;
+  auto diff = DiffBenchDocuments(base, cur, options);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->HasRegressions());
+  EXPECT_EQ(diff->regressions, 1u);
+  const BenchDiffEntry& e = diff->entries[1];
+  EXPECT_EQ(e.label, "b");
+  EXPECT_TRUE(e.regression);
+  EXPECT_NEAR(e.delta_seconds, 0.9, 1e-12);
+  EXPECT_NEAR(e.ratio, 8.9 / 8.0, 1e-12);
+  EXPECT_NE(diff->Summary().find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchDiff, SlowdownWithinTolerancePasses) {
+  const BenchJsonDocument base = MustParse(Doc(4.0, 8.0, "x"));
+  const BenchJsonDocument cur = MustParse(Doc(4.1, 8.3, "x"));  // +2.5%, +3.75%
+  auto diff = DiffBenchDocuments(base, cur, BenchDiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->HasRegressions());
+}
+
+TEST(BenchDiff, AbsoluteToleranceAbsorbsMicroRowNoise) {
+  // 50% relative slowdown, but only 10 ms absolute -- below the 20 ms
+  // absolute guard, so a micro-row does not trip the gate.
+  const BenchJsonDocument base = MustParse(Doc(0.02, 8.0, "x"));
+  const BenchJsonDocument cur = MustParse(Doc(0.03, 8.0, "x"));
+  auto diff = DiffBenchDocuments(base, cur, BenchDiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->HasRegressions());
+}
+
+TEST(BenchDiff, ImprovementIsCountedButDoesNotFail) {
+  const BenchJsonDocument base = MustParse(Doc(4.0, 8.0, "x"));
+  const BenchJsonDocument cur = MustParse(Doc(4.0, 6.0, "x"));
+  auto diff = DiffBenchDocuments(base, cur, BenchDiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->HasRegressions());
+  EXPECT_EQ(diff->improvements, 1u);
+}
+
+TEST(BenchDiff, MissingBaselineRowFailsTheGate) {
+  const BenchJsonDocument base = MustParse(Doc(4.0, 8.0, "x"));
+  const BenchJsonDocument cur =
+      MustParse(Doc(4.0, 0.0, "x", 42, 8192.0, true, /*include_b=*/false));
+  auto diff = DiffBenchDocuments(base, cur, BenchDiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->HasRegressions());
+  EXPECT_EQ(diff->missing, 1u);
+  EXPECT_NE(diff->Summary().find("MISSING"), std::string::npos);
+}
+
+TEST(BenchDiff, FailedRowInCurrentCountsAsMissing) {
+  const BenchJsonDocument base = MustParse(Doc(4.0, 8.0, "x"));
+  const BenchJsonDocument cur =
+      MustParse(Doc(4.0, 8.0, "x", 42, 8192.0, /*b_ok=*/false));
+  auto diff = DiffBenchDocuments(base, cur, BenchDiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->HasRegressions());
+  EXPECT_EQ(diff->missing, 1u);
+}
+
+TEST(BenchDiff, IncomparableDocumentsAreRejected) {
+  const BenchJsonDocument base = MustParse(Doc(4.0, 8.0, "x"));
+  EXPECT_FALSE(
+      DiffBenchDocuments(base, MustParse(Doc(4.0, 8.0, "y")), BenchDiffOptions{})
+          .ok());
+  EXPECT_FALSE(DiffBenchDocuments(base, MustParse(Doc(4.0, 8.0, "x", 43)),
+                                  BenchDiffOptions{})
+                   .ok());
+  EXPECT_FALSE(DiffBenchDocuments(base, MustParse(Doc(4.0, 8.0, "x", 42, 1024.0)),
+                                  BenchDiffOptions{})
+                   .ok());
+}
+
+TEST(BenchJson, RejectsBadDocuments) {
+  EXPECT_FALSE(ParseBenchJson("[]").ok());
+  EXPECT_FALSE(ParseBenchJson("{\"schema_version\":99,\"bench\":\"x\"}").ok());
+  EXPECT_FALSE(
+      ParseBenchJson("{\"schema_version\":1,\"bench\":\"x\"}").ok());  // no rows
+  EXPECT_FALSE(ParseBenchJson("{\"schema_version\":1,\"bench\":\"x\",\"rows\":"
+                              "[{\"ok\":true}]}")
+                   .ok());  // row without label
+  EXPECT_FALSE(ParseBenchJson("{\"schema_version\":1,\"rows\":[]}").ok());
+}
+
+// ---------- Strict option parsing ----------
+
+bench::Options ParseArgs(std::vector<std::string> args,
+                         const std::vector<std::string>& extra = {}) {
+  args.insert(args.begin(), "bench_test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return bench::ParseOptions(static_cast<int>(argv.size()), argv.data(), 1024.0,
+                             extra);
+}
+
+TEST(ParseOptions, AcceptsValidFlags) {
+  const bench::Options opt =
+      ParseArgs({"--scale=2048", "--seed=7", "--csv", "--json-out=/tmp/x.json"});
+  EXPECT_DOUBLE_EQ(opt.scale_up, 2048.0);
+  EXPECT_EQ(opt.seed, 7u);
+  EXPECT_TRUE(opt.csv);
+  EXPECT_TRUE(opt.json);
+  EXPECT_EQ(opt.json_out, "/tmp/x.json");
+  EXPECT_FALSE(ParseArgs({"--no-json"}).json);
+  EXPECT_DOUBLE_EQ(ParseArgs({"--presets"}, {"--presets"}).scale_up, 1024.0);
+}
+
+using ParseOptionsDeathTest = ::testing::Test;
+
+TEST(ParseOptionsDeathTest, UnknownFlagExitsWithUsage) {
+  EXPECT_EXIT(ParseArgs({"--bogus"}), ::testing::ExitedWithCode(2),
+              "unknown flag");
+}
+
+TEST(ParseOptionsDeathTest, NonNumericValuesExit) {
+  EXPECT_EXIT(ParseArgs({"--scale=abc"}), ::testing::ExitedWithCode(2),
+              "invalid --scale");
+  EXPECT_EXIT(ParseArgs({"--scale=12x"}), ::testing::ExitedWithCode(2),
+              "invalid --scale");
+  EXPECT_EXIT(ParseArgs({"--seed=1.5"}), ::testing::ExitedWithCode(2),
+              "invalid --seed");
+  EXPECT_EXIT(ParseArgs({"--seed=-3"}), ::testing::ExitedWithCode(2),
+              "invalid --seed");
+}
+
+TEST(ParseOptionsDeathTest, SubUnitScaleExits) {
+  EXPECT_EXIT(ParseArgs({"--scale=0.5"}), ::testing::ExitedWithCode(2),
+              "--scale must be >= 1");
+}
+
+TEST(ParseValueHelpers, FullTokenValidation) {
+  double d = 0;
+  EXPECT_TRUE(bench::ParseDoubleValue("42.5", &d));
+  EXPECT_DOUBLE_EQ(d, 42.5);
+  EXPECT_FALSE(bench::ParseDoubleValue("", &d));
+  EXPECT_FALSE(bench::ParseDoubleValue("4x", &d));
+  EXPECT_FALSE(bench::ParseDoubleValue("nan", &d));
+  EXPECT_FALSE(bench::ParseDoubleValue("inf", &d));
+  uint64_t u = 0;
+  EXPECT_TRUE(bench::ParseU64Value("123", &u));
+  EXPECT_EQ(u, 123u);
+  EXPECT_FALSE(bench::ParseU64Value("", &u));
+  EXPECT_FALSE(bench::ParseU64Value("-1", &u));
+  EXPECT_FALSE(bench::ParseU64Value("1.5", &u));
+}
+
+}  // namespace
+}  // namespace rdmajoin

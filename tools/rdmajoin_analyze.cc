@@ -1,0 +1,321 @@
+// Critical-path and regression analysis over the observability artifacts:
+//
+//   # Render a bench result file (tables, attribution, model residuals):
+//   rdmajoin_analyze --bench=BENCH_fig07a_phase_breakdown.json
+//
+//   # Gate on performance regressions between two bench runs (same bench,
+//   # scale and seed; exits 1 when any row slowed down beyond tolerance or
+//   # disappeared):
+//   rdmajoin_analyze --diff baseline.json current.json
+//                    [--tolerance=0.05] [--abs-tolerance=0.02]
+//
+//   # Replay a captured trace (rdmajoin_whatif --capture) and decompose its
+//   # makespan into compute / network / buffer-stall / barrier-wait time:
+//   rdmajoin_analyze --trace=/tmp/join.trace --cluster=qdr --machines=8
+//                    [--cores=8] [--scale=1024]
+//   # ... optionally against the analytical model (paper workload sizes, in
+//   # millions of tuples):
+//   rdmajoin_analyze --trace=... --cluster=qdr --machines=8
+//                    --inner=2048 --outer=2048
+//
+// Exit codes: 0 clean, 1 regression (or attribution invariant violation in
+// --bench mode), 2 usage or input errors.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/presets.h"
+#include "model/analytical_model.h"
+#include "timing/attribution.h"
+#include "timing/replay.h"
+#include "timing/trace_io.h"
+#include "util/bench_json.h"
+#include "util/json.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace rdmajoin;
+
+// The acceptance bar for the attribution subsystem: the critical-path
+// components must reproduce the replayed makespan within 1%.
+constexpr double kMakespanCheckTolerance = 0.01;
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rdmajoin_analyze --bench=FILE.json\n"
+      "  rdmajoin_analyze --diff BASELINE.json CURRENT.json\n"
+      "                   [--tolerance=REL] [--abs-tolerance=SECONDS]\n"
+      "  rdmajoin_analyze --trace=FILE --cluster=qdr|fdr|ipoib --machines=N\n"
+      "                   [--cores=N] [--scale=N] [--inner=MTUPLES --outer=MTUPLES]\n");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+int RenderBench(const std::string& path) {
+  auto doc = ReadBenchJsonFile(path);
+  if (!doc.ok()) return Fail(doc.status());
+  std::printf("bench %s (schema v%d, scale_up %.0f, seed %llu, %zu rows)\n\n",
+              doc->bench.c_str(), doc->schema_version, doc->scale_up,
+              static_cast<unsigned long long>(doc->seed), doc->rows.size());
+
+  TablePrinter table("rows");
+  table.SetHeader({"label", "measured_s", "paper_s", "model_s", "residual_s",
+                   "viol", "status"});
+  int invariant_failures = 0;
+  for (const BenchJsonRow& row : doc->rows) {
+    if (!row.ok) {
+      table.AddRow({row.label, "-", "-", "-", "-", "-",
+                    row.error.empty() ? "error" : row.error});
+      continue;
+    }
+    table.AddRow({row.label,
+                  row.has_measured ? TablePrinter::Num(row.measured_seconds, 3) : "-",
+                  row.has_paper ? TablePrinter::Num(row.paper_seconds, 2) : "-",
+                  row.has_model ? TablePrinter::Num(row.model_seconds, 3) : "-",
+                  row.has_model ? TablePrinter::Num(row.residual_seconds, 3) : "-",
+                  std::to_string(row.protocol_violations),
+                  row.verified ? "ok" : "UNVERIFIED"});
+  }
+  table.Print();
+
+  // Attribution summary: the critical-path decomposition each row carries,
+  // and the invariant that its components reproduce the measured makespan.
+  bool have_attribution = false;
+  TablePrinter attr("critical-path attribution (seconds)");
+  attr.SetHeader({"label", "compute", "network", "buffer_stall", "barrier",
+                  "sum", "measured", "check"});
+  for (const BenchJsonRow& row : doc->rows) {
+    const JsonValue* a = row.raw.Find("attribution");
+    if (!row.ok || !row.has_measured || a == nullptr) continue;
+    const JsonValue* totals = a->Find("totals");
+    if (totals == nullptr) continue;
+    have_attribution = true;
+    const double compute = totals->NumberOr("compute_seconds", 0);
+    const double network = totals->NumberOr("network_seconds", 0);
+    const double stall = totals->NumberOr("buffer_stall_seconds", 0);
+    const double barrier = totals->NumberOr("barrier_wait_seconds", 0);
+    const double sum = compute + network + stall + barrier;
+    const bool pass =
+        std::fabs(sum - row.measured_seconds) <=
+        kMakespanCheckTolerance * std::max(row.measured_seconds, 1e-12);
+    if (!pass) ++invariant_failures;
+    attr.AddRow({row.label, TablePrinter::Num(compute, 3),
+                 TablePrinter::Num(network, 3), TablePrinter::Num(stall, 3),
+                 TablePrinter::Num(barrier, 3), TablePrinter::Num(sum, 3),
+                 TablePrinter::Num(row.measured_seconds, 3),
+                 pass ? "ok" : "MISMATCH"});
+  }
+  if (have_attribution) {
+    std::printf("\n");
+    attr.Print();
+  }
+
+  // Model residuals per phase, when rows carry them (fig09-style).
+  bool have_model = false;
+  TablePrinter model("model residuals per phase (measured - predicted, seconds)");
+  model.SetHeader({"label", "histogram", "network_part", "local_part",
+                   "build_probe", "total", "rel_error"});
+  for (const BenchJsonRow& row : doc->rows) {
+    const JsonValue* m = row.raw.Find("model");
+    if (!row.ok || m == nullptr) continue;
+    const JsonValue* rp = m->Find("residual_phases");
+    if (rp == nullptr) continue;
+    have_model = true;
+    model.AddRow({row.label,
+                  TablePrinter::Num(rp->NumberOr("histogram_seconds", 0), 3),
+                  TablePrinter::Num(rp->NumberOr("network_partition_seconds", 0), 3),
+                  TablePrinter::Num(rp->NumberOr("local_partition_seconds", 0), 3),
+                  TablePrinter::Num(rp->NumberOr("build_probe_seconds", 0), 3),
+                  TablePrinter::Num(m->NumberOr("residual_seconds", 0), 3),
+                  TablePrinter::Num(100 * m->NumberOr("relative_error", 0), 1) + "%"});
+  }
+  if (have_model) {
+    std::printf("\n");
+    model.Print();
+  }
+
+  if (invariant_failures > 0) {
+    std::printf("\n%d row(s) FAILED the attribution sum == makespan check "
+                "(tolerance %.0f%%)\n",
+                invariant_failures, 100 * kMakespanCheckTolerance);
+    return 1;
+  }
+  return 0;
+}
+
+int DiffBench(const std::string& old_path, const std::string& new_path,
+              const BenchDiffOptions& options) {
+  auto baseline = ReadBenchJsonFile(old_path);
+  if (!baseline.ok()) return Fail(baseline.status());
+  auto current = ReadBenchJsonFile(new_path);
+  if (!current.ok()) return Fail(current.status());
+  auto diff = DiffBenchDocuments(*baseline, *current, options);
+  if (!diff.ok()) return Fail(diff.status());
+  std::printf("diff %s -> %s (bench %s, rel tolerance %.1f%%, abs %.3f s)\n",
+              old_path.c_str(), new_path.c_str(), baseline->bench.c_str(),
+              100 * options.relative_tolerance,
+              options.absolute_tolerance_seconds);
+  std::fputs(diff->Summary().c_str(), stdout);
+  return diff->HasRegressions() ? 1 : 0;
+}
+
+int AnalyzeTrace(const std::string& trace_path, const std::string& cluster_name,
+                 uint32_t machines, uint32_t cores, double scale, double inner_m,
+                 double outer_m) {
+  ClusterConfig cluster;
+  if (cluster_name == "qdr") {
+    cluster = QdrCluster(machines, cores);
+  } else if (cluster_name == "fdr") {
+    cluster = FdrCluster(machines, cores);
+  } else if (cluster_name == "ipoib") {
+    cluster = IpoibCluster(machines, cores);
+  } else {
+    std::fprintf(stderr, "unknown cluster '%s' (qdr|fdr|ipoib)\n",
+                 cluster_name.c_str());
+    return 2;
+  }
+  auto trace = ReadTraceFile(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  if (trace->machines.size() != cluster.num_machines) {
+    std::fprintf(stderr, "trace has %zu machines, cluster has %u\n",
+                 trace->machines.size(), cluster.num_machines);
+    return 2;
+  }
+  JoinConfig config;
+  config.scale_up = scale;
+  const ReplayReport report = ReplayTrace(cluster, config, *trace);
+
+  TablePrinter table("replayed phase times on " + cluster.name);
+  table.SetHeader({"histogram_s", "network_part_s", "local_part_s",
+                   "build_probe_s", "total_s"});
+  table.AddRow({TablePrinter::Num(report.phases.histogram_seconds, 3),
+                TablePrinter::Num(report.phases.network_partition_seconds, 3),
+                TablePrinter::Num(report.phases.local_partition_seconds, 3),
+                TablePrinter::Num(report.phases.build_probe_seconds, 3),
+                TablePrinter::Num(report.phases.TotalSeconds(), 3)});
+  table.Print();
+  std::fputs(FormatAttribution(report.attribution).c_str(), stdout);
+
+  const PhaseAttribution cp = report.attribution.CriticalPathBreakdown();
+  const double makespan = report.attribution.MakespanSeconds();
+  const bool pass = std::fabs(cp.TotalSeconds() - makespan) <=
+                    kMakespanCheckTolerance * std::max(makespan, 1e-12);
+  std::printf("attribution sum %.6f s vs makespan %.6f s: %s\n",
+              cp.TotalSeconds(), makespan, pass ? "ok" : "MISMATCH");
+
+  if (inner_m > 0 && outer_m > 0) {
+    const uint64_t inner_bytes = static_cast<uint64_t>(inner_m * 16e6);
+    const uint64_t outer_bytes = static_cast<uint64_t>(outer_m * 16e6);
+    ModelParams params = ParamsFromCluster(cluster, inner_bytes, outer_bytes);
+    const ModelEstimate est = Estimate(params);
+    PhaseTimes predicted;
+    predicted.histogram_seconds = est.histogram_seconds;
+    predicted.network_partition_seconds = est.network_partition_seconds;
+    predicted.local_partition_seconds = est.local_partition_seconds;
+    predicted.build_probe_seconds = est.build_probe_seconds;
+    const ModelResidual r = ResidualAgainst(report.phases, predicted);
+    TablePrinter residuals("model residuals (measured - predicted, seconds)");
+    residuals.SetHeader({"histogram", "network_part", "local_part",
+                         "build_probe", "total", "rel_error"});
+    residuals.AddRow(
+        {TablePrinter::Num(r.histogram_residual_seconds, 3),
+         TablePrinter::Num(r.network_partition_residual_seconds, 3),
+         TablePrinter::Num(r.local_partition_residual_seconds, 3),
+         TablePrinter::Num(r.build_probe_residual_seconds, 3),
+         TablePrinter::Num(r.total_residual_seconds, 3),
+         TablePrinter::Num(100 * r.relative_error, 1) + "%"});
+    residuals.Print();
+    std::printf("model bound: %s\n", est.network_bound ? "network" : "CPU");
+  }
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bench_path, trace_path, cluster_name = "qdr";
+  std::vector<std::string> positional;
+  bool diff_mode = false;
+  uint32_t machines = 4, cores = 8;
+  double scale = 1024, inner_m = 0, outer_m = 0;
+  BenchDiffOptions diff_options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) == 0 && arg.size() > len && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--bench")) {
+      bench_path = v;
+    } else if (const char* v = value("--trace")) {
+      trace_path = v;
+    } else if (const char* v = value("--cluster")) {
+      cluster_name = v;
+    } else if (const char* v = value("--machines")) {
+      machines = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--cores")) {
+      cores = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--scale")) {
+      scale = std::atof(v);
+    } else if (const char* v = value("--inner")) {
+      inner_m = std::atof(v);
+    } else if (const char* v = value("--outer")) {
+      outer_m = std::atof(v);
+    } else if (const char* v = value("--tolerance")) {
+      char* end = nullptr;
+      diff_options.relative_tolerance = std::strtod(v, &end);
+      if (end == nullptr || *end != '\0' || diff_options.relative_tolerance < 0) {
+        std::fprintf(stderr, "invalid --tolerance value '%s'\n", v);
+        return 2;
+      }
+    } else if (const char* v = value("--abs-tolerance")) {
+      char* end = nullptr;
+      diff_options.absolute_tolerance_seconds = std::strtod(v, &end);
+      if (end == nullptr || *end != '\0' ||
+          diff_options.absolute_tolerance_seconds < 0) {
+        std::fprintf(stderr, "invalid --abs-tolerance value '%s'\n", v);
+        return 2;
+      }
+    } else if (arg == "--diff") {
+      diff_mode = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (diff_mode) {
+    if (positional.size() != 2) {
+      std::fprintf(stderr, "--diff needs exactly two files (baseline, current)\n");
+      PrintUsage();
+      return 2;
+    }
+    return DiffBench(positional[0], positional[1], diff_options);
+  }
+  if (!bench_path.empty()) return RenderBench(bench_path);
+  if (!trace_path.empty()) {
+    return AnalyzeTrace(trace_path, cluster_name, machines, cores, scale,
+                        inner_m, outer_m);
+  }
+  PrintUsage();
+  return 2;
+}
