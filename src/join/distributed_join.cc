@@ -338,6 +338,11 @@ StatusOr<JoinRunResult> DistributedJoin::Run(const DistributedRelation& inner,
   // ---- Timing replay. ----
   ReplayOptions replay_options;
   replay_options.metrics = config_.metrics;
+  replay_options.spans.enabled = config_.enable_spans;
+  if (config_.span_budget_bytes > 0) {
+    replay_options.spans.max_bytes = config_.span_budget_bytes;
+  }
+  replay_options.span_recorder = config_.span_recorder;
   result.replay = ReplayTrace(cluster_, config_, result.trace, replay_options);
   result.times = result.replay.phases;
   RDMAJOIN_LOG(kInfo) << "join of " << (inner.total_tuples() + outer.total_tuples())

@@ -9,6 +9,7 @@ namespace rdmajoin {
 
 class MetricsRegistry;
 class ProtocolValidator;
+class SpanRecorder;
 
 /// How first-pass partitions are assigned to machines (Section 4.1).
 enum class AssignmentPolicy {
@@ -80,6 +81,20 @@ struct JoinConfig {
   /// under "fabric." and per-machine phase gauges under "join.". Must
   /// outlive the run. Null (the default) disables metrics.
   MetricsRegistry* metrics = nullptr;
+  /// Causal span tracing (timing/span_trace.h). On by default: the timing
+  /// replay records a lifecycle span per posted send and per-flow fabric
+  /// rate segments into a byte-bounded flight recorder, published as
+  /// ReplayReport::spans. Recording is passive and never changes replayed
+  /// times; set false to switch the recorder off entirely.
+  bool enable_spans = true;
+  /// Byte budget of the span flight recorder; 0 keeps the recorder default
+  /// (SpanConfig::max_bytes, 8 MiB).
+  uint64_t span_budget_bytes = 0;
+  /// Optional external span recorder. When set (and enabled), the replay
+  /// records into it instead of creating its own, so execution-layer verbs
+  /// counts and replay-time spans land in one dataset. Must outlive the run;
+  /// overrides enable_spans / span_budget_bytes.
+  SpanRecorder* span_recorder = nullptr;
 
   Status Validate() const;
 

@@ -65,6 +65,7 @@ StatusOr<RegisteredBuffer*> RegisteredBufferPool::Acquire() {
     buf->used = 0;
     outstanding_.insert(buf);
     UpdateOccupancy();
+    NotifyCredit(/*acquired=*/true);
     return buf;
   }
   auto buf = CreateBuffer();
@@ -75,7 +76,14 @@ StatusOr<RegisteredBuffer*> RegisteredBufferPool::Acquire() {
   (*buf)->used = 0;
   outstanding_.insert(*buf);
   UpdateOccupancy();
+  NotifyCredit(/*acquired=*/true);
   return *buf;
+}
+
+void RegisteredBufferPool::NotifyCredit(bool acquired) {
+  if (RdmaEventSink* sink = device_->event_sink()) {
+    sink->OnBufferCredit(device_->id(), acquired);
+  }
 }
 
 void RegisteredBufferPool::UpdateOccupancy() {
@@ -103,6 +111,7 @@ Status RegisteredBufferPool::Release(RegisteredBuffer* buf) {
   }
   buf->used = 0;
   UpdateOccupancy();
+  NotifyCredit(/*acquired=*/false);
   if (policy_ == Policy::kPooled) {
     free_.push_back(buf);
     return Status::OK();

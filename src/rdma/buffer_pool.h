@@ -82,6 +82,9 @@ class RegisteredBufferPool {
   /// Pushes the current outstanding count into the device's occupancy gauge
   /// (no-op when metrics are disabled).
   void UpdateOccupancy();
+  /// Reports a credit transition to the device's event sink (no-op without
+  /// one attached).
+  void NotifyCredit(bool acquired);
 
   RdmaDevice* device_;
   uint64_t buffer_bytes_;

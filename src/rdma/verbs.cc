@@ -10,25 +10,54 @@ namespace rdmajoin {
 
 namespace {
 
-/// Counts a completion that was actually delivered to a CQ (a completion
-/// dropped on overflow is not counted). `m` may be null.
-void CountCompletion(const DeviceMetrics* m, const WorkCompletion& wc) {
-  if (m == nullptr) return;
-  switch (wc.op) {
-    case WorkCompletion::Op::kSend:
-      m->send_completed->Increment();
-      break;
-    case WorkCompletion::Op::kRecv:
-      m->recv_completed->Increment();
-      break;
-    case WorkCompletion::Op::kWrite:
-      m->write_completed->Increment();
-      break;
-    case WorkCompletion::Op::kRead:
-      m->read_completed->Increment();
-      break;
+/// Counts a completion that was actually delivered to one of `dev`'s CQs (a
+/// completion dropped on overflow is not counted), in the device metrics and
+/// toward the device's event sink.
+void CountCompletion(const RdmaDevice* dev, const WorkCompletion& wc) {
+  if (const DeviceMetrics* m = dev->metrics()) {
+    switch (wc.op) {
+      case WorkCompletion::Op::kSend:
+        m->send_completed->Increment();
+        break;
+      case WorkCompletion::Op::kRecv:
+        m->recv_completed->Increment();
+        break;
+      case WorkCompletion::Op::kWrite:
+        m->write_completed->Increment();
+        break;
+      case WorkCompletion::Op::kRead:
+        m->read_completed->Increment();
+        break;
+    }
+    if (!wc.success) m->failed_completions->Increment();
   }
-  if (!wc.success) m->failed_completions->Increment();
+  if (RdmaEventSink* sink = dev->event_sink()) {
+    sink->OnWrCompleted(dev->id(), wc.op, wc.success);
+  }
+}
+
+/// Counts a posted work request (counted even when validation later refuses
+/// it, matching the `*_posted` metric semantics).
+void CountPosted(const RdmaDevice* dev, WorkCompletion::Op op) {
+  if (const DeviceMetrics* m = dev->metrics()) {
+    switch (op) {
+      case WorkCompletion::Op::kSend:
+        m->send_posted->Increment();
+        break;
+      case WorkCompletion::Op::kRecv:
+        m->recv_posted->Increment();
+        break;
+      case WorkCompletion::Op::kWrite:
+        m->write_posted->Increment();
+        break;
+      case WorkCompletion::Op::kRead:
+        m->read_posted->Increment();
+        break;
+    }
+  }
+  if (RdmaEventSink* sink = dev->event_sink()) {
+    sink->OnWrPosted(dev->id(), op);
+  }
 }
 
 /// Distinguishes a key that was deregistered (use-after-free of the region)
@@ -50,6 +79,9 @@ std::string DescribeKey(const RdmaDevice* device, ProtocolValidator* validator,
 size_t CompletionQueue::Poll(size_t max, std::vector<WorkCompletion>* out) {
   size_t n = 0;
   while (n < max && !entries_.empty()) {
+    if (event_sink_ != nullptr) {
+      event_sink_->OnCompletionPolled(sink_device_, entries_.front().op);
+    }
     out->push_back(entries_.front());
     entries_.pop_front();
     ++n;
@@ -59,6 +91,9 @@ size_t CompletionQueue::Poll(size_t max, std::vector<WorkCompletion>* out) {
 
 bool CompletionQueue::PollOne(WorkCompletion* out) {
   if (entries_.empty()) return false;
+  if (event_sink_ != nullptr) {
+    event_sink_->OnCompletionPolled(sink_device_, entries_.front().op);
+  }
   *out = entries_.front();
   entries_.pop_front();
   return true;
@@ -222,13 +257,13 @@ Status QueuePair::FailWr(ProtocolViolation violation, const Status& error,
   // Report mode: the post "succeeds" and the violation surfaces as a failed
   // completion, the way a real HCA delivers protection errors.
   const WorkCompletion wc{op, wr_id, 0, 0, /*success=*/false};
-  if (cq->Push(wc, validator)) CountCompletion(local_->metrics(), wc);
+  if (cq->Push(wc, validator)) CountCompletion(local_, wc);
   return Status::OK();
 }
 
 Status QueuePair::PostRecv(uint64_t wr_id, uint32_t lkey, uint64_t offset,
                            uint64_t max_len) {
-  if (const DeviceMetrics* m = local_->metrics()) m->recv_posted->Increment();
+  CountPosted(local_, WorkCompletion::Op::kRecv);
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* mr = local_->FindByLkey(lkey);
   if (mr == nullptr) {
@@ -250,7 +285,7 @@ Status QueuePair::PostRecv(uint64_t wr_id, uint32_t lkey, uint64_t offset,
 Status QueuePair::PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset,
                            uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
-  if (const DeviceMetrics* m = local_->metrics()) m->send_posted->Increment();
+  CountPosted(local_, WorkCompletion::Op::kSend);
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* src = local_->FindByLkey(lkey);
   if (src == nullptr) {
@@ -292,12 +327,12 @@ Status QueuePair::PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset,
   local_->stats_.bytes_sent += len;
   const WorkCompletion send_wc{WorkCompletion::Op::kSend, wr_id, len, 0, true};
   if (send_cq_->Push(send_wc, validator)) {
-    CountCompletion(local_->metrics(), send_wc);
+    CountCompletion(local_, send_wc);
   }
   const WorkCompletion recv_wc{WorkCompletion::Op::kRecv, rx.wr_id, len, rx.lkey,
                                true};
   if (peer_->recv_cq_->Push(recv_wc, peer_->local_->validator())) {
-    CountCompletion(peer_->local_->metrics(), recv_wc);
+    CountCompletion(peer_->local_, recv_wc);
   }
   return Status::OK();
 }
@@ -305,7 +340,7 @@ Status QueuePair::PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset,
 Status QueuePair::PostWrite(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
                             uint32_t rkey, uint64_t remote_offset, uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
-  if (const DeviceMetrics* m = local_->metrics()) m->write_posted->Increment();
+  CountPosted(local_, WorkCompletion::Op::kWrite);
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* src = local_->FindByLkey(local_lkey);
   if (src == nullptr) {
@@ -337,14 +372,14 @@ Status QueuePair::PostWrite(uint64_t wr_id, uint32_t local_lkey, uint64_t local_
   ++local_->stats_.messages_sent;
   local_->stats_.bytes_sent += len;
   const WorkCompletion wc{WorkCompletion::Op::kWrite, wr_id, len, 0, true};
-  if (send_cq_->Push(wc, validator)) CountCompletion(local_->metrics(), wc);
+  if (send_cq_->Push(wc, validator)) CountCompletion(local_, wc);
   return Status::OK();
 }
 
 Status QueuePair::PostRead(uint64_t wr_id, uint32_t local_lkey, uint64_t local_offset,
                            uint32_t rkey, uint64_t remote_offset, uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
-  if (const DeviceMetrics* m = local_->metrics()) m->read_posted->Increment();
+  CountPosted(local_, WorkCompletion::Op::kRead);
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* dst = local_->FindByLkey(local_lkey);
   if (dst == nullptr) {
@@ -372,7 +407,7 @@ Status QueuePair::PostRead(uint64_t wr_id, uint32_t local_lkey, uint64_t local_o
   }
   std::memcpy(dst->addr + local_offset, src->addr + remote_offset, len);
   const WorkCompletion wc{WorkCompletion::Op::kRead, wr_id, len, 0, true};
-  if (send_cq_->Push(wc, validator)) CountCompletion(local_->metrics(), wc);
+  if (send_cq_->Push(wc, validator)) CountCompletion(local_, wc);
   return Status::OK();
 }
 

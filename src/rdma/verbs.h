@@ -60,6 +60,30 @@ struct WorkCompletion {
   bool success = true;
 };
 
+/// Observer of execution-layer RDMA events: work requests posted, completions
+/// delivered, completions polled, buffer-pool credits acquired/released. The
+/// execution layer is eager and owns no virtual clock, so events are ordinal
+/// (counts, not timestamps) -- the replay layer in src/timing owns time.
+/// Implemented by the span recorder (timing/span_trace.h); attached with
+/// RdmaDevice::set_event_sink (Post* and buffer-pool events) and
+/// CompletionQueue::set_event_sink (poll events).
+class RdmaEventSink {
+ public:
+  virtual ~RdmaEventSink() = default;
+  /// A work request of `op` was posted on `device` (counted even when the
+  /// post is refused or fails validation, mirroring the posted metrics).
+  virtual void OnWrPosted(uint32_t device, WorkCompletion::Op op) = 0;
+  /// A completion was delivered to a CQ owned by `device` (overflow-dropped
+  /// completions are not reported).
+  virtual void OnWrCompleted(uint32_t device, WorkCompletion::Op op,
+                             bool success) = 0;
+  /// A completion was handed to the application by Poll/PollOne.
+  virtual void OnCompletionPolled(uint32_t device, WorkCompletion::Op op) = 0;
+  /// A registered buffer was acquired from (`acquired`) or released back to
+  /// (`!acquired`) a pool drawing on `device`.
+  virtual void OnBufferCredit(uint32_t device, bool acquired) = 0;
+};
+
 /// FIFO of work completions. Shared by any number of queue pairs. A capacity
 /// of 0 (the default) means unbounded; with a capacity set, completions
 /// arriving at a full queue are dropped and reported as cq-overflow to the
@@ -79,6 +103,13 @@ class CompletionQueue {
   /// Completions dropped because the queue was full.
   uint64_t overflow_drops() const { return overflow_drops_; }
 
+  /// Attaches an event sink notified on every Poll/PollOne; `device_id`
+  /// labels the events (the CQ's owning device). Pass nullptr to detach.
+  void set_event_sink(RdmaEventSink* sink, uint32_t device_id) {
+    event_sink_ = sink;
+    sink_device_ = device_id;
+  }
+
  private:
   friend class QueuePair;
   friend class RdmaDevice;
@@ -89,6 +120,8 @@ class CompletionQueue {
 
   size_t capacity_;
   uint64_t overflow_drops_ = 0;
+  RdmaEventSink* event_sink_ = nullptr;
+  uint32_t sink_device_ = 0;
   std::deque<WorkCompletion> entries_;
 };
 
@@ -149,6 +182,12 @@ class RdmaDevice {
   void set_validator(ProtocolValidator* validator) { validator_ = validator; }
   ProtocolValidator* validator() const { return validator_; }
 
+  /// Attaches an execution-event observer (posted work requests, delivered
+  /// completions, buffer-pool credits). Must outlive the device; pass
+  /// nullptr to detach.
+  void set_event_sink(RdmaEventSink* sink) { event_sink_ = sink; }
+  RdmaEventSink* event_sink() const { return event_sink_; }
+
   /// Attaches observability instrumentation reporting into `registry` under
   /// `<prefix>.` (e.g. `rdma.dev0.send_posted`, `.bytes_registered`,
   /// `.pool_outstanding`). `registry` must outlive the device.
@@ -187,6 +226,7 @@ class RdmaDevice {
   CostModel costs_;
   double pin_scale_;
   ProtocolValidator* validator_ = nullptr;
+  RdmaEventSink* event_sink_ = nullptr;
   uint32_t next_key_ = 1;
   std::unordered_map<uint32_t, MemoryRegion> by_lkey_;
   std::unordered_map<uint32_t, uint32_t> rkey_to_lkey_;

@@ -118,10 +118,15 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
     if (dt > 0) {
       for (Flow& f : flows_) {
         f.remaining -= f.rate * dt;
-        if (!host_metrics_.empty() && f.rate > 0) {
-          const double moved = f.rate * dt;
-          host_metrics_[f.src].egress_activity->AddRange(now_, step_end, moved);
-          host_metrics_[f.dst].ingress_activity->AddRange(now_, step_end, moved);
+        if (f.rate > 0) {
+          if (!host_metrics_.empty()) {
+            const double moved = f.rate * dt;
+            host_metrics_[f.src].egress_activity->AddRange(now_, step_end, moved);
+            host_metrics_[f.dst].ingress_activity->AddRange(now_, step_end, moved);
+          }
+          if (telemetry_ != nullptr) {
+            telemetry_->OnFlowSegment(f.id, f.src, f.dst, now_, step_end, f.rate);
+          }
         }
       }
       now_ = step_end;

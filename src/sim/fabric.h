@@ -17,6 +17,22 @@ class Histogram;
 class MetricsRegistry;
 class TimeSeries;
 
+/// Observer of per-flow achieved-rate segments. Both fabric models report one
+/// segment per (flow, constant-rate interval): a new segment starts whenever
+/// the max-min / equal-share recompute changes the flow's rate (another flow
+/// was injected or drained) and ends when the flow itself drains. Consumers
+/// that want "who shared my bottleneck, at what rate, when" (the span
+/// recorder in src/timing/span_trace.h) stitch the segments back together by
+/// flow id. Segments with dt == 0 are never reported.
+class FlowTelemetry {
+ public:
+  virtual ~FlowTelemetry() = default;
+  /// `flow_id` moved at `rate` bytes/sec from `t0` to `t1` (t1 > t0) between
+  /// hosts `src` -> `dst`.
+  virtual void OnFlowSegment(uint64_t flow_id, uint32_t src, uint32_t dst,
+                             double t0, double t1, double rate) = 0;
+};
+
 /// How concurrent transfers share link capacity.
 enum class SharingPolicy {
   /// Every active flow from a host gets an equal share of that host's egress
@@ -113,6 +129,10 @@ class Fabric {
   void EnableMetrics(MetricsRegistry* registry, const std::string& prefix,
                      double utilization_bucket_seconds);
 
+  /// Attaches a per-flow rate-segment observer (see FlowTelemetry). Pass
+  /// nullptr to detach. `telemetry` must outlive the fabric.
+  void EnableFlowTelemetry(FlowTelemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Earliest tentative completion time under current rates; +infinity if no
   /// flow is active or in its latency stage.
   double NextCompletionTime() const;
@@ -182,6 +202,7 @@ class Fabric {
   std::vector<Completion> pending_completions_;
   // Metric handles (all null / empty when metrics are disabled).
   std::vector<HostMetrics> host_metrics_;
+  FlowTelemetry* telemetry_ = nullptr;
   Gauge* active_flows_gauge_ = nullptr;
   Counter* messages_counter_ = nullptr;
   Histogram* message_bytes_histogram_ = nullptr;

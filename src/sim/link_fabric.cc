@@ -204,6 +204,10 @@ void LinkFabric::AdvanceTo(double t, std::vector<Completion>* completed) {
             host_metrics_[l.src].egress_activity->AddRange(now_, step_end, moved);
             host_metrics_[l.dst].ingress_activity->AddRange(now_, step_end, moved);
           }
+          if (telemetry_ != nullptr) {
+            telemetry_->OnFlowSegment(l.queue.front().id, l.src, l.dst, now_,
+                                      step_end, l.rate);
+          }
         }
       }
       now_ = step_end;

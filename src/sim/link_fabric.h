@@ -60,6 +60,11 @@ class LinkFabric {
   void EnableMetrics(MetricsRegistry* registry, const std::string& prefix,
                      double utilization_bucket_seconds);
 
+  /// Attaches a per-flow rate-segment observer (see FlowTelemetry in
+  /// sim/fabric.h). Only the head message of each link queue moves, so
+  /// segments are reported for heads only. Pass nullptr to detach.
+  void EnableFlowTelemetry(FlowTelemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Earliest tentative completion; +infinity if idle.
   double NextCompletionTime() const;
 
@@ -114,6 +119,7 @@ class LinkFabric {
   std::vector<Completion> latency_;
   // Metric handles (all null / empty when metrics are disabled).
   std::vector<HostMetrics> host_metrics_;
+  FlowTelemetry* telemetry_ = nullptr;
   Gauge* queued_gauge_ = nullptr;
   Counter* messages_counter_ = nullptr;
   Histogram* message_bytes_histogram_ = nullptr;

@@ -1,10 +1,16 @@
 #include "timing/chrome_trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "timing/span_query.h"
+#include "timing/span_trace.h"
+#include "util/json.h"
 #include "util/metrics.h"
 
 namespace rdmajoin {
@@ -19,30 +25,47 @@ void AppendDouble(std::string* out, double v) {
 
 double Micros(double seconds) { return seconds * 1e6; }
 
-/// One "X" (complete) slice on machine `pid`.
-void AppendSlice(std::string* out, bool* first, const char* name, uint32_t pid,
-                 double start_seconds, double duration_seconds) {
+/// The single JSON string-literal emitter: every name, label, or other
+/// free-form string in the trace goes through here (and so through
+/// util/json's JsonEscape) -- no call site builds a quoted string by hand.
+void AppendString(std::string* out, const std::string& s) {
+  out->append("\"");
+  out->append(JsonEscape(s));
+  out->append("\"");
+}
+
+/// One "X" (complete) slice.
+void AppendSlice(std::string* out, bool* first, const std::string& name,
+                 uint32_t pid, uint32_t tid, double start_seconds,
+                 double duration_seconds, const std::string& args_json = "") {
   if (!*first) out->append(",");
   *first = false;
-  out->append("{\"name\":\"");
-  out->append(name);
-  out->append("\",\"ph\":\"X\",\"pid\":");
+  out->append("{\"name\":");
+  AppendString(out, name);
+  out->append(",\"ph\":\"X\",\"pid\":");
   out->append(std::to_string(pid));
-  out->append(",\"tid\":0,\"ts\":");
+  out->append(",\"tid\":");
+  out->append(std::to_string(tid));
+  out->append(",\"ts\":");
   AppendDouble(out, Micros(start_seconds));
   out->append(",\"dur\":");
   AppendDouble(out, Micros(duration_seconds));
+  if (!args_json.empty()) {
+    out->append(",\"args\":{");
+    out->append(args_json);
+    out->append("}");
+  }
   out->append("}");
 }
 
 /// One "C" (counter) sample on machine `pid`.
-void AppendCounter(std::string* out, bool* first, const char* name, uint32_t pid,
-                   double ts_seconds, double value) {
+void AppendCounter(std::string* out, bool* first, const std::string& name,
+                   uint32_t pid, double ts_seconds, double value) {
   if (!*first) out->append(",");
   *first = false;
-  out->append("{\"name\":\"");
-  out->append(name);
-  out->append("\",\"ph\":\"C\",\"pid\":");
+  out->append("{\"name\":");
+  AppendString(out, name);
+  out->append(",\"ph\":\"C\",\"pid\":");
   out->append(std::to_string(pid));
   out->append(",\"ts\":");
   AppendDouble(out, Micros(ts_seconds));
@@ -51,10 +74,52 @@ void AppendCounter(std::string* out, bool* first, const char* name, uint32_t pid
   out->append("}}");
 }
 
+/// One flow event: ph "s" (start) at the sender slice or ph "f" (end,
+/// binding point "e" = enclosing slice) at the receiver slice. The pair is
+/// keyed by the span id; Perfetto draws the arrow between the slices that
+/// enclose the two timestamps.
+void AppendFlow(std::string* out, bool* first, bool start, uint64_t id,
+                uint32_t pid, uint32_t tid, double ts_seconds) {
+  if (!*first) out->append(",");
+  *first = false;
+  out->append("{\"name\":");
+  AppendString(out, "wr");
+  out->append(",\"cat\":");
+  AppendString(out, "wr");
+  out->append(start ? ",\"ph\":\"s\"" : ",\"ph\":\"f\",\"bp\":\"e\"");
+  out->append(",\"id\":");
+  out->append(std::to_string(id));
+  out->append(",\"pid\":");
+  out->append(std::to_string(pid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(tid));
+  out->append(",\"ts\":");
+  AppendDouble(out, Micros(ts_seconds));
+  out->append("}");
+}
+
+/// "M" metadata event naming a process or thread row.
+void AppendNameMeta(std::string* out, bool* first, const char* what,
+                    uint32_t pid, int tid, const std::string& name) {
+  if (!*first) out->append(",");
+  *first = false;
+  out->append("{\"name\":");
+  AppendString(out, what);
+  out->append(",\"ph\":\"M\",\"pid\":");
+  out->append(std::to_string(pid));
+  if (tid >= 0) {
+    out->append(",\"tid\":");
+    out->append(std::to_string(tid));
+  }
+  out->append(",\"args\":{\"name\":");
+  AppendString(out, name);
+  out->append("}}");
+}
+
 /// Emits the utilization counter track of one host from its activity
 /// timeline. Fabric time zero is the network-phase barrier, so samples are
 /// shifted by `offset_seconds`.
-void AppendUtilization(std::string* out, bool* first, const char* name,
+void AppendUtilization(std::string* out, bool* first, const std::string& name,
                        uint32_t pid, const TimeSeries& series,
                        double offset_seconds) {
   const std::vector<double>& buckets = series.buckets();
@@ -71,11 +136,80 @@ void AppendUtilization(std::string* out, bool* first, const char* name,
                 0.0);
 }
 
+/// Receiver rows get a tid far above any partitioning thread's 1+thread.
+constexpr uint32_t kReceiverTid = 1000;
+
+/// Renders the top spans of the report's recorder as sender/receiver slices
+/// joined by flow arrows. Span timestamps are fabric-relative, so they are
+/// shifted to the network-phase barrier like the utilization counters.
+void AppendSpanEvents(std::string* out, bool* first, const SpanDataset& data,
+                      size_t max_spans, double offset_seconds) {
+  std::vector<WrSpan> spans = TopSpansByDuration(data, max_spans);
+  std::sort(spans.begin(), spans.end(),
+            [](const WrSpan& a, const WrSpan& b) { return a.id < b.id; });
+
+  std::set<std::pair<uint32_t, uint32_t>> sender_rows;
+  std::set<uint32_t> receiver_rows;
+  for (const WrSpan& s : spans) {
+    if (!s.complete()) continue;
+    const double posted = s.stage[static_cast<int>(SpanStage::kPosted)];
+    const double admitted =
+        s.stage[static_cast<int>(SpanStage::kFabricAdmitted)];
+    const double delivered = s.stage[static_cast<int>(SpanStage::kDelivered)];
+    const double completed = s.stage[static_cast<int>(SpanStage::kCompleted)];
+    const uint32_t sender_tid = 1 + s.thread;
+    sender_rows.insert({s.machine, sender_tid});
+    receiver_rows.insert(s.dst);
+
+    std::string args = "\"slot\":" + std::to_string(s.slot) +
+                       ",\"src\":" + std::to_string(s.src) +
+                       ",\"dst\":" + std::to_string(s.dst) +
+                       ",\"wire_bytes\":" + JsonNumber(s.wire_bytes) +
+                       ",\"pull\":" + (s.pull ? "true" : "false") +
+                       ",\"credit_wait_s\":" +
+                       JsonNumber(s.StageSeconds(SpanStage::kCreditAcquired)) +
+                       ",\"fabric_s\":" +
+                       JsonNumber(s.StageSeconds(SpanStage::kDelivered));
+    const std::string name = "wr " + std::to_string(s.id) + " -> m" +
+                             std::to_string(s.dst) +
+                             (s.pull ? " (pull)" : "");
+    AppendSlice(out, first, name, s.machine, sender_tid,
+                offset_seconds + posted, admitted - posted, args);
+    AppendFlow(out, first, /*start=*/true, s.id, s.machine, sender_tid,
+               offset_seconds + posted);
+
+    const double recv_end =
+        s.recv_end != kSpanUnset ? std::max(completed, s.recv_end) : completed;
+    AppendSlice(out, first, "wr " + std::to_string(s.id) + " recv", s.dst,
+                kReceiverTid, offset_seconds + delivered,
+                recv_end - delivered);
+    AppendFlow(out, first, /*start=*/false, s.id, s.dst, kReceiverTid,
+               offset_seconds + delivered);
+  }
+
+  for (const auto& row : sender_rows) {
+    AppendNameMeta(out, first, "thread_name", row.first,
+                   static_cast<int>(row.second),
+                   "part thread " + std::to_string(row.second - 1));
+  }
+  for (uint32_t m : receiver_rows) {
+    AppendNameMeta(out, first, "thread_name", m,
+                   static_cast<int>(kReceiverTid), "receiver core");
+  }
+}
+
 }  // namespace
 
 std::string ChromeTraceJson(const ReplayReport& report,
-                            const MetricsRegistry* metrics) {
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+                            const MetricsRegistry* metrics,
+                            const ChromeTraceOptions& options) {
+  std::string out = "{\"displayTimeUnit\":\"ms\"";
+  if (!options.label.empty()) {
+    out.append(",\"otherData\":{\"label\":");
+    AppendString(&out, options.label);
+    out.append("}");
+  }
+  out.append(",\"traceEvents\":[");
   bool first = true;
   const uint32_t nm = static_cast<uint32_t>(report.machine_phases.size());
 
@@ -87,20 +221,17 @@ std::string ChromeTraceJson(const ReplayReport& report,
   const double bp_start = local_start + report.phases.local_partition_seconds;
 
   for (uint32_t m = 0; m < nm; ++m) {
-    if (!first) out.append(",");
-    first = false;
-    out.append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
-    out.append(std::to_string(m));
-    out.append(",\"args\":{\"name\":\"machine");
-    out.append(std::to_string(m));
-    out.append("\"}}");
+    AppendNameMeta(&out, &first, "process_name", m, -1,
+                   "machine" + std::to_string(m));
     const PhaseTimes& p = report.machine_phases[m];
-    AppendSlice(&out, &first, "histogram", m, hist_start, p.histogram_seconds);
-    AppendSlice(&out, &first, "network_partition", m, net_start,
+    AppendSlice(&out, &first, "histogram", m, 0, hist_start,
+                p.histogram_seconds);
+    AppendSlice(&out, &first, "network_partition", m, 0, net_start,
                 p.network_partition_seconds);
-    AppendSlice(&out, &first, "local_partition", m, local_start,
+    AppendSlice(&out, &first, "local_partition", m, 0, local_start,
                 p.local_partition_seconds);
-    AppendSlice(&out, &first, "build_probe", m, bp_start, p.build_probe_seconds);
+    AppendSlice(&out, &first, "build_probe", m, 0, bp_start,
+                p.build_probe_seconds);
   }
 
   if (metrics != nullptr) {
@@ -119,18 +250,34 @@ std::string ChromeTraceJson(const ReplayReport& report,
     }
   }
 
+  if (report.spans != nullptr && options.max_spans > 0) {
+    AppendSpanEvents(&out, &first, report.spans->Snapshot(), options.max_spans,
+                     net_start);
+  }
+
   out.append("]}");
   return out;
 }
 
-Status WriteChromeTraceFile(const std::string& path, const ReplayReport& report,
+std::string ChromeTraceJson(const ReplayReport& report,
                             const MetricsRegistry* metrics) {
+  return ChromeTraceJson(report, metrics, ChromeTraceOptions());
+}
+
+Status WriteChromeTraceFile(const std::string& path, const ReplayReport& report,
+                            const MetricsRegistry* metrics,
+                            const ChromeTraceOptions& options) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
-  const std::string json = ChromeTraceJson(report, metrics);
+  const std::string json = ChromeTraceJson(report, metrics, options);
   out.write(json.data(), static_cast<std::streamsize>(json.size()));
   if (!out) return Status::Internal("short write to " + path);
   return Status::OK();
+}
+
+Status WriteChromeTraceFile(const std::string& path, const ReplayReport& report,
+                            const MetricsRegistry* metrics) {
+  return WriteChromeTraceFile(path, report, metrics, ChromeTraceOptions());
 }
 
 }  // namespace rdmajoin

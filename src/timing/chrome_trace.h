@@ -1,6 +1,7 @@
 #ifndef RDMAJOIN_TIMING_CHROME_TRACE_H_
 #define RDMAJOIN_TIMING_CHROME_TRACE_H_
 
+#include <cstddef>
 #include <string>
 
 #include "timing/replay.h"
@@ -9,6 +10,18 @@
 namespace rdmajoin {
 
 class MetricsRegistry;
+
+/// Presentation knobs for the Chrome trace export.
+struct ChromeTraceOptions {
+  /// Free-form run label embedded in the trace metadata (e.g. cluster name
+  /// and operator). May contain arbitrary characters; it is JSON-escaped on
+  /// output.
+  std::string label;
+  /// At most this many work-request spans are rendered as slices + flow
+  /// arrows (the longest by duration win; ties by id). The full dataset can
+  /// be exported separately via SpanDatasetToJson. 0 disables span slices.
+  size_t max_spans = 512;
+};
 
 /// Renders one replayed join run as Chrome trace-event JSON, loadable in
 /// chrome://tracing or https://ui.perfetto.dev.
@@ -22,12 +35,26 @@ class MetricsRegistry;
 /// host additionally gets "C" (counter) rows with its egress and ingress
 /// utilization in MB/s over the network-partitioning phase.
 ///
+/// When the report carries a span recorder (ReplayReport::spans), the
+/// longest work-request spans additionally render as causal slices: one
+/// sender-side slice per WR on the posting thread's row (posted ->
+/// fabric-admitted, i.e. credit wait plus post overhead) and one
+/// receiver-side slice on the destination machine's receiver row (delivered
+/// -> completed/service end), connected by a flow arrow ("s"/"f" events
+/// keyed by the span id) from sender post to receiver delivery.
+///
 /// Timestamps are microseconds of full-scale virtual time from the start of
 /// the run; fabric time zero is aligned to the network-phase barrier.
+std::string ChromeTraceJson(const ReplayReport& report,
+                            const MetricsRegistry* metrics,
+                            const ChromeTraceOptions& options);
 std::string ChromeTraceJson(const ReplayReport& report,
                             const MetricsRegistry* metrics = nullptr);
 
 /// Writes ChromeTraceJson(...) to `path`.
+Status WriteChromeTraceFile(const std::string& path, const ReplayReport& report,
+                            const MetricsRegistry* metrics,
+                            const ChromeTraceOptions& options);
 Status WriteChromeTraceFile(const std::string& path, const ReplayReport& report,
                             const MetricsRegistry* metrics = nullptr);
 

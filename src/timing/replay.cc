@@ -30,6 +30,9 @@ struct ThreadSim {
   uint64_t compute_done = 0;  // actual bytes
   uint32_t blocked_slot = 0;
   uint64_t blocked_flow = 0;
+  /// Span opened for the send currently being posted (survives a credit
+  /// block so the span's posted/credit stages bracket the stall).
+  uint64_t pending_span = 0;
   std::unordered_map<uint32_t, uint32_t> outstanding;  // slot -> in-flight count
 
   // Wall-clock attribution of this thread's timeline: every advancement of
@@ -46,6 +49,7 @@ struct FlowInfo {
   uint32_t slot;
   uint32_t dst;
   double virtual_bytes;
+  uint64_t span = 0;
 };
 
 /// Per-send sender-side CPU overheads (virtual seconds).
@@ -101,6 +105,19 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     fabric.EnableMetrics(options.metrics, "fabric",
                          options.utilization_bucket_seconds);
   }
+  // Span recorder: an external one when supplied (aliased, not owned), else
+  // an internal one per SpanConfig. Published on the report either way.
+  std::shared_ptr<SpanRecorder> recorder;
+  if (options.span_recorder != nullptr) {
+    if (options.span_recorder->enabled()) {
+      recorder = std::shared_ptr<SpanRecorder>(std::shared_ptr<void>(),
+                                               options.span_recorder);
+    }
+  } else if (options.spans.enabled) {
+    recorder = std::make_shared<SpanRecorder>(options.spans);
+  }
+  report.spans = recorder;
+  if (recorder != nullptr) fabric.EnableFlowTelemetry(recorder.get());
 
   std::vector<ThreadSim> threads;
   for (uint32_t m = 0; m < nm; ++m) {
@@ -164,7 +181,12 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
 
   uint64_t active = threads.size();
   double last_completion = 0;
-  while (active > 0 || fabric.queued_messages() > 0) {
+  // Run until every thread is done AND the fabric is fully idle. The last
+  // drained message's completion sits in the fabric's latency stage after
+  // the queue empties, so the queued-message count alone would drop it
+  // (NextCompletionTime covers both queued bytes and buffered completions).
+  while (active > 0 || fabric.queued_messages() > 0 ||
+         fabric.NextCompletionTime() != kInf) {
     // Earliest thread action.
     double t_thread = kInf;
     size_t who = 0;
@@ -189,6 +211,9 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
             std::max(last_completion_to[it->second.dst], c.time);
         const FlowInfo fi = it->second;
         flows.erase(it);
+        if (recorder != nullptr && fi.span != 0) {
+          recorder->MarkStage(fi.span, SpanStage::kDelivered, c.time);
+        }
         // Receiver-side service (two-sided copies / TCP receive path) with
         // receive-ring backpressure: if every ring buffer is still waiting
         // to be drained, the sender's acknowledgement (and thus its buffer
@@ -211,6 +236,12 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
           slots[pos] = receiver_ready[fi.dst];
           report.receiver_busy_seconds[fi.dst] += service;
           credit_time = std::max(credit_time, slot_free_at);
+          if (recorder != nullptr && fi.span != 0) {
+            recorder->SetReceiverService(fi.span, start, receiver_ready[fi.dst]);
+          }
+        }
+        if (recorder != nullptr && fi.span != 0) {
+          recorder->MarkStage(fi.span, SpanStage::kCompleted, credit_time);
         }
         // Return the buffer credit and possibly wake the thread.
         ThreadSim& ts = threads[fi.thread_index];
@@ -249,6 +280,18 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     ts.compute_seconds += t_thread - ts.time;
     ts.time = t_thread;
     ts.compute_done = send.compute_bytes_before;
+    const double vbytes = static_cast<double>(send.wire_bytes) * scale;
+    const uint32_t flow_src = send.src_machine == SendRecord::kIssuerIsSource
+                                  ? ts.machine
+                                  : send.src_machine;
+    // Open the span at the send's first arrival (the compute anchor); a
+    // credit-blocked retry re-enters here with the span already open, so
+    // posted -> credit-acquired brackets the stall exactly.
+    if (recorder != nullptr && ts.pending_span == 0) {
+      ts.pending_span = recorder->BeginSpan(
+          ts.machine, ts.thread, send.slot, flow_src, send.dst_machine, vbytes,
+          /*pull=*/send.src_machine != SendRecord::kIssuerIsSource, ts.time);
+    }
     const uint32_t out = ts.outstanding[send.slot];
     if (out >= credits) {
       ts.state = ThreadSim::State::kBlockedCredit;
@@ -256,17 +299,21 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
       ts.stall_start = ts.time;
       continue;  // Will retry the same send once a credit returns.
     }
+    if (recorder != nullptr && ts.pending_span != 0) {
+      recorder->MarkStage(ts.pending_span, SpanStage::kCreditAcquired, ts.time);
+    }
     // Post the send: charge sender-side per-message overheads, then inject.
-    const double vbytes = static_cast<double>(send.wire_bytes) * scale;
     const double overhead = PerSendOverhead(cluster, trace.machines[ts.machine], vbytes);
     ts.time += overhead;
     ts.compute_seconds += overhead;
-    const uint32_t flow_src = send.src_machine == SendRecord::kIssuerIsSource
-                                  ? ts.machine
-                                  : send.src_machine;
     const LinkFabric::MessageId id =
         fabric.Enqueue(flow_src, send.dst_machine, vbytes, ts.time);
-    flows[id] = FlowInfo{who, send.slot, send.dst_machine, vbytes};
+    flows[id] = FlowInfo{who, send.slot, send.dst_machine, vbytes, ts.pending_span};
+    if (recorder != nullptr && ts.pending_span != 0) {
+      recorder->MarkStage(ts.pending_span, SpanStage::kFabricAdmitted, ts.time);
+      recorder->SetFlow(ts.pending_span, id);
+    }
+    ts.pending_span = 0;
     ++ts.outstanding[send.slot];
     total_virtual_wire += vbytes;
     ++ts.next_send;
@@ -274,6 +321,17 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
       ts.state = ThreadSim::State::kBlockedFlow;
       ts.blocked_flow = id;
       ts.stall_start = ts.time;
+    }
+  }
+
+  if (recorder != nullptr) {
+    // Threads are in (machine, thread) order -- the order the attribution's
+    // lead-thread tie-break assumes.
+    for (const ThreadSim& ts : threads) {
+      recorder->AddThreadMark(ThreadMark{ts.machine, ts.thread, ts.time,
+                                         ts.compute_seconds,
+                                         ts.credit_stall_seconds,
+                                         ts.flow_stall_seconds});
     }
   }
 
@@ -464,8 +522,12 @@ StatusOr<ReplayReport> ReplayConcurrent(const ClusterConfig& cluster,
   net_shared.costs.partition_bytes_per_sec =
       cluster.costs.partition_bytes_per_sec / q;
   // Barrier phases with summed bytes at full rates (cores process the
-  // queries' combined volume either way).
-  ReplayReport barrier_report = ReplayTrace(shared, config, merged);
+  // queries' combined volume either way). Spans are recorded only by the
+  // contended network replay below -- that is the network pass the combined
+  // report describes.
+  ReplayOptions barrier_options;
+  barrier_options.spans.enabled = false;
+  ReplayReport barrier_report = ReplayTrace(shared, config, merged, barrier_options);
   // Network pass with contention + timesharing. This call carries the
   // metrics so fabric utilization and the phase gauges reflect the contended
   // network (the barrier phases were just overwritten below anyway).
@@ -481,6 +543,7 @@ StatusOr<ReplayReport> ReplayConcurrent(const ClusterConfig& cluster,
   report.net_thread_finish_seconds = net_report.net_thread_finish_seconds;
   report.last_completion_seconds = net_report.last_completion_seconds;
   report.avg_network_rate_bytes_per_sec = net_report.avg_network_rate_bytes_per_sec;
+  report.spans = net_report.spans;
   // Attribution: barrier phases from the full-rate replay, the network pass
   // from the contended replay, then re-derive barrier waits and the critical
   // chain against the combined phase times.

@@ -1,12 +1,14 @@
 #ifndef RDMAJOIN_TIMING_REPLAY_H_
 #define RDMAJOIN_TIMING_REPLAY_H_
 
+#include <memory>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "join/join_config.h"
 #include "timing/attribution.h"
 #include "timing/phase_times.h"
+#include "timing/span_trace.h"
 #include "timing/trace.h"
 #include "util/statusor.h"
 
@@ -23,6 +25,17 @@ struct ReplayOptions {
   MetricsRegistry* metrics = nullptr;
   /// Bucket width of the per-host fabric activity timelines.
   double utilization_bucket_seconds = 0.01;
+  /// Causal span recording (timing/span_trace.h). On by default: every send
+  /// of the network pass gets a lifecycle span and the fabric reports
+  /// per-flow rate segments, into a byte-bounded flight recorder published
+  /// as ReplayReport::spans. Recording is passive -- it never changes any
+  /// replayed time. Set spans.enabled = false to switch it off.
+  SpanConfig spans;
+  /// External recorder to use instead of an internally created one (e.g. a
+  /// recorder already attached to the execution layer's devices, so
+  /// replay-time spans and exec-layer counts land in one dataset). Must
+  /// outlive the returned report; overrides `spans` when set.
+  SpanRecorder* span_recorder = nullptr;
 };
 
 /// Outputs of the discrete-event timing replay.
@@ -47,6 +60,10 @@ struct ReplayReport {
   /// critical-machine chain (timing/attribution.h). The components sum to
   /// the global phase times exactly.
   AttributionReport attribution;
+  /// The span recorder that observed the network pass (null when disabled).
+  /// Query with timing/span_query.h or export via SpanDatasetToJson. Points
+  /// at ReplayOptions::span_recorder when one was supplied.
+  std::shared_ptr<SpanRecorder> spans;
 };
 
 /// Replays an execution trace against the cluster's cost and network models

@@ -1,0 +1,286 @@
+#include "timing/span_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace rdmajoin {
+
+namespace {
+
+constexpr double kSumTolerance = 1e-9;
+
+/// Top-k spans by `value(span)` descending, ties by ascending id; spans for
+/// which `value` returns kSpanUnset are skipped.
+template <typename ValueFn>
+std::vector<WrSpan> TopSpans(const SpanDataset& dataset, size_t k,
+                             ValueFn value) {
+  std::vector<const WrSpan*> candidates;
+  candidates.reserve(dataset.spans.size());
+  for (const WrSpan& s : dataset.spans) {
+    if (value(s) != kSpanUnset) candidates.push_back(&s);
+  }
+  const size_t n = std::min(k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + n,
+                    candidates.end(),
+                    [&value](const WrSpan* a, const WrSpan* b) {
+                      const double va = value(*a), vb = value(*b);
+                      if (va != vb) return va > vb;
+                      return a->id < b->id;
+                    });
+  std::vector<WrSpan> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(*candidates[i]);
+  return out;
+}
+
+double NearestRank(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::string Seconds(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<WrSpan> TopSpansByDuration(const SpanDataset& dataset, size_t k) {
+  return TopSpans(dataset, k,
+                  [](const WrSpan& s) { return s.duration(); });
+}
+
+std::vector<WrSpan> TopSpansByStage(const SpanDataset& dataset, SpanStage stage,
+                                    size_t k) {
+  return TopSpans(dataset, k,
+                  [stage](const WrSpan& s) { return s.StageSeconds(stage); });
+}
+
+StageStats ComputeStageStats(const SpanDataset& dataset, SpanStage stage) {
+  StageStats stats;
+  stats.stage = stage;
+  std::vector<double> values;
+  values.reserve(dataset.spans.size());
+  for (const WrSpan& s : dataset.spans) {
+    const double v = s.StageSeconds(stage);
+    if (v == kSpanUnset) continue;
+    values.push_back(v);
+    stats.total += v;
+  }
+  std::sort(values.begin(), values.end());
+  stats.count = values.size();
+  if (!values.empty()) {
+    stats.p50 = NearestRank(values, 50);
+    stats.p90 = NearestRank(values, 90);
+    stats.p99 = NearestRank(values, 99);
+    stats.max = values.back();
+  }
+  return stats;
+}
+
+std::vector<FlowSegment> ConcurrentFlowSegments(const SpanDataset& dataset,
+                                                const WrSpan& span) {
+  std::vector<FlowSegment> out;
+  const double t0 = span.stage[static_cast<int>(SpanStage::kFabricAdmitted)];
+  const double t1 = span.stage[static_cast<int>(SpanStage::kDelivered)];
+  if (t0 == kSpanUnset || t1 == kSpanUnset || !(t1 > t0)) return out;
+  for (const FlowSegment& g : dataset.segments) {
+    if (g.flow == span.flow) continue;
+    if (g.t1 <= t0 || g.t0 >= t1) continue;
+    if (g.src != span.src && g.dst != span.dst) continue;
+    out.push_back(g);
+  }
+  return out;
+}
+
+double CreditWaitSeconds(const SpanDataset& dataset, uint32_t machine,
+                         uint32_t thread) {
+  double sum = 0;
+  for (const WrSpan& s : dataset.spans) {
+    if (s.machine != machine || s.thread != thread) continue;
+    const double v = s.StageSeconds(SpanStage::kCreditAcquired);
+    if (v != kSpanUnset) sum += v;
+  }
+  return sum;
+}
+
+std::vector<double> LeadThreadCreditWaitByMachine(const SpanDataset& dataset,
+                                                  uint32_t num_machines) {
+  std::vector<double> out(num_machines, 0.0);
+  std::vector<double> best_finish(num_machines, -1.0);
+  // Thread marks are in (machine, thread) order; a strict > keeps the first
+  // maximum, matching the replay's lead-thread tie-break.
+  for (const ThreadMark& t : dataset.threads) {
+    if (t.machine >= num_machines) continue;
+    if (t.finish_seconds > best_finish[t.machine]) {
+      best_finish[t.machine] = t.finish_seconds;
+      out[t.machine] = t.credit_stall_seconds;
+    }
+  }
+  return out;
+}
+
+SpanInvariantReport CheckSpanInvariants(const SpanDataset& dataset) {
+  SpanInvariantReport report;
+  auto violate = [&report](const std::string& what) {
+    report.violations.push_back(what);
+  };
+
+  // 1 + 2: completeness, causal order, stage-sum decomposition.
+  for (const WrSpan& s : dataset.spans) {
+    ++report.spans_checked;
+    const std::string tag = "span " + std::to_string(s.id);
+    if (!s.complete()) {
+      violate(tag + ": missing lifecycle stage (posted WR without exactly one "
+                    "delivery and completion)");
+      continue;
+    }
+    bool ordered = true;
+    for (int i = 1; i < kNumSpanStages; ++i) {
+      if (s.stage[i] + kSumTolerance < s.stage[i - 1]) {
+        violate(tag + ": stage " +
+                SpanStageName(static_cast<SpanStage>(i)) + " at " +
+                std::to_string(s.stage[i]) + " precedes " +
+                SpanStageName(static_cast<SpanStage>(i - 1)) + " at " +
+                std::to_string(s.stage[i - 1]));
+        ordered = false;
+      }
+    }
+    if (!ordered) continue;
+    double sum = 0;
+    for (int i = 1; i < kNumSpanStages; ++i) {
+      sum += s.StageSeconds(static_cast<SpanStage>(i));
+    }
+    if (std::abs(sum - s.duration()) > kSumTolerance) {
+      violate(tag + ": stage intervals sum to " + std::to_string(sum) +
+              " but span duration is " + std::to_string(s.duration()));
+    }
+  }
+
+  // 3: summed credit waits reproduce the replay's per-thread stall totals.
+  if (dataset.spans_dropped == 0 && !dataset.threads.empty()) {
+    std::map<std::pair<uint32_t, uint32_t>, double> span_wait;
+    for (const WrSpan& s : dataset.spans) {
+      const double v = s.StageSeconds(SpanStage::kCreditAcquired);
+      if (v != kSpanUnset) span_wait[{s.machine, s.thread}] += v;
+    }
+    for (const ThreadMark& t : dataset.threads) {
+      const double from_spans = span_wait[{t.machine, t.thread}];
+      if (std::abs(from_spans - t.credit_stall_seconds) > kSumTolerance) {
+        violate("machine " + std::to_string(t.machine) + " thread " +
+                std::to_string(t.thread) + ": summed span credit-wait " +
+                std::to_string(from_spans) +
+                " != replay credit-stall " +
+                std::to_string(t.credit_stall_seconds));
+      }
+    }
+  }
+
+  // 4: integrating a flow's rate segments reproduces its wire bytes.
+  if (dataset.segments_dropped == 0 && !dataset.segments.empty() &&
+      dataset.spans_dropped == 0) {
+    std::unordered_map<uint64_t, double> flow_bytes;
+    for (const FlowSegment& g : dataset.segments) {
+      flow_bytes[g.flow] += g.rate * (g.t1 - g.t0);
+    }
+    for (const WrSpan& s : dataset.spans) {
+      if (s.flow == 0) continue;
+      auto it = flow_bytes.find(s.flow);
+      const double moved = it == flow_bytes.end() ? 0.0 : it->second;
+      // The fabric declares a flow drained within 1e-9 s worth of rate of
+      // the end, so the integral may undercount by a hair.
+      const double tol = std::max(1e-6 * s.wire_bytes, 64.0);
+      if (std::abs(moved - s.wire_bytes) > tol) {
+        violate("span " + std::to_string(s.id) + " flow " +
+                std::to_string(s.flow) + ": rate segments integrate to " +
+                std::to_string(moved) + " bytes, wire_bytes is " +
+                std::to_string(s.wire_bytes));
+      }
+    }
+  }
+
+  // 5: execution-layer ordinal sanity.
+  for (const ExecDeviceCounts& d : dataset.devices) {
+    for (int op = 0; op < 4; ++op) {
+      if (d.completed[op] > d.posted[op]) {
+        violate("device " + std::to_string(d.device) + " opcode " +
+                std::to_string(op) + ": " + std::to_string(d.completed[op]) +
+                " completions for " + std::to_string(d.posted[op]) +
+                " posted work requests");
+      }
+      if (d.polled[op] > d.completed[op]) {
+        violate("device " + std::to_string(d.device) + " opcode " +
+                std::to_string(op) + ": " + std::to_string(d.polled[op]) +
+                " polled for " + std::to_string(d.completed[op]) +
+                " delivered completions");
+      }
+    }
+  }
+  return report;
+}
+
+std::string FormatSpanReport(const SpanDataset& dataset, size_t top_k) {
+  std::ostringstream out;
+  out << "spans: " << dataset.spans.size() << " held ("
+      << dataset.spans_recorded << " recorded, " << dataset.spans_dropped
+      << " dropped), " << dataset.segments.size() << " flow segments ("
+      << dataset.segments_recorded << " recorded, "
+      << dataset.segments_dropped << " dropped)";
+  if (dataset.late_stage_updates > 0) {
+    out << ", " << dataset.late_stage_updates << " late stage updates";
+  }
+  out << "\n";
+
+  out << "\nstage latencies (seconds):\n";
+  out << "  stage             count        p50        p90        p99        max      total\n";
+  for (int i = 1; i < kNumSpanStages; ++i) {
+    const StageStats st =
+        ComputeStageStats(dataset, static_cast<SpanStage>(i));
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s %6llu %10.6f %10.6f %10.6f %10.6f %10.6f\n",
+                  SpanStageName(static_cast<SpanStage>(i)),
+                  static_cast<unsigned long long>(st.count), st.p50, st.p90,
+                  st.p99, st.max, st.total);
+    out << line;
+  }
+
+  auto print_spans = [&out](const std::vector<WrSpan>& spans,
+                            const char* metric, auto value) {
+    for (const WrSpan& s : spans) {
+      out << "  #" << s.id << " m" << s.machine << "/t" << s.thread << " slot "
+          << s.slot << " " << s.src << "->" << s.dst << " "
+          << static_cast<uint64_t>(s.wire_bytes) << " B"
+          << (s.pull ? " (pull)" : "") << ": " << metric << " "
+          << Seconds(value(s)) << " s (posted " << Seconds(s.stage[0])
+          << ")\n";
+    }
+  };
+  out << "\ntop " << top_k << " spans by duration:\n";
+  print_spans(TopSpansByDuration(dataset, top_k), "duration",
+              [](const WrSpan& s) { return s.duration(); });
+  out << "\ntop " << top_k << " spans by credit wait:\n";
+  print_spans(TopSpansByStage(dataset, SpanStage::kCreditAcquired, top_k),
+              "credit wait", [](const WrSpan& s) {
+                return s.StageSeconds(SpanStage::kCreditAcquired);
+              });
+
+  const SpanInvariantReport inv = CheckSpanInvariants(dataset);
+  out << "\ninvariants: ";
+  if (inv.ok()) {
+    out << "OK (" << inv.spans_checked << " spans checked)\n";
+  } else {
+    out << inv.violations.size() << " violation(s):\n";
+    for (const std::string& v : inv.violations) out << "  " << v << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,88 @@
+#ifndef RDMAJOIN_TIMING_SPAN_QUERY_H_
+#define RDMAJOIN_TIMING_SPAN_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "timing/span_trace.h"
+
+namespace rdmajoin {
+
+/// Query engine over a SpanDataset (timing/span_trace.h): top-k selection,
+/// per-stage latency distributions, concurrent-flow reconstruction and the
+/// causal invariants that cross-validate the spans against the PR 3
+/// attribution. All queries are read-only and deterministic (ties broken by
+/// span id).
+
+/// The `k` complete spans with the largest end-to-end duration, descending
+/// (ties by ascending id).
+std::vector<WrSpan> TopSpansByDuration(const SpanDataset& dataset, size_t k);
+
+/// The `k` spans with the largest time in the interval ending at `stage`
+/// (e.g. kCreditAcquired selects the worst credit waits), descending.
+/// Spans missing either boundary of the interval are skipped.
+std::vector<WrSpan> TopSpansByStage(const SpanDataset& dataset, SpanStage stage,
+                                    size_t k);
+
+/// Latency distribution of one stage interval across all spans that have it.
+/// Percentiles are nearest-rank over the recorded population.
+struct StageStats {
+  SpanStage stage = SpanStage::kPosted;
+  uint64_t count = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+  double total = 0;
+};
+StageStats ComputeStageStats(const SpanDataset& dataset, SpanStage stage);
+
+/// Rate segments of *other* flows that overlap `span`'s fabric interval
+/// [fabric-admitted, delivered] and share one of its ports (the span's
+/// source egress or destination ingress) -- i.e. who the span was sharing
+/// its bottleneck with, at what rate, during each interval. Empty when the
+/// span has no fabric interval or no telemetry was recorded.
+std::vector<FlowSegment> ConcurrentFlowSegments(const SpanDataset& dataset,
+                                                const WrSpan& span);
+
+/// Summed credit-wait stage over the spans of one thread.
+double CreditWaitSeconds(const SpanDataset& dataset, uint32_t machine,
+                         uint32_t thread);
+
+/// Per-machine credit-wait of the machine's *lead* thread -- the thread that
+/// finishes the network pass last, first-on-tie in (machine, thread) order;
+/// exactly the thread whose credit stalls PR 3 attribution reports as the
+/// machine's buffer_stall_seconds. Uses the dataset's thread marks; machines
+/// without marks report 0.
+std::vector<double> LeadThreadCreditWaitByMachine(const SpanDataset& dataset,
+                                                  uint32_t num_machines);
+
+/// Result of CheckSpanInvariants.
+struct SpanInvariantReport {
+  std::vector<std::string> violations;
+  uint64_t spans_checked = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Verifies the causal invariants of a post-run dataset:
+///  1. every surviving span is complete (posted, credit, admitted, delivered,
+///     completed all present -- one delivery and one completion per WR) with
+///     non-negative, causally ordered stages;
+///  2. the four stage intervals sum to the span duration (1e-9);
+///  3. per-thread summed credit waits equal the replay's thread marks to
+///     1e-9 (skipped when spans were dropped -- the sum would be partial);
+///  4. per-flow segment byte conservation: integrating a flow's rate
+///     segments reproduces its span's wire bytes (skipped when segments
+///     were dropped or no telemetry was recorded);
+///  5. execution-layer sanity when device counts are present: per opcode,
+///     completions delivered <= posted and polled <= delivered.
+SpanInvariantReport CheckSpanInvariants(const SpanDataset& dataset);
+
+/// Human-readable report: recorder totals, per-stage percentiles, top-k by
+/// duration and by credit-wait, and the invariant verdict.
+std::string FormatSpanReport(const SpanDataset& dataset, size_t top_k = 5);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_TIMING_SPAN_QUERY_H_

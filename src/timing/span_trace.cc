@@ -1,0 +1,474 @@
+#include "timing/span_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace rdmajoin {
+
+namespace {
+
+// Byte budget split between the two rings: spans are the primary product,
+// segments the supporting telemetry.
+constexpr double kSpanBudgetShare = 0.5;
+// Floors keep tiny budgets usable (and the rings non-empty).
+constexpr size_t kMinRingEntries = 64;
+
+size_t RingCapacity(uint64_t budget_bytes, size_t entry_bytes) {
+  const size_t n = static_cast<size_t>(budget_bytes / entry_bytes);
+  return n < kMinRingEntries ? kMinRingEntries : n;
+}
+
+int OpIndex(WorkCompletion::Op op) { return static_cast<int>(op); }
+
+void AppendOpCounts(std::string* out, const char* key, const uint64_t (&c)[4]) {
+  out->append("\"");
+  out->append(key);
+  out->append("\":[");
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out->push_back(',');
+    out->append(JsonNumber(static_cast<double>(c[i])));
+  }
+  out->append("]");
+}
+
+Status ReadOpCounts(const JsonValue& obj, const char* key, uint64_t (*c)[4]) {
+  const JsonValue* arr = obj.Find(key);
+  if (arr == nullptr || !arr->is_array() || arr->array_items.size() != 4) {
+    return Status::InvalidArgument(std::string("span JSON: bad \"") + key +
+                                   "\" opcode array");
+  }
+  for (int i = 0; i < 4; ++i) {
+    (*c)[i] = static_cast<uint64_t>(arr->array_items[i].number_value);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* SpanStageName(SpanStage stage) {
+  switch (stage) {
+    case SpanStage::kPosted:
+      return "posted";
+    case SpanStage::kCreditAcquired:
+      return "credit_acquired";
+    case SpanStage::kFabricAdmitted:
+      return "fabric_admitted";
+    case SpanStage::kDelivered:
+      return "delivered";
+    case SpanStage::kCompleted:
+      return "completed";
+  }
+  return "?";
+}
+
+SpanRecorder::SpanRecorder(const SpanConfig& config) : config_(config) {
+  if (!config_.enabled) return;
+  const double budget = static_cast<double>(config_.max_bytes);
+  span_capacity_ = RingCapacity(
+      static_cast<uint64_t>(budget * kSpanBudgetShare), sizeof(WrSpan));
+  segment_capacity_ = RingCapacity(
+      static_cast<uint64_t>(budget * (1.0 - kSpanBudgetShare)),
+      sizeof(FlowSegment));
+  spans_.reserve(std::min<size_t>(span_capacity_, 4096));
+  segments_.reserve(std::min<size_t>(segment_capacity_, 4096));
+}
+
+void SpanRecorder::WarnOnFirstDrop(const char* what) {
+  if (warned_overflow_) return;
+  warned_overflow_ = true;
+  RDMAJOIN_LOG(kWarning) << "span recorder ring full (" << what
+                         << "): oldest entries are being evicted; raise "
+                            "SpanConfig::max_bytes (current "
+                         << config_.max_bytes
+                         << " bytes) to keep the whole run";
+}
+
+WrSpan* SpanRecorder::Find(uint64_t id) {
+  if (id == 0 || span_capacity_ == 0) return nullptr;
+  const size_t slot = static_cast<size_t>((id - 1) % span_capacity_);
+  if (slot >= spans_.size()) return nullptr;
+  WrSpan* s = &spans_[slot];
+  return s->id == id ? s : nullptr;
+}
+
+uint64_t SpanRecorder::BeginSpan(uint32_t machine, uint32_t thread,
+                                 uint32_t slot, uint32_t src, uint32_t dst,
+                                 double wire_bytes, bool pull,
+                                 double posted_time) {
+  if (!config_.enabled) return 0;
+  const uint64_t id = next_id_++;
+  ++spans_recorded_;
+  WrSpan span;
+  span.id = id;
+  span.machine = machine;
+  span.thread = thread;
+  span.slot = slot;
+  span.src = src;
+  span.dst = dst;
+  span.wire_bytes = wire_bytes;
+  span.pull = pull;
+  span.stage[static_cast<int>(SpanStage::kPosted)] = posted_time;
+  const size_t ring_slot = static_cast<size_t>((id - 1) % span_capacity_);
+  if (ring_slot < spans_.size()) {
+    // Overwrite: the previous occupant is exactly span_capacity_ ids older.
+    if (spans_[ring_slot].id != 0) {
+      ++spans_dropped_;
+      WarnOnFirstDrop("work-request spans");
+    }
+    spans_[ring_slot] = span;
+  } else {
+    spans_.push_back(span);
+  }
+  return id;
+}
+
+void SpanRecorder::MarkStage(uint64_t id, SpanStage stage, double time) {
+  WrSpan* span = Find(id);
+  if (span == nullptr) {
+    if (config_.enabled && id != 0) ++late_stage_updates_;
+    return;
+  }
+  span->stage[static_cast<int>(stage)] = time;
+}
+
+void SpanRecorder::SetFlow(uint64_t id, uint64_t flow) {
+  if (WrSpan* span = Find(id)) span->flow = flow;
+}
+
+void SpanRecorder::SetReceiverService(uint64_t id, double start, double end) {
+  if (WrSpan* span = Find(id)) {
+    span->recv_start = start;
+    span->recv_end = end;
+  }
+}
+
+void SpanRecorder::AddThreadMark(const ThreadMark& mark) {
+  if (!config_.enabled) return;
+  threads_.push_back(mark);
+}
+
+void SpanRecorder::OnFlowSegment(uint64_t flow_id, uint32_t src, uint32_t dst,
+                                 double t0, double t1, double rate) {
+  if (!config_.enabled || !(t1 > t0)) return;
+  // Merge into the flow's previous segment when contiguous at the same rate,
+  // so a flow's segments enumerate its reshare events, not the simulation's
+  // event steps. Stale map entries (evicted or reused slots) are detected by
+  // the flow-id check.
+  auto it = last_segment_of_flow_.find(flow_id);
+  if (it != last_segment_of_flow_.end() && it->second < segments_.size()) {
+    FlowSegment& prev = segments_[it->second];
+    if (prev.flow == flow_id && prev.rate == rate &&
+        std::abs(prev.t1 - t0) <= 1e-9 * (1.0 + std::abs(t0))) {
+      prev.t1 = t1;
+      return;
+    }
+  }
+  ++segments_recorded_;
+  const FlowSegment seg{flow_id, src, dst, t0, t1, rate};
+  size_t idx;
+  if (segments_.size() < segment_capacity_) {
+    idx = segments_.size();
+    segments_.push_back(seg);
+  } else {
+    idx = segment_next_;
+    segment_next_ = (segment_next_ + 1) % segment_capacity_;
+    ++segments_dropped_;
+    WarnOnFirstDrop("flow segments");
+    segments_[idx] = seg;
+  }
+  // Bound the merge index: entries of long-gone flows are useless, and the
+  // map must not outgrow the rings' byte budget.
+  if (last_segment_of_flow_.size() > 2 * segment_capacity_) {
+    last_segment_of_flow_.clear();
+  }
+  last_segment_of_flow_[flow_id] = idx;
+}
+
+void SpanRecorder::OnWrPosted(uint32_t device, WorkCompletion::Op op) {
+  if (!config_.enabled) return;
+  ExecDeviceCounts& c = devices_[device];
+  c.device = device;
+  ++c.posted[OpIndex(op)];
+}
+
+void SpanRecorder::OnWrCompleted(uint32_t device, WorkCompletion::Op op,
+                                 bool success) {
+  if (!config_.enabled) return;
+  ExecDeviceCounts& c = devices_[device];
+  c.device = device;
+  ++c.completed[OpIndex(op)];
+  if (!success) ++c.failed_completions;
+}
+
+void SpanRecorder::OnCompletionPolled(uint32_t device, WorkCompletion::Op op) {
+  if (!config_.enabled) return;
+  ExecDeviceCounts& c = devices_[device];
+  c.device = device;
+  ++c.polled[OpIndex(op)];
+}
+
+void SpanRecorder::OnBufferCredit(uint32_t device, bool acquired) {
+  if (!config_.enabled) return;
+  ExecDeviceCounts& c = devices_[device];
+  c.device = device;
+  if (acquired) {
+    ++c.buffers_acquired;
+  } else {
+    ++c.buffers_released;
+  }
+}
+
+SpanDataset SpanRecorder::Snapshot() const {
+  SpanDataset ds;
+  ds.spans.reserve(spans_.size());
+  for (const WrSpan& s : spans_) {
+    if (s.id != 0) ds.spans.push_back(s);
+  }
+  std::sort(ds.spans.begin(), ds.spans.end(),
+            [](const WrSpan& a, const WrSpan& b) { return a.id < b.id; });
+  // Segments in recording order: the ring overwrites from index
+  // segment_next_ once full, so the oldest surviving entry sits there.
+  ds.segments.reserve(segments_.size());
+  if (segments_.size() < segment_capacity_) {
+    ds.segments = segments_;
+  } else {
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      ds.segments.push_back(
+          segments_[(segment_next_ + i) % segments_.size()]);
+    }
+  }
+  ds.threads = threads_;
+  std::sort(ds.threads.begin(), ds.threads.end(),
+            [](const ThreadMark& a, const ThreadMark& b) {
+              if (a.machine != b.machine) return a.machine < b.machine;
+              return a.thread < b.thread;
+            });
+  ds.devices.reserve(devices_.size());
+  for (const auto& [id, counts] : devices_) {
+    (void)id;
+    ds.devices.push_back(counts);
+  }
+  ds.spans_recorded = spans_recorded_;
+  ds.spans_dropped = spans_dropped_;
+  ds.segments_recorded = segments_recorded_;
+  ds.segments_dropped = segments_dropped_;
+  ds.late_stage_updates = late_stage_updates_;
+  return ds;
+}
+
+std::string SpanDatasetToJson(const SpanDataset& dataset) {
+  std::string out;
+  out.reserve(256 + dataset.spans.size() * 160 + dataset.segments.size() * 80);
+  auto num = [](double v) { return JsonNumber(v); };
+  auto unum = [](uint64_t v) { return JsonNumber(static_cast<double>(v)); };
+  out += "{\"version\":1";
+  out += ",\"spans_recorded\":" + unum(dataset.spans_recorded);
+  out += ",\"spans_dropped\":" + unum(dataset.spans_dropped);
+  out += ",\"segments_recorded\":" + unum(dataset.segments_recorded);
+  out += ",\"segments_dropped\":" + unum(dataset.segments_dropped);
+  out += ",\"late_stage_updates\":" + unum(dataset.late_stage_updates);
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const WrSpan& s : dataset.spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"id\":" + unum(s.id);
+    out += ",\"machine\":" + unum(s.machine);
+    out += ",\"thread\":" + unum(s.thread);
+    out += ",\"slot\":" + unum(s.slot);
+    out += ",\"src\":" + unum(s.src);
+    out += ",\"dst\":" + unum(s.dst);
+    out += ",\"wire_bytes\":" + num(s.wire_bytes);
+    out += ",\"flow\":" + unum(s.flow);
+    out += ",\"pull\":" + std::string(s.pull ? "true" : "false");
+    for (int i = 0; i < kNumSpanStages; ++i) {
+      out += ",\"";
+      out += SpanStageName(static_cast<SpanStage>(i));
+      out += "\":" + num(s.stage[i]);
+    }
+    out += ",\"recv_start\":" + num(s.recv_start);
+    out += ",\"recv_end\":" + num(s.recv_end);
+    out += "}";
+  }
+  out += "]";
+  out += ",\"segments\":[";
+  first = true;
+  for (const FlowSegment& g : dataset.segments) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"flow\":" + unum(g.flow);
+    out += ",\"src\":" + unum(g.src);
+    out += ",\"dst\":" + unum(g.dst);
+    out += ",\"t0\":" + num(g.t0);
+    out += ",\"t1\":" + num(g.t1);
+    out += ",\"rate\":" + num(g.rate);
+    out += "}";
+  }
+  out += "]";
+  out += ",\"threads\":[";
+  first = true;
+  for (const ThreadMark& t : dataset.threads) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"machine\":" + unum(t.machine);
+    out += ",\"thread\":" + unum(t.thread);
+    out += ",\"finish_seconds\":" + num(t.finish_seconds);
+    out += ",\"compute_seconds\":" + num(t.compute_seconds);
+    out += ",\"credit_stall_seconds\":" + num(t.credit_stall_seconds);
+    out += ",\"flow_stall_seconds\":" + num(t.flow_stall_seconds);
+    out += "}";
+  }
+  out += "]";
+  out += ",\"devices\":[";
+  first = true;
+  for (const ExecDeviceCounts& d : dataset.devices) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"device\":" + unum(d.device) + ",";
+    AppendOpCounts(&out, "posted", d.posted);
+    out += ",";
+    AppendOpCounts(&out, "completed", d.completed);
+    out += ",\"failed_completions\":" + unum(d.failed_completions) + ",";
+    AppendOpCounts(&out, "polled", d.polled);
+    out += ",\"buffers_acquired\":" + unum(d.buffers_acquired);
+    out += ",\"buffers_released\":" + unum(d.buffers_released);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+StatusOr<SpanDataset> SpanDatasetFromJson(const JsonValue& root) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument("span JSON: document is not an object");
+  }
+  const double version = root.NumberOr("version", 0);
+  if (version != 1) {
+    return Status::InvalidArgument("span JSON: unsupported version");
+  }
+  SpanDataset ds;
+  ds.spans_recorded = static_cast<uint64_t>(root.NumberOr("spans_recorded", 0));
+  ds.spans_dropped = static_cast<uint64_t>(root.NumberOr("spans_dropped", 0));
+  ds.segments_recorded =
+      static_cast<uint64_t>(root.NumberOr("segments_recorded", 0));
+  ds.segments_dropped =
+      static_cast<uint64_t>(root.NumberOr("segments_dropped", 0));
+  ds.late_stage_updates =
+      static_cast<uint64_t>(root.NumberOr("late_stage_updates", 0));
+  const JsonValue* spans = root.Find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return Status::InvalidArgument("span JSON: missing \"spans\" array");
+  }
+  ds.spans.reserve(spans->array_items.size());
+  for (const JsonValue& item : spans->array_items) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("span JSON: span entry is not an object");
+    }
+    WrSpan s;
+    s.id = static_cast<uint64_t>(item.NumberOr("id", 0));
+    if (s.id == 0) return Status::InvalidArgument("span JSON: span without id");
+    s.machine = static_cast<uint32_t>(item.NumberOr("machine", 0));
+    s.thread = static_cast<uint32_t>(item.NumberOr("thread", 0));
+    s.slot = static_cast<uint32_t>(item.NumberOr("slot", 0));
+    s.src = static_cast<uint32_t>(item.NumberOr("src", 0));
+    s.dst = static_cast<uint32_t>(item.NumberOr("dst", 0));
+    s.wire_bytes = item.NumberOr("wire_bytes", 0);
+    s.flow = static_cast<uint64_t>(item.NumberOr("flow", 0));
+    s.pull = item.BoolOr("pull", false);
+    for (int i = 0; i < kNumSpanStages; ++i) {
+      s.stage[i] =
+          item.NumberOr(SpanStageName(static_cast<SpanStage>(i)), kSpanUnset);
+    }
+    s.recv_start = item.NumberOr("recv_start", kSpanUnset);
+    s.recv_end = item.NumberOr("recv_end", kSpanUnset);
+    ds.spans.push_back(s);
+  }
+  if (const JsonValue* segments = root.Find("segments")) {
+    if (!segments->is_array()) {
+      return Status::InvalidArgument("span JSON: \"segments\" is not an array");
+    }
+    ds.segments.reserve(segments->array_items.size());
+    for (const JsonValue& item : segments->array_items) {
+      FlowSegment g;
+      g.flow = static_cast<uint64_t>(item.NumberOr("flow", 0));
+      g.src = static_cast<uint32_t>(item.NumberOr("src", 0));
+      g.dst = static_cast<uint32_t>(item.NumberOr("dst", 0));
+      g.t0 = item.NumberOr("t0", 0);
+      g.t1 = item.NumberOr("t1", 0);
+      g.rate = item.NumberOr("rate", 0);
+      ds.segments.push_back(g);
+    }
+  }
+  if (const JsonValue* threads = root.Find("threads")) {
+    if (!threads->is_array()) {
+      return Status::InvalidArgument("span JSON: \"threads\" is not an array");
+    }
+    ds.threads.reserve(threads->array_items.size());
+    for (const JsonValue& item : threads->array_items) {
+      ThreadMark t;
+      t.machine = static_cast<uint32_t>(item.NumberOr("machine", 0));
+      t.thread = static_cast<uint32_t>(item.NumberOr("thread", 0));
+      t.finish_seconds = item.NumberOr("finish_seconds", 0);
+      t.compute_seconds = item.NumberOr("compute_seconds", 0);
+      t.credit_stall_seconds = item.NumberOr("credit_stall_seconds", 0);
+      t.flow_stall_seconds = item.NumberOr("flow_stall_seconds", 0);
+      ds.threads.push_back(t);
+    }
+  }
+  if (const JsonValue* devices = root.Find("devices")) {
+    if (!devices->is_array()) {
+      return Status::InvalidArgument("span JSON: \"devices\" is not an array");
+    }
+    ds.devices.reserve(devices->array_items.size());
+    for (const JsonValue& item : devices->array_items) {
+      ExecDeviceCounts d;
+      d.device = static_cast<uint32_t>(item.NumberOr("device", 0));
+      RDMAJOIN_RETURN_IF_ERROR(ReadOpCounts(item, "posted", &d.posted));
+      RDMAJOIN_RETURN_IF_ERROR(ReadOpCounts(item, "completed", &d.completed));
+      RDMAJOIN_RETURN_IF_ERROR(ReadOpCounts(item, "polled", &d.polled));
+      d.failed_completions =
+          static_cast<uint64_t>(item.NumberOr("failed_completions", 0));
+      d.buffers_acquired =
+          static_cast<uint64_t>(item.NumberOr("buffers_acquired", 0));
+      d.buffers_released =
+          static_cast<uint64_t>(item.NumberOr("buffers_released", 0));
+      ds.devices.push_back(d);
+    }
+  }
+  return ds;
+}
+
+StatusOr<SpanDataset> ParseSpanDatasetJson(const std::string& text) {
+  auto parsed = ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  return SpanDatasetFromJson(*parsed);
+}
+
+Status WriteSpanDatasetFile(const std::string& path,
+                            const SpanDataset& dataset) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open span output file: " + path);
+  }
+  out << SpanDatasetToJson(dataset);
+  out.flush();
+  if (!out) return Status::Internal("failed writing span file: " + path);
+  return Status::OK();
+}
+
+StatusOr<SpanDataset> ReadSpanDatasetFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open span file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSpanDatasetJson(buf.str());
+}
+
+}  // namespace rdmajoin

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "timing/span_trace.h"
 #include "transport/wire_format.h"
 #include "util/units.h"
 
@@ -229,6 +230,7 @@ Status TransportNetwork::Init(const ClusterConfig& cluster, const JoinConfig& co
     devices_.push_back(std::make_unique<RdmaDevice>(m, memories_[m], cluster.costs,
                                                     config.scale_up));
     devices_.back()->set_validator(config.validator);
+    devices_.back()->set_event_sink(config.span_recorder);
     if (config.metrics != nullptr) {
       devices_.back()->EnableMetrics(config.metrics,
                                      "rdma.dev" + std::to_string(m));
@@ -264,6 +266,12 @@ Status TransportNetwork::Init(const ClusterConfig& cluster, const JoinConfig& co
         l.src_recv_cq = std::make_unique<CompletionQueue>(cq_capacity);
         l.dst_send_cq = std::make_unique<CompletionQueue>(cq_capacity);
         l.dst_recv_cq = std::make_unique<CompletionQueue>(cq_capacity);
+        if (config.span_recorder != nullptr) {
+          l.src_send_cq->set_event_sink(config.span_recorder, s);
+          l.src_recv_cq->set_event_sink(config.span_recorder, s);
+          l.dst_send_cq->set_event_sink(config.span_recorder, d);
+          l.dst_recv_cq->set_event_sink(config.span_recorder, d);
+        }
         l.src_qp = std::make_unique<QueuePair>(devices_[s].get(), l.src_send_cq.get(),
                                                l.src_recv_cq.get());
         l.dst_qp = std::make_unique<QueuePair>(devices_[d].get(), l.dst_send_cq.get(),

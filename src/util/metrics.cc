@@ -124,7 +124,7 @@ const TimeSeries* MetricsRegistry::FindTimeSeries(const std::string& name) const
   return it == time_series_.end() ? nullptr : it->second.get();
 }
 
-std::string MetricsRegistry::ToJson() const {
+std::string MetricsRegistry::SnapshotJson() const {
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {

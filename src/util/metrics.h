@@ -133,9 +133,12 @@ class MetricsRegistry {
   }
 
   /// Serializes every metric to one JSON document (schema documented in
-  /// docs/observability.md). Keys are emitted in sorted order so snapshots
-  /// diff cleanly.
-  std::string ToJson() const;
+  /// docs/observability.md). Deterministic: keys are emitted in sorted order
+  /// and numbers in a fixed format, so identical-seed reruns produce
+  /// byte-identical snapshots and snapshots diff cleanly.
+  std::string SnapshotJson() const;
+  /// Older name for SnapshotJson().
+  std::string ToJson() const { return SnapshotJson(); }
 
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;

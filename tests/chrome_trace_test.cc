@@ -9,6 +9,7 @@
 
 #include "cluster/presets.h"
 #include "join/distributed_join.h"
+#include "util/json.h"
 #include "util/metrics.h"
 #include "workload/generator.h"
 
@@ -142,6 +143,63 @@ TEST(ChromeTrace, WriteChromeTraceFileRoundTrips) {
   std::stringstream buf;
   buf << in.rdbuf();
   EXPECT_EQ(buf.str(), run.json);
+}
+
+TEST(ChromeTrace, EmitsCausalFlowArrowsForSpans) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  ASSERT_NE(run.result.replay.spans, nullptr);
+  const std::string& json = run.json;
+  EXPECT_TRUE(BalancedJson(json));
+  // A flow arrow starts at the sender slice ("s"), ends at the receiver
+  // slice ("f", binding to the enclosing slice), under the "wr" category.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"wr\""), std::string::npos);
+  // Span slices landed on the partitioning-thread and receiver rows.
+  EXPECT_NE(json.find("part thread"), std::string::npos);
+  EXPECT_NE(json.find("receiver core"), std::string::npos);
+}
+
+TEST(ChromeTrace, SpanEventsCanBeCappedAndDisabled) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  ChromeTraceOptions none;
+  none.max_spans = 0;
+  const std::string without =
+      ChromeTraceJson(run.result.replay, &metrics, none);
+  EXPECT_TRUE(BalancedJson(without));
+  EXPECT_EQ(without.find("\"ph\":\"s\""), std::string::npos);
+  ChromeTraceOptions one;
+  one.max_spans = 1;
+  const std::string single = ChromeTraceJson(run.result.replay, &metrics, one);
+  EXPECT_TRUE(BalancedJson(single));
+  // Exactly one arrow: one "s" and one "f" event.
+  size_t starts = 0, pos = 0;
+  while ((pos = single.find("\"ph\":\"s\"", pos)) != std::string::npos) {
+    ++starts;
+    pos += 8;
+  }
+  EXPECT_EQ(starts, 1u);
+}
+
+TEST(ChromeTrace, EscapesHostileLabelStrings) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  ChromeTraceOptions options;
+  options.label = "qdr \"4x8\"\\\n\ttest\x01";
+  const std::string json =
+      ChromeTraceJson(run.result.replay, &metrics, options);
+  EXPECT_TRUE(BalancedJson(json)) << json.substr(0, 2000);
+  // The raw quote/backslash/control bytes must not survive unescaped.
+  EXPECT_NE(json.find("qdr \\\"4x8\\\"\\\\\\n\\ttest\\u0001"),
+            std::string::npos);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* other = parsed->Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->StringOr("label", ""), options.label);
 }
 
 TEST(ChromeTrace, WriteToUnwritablePathFails) {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cost_model.h"
@@ -127,6 +128,37 @@ TEST(MetricsRegistry, ToJsonIsWellFormed) {
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"time_series\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsDeterministicAcrossRegistrations) {
+  // Two registries populated with the same values in different registration
+  // orders must serialize byte-identically (names are sorted per section),
+  // and repeated snapshots of one registry must be byte-identical too.
+  auto populate = [](MetricsRegistry* reg, bool reversed) {
+    const std::vector<std::pair<std::string, double>> counters = {
+        {"b.count", 2.0}, {"a.count", 1.0}, {"c.count", 3.0}};
+    if (reversed) {
+      for (auto it = counters.rbegin(); it != counters.rend(); ++it) {
+        reg->GetCounter(it->first)->Add(it->second);
+      }
+    } else {
+      for (const auto& kv : counters) {
+        reg->GetCounter(kv.first)->Add(kv.second);
+      }
+    }
+    reg->GetGauge("z.gauge")->Set(0.125);
+    reg->GetGauge("a.gauge")->Set(-4.5);
+    reg->GetHistogram("h.bytes")->Observe(4096.0);
+    reg->GetTimeSeries("t.series", 0.01)->Add(0.005, 7.0);
+  };
+  MetricsRegistry forward, backward;
+  populate(&forward, false);
+  populate(&backward, true);
+  const std::string snap = forward.SnapshotJson();
+  EXPECT_EQ(snap, backward.SnapshotJson());
+  EXPECT_EQ(snap, forward.SnapshotJson());  // Re-snapshot: identical bytes.
+  EXPECT_EQ(snap, forward.ToJson());        // ToJson is the same serializer.
+  EXPECT_TRUE(BalancedJson(snap)) << snap;
 }
 
 TEST(FabricMetrics, DeliveredBytesAgreeWithFabricCounters) {

@@ -1,0 +1,303 @@
+#include "timing/span_trace.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace rdmajoin {
+namespace {
+
+/// A tiny budget: both rings sized at their 64-entry floor.
+SpanConfig TinyConfig() {
+  SpanConfig config;
+  config.max_bytes = 1024;
+  return config;
+}
+
+TEST(SpanRecorder, RecordsFullLifecycle) {
+  SpanRecorder rec;
+  const uint64_t id = rec.BeginSpan(/*machine=*/1, /*thread=*/2, /*slot=*/7,
+                                    /*src=*/1, /*dst=*/3, /*wire_bytes=*/4096,
+                                    /*pull=*/false, /*posted_time=*/1.0);
+  ASSERT_NE(id, 0u);
+  rec.MarkStage(id, SpanStage::kCreditAcquired, 1.5);
+  rec.MarkStage(id, SpanStage::kFabricAdmitted, 1.6);
+  rec.MarkStage(id, SpanStage::kDelivered, 2.0);
+  rec.MarkStage(id, SpanStage::kCompleted, 2.25);
+  rec.SetFlow(id, 42);
+  rec.SetReceiverService(id, 2.0, 2.1);
+
+  const SpanDataset ds = rec.Snapshot();
+  ASSERT_EQ(ds.spans.size(), 1u);
+  const WrSpan& s = ds.spans[0];
+  EXPECT_TRUE(s.complete());
+  EXPECT_DOUBLE_EQ(s.duration(), 1.25);
+  EXPECT_DOUBLE_EQ(s.StageSeconds(SpanStage::kCreditAcquired), 0.5);
+  EXPECT_NEAR(s.StageSeconds(SpanStage::kFabricAdmitted), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(s.StageSeconds(SpanStage::kDelivered), 0.4);
+  EXPECT_DOUBLE_EQ(s.StageSeconds(SpanStage::kCompleted), 0.25);
+  EXPECT_EQ(s.flow, 42u);
+  EXPECT_EQ(s.machine, 1u);
+  EXPECT_EQ(s.dst, 3u);
+  EXPECT_DOUBLE_EQ(s.recv_start, 2.0);
+  // The four stage intervals reassemble the duration exactly.
+  double sum = 0;
+  for (int i = 1; i < kNumSpanStages; ++i) {
+    sum += s.StageSeconds(static_cast<SpanStage>(i));
+  }
+  EXPECT_DOUBLE_EQ(sum, s.duration());
+}
+
+TEST(SpanRecorder, DisabledRecorderRecordsNothing) {
+  SpanConfig config;
+  config.enabled = false;
+  SpanRecorder rec(config);
+  EXPECT_EQ(rec.BeginSpan(0, 0, 0, 0, 1, 64, false, 0.0), 0u);
+  rec.MarkStage(1, SpanStage::kDelivered, 1.0);
+  rec.OnFlowSegment(1, 0, 1, 0.0, 1.0, 100.0);
+  rec.OnWrPosted(0, WorkCompletion::Op::kSend);
+  rec.AddThreadMark(ThreadMark{});
+  const SpanDataset ds = rec.Snapshot();
+  EXPECT_TRUE(ds.spans.empty());
+  EXPECT_TRUE(ds.segments.empty());
+  EXPECT_TRUE(ds.threads.empty());
+  EXPECT_TRUE(ds.devices.empty());
+  EXPECT_EQ(ds.spans_recorded, 0u);
+  EXPECT_EQ(ds.late_stage_updates, 0u);
+}
+
+TEST(SpanRecorder, CapacityFollowsByteBudget) {
+  SpanConfig small = TinyConfig();
+  SpanRecorder tiny(small);
+  EXPECT_EQ(tiny.span_capacity(), 64u);
+  EXPECT_EQ(tiny.segment_capacity(), 64u);
+
+  SpanConfig big;
+  big.max_bytes = 64 * 1024 * 1024;
+  SpanRecorder large(big);
+  EXPECT_GT(large.span_capacity(), tiny.span_capacity());
+  EXPECT_GT(large.segment_capacity(), tiny.segment_capacity());
+  // The rings respect the budget split: capacity * entry size stays within
+  // each ring's share of the budget.
+  EXPECT_LE(large.span_capacity() * sizeof(WrSpan), big.max_bytes);
+  EXPECT_LE(large.segment_capacity() * sizeof(FlowSegment), big.max_bytes);
+}
+
+TEST(SpanRecorder, RingEvictsOldestDeterministically) {
+  SpanRecorder rec(TinyConfig());
+  const size_t cap = rec.span_capacity();
+  const size_t total = cap + 10;
+  for (size_t i = 0; i < total; ++i) {
+    const uint64_t id = rec.BeginSpan(0, 0, 0, 0, 1, 64, false,
+                                      static_cast<double>(i));
+    EXPECT_EQ(id, i + 1);
+  }
+  EXPECT_EQ(rec.spans_recorded(), total);
+  EXPECT_EQ(rec.spans_dropped(), 10u);
+  const SpanDataset ds = rec.Snapshot();
+  ASSERT_EQ(ds.spans.size(), cap);
+  // Exactly the oldest 10 ids were evicted.
+  EXPECT_EQ(ds.spans.front().id, 11u);
+  EXPECT_EQ(ds.spans.back().id, total);
+  for (size_t i = 1; i < ds.spans.size(); ++i) {
+    EXPECT_EQ(ds.spans[i].id, ds.spans[i - 1].id + 1);
+  }
+}
+
+TEST(SpanRecorder, LateStageUpdatesOnEvictedSpansAreCounted) {
+  SpanRecorder rec(TinyConfig());
+  const uint64_t first = rec.BeginSpan(0, 0, 0, 0, 1, 64, false, 0.0);
+  for (size_t i = 0; i < rec.span_capacity(); ++i) {
+    rec.BeginSpan(0, 0, 0, 0, 1, 64, false, 1.0);
+  }
+  // `first` has been overwritten; its stage update must not corrupt the
+  // current occupant of the slot.
+  rec.MarkStage(first, SpanStage::kDelivered, 9.0);
+  EXPECT_EQ(rec.late_stage_updates(), 1u);
+  const SpanDataset ds = rec.Snapshot();
+  for (const WrSpan& s : ds.spans) {
+    EXPECT_EQ(s.stage[static_cast<int>(SpanStage::kDelivered)], kSpanUnset);
+  }
+}
+
+TEST(SpanRecorder, MergesContiguousSameRateSegments) {
+  SpanRecorder rec;
+  rec.OnFlowSegment(/*flow_id=*/5, 0, 1, 0.0, 1.0, 1e9);
+  rec.OnFlowSegment(5, 0, 1, 1.0, 2.0, 1e9);   // contiguous, same rate: merge
+  rec.OnFlowSegment(5, 0, 1, 2.0, 3.0, 5e8);   // rate change: new segment
+  rec.OnFlowSegment(5, 0, 1, 4.0, 5.0, 5e8);   // gap: new segment
+  rec.OnFlowSegment(6, 0, 2, 5.0, 6.0, 5e8);   // other flow: new segment
+  const SpanDataset ds = rec.Snapshot();
+  ASSERT_EQ(ds.segments.size(), 4u);
+  EXPECT_DOUBLE_EQ(ds.segments[0].t0, 0.0);
+  EXPECT_DOUBLE_EQ(ds.segments[0].t1, 2.0);
+  EXPECT_DOUBLE_EQ(ds.segments[0].rate, 1e9);
+  EXPECT_EQ(ds.segments[3].flow, 6u);
+  // The byte integral is preserved across the merge.
+  double bytes = 0;
+  for (const FlowSegment& g : ds.segments) {
+    if (g.flow == 5) bytes += g.rate * (g.t1 - g.t0);
+  }
+  EXPECT_DOUBLE_EQ(bytes, 2e9 + 5e8 + 5e8);
+}
+
+TEST(SpanRecorder, SegmentRingKeepsNewestInRecordingOrder) {
+  SpanRecorder rec(TinyConfig());
+  const size_t cap = rec.segment_capacity();
+  const size_t total = cap + 7;
+  for (size_t i = 0; i < total; ++i) {
+    const double t = static_cast<double>(2 * i);
+    // Distinct flows so no two segments merge.
+    rec.OnFlowSegment(/*flow_id=*/i + 1, 0, 1, t, t + 1.0, 1e9);
+  }
+  EXPECT_EQ(rec.segments_dropped(), 7u);
+  const SpanDataset ds = rec.Snapshot();
+  ASSERT_EQ(ds.segments.size(), cap);
+  EXPECT_EQ(ds.segments.front().flow, 8u);  // oldest surviving
+  EXPECT_EQ(ds.segments.back().flow, total);
+  for (size_t i = 1; i < ds.segments.size(); ++i) {
+    EXPECT_EQ(ds.segments[i].flow, ds.segments[i - 1].flow + 1);
+  }
+}
+
+TEST(SpanRecorder, ExecCountsAccumulatePerDevice) {
+  SpanRecorder rec;
+  rec.OnWrPosted(2, WorkCompletion::Op::kSend);
+  rec.OnWrPosted(2, WorkCompletion::Op::kSend);
+  rec.OnWrCompleted(2, WorkCompletion::Op::kSend, /*success=*/true);
+  rec.OnWrCompleted(2, WorkCompletion::Op::kSend, /*success=*/false);
+  rec.OnCompletionPolled(2, WorkCompletion::Op::kSend);
+  rec.OnBufferCredit(2, /*acquired=*/true);
+  rec.OnBufferCredit(2, /*acquired=*/false);
+  rec.OnWrPosted(0, WorkCompletion::Op::kRead);
+  const SpanDataset ds = rec.Snapshot();
+  ASSERT_EQ(ds.devices.size(), 2u);
+  // std::map order: device 0 first.
+  EXPECT_EQ(ds.devices[0].device, 0u);
+  EXPECT_EQ(ds.devices[0].posted[static_cast<int>(WorkCompletion::Op::kRead)],
+            1u);
+  const ExecDeviceCounts& d2 = ds.devices[1];
+  EXPECT_EQ(d2.device, 2u);
+  EXPECT_EQ(d2.posted[static_cast<int>(WorkCompletion::Op::kSend)], 2u);
+  EXPECT_EQ(d2.completed[static_cast<int>(WorkCompletion::Op::kSend)], 2u);
+  EXPECT_EQ(d2.failed_completions, 1u);
+  EXPECT_EQ(d2.polled[static_cast<int>(WorkCompletion::Op::kSend)], 1u);
+  EXPECT_EQ(d2.buffers_acquired, 1u);
+  EXPECT_EQ(d2.buffers_released, 1u);
+}
+
+TEST(SpanRecorder, OverflowWarnsExactlyOncePerRun) {
+  std::vector<std::string> warnings;
+  Logger::SetSink([&warnings](LogLevel level, const std::string& message) {
+    if (level == LogLevel::kWarning) warnings.push_back(message);
+  });
+  const LogLevel old_level = Logger::level();
+  Logger::SetLevel(LogLevel::kWarning);
+
+  SpanRecorder rec(TinyConfig());
+  for (size_t i = 0; i < 3 * rec.span_capacity(); ++i) {
+    rec.BeginSpan(0, 0, 0, 0, 1, 64, false, 0.0);
+  }
+  for (size_t i = 0; i < 3 * rec.segment_capacity(); ++i) {
+    rec.OnFlowSegment(i + 1, 0, 1, static_cast<double>(2 * i),
+                      static_cast<double>(2 * i + 1), 1e9);
+  }
+  Logger::SetLevel(old_level);
+  Logger::SetSink(nullptr);
+
+  ASSERT_EQ(warnings.size(), 1u) << "overflow must warn once per run, not per "
+                                    "event or per ring";
+  EXPECT_NE(warnings[0].find("SpanConfig::max_bytes"), std::string::npos);
+}
+
+TEST(SpanDatasetJson, RoundTripsEveryField) {
+  SpanRecorder rec;
+  const uint64_t id =
+      rec.BeginSpan(1, 2, 7, 1, 3, 4096.0, /*pull=*/true, 1.0);
+  rec.MarkStage(id, SpanStage::kCreditAcquired, 1.5);
+  rec.MarkStage(id, SpanStage::kFabricAdmitted, 1.5625);
+  rec.MarkStage(id, SpanStage::kDelivered, 2.0);
+  rec.MarkStage(id, SpanStage::kCompleted, 2.25);
+  rec.SetFlow(id, 42);
+  rec.SetReceiverService(id, 2.0, 2.125);
+  // A second, incomplete span exercises the kSpanUnset encoding.
+  rec.BeginSpan(0, 0, 1, 0, 2, 128.0, false, 3.0);
+  rec.OnFlowSegment(42, 1, 3, 1.5625, 2.0, 4096.0 / 0.4375);
+  rec.AddThreadMark(ThreadMark{1, 2, 9.0, 5.0, 0.5, 0.25});
+  rec.OnWrPosted(1, WorkCompletion::Op::kSend);
+  rec.OnWrCompleted(1, WorkCompletion::Op::kSend, true);
+  rec.OnCompletionPolled(1, WorkCompletion::Op::kSend);
+  rec.OnBufferCredit(1, true);
+
+  const SpanDataset ds = rec.Snapshot();
+  const std::string json = SpanDatasetToJson(ds);
+  auto back = ParseSpanDatasetJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  ASSERT_EQ(back->spans.size(), ds.spans.size());
+  for (size_t i = 0; i < ds.spans.size(); ++i) {
+    const WrSpan& a = ds.spans[i];
+    const WrSpan& b = back->spans[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.machine, b.machine);
+    EXPECT_EQ(a.thread, b.thread);
+    EXPECT_EQ(a.slot, b.slot);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+    EXPECT_EQ(a.flow, b.flow);
+    EXPECT_EQ(a.pull, b.pull);
+    for (int j = 0; j < kNumSpanStages; ++j) {
+      EXPECT_EQ(a.stage[j], b.stage[j]) << "span " << a.id << " stage " << j;
+    }
+    EXPECT_EQ(a.recv_start, b.recv_start);
+    EXPECT_EQ(a.recv_end, b.recv_end);
+  }
+  ASSERT_EQ(back->segments.size(), 1u);
+  EXPECT_EQ(back->segments[0].flow, 42u);
+  EXPECT_EQ(back->segments[0].rate, ds.segments[0].rate);
+  ASSERT_EQ(back->threads.size(), 1u);
+  EXPECT_EQ(back->threads[0].credit_stall_seconds, 0.5);
+  ASSERT_EQ(back->devices.size(), 1u);
+  EXPECT_EQ(back->devices[0].posted[static_cast<int>(WorkCompletion::Op::kSend)],
+            1u);
+  EXPECT_EQ(back->spans_recorded, ds.spans_recorded);
+
+  // Serialization is deterministic: a second pass is byte-identical.
+  EXPECT_EQ(SpanDatasetToJson(*back), json);
+}
+
+TEST(SpanDatasetJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseSpanDatasetJson("{not json").ok());
+  EXPECT_FALSE(ParseSpanDatasetJson("[]").ok());                  // not an object
+  EXPECT_FALSE(ParseSpanDatasetJson("{\"version\":99}").ok());    // bad version
+  EXPECT_FALSE(ParseSpanDatasetJson("{\"version\":1}").ok());     // no spans
+  EXPECT_FALSE(
+      ParseSpanDatasetJson("{\"version\":1,\"spans\":[{\"id\":0}]}").ok());
+  EXPECT_FALSE(ParseSpanDatasetJson(
+                   "{\"version\":1,\"spans\":[],\"devices\":[{\"device\":0,"
+                   "\"posted\":[1,2]}]}")
+                   .ok());  // opcode array must have 4 entries
+}
+
+TEST(SpanDatasetJson, FileRoundTrip) {
+  SpanRecorder rec;
+  const uint64_t id = rec.BeginSpan(0, 0, 0, 0, 1, 64.0, false, 0.0);
+  rec.MarkStage(id, SpanStage::kCompleted, 1.0);
+  const SpanDataset ds = rec.Snapshot();
+  const std::string path = ::testing::TempDir() + "/span_dataset_test.json";
+  ASSERT_TRUE(WriteSpanDatasetFile(path, ds).ok());
+  auto back = ReadSpanDatasetFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->spans.size(), 1u);
+  EXPECT_FALSE(WriteSpanDatasetFile("/nonexistent-dir/x.json", ds).ok());
+  EXPECT_FALSE(ReadSpanDatasetFile("/nonexistent-dir/x.json").ok());
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -1,0 +1,208 @@
+// End-to-end smoke tests of the command-line tools: a small join is run
+// through rdmajoin_cli, its artifacts are fed to rdmajoin_trace and
+// rdmajoin_analyze, and every output is checked to parse and every exit code
+// to match the documented contract. The tool binaries are injected by CMake
+// via compile definitions.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+#ifndef RDMAJOIN_CLI_BIN
+#error "RDMAJOIN_CLI_BIN must be defined by the build"
+#endif
+#ifndef RDMAJOIN_TRACE_BIN
+#error "RDMAJOIN_TRACE_BIN must be defined by the build"
+#endif
+#ifndef RDMAJOIN_ANALYZE_BIN
+#error "RDMAJOIN_ANALYZE_BIN must be defined by the build"
+#endif
+
+namespace rdmajoin {
+namespace {
+
+/// Runs `command` through the shell (stdout/stderr silenced) and returns its
+/// exit status, or -1 when the child did not exit normally.
+int RunTool(const std::string& command) {
+  const std::string full = command + " >/dev/null 2>&1";
+  const int raw = std::system(full.c_str());
+  if (raw == -1) return -1;
+#ifdef WIFEXITED
+  if (!WIFEXITED(raw)) return -1;
+  return WEXITSTATUS(raw);
+#else
+  return raw;
+#endif
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::string();
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "tools_smoke_" + name;
+}
+
+/// One shared CLI run whose artifacts several tests inspect.
+class ToolsSmokeTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_path_ = new std::string(TempPath("join.trace"));
+    spans_path_ = new std::string(TempPath("spans.json"));
+    chrome_path_ = new std::string(TempPath("chrome.json"));
+    const std::string cmd = std::string(RDMAJOIN_CLI_BIN) +
+                            " --cluster=qdr --machines=4 --inner=2048"
+                            " --outer=2048 --scale=65536 --seed=42" +
+                            " --trace-out=" + *trace_path_ +
+                            " --spans-json=" + *spans_path_ +
+                            " --chrome-trace=" + *chrome_path_;
+    cli_exit_ = RunTool(cmd);
+  }
+  static void TearDownTestSuite() {
+    delete trace_path_;
+    delete spans_path_;
+    delete chrome_path_;
+    trace_path_ = spans_path_ = chrome_path_ = nullptr;
+  }
+
+  static std::string* trace_path_;
+  static std::string* spans_path_;
+  static std::string* chrome_path_;
+  static int cli_exit_;
+};
+
+std::string* ToolsSmokeTest::trace_path_ = nullptr;
+std::string* ToolsSmokeTest::spans_path_ = nullptr;
+std::string* ToolsSmokeTest::chrome_path_ = nullptr;
+int ToolsSmokeTest::cli_exit_ = -1;
+
+TEST_F(ToolsSmokeTest, CliRunSucceedsAndWritesParsableArtifacts) {
+  ASSERT_EQ(cli_exit_, 0);
+
+  const std::string spans_text = ReadFileOrEmpty(*spans_path_);
+  ASSERT_FALSE(spans_text.empty());
+  auto spans = ParseJson(spans_text);
+  ASSERT_TRUE(spans.ok()) << spans.status().ToString();
+  ASSERT_TRUE(spans->is_object());
+  const JsonValue* span_list = spans->Find("spans");
+  ASSERT_NE(span_list, nullptr);
+  ASSERT_TRUE(span_list->is_array());
+  EXPECT_GT(span_list->array_items.size(), 0u);
+
+  const std::string chrome_text = ReadFileOrEmpty(*chrome_path_);
+  ASSERT_FALSE(chrome_text.empty());
+  auto chrome = ParseJson(chrome_text);
+  ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
+  const JsonValue* events = chrome->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // The causal arrows made it into the export.
+  bool has_flow_start = false, has_flow_end = false;
+  for (const JsonValue& e : events->array_items) {
+    const std::string ph = e.StringOr("ph", "");
+    if (ph == "s") has_flow_start = true;
+    if (ph == "f") has_flow_end = true;
+  }
+  EXPECT_TRUE(has_flow_start);
+  EXPECT_TRUE(has_flow_end);
+}
+
+TEST_F(ToolsSmokeTest, AnalyzeSpansReportsAndChecksCleanly) {
+  ASSERT_EQ(cli_exit_, 0);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) +
+                    " --spans=" + *spans_path_),
+            0);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) +
+                    " --spans=" + *spans_path_ + " --check"),
+            0);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) +
+                    " --spans=" + *spans_path_ + " --check --top=3"),
+            0);
+}
+
+TEST_F(ToolsSmokeTest, TraceToolReplaysTraceAndReexportsSpans) {
+  ASSERT_EQ(cli_exit_, 0);
+  const std::string out = TempPath("replayed_chrome.json");
+  const std::string respans = TempPath("replayed_spans.json");
+  ASSERT_EQ(RunTool(std::string(RDMAJOIN_TRACE_BIN) + " --trace=" +
+                    *trace_path_ + " --out=" + out + " --spans-json=" +
+                    respans),
+            0);
+  auto chrome = ParseJson(ReadFileOrEmpty(out));
+  ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
+  EXPECT_NE(chrome->Find("traceEvents"), nullptr);
+  // The replayed span dataset passes the analyzer's invariant gate too.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --spans=" +
+                    respans + " --check"),
+            0);
+}
+
+TEST_F(ToolsSmokeTest, NoSpansRunOmitsRecorderAndRejectsContradictoryFlags) {
+  const std::string trace = TempPath("nospans.trace");
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_CLI_BIN) +
+                    " --machines=2 --inner=512 --outer=512 --scale=65536" +
+                    " --no-spans --trace-out=" + trace),
+            0);
+  // --no-spans with --spans-json is a usage error.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_CLI_BIN) +
+                    " --machines=2 --inner=512 --outer=512 --scale=65536" +
+                    " --no-spans --spans-json=" + TempPath("never.json")),
+            1);
+}
+
+TEST_F(ToolsSmokeTest, AnalyzeSpansExitCodesFollowTheContract) {
+  // Missing file -> bad input (2).
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) +
+                    " --spans=" + TempPath("does_not_exist.json")),
+            2);
+  // Malformed JSON -> bad input (2).
+  const std::string malformed = TempPath("malformed.json");
+  {
+    std::ofstream out(malformed, std::ios::binary);
+    out << "{\"version\": 1, \"spans\": [";
+  }
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --spans=" +
+                    malformed),
+            2);
+  // Bad --top -> usage error (2).
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --spans=" +
+                    malformed + " --top=0"),
+            2);
+  // A well-formed dataset that violates the invariants -> exit 1: one span
+  // posted but never delivered or completed.
+  const std::string violating = TempPath("violating.json");
+  {
+    std::ofstream out(violating, std::ios::binary);
+    out << "{\"version\":1,"
+        << "\"spans_recorded\":1,\"spans_dropped\":0,"
+        << "\"segments_recorded\":0,\"segments_dropped\":0,"
+        << "\"late_stage_updates\":0,"
+        << "\"spans\":[{\"id\":1,\"machine\":0,\"thread\":0,\"slot\":0,"
+        << "\"src\":0,\"dst\":1,\"wire_bytes\":65536,\"flow\":1,"
+        << "\"pull\":false,\"posted\":0,\"credit_acquired\":0,"
+        << "\"fabric_admitted\":0,\"delivered\":-1,\"completed\":-1,"
+        << "\"recv_start\":-1,\"recv_end\":-1}],"
+        << "\"segments\":[],\"threads\":[],\"devices\":[]}";
+  }
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --spans=" +
+                    violating),
+            1);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --spans=" +
+                    violating + " --check"),
+            1);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -9,6 +9,11 @@
 //   rdmajoin_analyze --diff baseline.json current.json
 //                    [--tolerance=0.05] [--abs-tolerance=0.02]
 //
+//   # Render a span dataset (rdmajoin_cli --spans-json / rdmajoin_trace
+//   # --spans-json): per-stage latency percentiles, top-k spans by duration
+//   # and by credit wait, and the causal invariants (exit 1 on violation):
+//   rdmajoin_analyze --spans=SPANS_fig05a.json [--top=K] [--check]
+//
 //   # Replay a captured trace (rdmajoin_whatif --capture) and decompose its
 //   # makespan into compute / network / buffer-stall / barrier-wait time:
 //   rdmajoin_analyze --trace=/tmp/join.trace --cluster=qdr --machines=8
@@ -32,6 +37,8 @@
 #include "model/analytical_model.h"
 #include "timing/attribution.h"
 #include "timing/replay.h"
+#include "timing/span_query.h"
+#include "timing/span_trace.h"
 #include "timing/trace_io.h"
 #include "util/bench_json.h"
 #include "util/json.h"
@@ -52,6 +59,7 @@ void PrintUsage() {
       "  rdmajoin_analyze --bench=FILE.json\n"
       "  rdmajoin_analyze --diff BASELINE.json CURRENT.json\n"
       "                   [--tolerance=REL] [--abs-tolerance=SECONDS]\n"
+      "  rdmajoin_analyze --spans=FILE.json [--top=K] [--check]\n"
       "  rdmajoin_analyze --trace=FILE --cluster=qdr|fdr|ipoib --machines=N\n"
       "                   [--cores=N] [--scale=N] [--inner=MTUPLES --outer=MTUPLES]\n");
 }
@@ -153,6 +161,28 @@ int RenderBench(const std::string& path) {
   return 0;
 }
 
+int RenderSpans(const std::string& path, bool check_only, size_t top_k) {
+  auto dataset = ReadSpanDatasetFile(path);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (check_only) {
+    const SpanInvariantReport inv = CheckSpanInvariants(*dataset);
+    if (inv.ok()) {
+      std::printf("spans %s: OK (%llu spans checked)\n", path.c_str(),
+                  static_cast<unsigned long long>(inv.spans_checked));
+      return 0;
+    }
+    std::printf("spans %s: %zu invariant violation(s):\n", path.c_str(),
+                inv.violations.size());
+    for (const std::string& v : inv.violations) {
+      std::printf("  %s\n", v.c_str());
+    }
+    return 1;
+  }
+  std::printf("spans %s\n", path.c_str());
+  std::fputs(FormatSpanReport(*dataset, top_k).c_str(), stdout);
+  return CheckSpanInvariants(*dataset).ok() ? 0 : 1;
+}
+
 int DiffBench(const std::string& old_path, const std::string& new_path,
               const BenchDiffOptions& options) {
   auto baseline = ReadBenchJsonFile(old_path);
@@ -243,10 +273,11 @@ int AnalyzeTrace(const std::string& trace_path, const std::string& cluster_name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string bench_path, trace_path, cluster_name = "qdr";
+  std::string bench_path, trace_path, spans_path, cluster_name = "qdr";
   std::vector<std::string> positional;
-  bool diff_mode = false;
+  bool diff_mode = false, check_only = false;
   uint32_t machines = 4, cores = 8;
+  size_t top_k = 5;
   double scale = 1024, inner_m = 0, outer_m = 0;
   BenchDiffOptions diff_options;
   for (int i = 1; i < argc; ++i) {
@@ -262,6 +293,15 @@ int main(int argc, char** argv) {
       bench_path = v;
     } else if (const char* v = value("--trace")) {
       trace_path = v;
+    } else if (const char* v = value("--spans")) {
+      spans_path = v;
+    } else if (const char* v = value("--top")) {
+      const int k = std::atoi(v);
+      if (k <= 0) {
+        std::fprintf(stderr, "invalid --top value '%s'\n", v);
+        return 2;
+      }
+      top_k = static_cast<size_t>(k);
     } else if (const char* v = value("--cluster")) {
       cluster_name = v;
     } else if (const char* v = value("--machines")) {
@@ -291,6 +331,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--diff") {
       diff_mode = true;
+    } else if (arg == "--check") {
+      check_only = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -311,6 +353,7 @@ int main(int argc, char** argv) {
     }
     return DiffBench(positional[0], positional[1], diff_options);
   }
+  if (!spans_path.empty()) return RenderSpans(spans_path, check_only, top_k);
   if (!bench_path.empty()) return RenderBench(bench_path);
   if (!trace_path.empty()) {
     return AnalyzeTrace(trace_path, cluster_name, machines, cores, scale,

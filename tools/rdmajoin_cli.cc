@@ -21,6 +21,7 @@
 #include "operators/distributed_aggregate.h"
 #include "operators/sort_merge_join.h"
 #include "timing/chrome_trace.h"
+#include "timing/span_trace.h"
 #include "timing/trace_io.h"
 #include "util/metrics.h"
 #include "util/table_printer.h"
@@ -51,6 +52,8 @@ struct CliOptions {
   std::string trace_out;      // record the execution trace to this file
   std::string metrics_json;   // write the metrics snapshot to this file
   std::string chrome_trace;   // write a Chrome trace-event file
+  std::string spans_json;     // write the causal span dataset to this file
+  bool no_spans = false;      // disable the span flight recorder
 };
 
 void PrintUsage() {
@@ -75,7 +78,10 @@ void PrintUsage() {
       "  --trace-out=PATH              record the execution trace (join ops)\n"
       "  --metrics-json=PATH           write the metrics snapshot as JSON\n"
       "  --chrome-trace=PATH           write a Chrome trace-event file\n"
-      "                                (open in chrome://tracing, join ops)\n");
+      "                                (open in chrome://tracing, join ops)\n"
+      "  --spans-json=PATH             write the causal span dataset as JSON\n"
+      "                                (inspect with rdmajoin_analyze --spans)\n"
+      "  --no-spans                    disable the span flight recorder\n");
 }
 
 bool ParseCli(int argc, char** argv, CliOptions* opt) {
@@ -131,6 +137,10 @@ bool ParseCli(int argc, char** argv, CliOptions* opt) {
       opt->metrics_json = v;
     } else if (const char* v = value("--chrome-trace")) {
       opt->chrome_trace = v;
+    } else if (const char* v = value("--spans-json")) {
+      opt->spans_json = v;
+    } else if (arg == "--no-spans") {
+      opt->no_spans = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return false;
@@ -194,6 +204,15 @@ int main(int argc, char** argv) {
   const bool want_metrics =
       !opt.metrics_json.empty() || !opt.chrome_trace.empty();
   if (want_metrics) config.metrics = &metrics;
+  if (!opt.spans_json.empty() && opt.no_spans) {
+    std::fprintf(stderr, "--spans-json and --no-spans are mutually exclusive\n");
+    return 1;
+  }
+  config.enable_spans = !opt.no_spans;
+  // An external recorder collects replay-time spans and execution-layer
+  // verbs counts into one dataset.
+  SpanRecorder span_recorder;
+  if (!opt.spans_json.empty()) config.span_recorder = &span_recorder;
 
   PhaseTimes times;
   std::string verified = "n/a";
@@ -218,7 +237,10 @@ int main(int argc, char** argv) {
       if (!s.ok()) return Fail(s);
     }
     if (!opt.chrome_trace.empty()) {
-      Status s = WriteChromeTraceFile(opt.chrome_trace, result->replay, &metrics);
+      ChromeTraceOptions trace_options;
+      trace_options.label = cluster.name + ", " + opt.op;
+      Status s = WriteChromeTraceFile(opt.chrome_trace, result->replay, &metrics,
+                                      trace_options);
       if (!s.ok()) return Fail(s);
     }
   } else if (opt.op == "aggregate") {
@@ -231,6 +253,10 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown operator: %s\n", opt.op.c_str());
     return 1;
+  }
+  if (!opt.spans_json.empty()) {
+    Status s = WriteSpanDatasetFile(opt.spans_json, span_recorder.Snapshot());
+    if (!s.ok()) return Fail(s);
   }
   if (!opt.metrics_json.empty()) {
     std::ofstream out(opt.metrics_json, std::ios::binary);

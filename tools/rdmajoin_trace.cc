@@ -24,6 +24,7 @@
 #include "join/join_config.h"
 #include "timing/chrome_trace.h"
 #include "timing/replay.h"
+#include "timing/span_trace.h"
 #include "timing/trace_io.h"
 #include "util/metrics.h"
 
@@ -43,6 +44,8 @@ void PrintUsage() {
       "                          rdmajoin_whatif --capture)\n"
       "  --out=PATH              output Chrome trace-event JSON file\n"
       "  --metrics-json=PATH     also write the metrics snapshot as JSON\n"
+      "  --spans-json=PATH       also write the causal span dataset as JSON\n"
+      "                          (inspect with rdmajoin_analyze --spans)\n"
       "  --cluster=qdr|fdr|ipoib hardware preset for the replay (default qdr)\n"
       "  --cores=N               cores per machine (default 8)\n"
       "  --bucket-ms=F           utilization bucket width in milliseconds\n"
@@ -52,7 +55,8 @@ void PrintUsage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path, out_path, metrics_path, cluster_name = "qdr";
+  std::string trace_path, out_path, metrics_path, spans_path,
+      cluster_name = "qdr";
   uint32_t cores = 8;
   double bucket_ms = 10.0;
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +77,8 @@ int main(int argc, char** argv) {
       out_path = v;
     } else if (const char* v = value("--metrics-json")) {
       metrics_path = v;
+    } else if (const char* v = value("--spans-json")) {
+      spans_path = v;
     } else if (const char* v = value("--cluster")) {
       cluster_name = v;
     } else if (const char* v = value("--cores")) {
@@ -122,11 +128,21 @@ int main(int argc, char** argv) {
   options.utilization_bucket_seconds = bucket_ms / 1e3;
   const ReplayReport report = ReplayTrace(cluster, config, *trace, options);
 
-  Status s = WriteChromeTraceFile(out_path, report, &metrics);
+  ChromeTraceOptions trace_options;
+  trace_options.label = cluster.name + ", " + trace_path;
+  Status s = WriteChromeTraceFile(out_path, report, &metrics, trace_options);
   if (!s.ok()) return Fail(s);
   std::printf("wrote %s (%u machines, %.3f virtual s)\n", out_path.c_str(),
               machines, report.phases.TotalSeconds());
 
+  if (!spans_path.empty()) {
+    if (report.spans == nullptr) {
+      return Fail(Status::Internal("replay produced no span recorder"));
+    }
+    Status ws = WriteSpanDatasetFile(spans_path, report.spans->Snapshot());
+    if (!ws.ok()) return Fail(ws);
+    std::printf("wrote %s\n", spans_path.c_str());
+  }
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path, std::ios::binary);
     const std::string json = metrics.ToJson();
