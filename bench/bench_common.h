@@ -371,10 +371,17 @@ class BenchReporter {
   }
 
   static std::string BreakdownJson(const PhaseAttribution& b) {
-    return "{\"compute_seconds\":" + JsonNumber(b.compute_seconds) +
-           ",\"network_seconds\":" + JsonNumber(b.network_seconds) +
-           ",\"buffer_stall_seconds\":" + JsonNumber(b.buffer_stall_seconds) +
-           ",\"barrier_wait_seconds\":" + JsonNumber(b.barrier_wait_seconds) + "}";
+    std::string out =
+        "{\"compute_seconds\":" + JsonNumber(b.compute_seconds) +
+        ",\"network_seconds\":" + JsonNumber(b.network_seconds) +
+        ",\"buffer_stall_seconds\":" + JsonNumber(b.buffer_stall_seconds) +
+        ",\"barrier_wait_seconds\":" + JsonNumber(b.barrier_wait_seconds);
+    // Conditional so fault-free bench JSON stays byte-identical to runs
+    // produced before the fault subsystem existed.
+    if (b.fault_recovery_seconds != 0) {
+      out += ",\"fault_recovery_seconds\":" + JsonNumber(b.fault_recovery_seconds);
+    }
+    return out + "}";
   }
 
   static std::string AttributionJson(const AttributionReport& attr) {

@@ -1,0 +1,131 @@
+#include "fault/injector.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rdmajoin {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool Covers(const FaultEvent& e, uint32_t machine, double t) {
+  if (e.machine != FaultEvent::kAllMachines && e.machine != machine) return false;
+  return t >= e.start_seconds && t < e.end_seconds();
+}
+
+bool Targets(const FaultEvent& e, uint32_t machine) {
+  return e.machine == FaultEvent::kAllMachines || e.machine == machine;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : schedule_(std::move(schedule)) {
+  for (const FaultEvent& e : schedule_.events) {
+    switch (e.kind) {
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkFlap:
+        has_link_ = true;
+        break;
+      case FaultKind::kStraggler:
+        has_straggler_ = true;
+        break;
+      case FaultKind::kCreditShrink:
+        has_credit_ = true;
+        break;
+      case FaultKind::kQpError:
+        has_send_ = true;
+        break;
+    }
+  }
+}
+
+double FaultInjector::LinkScale(uint32_t host, double t) const {
+  double scale = 1.0;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::kLinkFlap && Covers(e, host, t)) return 0.0;
+    if (e.kind == FaultKind::kLinkDegrade && Covers(e, host, t)) {
+      scale *= e.factor;
+    }
+  }
+  return scale;
+}
+
+double FaultInjector::NextTransitionAfter(double t) const {
+  double best = kInf;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::kQpError) continue;
+    if (e.start_seconds > t) best = std::min(best, e.start_seconds);
+    const double end = e.end_seconds();
+    if (end > t) best = std::min(best, end);
+  }
+  return best;
+}
+
+bool FaultInjector::HasStraggler(uint32_t machine) const {
+  if (!has_straggler_) return false;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::kStraggler && Targets(e, machine)) return true;
+  }
+  return false;
+}
+
+double FaultInjector::ComputeFinishTime(uint32_t machine, double start,
+                                        double nominal_seconds) const {
+  if (!(nominal_seconds > 0)) return start;
+  double cur = start;
+  double remaining = nominal_seconds;
+  for (;;) {
+    double rate = 1.0;
+    double next = kInf;
+    for (const FaultEvent& e : schedule_.events) {
+      if (e.kind != FaultKind::kStraggler || !Targets(e, machine)) continue;
+      if (Covers(e, machine, cur)) rate *= e.factor;
+      if (e.start_seconds > cur) next = std::min(next, e.start_seconds);
+      const double end = e.end_seconds();
+      if (end > cur) next = std::min(next, end);
+    }
+    // Inside a window-free stretch the expression stays `cur + remaining`,
+    // so a machine with no straggler windows finishes at exactly
+    // start + nominal_seconds.
+    const double finish = cur + remaining / rate;
+    if (finish <= next) return finish;
+    remaining -= (next - cur) * rate;
+    cur = next;
+  }
+}
+
+bool FaultInjector::HasCreditFaults() const { return has_credit_; }
+
+uint32_t FaultInjector::EffectiveCredits(uint32_t machine, double t,
+                                         uint32_t base) const {
+  if (!has_credit_) return base;
+  double scale = 1.0;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::kCreditShrink && Covers(e, machine, t)) {
+      scale *= e.factor;
+    }
+  }
+  if (scale >= 1.0) return base;
+  const double scaled = std::floor(static_cast<double>(base) * scale);
+  return scaled < 1.0 ? 1u : static_cast<uint32_t>(scaled);
+}
+
+bool FaultInjector::HasLinkFaults() const { return has_link_; }
+
+FaultInjector::SendFault FaultInjector::QuerySendFault(uint32_t src_machine,
+                                                       uint64_t ordinal) const {
+  if (!has_send_) return SendFault::kNone;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind != FaultKind::kQpError || !Targets(e, src_machine)) continue;
+    if (ordinal >= e.ordinal && ordinal - e.ordinal < e.count) {
+      return e.drop ? SendFault::kDrop : SendFault::kCompletionError;
+    }
+  }
+  return SendFault::kNone;
+}
+
+bool FaultInjector::HasSendFaults() const { return has_send_; }
+
+}  // namespace rdmajoin

@@ -1,0 +1,88 @@
+#ifndef RDMAJOIN_FAULT_INJECTOR_H_
+#define RDMAJOIN_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/schedule.h"
+
+namespace rdmajoin {
+
+/// Read-only query interface over a FaultSchedule, consumed by the timing
+/// replay (link / straggler / credit windows on the virtual clock) and by
+/// the execution-layer transport (QP faults keyed by send ordinal). The
+/// injector holds no mutable state, so one instance can serve any number of
+/// runs and threads; determinism comes entirely from the schedule.
+class FaultInjector {
+ public:
+  /// Empty, inactive injector.
+  FaultInjector() = default;
+  explicit FaultInjector(FaultSchedule schedule);
+
+  /// False when the schedule is empty: every query answers with the identity
+  /// (scale 1, no transition, no fault), and callers are expected to skip
+  /// the injector entirely to stay byte-identical with an injector-free run.
+  bool active() const { return !schedule_.empty(); }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  // ---- Replay facet (network-pass virtual clock) ----
+
+  /// Capacity scale of `host` at time `t`: the product of all overlapping
+  /// kLinkDegrade factors, 0 inside any kLinkFlap window. Exactly 1.0 when
+  /// no window covers `t`.
+  double EgressScale(uint32_t host, double t) const { return LinkScale(host, t); }
+  double IngressScale(uint32_t host, double t) const { return LinkScale(host, t); }
+
+  /// Earliest window boundary (start or end, any windowed event) strictly
+  /// after `t`; +infinity when none remain. The replay advances the fabric
+  /// to each boundary so rate changes land on the discrete-event clock.
+  double NextTransitionAfter(double t) const;
+
+  /// True when any kStraggler window targets `machine`.
+  bool HasStraggler(uint32_t machine) const;
+
+  /// Virtual time at which `nominal_seconds` of compute started at `start`
+  /// finishes on `machine`, integrating the straggler rate piecewise
+  /// (rate = product of overlapping straggler factors, 1 outside windows).
+  /// Returns exactly start + nominal_seconds when no window intersects.
+  double ComputeFinishTime(uint32_t machine, double start,
+                           double nominal_seconds) const;
+
+  /// True when any kCreditShrink event exists (for `machine` or all).
+  bool HasCreditFaults() const;
+
+  /// Send credits available to `machine` at time `t`: `base` outside any
+  /// kCreditShrink window, else max(1, floor(base * factor-product)).
+  uint32_t EffectiveCredits(uint32_t machine, double t, uint32_t base) const;
+
+  /// True when any link-capacity window (degrade or flap) exists.
+  bool HasLinkFaults() const;
+
+  // ---- Execution facet (transport send path) ----
+
+  enum class SendFault : uint8_t {
+    kNone = 0,
+    /// Deliver an error work completion; the QP moves to the error state.
+    kCompletionError,
+    /// Swallow the send: no completion ever arrives (sender must time out).
+    kDrop,
+  };
+
+  /// Fault injected into the `ordinal`-th Ship attempt (zero-based, counted
+  /// per channel) issued by `src_machine`.
+  SendFault QuerySendFault(uint32_t src_machine, uint64_t ordinal) const;
+  bool HasSendFaults() const;
+
+ private:
+  double LinkScale(uint32_t host, double t) const;
+
+  FaultSchedule schedule_;
+  bool has_link_ = false;
+  bool has_straggler_ = false;
+  bool has_credit_ = false;
+  bool has_send_ = false;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_FAULT_INJECTOR_H_

@@ -343,6 +343,7 @@ StatusOr<JoinRunResult> DistributedJoin::Run(const DistributedRelation& inner,
     replay_options.spans.max_bytes = config_.span_budget_bytes;
   }
   replay_options.span_recorder = config_.span_recorder;
+  replay_options.injector = config_.fault_injector;
   result.replay = ReplayTrace(cluster_, config_, result.trace, replay_options);
   result.times = result.replay.phases;
   RDMAJOIN_LOG(kInfo) << "join of " << (inner.total_tuples() + outer.total_tuples())

@@ -200,6 +200,18 @@ StatusOr<Exchange::Result> Exchange::Run(
     for (uint32_t t = 0; t < threads; ++t) {
       ThreadNetTrace& tt = mt.net_threads[t];
       std::vector<RegisteredBuffer*> slot(parts, nullptr);
+      // A mid-pass abort (Ship or Acquire error below) must hand every buffer
+      // still held in `slot` back to the pool exactly once, or the pool's
+      // teardown reports them as buffer leaks. Successful paths null their
+      // slot entries first, so this is a no-op for them.
+      ScopeExit release_slots([&slot, &pool] {
+        for (RegisteredBuffer*& b : slot) {
+          if (b != nullptr) {
+            (void)pool.Release(b);
+            b = nullptr;
+          }
+        }
+      });
 
       auto ship_slot = [&](uint32_t p, uint32_t rel) -> Status {
         RegisteredBuffer* buf = slot[p];
@@ -210,9 +222,19 @@ StatusOr<Exchange::Result> Exchange::Run(
           }
           return Status::OK();
         }
-        auto wire = channel->Ship(assignment_[p], p, rel, buf);
-        RDMAJOIN_RETURN_IF_ERROR(wire.status());
-        tt.sends.push_back(SendRecord{assignment_[p], p, *wire, tt.compute_bytes});
+        ShipReport ship_report;
+        auto wire = channel->Ship(assignment_[p], p, rel, buf, &ship_report);
+        if (!wire.ok()) {
+          // The payload never reached the destination; give the buffer's
+          // credit back before propagating the (clean) abort status.
+          slot[p] = nullptr;
+          (void)pool.Release(buf);
+          return wire.status();
+        }
+        SendRecord send{assignment_[p], p, *wire, tt.compute_bytes};
+        send.retries = ship_report.retries;
+        send.retry_delay_seconds = ship_report.delay_seconds;
+        tt.sends.push_back(send);
         slot[p] = nullptr;
         RDMAJOIN_RETURN_IF_ERROR(pool.Release(buf));
         return Status::OK();
@@ -413,9 +435,15 @@ StatusOr<Exchange::Result> Exchange::RunPull(
             const uint64_t len = std::min(chunk_bytes, region.size_bytes() - off);
             auto buf = pool.Acquire();
             RDMAJOIN_RETURN_IF_ERROR(buf.status());
-            RDMAJOIN_RETURN_IF_ERROR(net.reader_qp(d, s)->PostRead(
+            const Status read_posted = net.reader_qp(d, s)->PostRead(
                 /*wr_id=*/0, (*buf)->mr.lkey, /*local_offset=*/0, mr.rkey, off,
-                len));
+                len);
+            if (!read_posted.ok()) {
+              // Same contract as the missing-completion path below: the
+              // chunk buffer goes back to the pool before the abort.
+              (void)pool.Release(*buf);
+              return read_posted;
+            }
             WorkCompletion wc;
             if (!net.reader_cq(d, s)->PollOne(&wc) || !wc.success) {
               (void)pool.Release(*buf);

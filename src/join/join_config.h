@@ -7,9 +7,23 @@
 
 namespace rdmajoin {
 
+class FaultInjector;
 class MetricsRegistry;
 class ProtocolValidator;
 class SpanRecorder;
+
+/// What the join does when a runtime fault (src/fault/) defeats the
+/// transport's bounded retry, or when retries are not wanted at all.
+enum class FaultPolicy {
+  /// Abort the pass with a clean Status error on the first failed send --
+  /// never report partial results as success.
+  kAbort,
+  /// Recover: re-post timed-out or error-completed sends (after cycling the
+  /// queue pair back to ready) up to max_send_retries times with exponential
+  /// backoff; abort only when the retry budget is exhausted. Stragglers are
+  /// additionally absorbed by the existing skew-split / work-stealing path.
+  kRecover,
+};
 
 /// How first-pass partitions are assigned to machines (Section 4.1).
 enum class AssignmentPolicy {
@@ -95,6 +109,23 @@ struct JoinConfig {
   /// counts and replay-time spans land in one dataset. Must outlive the run;
   /// overrides enable_spans / span_budget_bytes.
   SpanRecorder* span_recorder = nullptr;
+  /// Optional deterministic fault injector (src/fault/). When set and
+  /// active, the execution layer injects the scheduled QP faults into the
+  /// transport send path and the timing replay applies the scheduled link /
+  /// straggler / credit windows. Must outlive the run. Null (the default)
+  /// or an empty schedule leaves every output byte-identical to a run
+  /// without the injector.
+  const FaultInjector* fault_injector = nullptr;
+  /// Reaction to runtime faults; see FaultPolicy.
+  FaultPolicy fault_policy = FaultPolicy::kAbort;
+  /// kRecover: send attempts beyond the first before giving up.
+  uint32_t max_send_retries = 4;
+  /// kRecover: backoff before retry i is retry_backoff_seconds * 2^i of
+  /// virtual time, charged to the fault_recovery attribution bucket.
+  double retry_backoff_seconds = 2e-6;
+  /// Virtual seconds a sender waits for a missing completion before
+  /// declaring the send lost (timeout path of dropped messages).
+  double send_timeout_seconds = 1e-4;
 
   Status Validate() const;
 

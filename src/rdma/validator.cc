@@ -20,6 +20,8 @@ std::string_view ProtocolViolationName(ProtocolViolation v) {
       return "region-leak";
     case ProtocolViolation::kCqOverflow:
       return "cq-overflow";
+    case ProtocolViolation::kQpNotReady:
+      return "qp-not-ready";
   }
   return "unknown";
 }

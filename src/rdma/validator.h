@@ -37,9 +37,12 @@ enum class ProtocolViolation : uint8_t {
   kRegionLeak,
   /// A completion was dropped because the completion queue was full.
   kCqOverflow,
+  /// A work request was posted to a queue pair in the error state (after a
+  /// fatal completion error, before Recover()).
+  kQpNotReady,
 };
 
-inline constexpr size_t kNumProtocolViolations = 7;
+inline constexpr size_t kNumProtocolViolations = 8;
 
 /// Stable kebab-case name, e.g. "use-after-deregister".
 std::string_view ProtocolViolationName(ProtocolViolation v);

@@ -261,9 +261,26 @@ Status QueuePair::FailWr(ProtocolViolation violation, const Status& error,
   return Status::OK();
 }
 
+Status QueuePair::CheckReady(WorkCompletion::Op op, uint64_t wr_id,
+                             CompletionQueue* cq, bool* refused) {
+  if (state_ != State::kError) {
+    *refused = false;
+    return Status::OK();
+  }
+  *refused = true;
+  return FailWr(ProtocolViolation::kQpNotReady,
+                Status::FailedPrecondition(
+                    "queue pair in error state (device " +
+                    std::to_string(local_->id()) + "); Recover() it first"),
+                op, wr_id, cq);
+}
+
 Status QueuePair::PostRecv(uint64_t wr_id, uint32_t lkey, uint64_t offset,
                            uint64_t max_len) {
   CountPosted(local_, WorkCompletion::Op::kRecv);
+  bool refused = false;
+  Status ready = CheckReady(WorkCompletion::Op::kRecv, wr_id, recv_cq_, &refused);
+  if (refused) return ready;
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* mr = local_->FindByLkey(lkey);
   if (mr == nullptr) {
@@ -286,6 +303,9 @@ Status QueuePair::PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset,
                            uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
   CountPosted(local_, WorkCompletion::Op::kSend);
+  bool refused = false;
+  Status ready = CheckReady(WorkCompletion::Op::kSend, wr_id, send_cq_, &refused);
+  if (refused) return ready;
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* src = local_->FindByLkey(lkey);
   if (src == nullptr) {
@@ -320,6 +340,24 @@ Status QueuePair::PostSend(uint64_t wr_id, uint32_t lkey, uint64_t offset,
                   Status::OutOfRange("message larger than posted receive buffer"),
                   WorkCompletion::Op::kSend, wr_id, send_cq_);
   }
+  if (fail_next_sends_ > 0) {
+    // Injected transport fault (src/fault/): the work request was valid, so
+    // this is not a protocol violation. The peer's posted receive is not
+    // consumed -- the message never arrived.
+    --fail_next_sends_;
+    if (fail_drop_) {
+      // Lost in the fabric: no completion is ever delivered; the sender's
+      // timeout path is the only way to learn about it.
+      return Status::OK();
+    }
+    // Fatal error completion; the queue pair transitions to the error state
+    // per verbs semantics and must be recovered before further posts.
+    state_ = State::kError;
+    const WorkCompletion wc{WorkCompletion::Op::kSend, wr_id, 0, 0,
+                            /*success=*/false};
+    if (send_cq_->Push(wc, local_->validator())) CountCompletion(local_, wc);
+    return Status::OK();
+  }
   peer_->recv_queue_.pop_front();
   std::memcpy(dst->addr + rx.offset, src->addr + offset, len);
 
@@ -341,6 +379,9 @@ Status QueuePair::PostWrite(uint64_t wr_id, uint32_t local_lkey, uint64_t local_
                             uint32_t rkey, uint64_t remote_offset, uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
   CountPosted(local_, WorkCompletion::Op::kWrite);
+  bool refused = false;
+  Status ready = CheckReady(WorkCompletion::Op::kWrite, wr_id, send_cq_, &refused);
+  if (refused) return ready;
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* src = local_->FindByLkey(local_lkey);
   if (src == nullptr) {
@@ -380,6 +421,9 @@ Status QueuePair::PostRead(uint64_t wr_id, uint32_t local_lkey, uint64_t local_o
                            uint32_t rkey, uint64_t remote_offset, uint64_t len) {
   if (peer_ == nullptr) return Status::FailedPrecondition("queue pair not connected");
   CountPosted(local_, WorkCompletion::Op::kRead);
+  bool refused = false;
+  Status ready = CheckReady(WorkCompletion::Op::kRead, wr_id, send_cq_, &refused);
+  if (refused) return ready;
   ProtocolValidator* validator = local_->validator();
   const MemoryRegion* dst = local_->FindByLkey(local_lkey);
   if (dst == nullptr) {

@@ -245,6 +245,12 @@ class RdmaDevice {
 /// way a real HCA surfaces protection errors.
 class QueuePair {
  public:
+  /// Lifecycle per verbs semantics, collapsed to the two states the join
+  /// exercises: kReady (RTS) accepts work requests; kError refuses every
+  /// post (reported as qp-not-ready) until Recover() cycles the queue pair
+  /// back (the simulated RESET -> INIT -> RTR -> RTS transition).
+  enum class State : uint8_t { kReady, kError };
+
   /// Connects `local` to `remote`. `send_cq`/`recv_cq` receive this side's
   /// completions; the peer constructs its own QueuePair and the two are
   /// paired with Connect().
@@ -275,6 +281,27 @@ class QueuePair {
   size_t posted_recvs() const { return recv_queue_.size(); }
   RdmaDevice* device() const { return local_; }
 
+  State state() const { return state_; }
+  /// Transitions to the error state; every subsequent post fails with
+  /// qp-not-ready until Recover(). A completion error injected by
+  /// InjectSendFaults transitions automatically, per verbs semantics.
+  void SetError() { state_ = State::kError; }
+  /// Returns the queue pair to the ready state. Pending receives survive
+  /// (the simulation does not flush them; the transport's recovery path
+  /// reposts what it consumed).
+  void Recover() { state_ = State::kReady; }
+
+  /// Fault injection (src/fault/): the next `count` PostSend calls that pass
+  /// validation fail. With `drop` false each delivers an error work
+  /// completion and moves the queue pair to the error state; with `drop`
+  /// true the message is silently lost -- no completion is ever delivered
+  /// and the state is unchanged (the sender must time out).
+  void InjectSendFaults(uint32_t count, bool drop) {
+    fail_next_sends_ = count;
+    fail_drop_ = drop;
+  }
+  uint32_t pending_send_faults() const { return fail_next_sends_; }
+
  private:
   struct PostedRecv {
     uint64_t wr_id;
@@ -293,10 +320,18 @@ class QueuePair {
   Status FailWr(ProtocolViolation violation, const Status& error,
                 WorkCompletion::Op op, uint64_t wr_id, CompletionQueue* cq);
 
+  /// Refuses the post when the queue pair is in the error state (reported
+  /// as qp-not-ready through FailWr); OK otherwise.
+  Status CheckReady(WorkCompletion::Op op, uint64_t wr_id, CompletionQueue* cq,
+                    bool* refused);
+
   RdmaDevice* local_;
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;
   QueuePair* peer_ = nullptr;
+  State state_ = State::kReady;
+  uint32_t fail_next_sends_ = 0;
+  bool fail_drop_ = false;
   std::deque<PostedRecv> recv_queue_;
 };
 

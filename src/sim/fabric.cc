@@ -32,6 +32,17 @@ Status FabricConfig::Validate() const {
 Fabric::Fabric(const FabricConfig& config) : config_(config) {
   assert(config.Validate().ok());
   bytes_from_host_.assign(config_.num_hosts, 0.0);
+  egress_scale_.assign(config_.num_hosts, 1.0);
+  ingress_scale_.assign(config_.num_hosts, 1.0);
+}
+
+void Fabric::SetHostCapacityScale(uint32_t host, double egress_scale,
+                                  double ingress_scale) {
+  assert(host < config_.num_hosts);
+  assert(egress_scale >= 0 && ingress_scale >= 0);
+  egress_scale_[host] = egress_scale;
+  ingress_scale_[host] = ingress_scale;
+  RecomputeRates();
 }
 
 double Fabric::FlowCap(const Flow& f) const {
@@ -215,8 +226,11 @@ void Fabric::RecomputeEqualShare() {
   }
   const double egress = config_.EffectiveEgress();
   for (Flow& f : flows_) {
-    const double e_share = egress / src_count[f.src];
-    const double i_share = config_.ingress_bytes_per_sec / dst_count[f.dst];
+    // Scale factors are exactly 1.0 without fault injection, so the shares
+    // are bit-identical to the unscaled expressions.
+    const double e_share = egress * egress_scale_[f.src] / src_count[f.src];
+    const double i_share = config_.ingress_bytes_per_sec * ingress_scale_[f.dst] /
+                           dst_count[f.dst];
     f.rate = std::min({e_share, i_share, FlowCap(f)});
   }
 }
@@ -226,8 +240,12 @@ void Fabric::RecomputeMaxMin() {
   // the per-flow message-rate cap. In each round the tightest constraint
   // freezes its flows at the fair share; capacities are reduced accordingly.
   const uint32_t n = config_.num_hosts;
-  std::vector<double> egress_left(n, config_.EffectiveEgress());
-  std::vector<double> ingress_left(n, config_.ingress_bytes_per_sec);
+  std::vector<double> egress_left(n), ingress_left(n);
+  for (uint32_t h = 0; h < n; ++h) {
+    // Fault-injection scales; exactly 1.0 (and thus a no-op) by default.
+    egress_left[h] = config_.EffectiveEgress() * egress_scale_[h];
+    ingress_left[h] = config_.ingress_bytes_per_sec * ingress_scale_[h];
+  }
   std::vector<bool> fixed(flows_.size(), false);
   size_t unfixed = flows_.size();
 

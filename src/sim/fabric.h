@@ -133,6 +133,15 @@ class Fabric {
   /// nullptr to detach. `telemetry` must outlive the fabric.
   void EnableFlowTelemetry(FlowTelemetry* telemetry) { telemetry_ = telemetry; }
 
+  /// Scales `host`'s port capacities (fault injection: degraded or flapping
+  /// links, src/fault/). The scales multiply into the configured
+  /// egress/ingress capacities at every rate recompute; 1.0 is the exact
+  /// nominal behaviour. A scale of 0 stalls the host's traffic entirely --
+  /// callers must eventually restore it or time stops advancing for those
+  /// flows. Takes effect at the current fabric time (advance first).
+  void SetHostCapacityScale(uint32_t host, double egress_scale,
+                            double ingress_scale);
+
   /// Earliest tentative completion time under current rates; +infinity if no
   /// flow is active or in its latency stage.
   double NextCompletionTime() const;
@@ -190,6 +199,9 @@ class Fabric {
   double FlowCap(const Flow& f) const;
 
   FabricConfig config_;
+  /// Per-host fault-injection capacity scales (all 1.0 when no fault).
+  std::vector<double> egress_scale_;
+  std::vector<double> ingress_scale_;
   double now_ = 0.0;
   FlowId next_id_ = 1;
   std::vector<Flow> flows_;

@@ -16,6 +16,8 @@ constexpr double kTimeEps = 1e-12;
 
 LinkFabric::LinkFabric(const FabricConfig& config) : config_(config) {
   assert(config.Validate().ok());
+  egress_scale_.assign(config_.num_hosts, 1.0);
+  ingress_scale_.assign(config_.num_hosts, 1.0);
   links_.resize(static_cast<size_t>(config_.num_hosts) * config_.num_hosts);
   for (uint32_t s = 0; s < config_.num_hosts; ++s) {
     for (uint32_t d = 0; d < config_.num_hosts; ++d) {
@@ -45,6 +47,15 @@ void LinkFabric::EnableMetrics(MetricsRegistry* registry,
   message_bytes_histogram_ = registry->GetHistogram(prefix + ".message_bytes");
 }
 
+void LinkFabric::SetHostCapacityScale(uint32_t host, double egress_scale,
+                                      double ingress_scale) {
+  assert(host < config_.num_hosts);
+  assert(egress_scale >= 0 && ingress_scale >= 0);
+  egress_scale_[host] = egress_scale;
+  ingress_scale_[host] = ingress_scale;
+  RecomputeRates();
+}
+
 double LinkFabric::LinkCap(const Link& l) const {
   if (config_.message_rate_per_host <= 0 || l.queue.empty()) return kInf;
   // A stream of messages of the head's size cannot exceed size * msg_rate.
@@ -66,15 +77,22 @@ void LinkFabric::RecomputeRates() {
         l.rate = 0;
         continue;
       }
-      const double e_share = egress / src_cnt[l.src];
-      const double i_share = config_.ingress_bytes_per_sec / dst_cnt[l.dst];
+      // Scale factors are exactly 1.0 without fault injection, so the shares
+      // are bit-identical to the unscaled expressions.
+      const double e_share = egress * egress_scale_[l.src] / src_cnt[l.src];
+      const double i_share = config_.ingress_bytes_per_sec * ingress_scale_[l.dst] /
+                             dst_cnt[l.dst];
       l.rate = std::min({e_share, i_share, LinkCap(l)});
     }
     return;
   }
   // Max-min (progressive filling) over active links.
-  std::vector<double> egress_left(config_.num_hosts, egress);
-  std::vector<double> ingress_left(config_.num_hosts, config_.ingress_bytes_per_sec);
+  std::vector<double> egress_left(config_.num_hosts);
+  std::vector<double> ingress_left(config_.num_hosts);
+  for (uint32_t h = 0; h < config_.num_hosts; ++h) {
+    egress_left[h] = egress * egress_scale_[h];
+    ingress_left[h] = config_.ingress_bytes_per_sec * ingress_scale_[h];
+  }
   std::vector<Link*> unfixed;
   for (Link& l : links_) {
     if (l.active()) {

@@ -65,6 +65,14 @@ class LinkFabric {
   /// segments are reported for heads only. Pass nullptr to detach.
   void EnableFlowTelemetry(FlowTelemetry* telemetry) { telemetry_ = telemetry; }
 
+  /// Scales `host`'s port capacities (fault injection: degraded or flapping
+  /// links, src/fault/). Multiplied into the configured egress/ingress
+  /// capacities at every rate recompute; 1.0 is the exact nominal behaviour
+  /// and 0 stalls the host's links (callers must eventually restore it).
+  /// Takes effect at the current fabric time (advance first).
+  void SetHostCapacityScale(uint32_t host, double egress_scale,
+                            double ingress_scale);
+
   /// Earliest tentative completion; +infinity if idle.
   double NextCompletionTime() const;
 
@@ -109,6 +117,9 @@ class LinkFabric {
   };
 
   FabricConfig config_;
+  /// Per-host fault-injection capacity scales (all 1.0 when no fault).
+  std::vector<double> egress_scale_;
+  std::vector<double> ingress_scale_;
   double now_ = 0.0;
   MessageId next_id_ = 1;
   std::vector<Link> links_;

@@ -109,19 +109,28 @@ std::string FormatAttribution(const AttributionReport& attribution) {
     const double total = step.phase_seconds > 0 ? step.phase_seconds : 1.0;
     Appendf(&out,
             "  %-18s machine %-3u %8.3f s = compute %5.1f%% | network %5.1f%% "
-            "| buffer stall %5.1f%% | barrier %5.1f%%\n",
+            "| buffer stall %5.1f%% | barrier %5.1f%%",
             std::string(JoinPhaseName(step.phase)).c_str(), step.machine,
             step.phase_seconds, 100 * b.compute_seconds / total,
             100 * b.network_seconds / total, 100 * b.buffer_stall_seconds / total,
             100 * b.barrier_wait_seconds / total);
+    if (b.fault_recovery_seconds != 0) {
+      Appendf(&out, " | fault recovery %5.1f%%",
+              100 * b.fault_recovery_seconds / total);
+    }
+    out.append("\n");
   }
   const PhaseAttribution cp = attribution.CriticalPathBreakdown();
   const double makespan = attribution.MakespanSeconds();
   Appendf(&out,
           "  critical path: %.3f s (compute %.3f, network %.3f, buffer stall "
-          "%.3f, barrier %.3f)\n",
+          "%.3f, barrier %.3f",
           makespan, cp.compute_seconds, cp.network_seconds,
           cp.buffer_stall_seconds, cp.barrier_wait_seconds);
+  if (cp.fault_recovery_seconds != 0) {
+    Appendf(&out, ", fault recovery %.3f", cp.fault_recovery_seconds);
+  }
+  out.append(")\n");
   return out;
 }
 

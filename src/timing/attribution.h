@@ -48,10 +48,14 @@ struct PhaseAttribution {
   /// Idle time between this machine finishing the phase and the slowest
   /// machine reaching the barrier.
   double barrier_wait_seconds = 0;
+  /// Time lost to injected faults and their recovery: straggler slowdown
+  /// beyond the nominal compute time, and send retry/timeout/backoff delays
+  /// (src/fault/). Exactly 0 when no fault schedule is active.
+  double fault_recovery_seconds = 0;
 
   double TotalSeconds() const {
     return compute_seconds + network_seconds + buffer_stall_seconds +
-           barrier_wait_seconds;
+           barrier_wait_seconds + fault_recovery_seconds;
   }
 
   PhaseAttribution& operator+=(const PhaseAttribution& other) {
@@ -59,6 +63,7 @@ struct PhaseAttribution {
     network_seconds += other.network_seconds;
     buffer_stall_seconds += other.buffer_stall_seconds;
     barrier_wait_seconds += other.barrier_wait_seconds;
+    fault_recovery_seconds += other.fault_recovery_seconds;
     return *this;
   }
 };

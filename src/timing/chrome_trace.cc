@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/schedule.h"
 #include "timing/span_query.h"
 #include "timing/span_trace.h"
 #include "util/json.h"
@@ -138,6 +139,35 @@ void AppendUtilization(std::string* out, bool* first, const std::string& name,
 
 /// Receiver rows get a tid far above any partitioning thread's 1+thread.
 constexpr uint32_t kReceiverTid = 1000;
+/// Fault-window rows sit below the receiver row.
+constexpr uint32_t kFaultTid = 1001;
+
+/// Renders every windowed fault of `schedule` as a slice on the affected
+/// machine's fault row. Windows are on the network-pass clock, so they are
+/// shifted to the barrier like the fabric counters. Ordinal-keyed QP faults
+/// have no window and are visible through span retry args instead.
+void AppendFaultWindows(std::string* out, bool* first,
+                        const FaultSchedule& schedule, uint32_t nm,
+                        double offset_seconds) {
+  std::set<uint32_t> rows;
+  for (const FaultEvent& e : schedule.events) {
+    if (e.kind == FaultKind::kQpError) continue;
+    const uint32_t lo = e.machine == FaultEvent::kAllMachines ? 0 : e.machine;
+    const uint32_t hi =
+        e.machine == FaultEvent::kAllMachines ? nm : e.machine + 1;
+    for (uint32_t m = lo; m < hi && m < nm; ++m) {
+      rows.insert(m);
+      const double factor = e.kind == FaultKind::kLinkFlap ? 0.0 : e.factor;
+      AppendSlice(out, first, "fault: " + FaultKindName(e.kind), m, kFaultTid,
+                  offset_seconds + e.start_seconds, e.duration_seconds,
+                  "\"factor\":" + JsonNumber(factor));
+    }
+  }
+  for (uint32_t m : rows) {
+    AppendNameMeta(out, first, "thread_name", m, static_cast<int>(kFaultTid),
+                   "fault windows");
+  }
+}
 
 /// Renders the top spans of the report's recorder as sender/receiver slices
 /// joined by flow arrows. Span timestamps are fabric-relative, so they are
@@ -170,6 +200,10 @@ void AppendSpanEvents(std::string* out, bool* first, const SpanDataset& data,
                        JsonNumber(s.StageSeconds(SpanStage::kCreditAcquired)) +
                        ",\"fabric_s\":" +
                        JsonNumber(s.StageSeconds(SpanStage::kDelivered));
+    if (s.retries > 0 || s.retry_delay_seconds > 0) {
+      args += ",\"retries\":" + std::to_string(s.retries) +
+              ",\"retry_delay_s\":" + JsonNumber(s.retry_delay_seconds);
+    }
     const std::string name = "wr " + std::to_string(s.id) + " -> m" +
                              std::to_string(s.dst) +
                              (s.pull ? " (pull)" : "");
@@ -248,6 +282,10 @@ std::string ChromeTraceJson(const ReplayReport& report,
         AppendUtilization(&out, &first, "ingress MB/s", h, *ingress, net_start);
       }
     }
+  }
+
+  if (options.fault_schedule != nullptr && !options.fault_schedule->empty()) {
+    AppendFaultWindows(&out, &first, *options.fault_schedule, nm, net_start);
   }
 
   if (report.spans != nullptr && options.max_spans > 0) {

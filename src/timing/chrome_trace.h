@@ -10,6 +10,7 @@
 namespace rdmajoin {
 
 class MetricsRegistry;
+struct FaultSchedule;
 
 /// Presentation knobs for the Chrome trace export.
 struct ChromeTraceOptions {
@@ -21,6 +22,12 @@ struct ChromeTraceOptions {
   /// arrows (the longest by duration win; ties by id). The full dataset can
   /// be exported separately via SpanDatasetToJson. 0 disables span slices.
   size_t max_spans = 512;
+  /// When the run used fault injection, the schedule that was active: each
+  /// windowed fault renders as a slice on the affected machine's "fault
+  /// windows" row (aligned to the network-phase barrier, like the fabric
+  /// counters), so degraded links, flaps, stragglers and credit squeezes are
+  /// visible next to the work they delayed. Null omits the row.
+  const FaultSchedule* fault_schedule = nullptr;
 };
 
 /// Renders one replayed join run as Chrome trace-event JSON, loadable in

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fault/injector.h"
 #include "sim/link_fabric.h"
 #include "timing/makespan.h"
 #include "util/metrics.h"
@@ -37,10 +38,13 @@ struct ThreadSim {
 
   // Wall-clock attribution of this thread's timeline: every advancement of
   // `time` lands in exactly one bucket, so compute + credit_stall +
-  // flow_stall always equals `time`.
+  // flow_stall + recovery always equals `time`. `recovery_seconds` holds
+  // fault-induced slowdown: the straggler excess over the nominal compute
+  // time plus the transport's recorded retry/timeout/backoff delays.
   double compute_seconds = 0;
   double credit_stall_seconds = 0;
   double flow_stall_seconds = 0;
+  double recovery_seconds = 0;
   double stall_start = 0;
 };
 
@@ -138,6 +142,34 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
   const bool has_receiver_copy = cluster.transport == TransportKind::kRdmaChannel ||
                                  cluster.transport == TransportKind::kTcp;
 
+  // Fault injection (src/fault/): an inactive injector is dropped entirely so
+  // the fault-free code paths below stay literally identical.
+  const FaultInjector* inj =
+      (options.injector != nullptr && options.injector->active())
+          ? options.injector
+          : nullptr;
+  // Effective double-buffering credit supply at virtual time `t` (shrunk
+  // inside credit windows, never below one credit).
+  auto effective_credits = [&](uint32_t machine, double t) -> uint32_t {
+    if (inj != nullptr && inj->HasCreditFaults()) {
+      return inj->EffectiveCredits(machine, t, credits);
+    }
+    return credits;
+  };
+  // Apply the link-capacity scales covering t = 0 and schedule the first
+  // window boundary; inside the loop the fabric is advanced to every
+  // boundary so rate transitions land on the discrete-event clock.
+  double next_fault = kInf;
+  if (inj != nullptr) {
+    if (inj->HasLinkFaults()) {
+      for (uint32_t h = 0; h < nm; ++h) {
+        fabric.SetHostCapacityScale(h, inj->EgressScale(h, 0.0),
+                                    inj->IngressScale(h, 0.0));
+      }
+    }
+    next_fault = inj->NextTransitionAfter(0.0);
+  }
+
   report.receiver_busy_seconds.assign(nm, 0.0);
   report.net_thread_finish_seconds.assign(nm, 0.0);
   std::vector<double> receiver_ready(nm, 0.0);  // FIFO service completion time
@@ -157,10 +189,30 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
   const double ps_part = costs.partition_bytes_per_sec;
 
   // Virtual time a thread needs to reach compute position `target_bytes`.
+  // On a straggler machine the nominal compute time is stretched piecewise
+  // by the scheduled slowdown windows; without one the result is exactly
+  // ts.time + delta (ComputeFinishTime guarantees the identity case too).
   auto compute_time_to = [&](const ThreadSim& ts, uint64_t target_bytes) {
     const double delta =
         static_cast<double>(target_bytes - ts.compute_done) * scale / ps_part;
+    if (inj != nullptr && inj->HasStraggler(ts.machine)) {
+      return inj->ComputeFinishTime(ts.machine, ts.time, delta);
+    }
     return ts.time + delta;
+  };
+  // Advances `ts` to the action time `t_thread`, splitting the stretch into
+  // nominal compute and straggler-induced recovery time.
+  auto charge_compute = [&](ThreadSim& ts, double t_thread,
+                            uint64_t target_bytes) {
+    if (inj != nullptr && inj->HasStraggler(ts.machine)) {
+      const double nominal =
+          static_cast<double>(target_bytes - ts.compute_done) * scale / ps_part;
+      ts.compute_seconds += nominal;
+      ts.recovery_seconds += (t_thread - ts.time) - nominal;
+    } else {
+      ts.compute_seconds += t_thread - ts.time;
+    }
+    ts.time = t_thread;
   };
 
   // Time at which a thread will next act if unblocked; +inf when waiting.
@@ -181,6 +233,68 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
 
   uint64_t active = threads.size();
   double last_completion = 0;
+  // Drains a batch of fabric completions: receiver service, span stages,
+  // credit return and thread wake-ups. Shared by the net-completion branch
+  // and the fault-boundary branch of the event loop below.
+  auto process_completions = [&](const std::vector<LinkFabric::Completion>& done) {
+    for (const auto& c : done) {
+      last_completion = std::max(last_completion, c.time);
+      auto it = flows.find(c.id);
+      assert(it != flows.end());
+      last_completion_to[it->second.dst] =
+          std::max(last_completion_to[it->second.dst], c.time);
+      const FlowInfo fi = it->second;
+      flows.erase(it);
+      if (recorder != nullptr && fi.span != 0) {
+        recorder->MarkStage(fi.span, SpanStage::kDelivered, c.time);
+      }
+      // Receiver-side service (two-sided copies / TCP receive path) with
+      // receive-ring backpressure: if every ring buffer is still waiting
+      // to be drained, the sender's acknowledgement (and thus its buffer
+      // credit) is delayed until a slot frees up.
+      double credit_time = c.time;
+      if (has_receiver_copy) {
+        double service;
+        if (cluster.transport == TransportKind::kTcp) {
+          service = fi.virtual_bytes / cluster.tcp.receiver_bytes_per_sec +
+                    cluster.tcp.per_message_seconds;
+        } else {
+          service = fi.virtual_bytes / costs.memcpy_bytes_per_sec;
+        }
+        auto& slots = ring_slot_free[fi.dst];
+        const uint64_t pos = ring_pos[fi.dst]++ % ring;
+        const double slot_free_at = slots[pos];
+        const double start =
+            std::max({receiver_ready[fi.dst], c.time, slot_free_at});
+        receiver_ready[fi.dst] = start + service;
+        slots[pos] = receiver_ready[fi.dst];
+        report.receiver_busy_seconds[fi.dst] += service;
+        credit_time = std::max(credit_time, slot_free_at);
+        if (recorder != nullptr && fi.span != 0) {
+          recorder->SetReceiverService(fi.span, start, receiver_ready[fi.dst]);
+        }
+      }
+      if (recorder != nullptr && fi.span != 0) {
+        recorder->MarkStage(fi.span, SpanStage::kCompleted, credit_time);
+      }
+      // Return the buffer credit and possibly wake the thread.
+      ThreadSim& ts = threads[fi.thread_index];
+      auto out = ts.outstanding.find(fi.slot);
+      assert(out != ts.outstanding.end() && out->second > 0);
+      --out->second;
+      if (ts.state == ThreadSim::State::kBlockedFlow && ts.blocked_flow == c.id) {
+        ts.state = ThreadSim::State::kComputing;
+        ts.time = std::max(ts.time, credit_time);
+        ts.flow_stall_seconds += ts.time - ts.stall_start;
+      } else if (ts.state == ThreadSim::State::kBlockedCredit &&
+                 ts.blocked_slot == fi.slot &&
+                 out->second < effective_credits(ts.machine, credit_time)) {
+        ts.state = ThreadSim::State::kComputing;
+        ts.time = std::max(ts.time, credit_time);
+        ts.credit_stall_seconds += ts.time - ts.stall_start;
+      }
+    }
+  };
   // Run until every thread is done AND the fabric is fully idle. The last
   // drained message's completion sits in the fabric's latency stage after
   // the queue empties, so the queued-message count alone would drop it
@@ -199,66 +313,42 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     }
     const double t_net = fabric.NextCompletionTime();
 
+    // Fault-window boundary: advance the fabric to the transition (draining
+    // anything that completes under the old rates first), switch the host
+    // capacity scales, and wake credit-blocked threads whose supply just
+    // replenished. Ties go to the boundary so events at the same instant
+    // see the post-transition world.
+    if (next_fault <= t_thread && next_fault <= t_net) {
+      const double t_fault = next_fault;
+      std::vector<LinkFabric::Completion> done;
+      fabric.AdvanceTo(t_fault, &done);
+      process_completions(done);
+      if (inj->HasLinkFaults()) {
+        for (uint32_t h = 0; h < nm; ++h) {
+          fabric.SetHostCapacityScale(h, inj->EgressScale(h, t_fault),
+                                      inj->IngressScale(h, t_fault));
+        }
+      }
+      if (inj->HasCreditFaults()) {
+        for (ThreadSim& ts : threads) {
+          if (ts.state != ThreadSim::State::kBlockedCredit) continue;
+          if (ts.outstanding[ts.blocked_slot] <
+              effective_credits(ts.machine, t_fault)) {
+            ts.state = ThreadSim::State::kComputing;
+            ts.time = std::max(ts.time, t_fault);
+            ts.credit_stall_seconds += ts.time - ts.stall_start;
+          }
+        }
+      }
+      next_fault = inj->NextTransitionAfter(t_fault);
+      continue;
+    }
+
     if (t_net <= t_thread) {
       if (t_net == kInf) break;  // Nothing left to happen.
       std::vector<LinkFabric::Completion> done;
       fabric.AdvanceTo(t_net, &done);
-      for (const auto& c : done) {
-        last_completion = std::max(last_completion, c.time);
-        auto it = flows.find(c.id);
-        assert(it != flows.end());
-        last_completion_to[it->second.dst] =
-            std::max(last_completion_to[it->second.dst], c.time);
-        const FlowInfo fi = it->second;
-        flows.erase(it);
-        if (recorder != nullptr && fi.span != 0) {
-          recorder->MarkStage(fi.span, SpanStage::kDelivered, c.time);
-        }
-        // Receiver-side service (two-sided copies / TCP receive path) with
-        // receive-ring backpressure: if every ring buffer is still waiting
-        // to be drained, the sender's acknowledgement (and thus its buffer
-        // credit) is delayed until a slot frees up.
-        double credit_time = c.time;
-        if (has_receiver_copy) {
-          double service;
-          if (cluster.transport == TransportKind::kTcp) {
-            service = fi.virtual_bytes / cluster.tcp.receiver_bytes_per_sec +
-                      cluster.tcp.per_message_seconds;
-          } else {
-            service = fi.virtual_bytes / costs.memcpy_bytes_per_sec;
-          }
-          auto& slots = ring_slot_free[fi.dst];
-          const uint64_t pos = ring_pos[fi.dst]++ % ring;
-          const double slot_free_at = slots[pos];
-          const double start =
-              std::max({receiver_ready[fi.dst], c.time, slot_free_at});
-          receiver_ready[fi.dst] = start + service;
-          slots[pos] = receiver_ready[fi.dst];
-          report.receiver_busy_seconds[fi.dst] += service;
-          credit_time = std::max(credit_time, slot_free_at);
-          if (recorder != nullptr && fi.span != 0) {
-            recorder->SetReceiverService(fi.span, start, receiver_ready[fi.dst]);
-          }
-        }
-        if (recorder != nullptr && fi.span != 0) {
-          recorder->MarkStage(fi.span, SpanStage::kCompleted, credit_time);
-        }
-        // Return the buffer credit and possibly wake the thread.
-        ThreadSim& ts = threads[fi.thread_index];
-        auto out = ts.outstanding.find(fi.slot);
-        assert(out != ts.outstanding.end() && out->second > 0);
-        --out->second;
-        if (ts.state == ThreadSim::State::kBlockedFlow && ts.blocked_flow == c.id) {
-          ts.state = ThreadSim::State::kComputing;
-          ts.time = std::max(ts.time, credit_time);
-          ts.flow_stall_seconds += ts.time - ts.stall_start;
-        } else if (ts.state == ThreadSim::State::kBlockedCredit &&
-                   ts.blocked_slot == fi.slot && out->second < credits) {
-          ts.state = ThreadSim::State::kComputing;
-          ts.time = std::max(ts.time, credit_time);
-          ts.credit_stall_seconds += ts.time - ts.stall_start;
-        }
-      }
+      process_completions(done);
       continue;
     }
 
@@ -267,8 +357,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     assert(ts.state == ThreadSim::State::kComputing);
     if (ts.next_send >= ts.tr->sends.size()) {
       // Final compute stretch: the thread is finished.
-      ts.compute_seconds += t_thread - ts.time;
-      ts.time = t_thread;
+      charge_compute(ts, t_thread, ts.tr->compute_bytes);
       ts.compute_done = ts.tr->compute_bytes;
       ts.state = ThreadSim::State::kDone;
       --active;
@@ -277,8 +366,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
       continue;
     }
     const SendRecord& send = ts.tr->sends[ts.next_send];
-    ts.compute_seconds += t_thread - ts.time;
-    ts.time = t_thread;
+    charge_compute(ts, t_thread, send.compute_bytes_before);
     ts.compute_done = send.compute_bytes_before;
     const double vbytes = static_cast<double>(send.wire_bytes) * scale;
     const uint32_t flow_src = send.src_machine == SendRecord::kIssuerIsSource
@@ -293,7 +381,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
           /*pull=*/send.src_machine != SendRecord::kIssuerIsSource, ts.time);
     }
     const uint32_t out = ts.outstanding[send.slot];
-    if (out >= credits) {
+    if (out >= effective_credits(ts.machine, ts.time)) {
       ts.state = ThreadSim::State::kBlockedCredit;
       ts.blocked_slot = send.slot;
       ts.stall_start = ts.time;
@@ -306,6 +394,17 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     const double overhead = PerSendOverhead(cluster, trace.machines[ts.machine], vbytes);
     ts.time += overhead;
     ts.compute_seconds += overhead;
+    // Execution-layer recovery (transport retries, timeouts, backoff) delays
+    // this send's admission; the delay is the fault_recovery bucket's share
+    // of the thread timeline. Zero (and skipped) on fault-free traces.
+    if (send.retries > 0 || send.retry_delay_seconds > 0) {
+      ts.time += send.retry_delay_seconds;
+      ts.recovery_seconds += send.retry_delay_seconds;
+      if (recorder != nullptr && ts.pending_span != 0) {
+        recorder->SetFaultInfo(ts.pending_span, send.retries,
+                               send.retry_delay_seconds);
+      }
+    }
     const LinkFabric::MessageId id =
         fabric.Enqueue(flow_src, send.dst_machine, vbytes, ts.time);
     flows[id] = FlowInfo{who, send.slot, send.dst_machine, vbytes, ts.pending_span};
@@ -331,7 +430,8 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
       recorder->AddThreadMark(ThreadMark{ts.machine, ts.thread, ts.time,
                                          ts.compute_seconds,
                                          ts.credit_stall_seconds,
-                                         ts.flow_stall_seconds});
+                                         ts.flow_stall_seconds,
+                                         ts.recovery_seconds});
     }
   }
 
@@ -370,6 +470,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
       attr.compute_seconds += lead_thread[m]->compute_seconds;
       attr.buffer_stall_seconds = lead_thread[m]->credit_stall_seconds;
       attr.network_seconds = lead_thread[m]->flow_stall_seconds;
+      attr.fault_recovery_seconds = lead_thread[m]->recovery_seconds;
     }
     attr.network_seconds += machine_net_end[m] - lead_finish;
   }

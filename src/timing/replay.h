@@ -14,6 +14,7 @@
 
 namespace rdmajoin {
 
+class FaultInjector;
 class MetricsRegistry;
 
 /// Optional knobs for the timing replay.
@@ -36,6 +37,14 @@ struct ReplayOptions {
   /// replay-time spans and exec-layer counts land in one dataset). Must
   /// outlive the returned report; overrides `spans` when set.
   SpanRecorder* span_recorder = nullptr;
+  /// Deterministic fault injector (src/fault/). When non-null and active,
+  /// the replay applies the scheduled link-capacity windows to the fabric
+  /// (degradations and flaps land on the discrete-event clock as rate
+  /// transitions), slows straggler machines' compute timelines, and shrinks
+  /// the double-buffering credit supply inside credit windows. Null or
+  /// inactive leaves every replayed time byte-identical to an injector-free
+  /// run. Must outlive the call.
+  const FaultInjector* injector = nullptr;
 };
 
 /// Outputs of the discrete-event timing replay.

@@ -147,6 +147,14 @@ void SpanRecorder::SetReceiverService(uint64_t id, double start, double end) {
   }
 }
 
+void SpanRecorder::SetFaultInfo(uint64_t id, uint32_t retries,
+                                double retry_delay_seconds) {
+  if (WrSpan* span = Find(id)) {
+    span->retries = retries;
+    span->retry_delay_seconds = retry_delay_seconds;
+  }
+}
+
 void SpanRecorder::AddThreadMark(const ThreadMark& mark) {
   if (!config_.enabled) return;
   threads_.push_back(mark);
@@ -293,6 +301,11 @@ std::string SpanDatasetToJson(const SpanDataset& dataset) {
     }
     out += ",\"recv_start\":" + num(s.recv_start);
     out += ",\"recv_end\":" + num(s.recv_end);
+    if (s.retries > 0 || s.retry_delay_seconds > 0) {
+      // Optional fields: fault-free datasets stay byte-identical.
+      out += ",\"retries\":" + unum(s.retries);
+      out += ",\"retry_delay_seconds\":" + num(s.retry_delay_seconds);
+    }
     out += "}";
   }
   out += "]";
@@ -321,6 +334,9 @@ std::string SpanDatasetToJson(const SpanDataset& dataset) {
     out += ",\"compute_seconds\":" + num(t.compute_seconds);
     out += ",\"credit_stall_seconds\":" + num(t.credit_stall_seconds);
     out += ",\"flow_stall_seconds\":" + num(t.flow_stall_seconds);
+    if (t.fault_recovery_seconds != 0) {
+      out += ",\"fault_recovery_seconds\":" + num(t.fault_recovery_seconds);
+    }
     out += "}";
   }
   out += "]";
@@ -386,6 +402,8 @@ StatusOr<SpanDataset> SpanDatasetFromJson(const JsonValue& root) {
     }
     s.recv_start = item.NumberOr("recv_start", kSpanUnset);
     s.recv_end = item.NumberOr("recv_end", kSpanUnset);
+    s.retries = static_cast<uint32_t>(item.NumberOr("retries", 0));
+    s.retry_delay_seconds = item.NumberOr("retry_delay_seconds", 0);
     ds.spans.push_back(s);
   }
   if (const JsonValue* segments = root.Find("segments")) {
@@ -417,6 +435,7 @@ StatusOr<SpanDataset> SpanDatasetFromJson(const JsonValue& root) {
       t.compute_seconds = item.NumberOr("compute_seconds", 0);
       t.credit_stall_seconds = item.NumberOr("credit_stall_seconds", 0);
       t.flow_stall_seconds = item.NumberOr("flow_stall_seconds", 0);
+      t.fault_recovery_seconds = item.NumberOr("fault_recovery_seconds", 0);
       ds.threads.push_back(t);
     }
   }

@@ -71,6 +71,11 @@ struct WrSpan {
   /// Receiver-core service window (two-sided transports only).
   double recv_start = kSpanUnset;
   double recv_end = kSpanUnset;
+  /// Fault-recovery annotation (src/fault/): completed send attempts beyond
+  /// the first and the timeout + backoff seconds they cost. Both stay 0 on
+  /// fault-free runs and are then omitted from the JSON export.
+  uint32_t retries = 0;
+  double retry_delay_seconds = 0;
 
   bool complete() const {
     for (double t : stage) {
@@ -120,6 +125,10 @@ struct ThreadMark {
   double compute_seconds = 0;
   double credit_stall_seconds = 0;
   double flow_stall_seconds = 0;
+  /// Virtual seconds of this thread's timeline spent in fault recovery
+  /// (straggler slowdown excess plus transport retry delays); 0 and omitted
+  /// from the JSON in fault-free runs.
+  double fault_recovery_seconds = 0;
 };
 
 /// Ordinal work-request counts from the execution layer (which is eager and
@@ -187,6 +196,8 @@ class SpanRecorder : public FlowTelemetry, public RdmaEventSink {
   void SetFlow(uint64_t id, uint64_t flow);
   /// Records the receiver-core service window (two-sided transports).
   void SetReceiverService(uint64_t id, double start, double end);
+  /// Annotates the span with its transport-layer retry cost (src/fault/).
+  void SetFaultInfo(uint64_t id, uint32_t retries, double retry_delay_seconds);
   /// Records one thread's end-of-pass totals.
   void AddThreadMark(const ThreadMark& mark);
 

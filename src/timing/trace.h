@@ -24,6 +24,12 @@ struct SendRecord {
   /// record the remote staging machine here.
   static constexpr uint32_t kIssuerIsSource = UINT32_MAX;
   uint32_t src_machine = kIssuerIsSource;
+  /// Execution-layer recovery cost attached by the transport's retry path
+  /// (src/fault/): completed attempts beyond the first, and the virtual
+  /// seconds of timeout + backoff spent before the successful attempt. The
+  /// replay charges the delay to the fault_recovery attribution bucket.
+  uint32_t retries = 0;
+  double retry_delay_seconds = 0;
 };
 
 /// The network-pass activity of one partitioning thread.

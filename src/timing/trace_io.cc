@@ -98,11 +98,22 @@ Status ParseSend(JsonParser* p, SendRecord* send) {
   RDMAJOIN_ASSIGN_OR_RETURN(double wire, p->ParseNumber());
   RDMAJOIN_RETURN_IF_ERROR(p->Expect(','));
   RDMAJOIN_ASSIGN_OR_RETURN(double before, p->ParseNumber());
+  // Optional trailing elements, present only for sends the transport layer
+  // retried: [.., retries, retry_delay_seconds].
+  double retries = 0;
+  double retry_delay = 0;
+  if (p->Consume(',')) {
+    RDMAJOIN_ASSIGN_OR_RETURN(retries, p->ParseNumber());
+    RDMAJOIN_RETURN_IF_ERROR(p->Expect(','));
+    RDMAJOIN_ASSIGN_OR_RETURN(retry_delay, p->ParseNumber());
+  }
   RDMAJOIN_RETURN_IF_ERROR(p->Expect(']'));
   send->dst_machine = static_cast<uint32_t>(dst);
   send->slot = static_cast<uint32_t>(slot);
   send->wire_bytes = static_cast<uint64_t>(wire);
   send->compute_bytes_before = static_cast<uint64_t>(before);
+  send->retries = static_cast<uint32_t>(retries);
+  send->retry_delay_seconds = retry_delay;
   return Status::OK();
 }
 
@@ -256,6 +267,13 @@ std::string TraceToJson(const RunTrace& trace) {
         AppendU64(&out, send.wire_bytes);
         out += ",";
         AppendU64(&out, send.compute_bytes_before);
+        if (send.retries > 0 || send.retry_delay_seconds > 0) {
+          // Optional elements: fault-free traces stay byte-identical.
+          out += ",";
+          AppendU64(&out, send.retries);
+          out += ",";
+          AppendDouble(&out, send.retry_delay_seconds);
+        }
         out += "]";
       }
       out += "]}";

@@ -2,9 +2,12 @@
 
 #include <cassert>
 #include <cstring>
+#include <string>
 
+#include "fault/injector.h"
 #include "timing/span_trace.h"
 #include "transport/wire_format.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 namespace rdmajoin {
@@ -23,11 +26,20 @@ class RdmaChannelImpl : public Channel {
   uint64_t payload_offset() const override { return kWireHeaderBytes; }
 
   StatusOr<uint64_t> Ship(uint32_t dst, uint32_t partition, uint32_t relation,
-                          RegisteredBuffer* buf) override;
+                          RegisteredBuffer* buf, ShipReport* report) override;
 
  private:
+  /// One send attempt: post the WR and drain the sender-side completion.
+  /// `*completed` is false when no completion arrived (dropped message),
+  /// `*succeeded` is false when the completion carried an error status.
+  Status TrySend(QueuePair* qp, CompletionQueue* cq, RegisteredBuffer* buf,
+                 uint64_t wire_bytes, bool* completed, bool* succeeded);
+
   TransportNetwork* net_;
   uint32_t src_;
+  /// Zero-based ordinal of the next send attempt on this channel; the fault
+  /// schedule keys QP faults off it, so retries consume ordinals too.
+  uint64_t sends_attempted_ = 0;
 };
 
 /// One-sided WRITE channel (memory semantics, Section 4.2.2): the sender
@@ -43,7 +55,7 @@ class RdmaMemoryImpl : public Channel {
   uint64_t payload_offset() const override { return kWireHeaderBytes; }
 
   StatusOr<uint64_t> Ship(uint32_t dst, uint32_t partition, uint32_t relation,
-                          RegisteredBuffer* buf) override;
+                          RegisteredBuffer* buf, ShipReport* report) override;
 
  private:
   TransportNetwork* net_;
@@ -56,7 +68,8 @@ class RdmaMemoryImpl : public Channel {
 class PullChannelStub : public Channel {
  public:
   uint64_t payload_offset() const override { return kWireHeaderBytes; }
-  StatusOr<uint64_t> Ship(uint32_t, uint32_t, uint32_t, RegisteredBuffer*) override {
+  StatusOr<uint64_t> Ship(uint32_t, uint32_t, uint32_t, RegisteredBuffer*,
+                          ShipReport*) override {
     return Status::FailedPrecondition(
         "the RDMA READ transport is receiver-driven; Ship is unavailable");
   }
@@ -73,7 +86,7 @@ class TcpChannelImpl : public Channel {
   uint64_t payload_offset() const override { return kWireHeaderBytes; }
 
   StatusOr<uint64_t> Ship(uint32_t dst, uint32_t partition, uint32_t relation,
-                          RegisteredBuffer* buf) override;
+                          RegisteredBuffer* buf, ShipReport* report) override;
 
  private:
   TransportNetwork* net_;
@@ -81,8 +94,41 @@ class TcpChannelImpl : public Channel {
   std::unique_ptr<uint8_t[]> socket_buffer_;
 };
 
+Status RdmaChannelImpl::TrySend(QueuePair* qp, CompletionQueue* cq,
+                                RegisteredBuffer* buf, uint64_t wire_bytes,
+                                bool* completed, bool* succeeded) {
+  *completed = false;
+  *succeeded = false;
+  // Arm the scheduled fault (if any) for this attempt before posting, so the
+  // queue pair fails the work request with verbs semantics: an error
+  // completion flips the QP to the error state, a drop never completes.
+  const FaultInjector* inj = net_->config_.fault_injector;
+  if (inj != nullptr && inj->active()) {
+    switch (inj->QuerySendFault(src_, sends_attempted_)) {
+      case FaultInjector::SendFault::kNone:
+        break;
+      case FaultInjector::SendFault::kCompletionError:
+        qp->InjectSendFaults(1, /*drop=*/false);
+        break;
+      case FaultInjector::SendFault::kDrop:
+        qp->InjectSendFaults(1, /*drop=*/true);
+        break;
+    }
+  }
+  ++sends_attempted_;
+  RDMAJOIN_RETURN_IF_ERROR(qp->PostSend(/*wr_id=*/0, buf->mr.lkey,
+                                        /*offset=*/0, wire_bytes));
+  // Drain the sender-side completion (instantaneous in the data-path
+  // simulation; the virtual completion time comes from the timing replay).
+  WorkCompletion send_wc;
+  *completed = cq->PollOne(&send_wc);
+  *succeeded = *completed && send_wc.success;
+  return Status::OK();
+}
+
 StatusOr<uint64_t> RdmaChannelImpl::Ship(uint32_t dst, uint32_t partition,
-                                         uint32_t relation, RegisteredBuffer* buf) {
+                                         uint32_t relation, RegisteredBuffer* buf,
+                                         ShipReport* report) {
   if (dst == src_) return Status::InvalidArgument("Ship to self");
   auto& link = net_->link(src_, dst);
   // Finalize the wire header in front of the payload.
@@ -93,13 +139,50 @@ StatusOr<uint64_t> RdmaChannelImpl::Ship(uint32_t dst, uint32_t partition,
   WriteWireHeader(buf->bytes(), header);
   const uint64_t wire_bytes = kWireHeaderBytes + buf->used;
 
-  RDMAJOIN_RETURN_IF_ERROR(link.src_qp->PostSend(/*wr_id=*/0, buf->mr.lkey,
-                                                 /*offset=*/0, wire_bytes));
-  // Drain the sender-side completion (instantaneous in the data-path
-  // simulation; the virtual completion time comes from the timing replay).
-  WorkCompletion send_wc;
-  if (!link.src_send_cq->PollOne(&send_wc) || !send_wc.success) {
-    return Status::Internal("missing send completion");
+  const JoinConfig& cfg = net_->config_;
+  MetricsRegistry* metrics = cfg.metrics;
+  uint32_t retries = 0;
+  double delay_seconds = 0;
+  for (;;) {
+    bool completed = false;
+    bool succeeded = false;
+    RDMAJOIN_RETURN_IF_ERROR(TrySend(link.src_qp.get(), link.src_send_cq.get(),
+                                     buf, wire_bytes, &completed, &succeeded));
+    if (succeeded) break;
+    // The attempt failed: either an error completion arrived (the QP is now
+    // in the error state) or the message was swallowed and the sender timed
+    // out waiting. Either way the receive ring slot was NOT consumed, so a
+    // re-post is credit-safe; on abort the caller keeps ownership of `buf`.
+    if (metrics != nullptr) {
+      metrics->GetCounter(completed ? "fault.send_errors" : "fault.send_timeouts")
+          ->Increment();
+    }
+    if (!completed) delay_seconds += cfg.send_timeout_seconds;
+    const bool abort = cfg.fault_policy == FaultPolicy::kAbort ||
+                       retries >= cfg.max_send_retries;
+    if (abort) {
+      if (metrics != nullptr) metrics->GetCounter("fault.send_aborts")->Increment();
+      return Status::Unavailable(
+          (completed ? "send failed with an error completion"
+                     : "send timed out (no completion)") +
+          std::string(" on link ") + std::to_string(src_) + "->" +
+          std::to_string(dst) + " after " + std::to_string(retries) +
+          " retr" + (retries == 1 ? "y" : "ies"));
+    }
+    // Recover: cycle an errored queue pair back to ready and re-post after
+    // exponential backoff (2^i * retry_backoff_seconds of virtual time).
+    if (link.src_qp->state() == QueuePair::State::kError) {
+      link.src_qp->Recover();
+      if (metrics != nullptr) metrics->GetCounter("fault.qp_recoveries")->Increment();
+    }
+    delay_seconds +=
+        cfg.retry_backoff_seconds * static_cast<double>(uint64_t{1} << retries);
+    ++retries;
+    if (metrics != nullptr) metrics->GetCounter("fault.send_retries")->Increment();
+  }
+  if (report != nullptr) {
+    report->retries = retries;
+    report->delay_seconds = delay_seconds;
   }
 
   // Receiver side: poll the receive completion, copy the payload out of the
@@ -128,7 +211,8 @@ StatusOr<uint64_t> RdmaChannelImpl::Ship(uint32_t dst, uint32_t partition,
 }
 
 StatusOr<uint64_t> RdmaMemoryImpl::Ship(uint32_t dst, uint32_t partition,
-                                        uint32_t relation, RegisteredBuffer* buf) {
+                                        uint32_t relation, RegisteredBuffer* buf,
+                                        ShipReport* /*report*/) {
   if (dst == src_) return Status::InvalidArgument("Ship to self");
   auto& staging = net_->staging_[dst];
   uint64_t& cursor = staging.cursor[src_];
@@ -154,7 +238,8 @@ StatusOr<uint64_t> RdmaMemoryImpl::Ship(uint32_t dst, uint32_t partition,
 }
 
 StatusOr<uint64_t> TcpChannelImpl::Ship(uint32_t dst, uint32_t partition,
-                                        uint32_t relation, RegisteredBuffer* buf) {
+                                        uint32_t relation, RegisteredBuffer* buf,
+                                        ShipReport* /*report*/) {
   if (dst == src_) return Status::InvalidArgument("Ship to self");
   // Kernel copy into the socket buffer, then delivery on the remote side
   // (which again copies, accounted as receive bytes).

@@ -26,6 +26,16 @@ class PartitionSink {
                        uint64_t bytes) = 0;
 };
 
+/// Per-Ship recovery record: how many times the transport had to re-post the
+/// send and how much virtual delay (timeouts plus exponential backoff) the
+/// recovery cost. The exchange copies this into the trace's SendRecord so the
+/// timing replay can charge the delay to the fault_recovery bucket. All zero
+/// on the fault-free path.
+struct ShipReport {
+  uint32_t retries = 0;
+  double delay_seconds = 0;
+};
+
 /// Source-side view of the network used by the partitioning threads: a
 /// filled buffer is handed to Ship, which moves its payload into the
 /// destination machine's partition storage according to the configured
@@ -36,8 +46,11 @@ class Channel {
   /// Ships `buf->used` payload bytes (stored from offset kWireHeaderBytes
   /// in two-sided mode, from offset 0 otherwise) to machine `dst`. Returns
   /// the number of bytes put on the wire (payload plus header, if any).
+  /// On error the caller still owns `buf` and must release it exactly once.
+  /// `report`, when non-null, receives the retry/delay cost of this Ship.
   virtual StatusOr<uint64_t> Ship(uint32_t dst, uint32_t partition, uint32_t relation,
-                                  RegisteredBuffer* buf) = 0;
+                                  RegisteredBuffer* buf,
+                                  ShipReport* report = nullptr) = 0;
   /// Byte offset at which the partitioner must start writing tuples.
   virtual uint64_t payload_offset() const = 0;
 };

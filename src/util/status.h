@@ -20,6 +20,11 @@ enum class StatusCode {
   kAlreadyExists,
   kInternal,
   kUnimplemented,
+  /// A transient runtime failure (injected fault, lost message, errored
+  /// queue pair) defeated the transport's retry budget. Distinct from
+  /// kInternal so callers can tell "the run hit a fault" from "the
+  /// simulator has a bug".
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -65,6 +70,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include "cluster/presets.h"
+#include "fault/injector.h"
+#include "fault/schedule.h"
 #include "join/distributed_join.h"
 #include "operators/distributed_aggregate.h"
 #include "operators/sort_merge_join.h"
 #include "rdma/buffer_pool.h"
+#include "util/metrics.h"
 #include "workload/generator.h"
 
 namespace rdmajoin {
@@ -143,6 +146,224 @@ TEST(FailureInjection, InvalidClusterConfigCaughtBeforeExecution) {
   auto result = DistributedJoin(broken, FastConfig()).Run(w.inner, w.outer);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Runtime faults (src/fault/): every preset x policy combination must
+// end in a clean Status error or the exact correct cardinality -- never a
+// crash, never a partial result reported as success. ----
+
+FaultSchedule QpFault(uint64_t ordinal, uint32_t count, bool drop) {
+  FaultSchedule s;
+  FaultEvent e;
+  e.kind = FaultKind::kQpError;
+  e.machine = FaultEvent::kAllMachines;
+  e.ordinal = ordinal;
+  e.count = count;
+  e.drop = drop;
+  s.events.push_back(e);
+  return s;
+}
+
+TEST(RuntimeFaults, QpErrorWithAbortPolicyFailsCleanly) {
+  Workload w = SmallWorkload(2);
+  const FaultInjector injector(QpFault(/*ordinal=*/0, /*count=*/1, false));
+  JoinConfig jc = FastConfig();
+  jc.fault_injector = &injector;
+  jc.fault_policy = FaultPolicy::kAbort;
+  auto result = DistributedJoin(QdrCluster(2), jc).Run(w.inner, w.outer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RuntimeFaults, QpErrorWithRecoveryYieldsExactCardinality) {
+  Workload w = SmallWorkload(2);
+  const FaultInjector injector(QpFault(/*ordinal=*/0, /*count=*/1, false));
+  JoinConfig jc = FastConfig();
+  jc.fault_injector = &injector;
+  jc.fault_policy = FaultPolicy::kRecover;
+  MetricsRegistry metrics;
+  jc.metrics = &metrics;
+  auto result = DistributedJoin(QdrCluster(2), jc).Run(w.inner, w.outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.matches, w.truth.expected_matches);
+  // The retry loop ran and cycled the QP out of the error state.
+  const Counter* retries = metrics.FindCounter("fault.send_retries");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_GE(retries->value(), 1.0);
+  const Counter* recoveries = metrics.FindCounter("fault.qp_recoveries");
+  ASSERT_NE(recoveries, nullptr);
+  EXPECT_GE(recoveries->value(), 1.0);
+}
+
+TEST(RuntimeFaults, DroppedCompletionTimesOutAndRecovers) {
+  Workload w = SmallWorkload(2);
+  const FaultInjector injector(QpFault(/*ordinal=*/2, /*count=*/2, true));
+  JoinConfig jc = FastConfig();
+  jc.fault_injector = &injector;
+  jc.fault_policy = FaultPolicy::kRecover;
+  MetricsRegistry metrics;
+  jc.metrics = &metrics;
+  auto result = DistributedJoin(QdrCluster(2), jc).Run(w.inner, w.outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.matches, w.truth.expected_matches);
+  const Counter* timeouts = metrics.FindCounter("fault.send_timeouts");
+  ASSERT_NE(timeouts, nullptr);
+  EXPECT_GE(timeouts->value(), 1.0);
+}
+
+TEST(RuntimeFaults, RetryBudgetExhaustionAbortsEvenUnderRecovery) {
+  Workload w = SmallWorkload(2);
+  // More consecutive failures than the retry budget allows.
+  const FaultInjector injector(QpFault(/*ordinal=*/0, /*count=*/50, false));
+  JoinConfig jc = FastConfig();
+  jc.fault_injector = &injector;
+  jc.fault_policy = FaultPolicy::kRecover;
+  jc.max_send_retries = 3;
+  auto result = DistributedJoin(QdrCluster(2), jc).Run(w.inner, w.outer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RuntimeFaults, MidPassLinkFlapDelaysButCompletes) {
+  Workload w = SmallWorkload(2);
+  JoinConfig jc = FastConfig();
+  auto baseline = DistributedJoin(QdrCluster(2), jc).Run(w.inner, w.outer);
+  ASSERT_TRUE(baseline.ok());
+
+  // Kill machine 0's link for a window in the middle of the network pass.
+  FaultSchedule s;
+  FaultEvent e;
+  e.kind = FaultKind::kLinkFlap;
+  e.machine = 0;
+  e.start_seconds = baseline->times.network_partition_seconds * 0.25;
+  e.duration_seconds = baseline->times.network_partition_seconds * 0.5;
+  s.events.push_back(e);
+  const FaultInjector injector(std::move(s));
+  jc.fault_injector = &injector;
+  auto flapped = DistributedJoin(QdrCluster(2), jc).Run(w.inner, w.outer);
+  ASSERT_TRUE(flapped.ok()) << flapped.status().ToString();
+  EXPECT_EQ(flapped->stats.matches, w.truth.expected_matches);
+  // Nothing was lost, but the dead window stretched the pass.
+  EXPECT_GT(flapped->times.network_partition_seconds,
+            baseline->times.network_partition_seconds);
+}
+
+TEST(RuntimeFaults, StragglerChargesExcessToFaultRecovery) {
+  Workload w = SmallWorkload(2);
+  FaultSchedule s;
+  FaultEvent e;
+  e.kind = FaultKind::kStraggler;
+  e.machine = 1;
+  e.start_seconds = 0;
+  e.duration_seconds = 1e6;  // covers the whole pass
+  e.factor = 0.5;
+  s.events.push_back(e);
+  const FaultInjector injector(std::move(s));
+  JoinConfig jc = FastConfig();
+  jc.fault_injector = &injector;
+  auto result = DistributedJoin(QdrCluster(2), jc).Run(w.inner, w.outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.matches, w.truth.expected_matches);
+
+  // The slowdown lands in the straggler's fault_recovery bucket, and the
+  // attribution invariant (components sum to the global phase time) holds
+  // with the fifth bucket included.
+  const auto& attr = result->replay.attribution;
+  ASSERT_EQ(attr.machines.size(), 2u);
+  const PhaseAttribution& straggler =
+      attr.machines[1].at(JoinPhase::kNetworkPartition);
+  EXPECT_GT(straggler.fault_recovery_seconds, 0.0);
+  for (uint32_t m = 0; m < 2; ++m) {
+    const PhaseAttribution& p =
+        attr.machines[m].at(JoinPhase::kNetworkPartition);
+    EXPECT_NEAR(p.TotalSeconds(), attr.phases.network_partition_seconds, 1e-9);
+  }
+}
+
+TEST(RuntimeFaults, CreditShrinkSlowsButStaysCorrect) {
+  Workload w = SmallWorkload(2);
+  FaultSchedule s;
+  FaultEvent e;
+  e.kind = FaultKind::kCreditShrink;
+  e.machine = FaultEvent::kAllMachines;
+  e.start_seconds = 0;
+  e.duration_seconds = 1e6;
+  e.factor = 0.01;  // floors at one credit per slot
+  s.events.push_back(e);
+  const FaultInjector injector(std::move(s));
+  JoinConfig jc = FastConfig();
+  jc.fault_injector = &injector;
+  auto result = DistributedJoin(QdrCluster(2), jc).Run(w.inner, w.outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.matches, w.truth.expected_matches);
+}
+
+TEST(RuntimeFaults, EveryPresetEndsInCleanAbortOrExactResult) {
+  Workload w = SmallWorkload(2);
+  for (const std::string& name : FaultPresetNames()) {
+    auto schedule = MakeFaultPreset(name, /*seed=*/42, 2);
+    ASSERT_TRUE(schedule.ok()) << name;
+    const FaultInjector injector(std::move(*schedule));
+    for (const FaultPolicy policy :
+         {FaultPolicy::kAbort, FaultPolicy::kRecover}) {
+      JoinConfig jc = FastConfig();
+      jc.fault_injector = &injector;
+      jc.fault_policy = policy;
+      auto result = DistributedJoin(QdrCluster(2), jc).Run(w.inner, w.outer);
+      if (result.ok()) {
+        EXPECT_EQ(result->stats.matches, w.truth.expected_matches)
+            << name << " produced a wrong result instead of aborting";
+      } else {
+        EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+            << name << ": " << result.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(RuntimeFaults, AbortedRunLeaksNoBuffersAndRetrySucceeds) {
+  // Satellite regression for the exchange abort paths: a mid-flight Ship
+  // failure must release every acquired send buffer exactly once. If a
+  // buffer leaked (or double-released), the immediate fault-free rerun on
+  // the same relations would misbehave; and a second faulted run must fail
+  // identically (no state bleeds between runs through the injector, which
+  // is stateless).
+  Workload w = SmallWorkload(2);
+  const FaultInjector injector(QpFault(/*ordinal=*/3, /*count=*/1, false));
+  JoinConfig faulty = FastConfig();
+  faulty.fault_injector = &injector;
+  faulty.fault_policy = FaultPolicy::kAbort;
+
+  auto first = DistributedJoin(QdrCluster(2), faulty).Run(w.inner, w.outer);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+
+  auto second = DistributedJoin(QdrCluster(2), faulty).Run(w.inner, w.outer);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().ToString(), first.status().ToString());
+
+  auto clean = DistributedJoin(QdrCluster(2), FastConfig()).Run(w.inner, w.outer);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->stats.matches, w.truth.expected_matches);
+}
+
+TEST(RuntimeFaults, PullTransportRejectsUnsupportedFaultsGracefully) {
+  // The one-sided (RDMA READ) transport has no send path to retry; a
+  // schedule with QP faults must not crash it. Either the run completes
+  // with the exact result (faults target a path that does not exist) or it
+  // fails cleanly.
+  Workload w = SmallWorkload(2);
+  const FaultInjector injector(QpFault(/*ordinal=*/0, /*count=*/1, false));
+  ClusterConfig cluster = QdrCluster(2);
+  cluster.transport = TransportKind::kRdmaRead;
+  JoinConfig jc = FastConfig();
+  jc.fault_injector = &injector;
+  auto result = DistributedJoin(cluster, jc).Run(w.inner, w.outer);
+  if (result.ok()) {
+    EXPECT_EQ(result->stats.matches, w.truth.expected_matches);
+  } else {
+    EXPECT_FALSE(result.status().message().empty());
+  }
 }
 
 }  // namespace

@@ -25,6 +25,12 @@
 #ifndef RDMAJOIN_ANALYZE_BIN
 #error "RDMAJOIN_ANALYZE_BIN must be defined by the build"
 #endif
+#ifndef RDMAJOIN_WHATIF_BIN
+#error "RDMAJOIN_WHATIF_BIN must be defined by the build"
+#endif
+#ifndef RDMAJOIN_CHAOS_BIN
+#error "RDMAJOIN_CHAOS_BIN must be defined by the build"
+#endif
 
 namespace rdmajoin {
 namespace {
@@ -201,6 +207,107 @@ TEST_F(ToolsSmokeTest, AnalyzeSpansExitCodesFollowTheContract) {
             1);
   EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --spans=" +
                     violating + " --check"),
+            1);
+}
+
+TEST(WhatifSmokeTest, CaptureReplayAndExitCodesFollowTheContract) {
+  const std::string trace = TempPath("whatif.trace");
+  // Capture a tiny join trace.
+  ASSERT_EQ(RunTool(std::string(RDMAJOIN_WHATIF_BIN) +
+                    " --capture=" + trace +
+                    " --machines=2 --inner=32 --outer=32 --scale=65536"),
+            0);
+  // Replay it on the same cluster shape.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_WHATIF_BIN) + " --trace=" + trace +
+                    " --machines=2"),
+            0);
+  // Replay it under a what-if knob.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_WHATIF_BIN) + " --trace=" + trace +
+                    " --machines=2 --bandwidth-gbps=1"),
+            0);
+  // Unknown flag -> usage error.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_WHATIF_BIN) + " --no-such-flag"), 1);
+  // Neither --capture nor --trace -> usage error.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_WHATIF_BIN) + " --machines=2"), 1);
+  // Unknown cluster preset -> error.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_WHATIF_BIN) + " --trace=" + trace +
+                    " --cluster=nope"),
+            1);
+  // Missing trace file -> error.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_WHATIF_BIN) +
+                    " --trace=" + TempPath("missing.trace")),
+            1);
+  // Machine-count mismatch between trace and replay cluster -> error.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_WHATIF_BIN) + " --trace=" + trace +
+                    " --machines=3"),
+            1);
+}
+
+TEST(ChaosSmokeTest, MatrixRunsCleanAndEmitsIdenticalJsonOnRerun) {
+  const std::string common =
+      std::string(RDMAJOIN_CHAOS_BIN) +
+      " --machines=2 --cores=4 --inner=16 --outer=16 --scale=65536 --seed=7" +
+      " --presets=qp-error,link-degrade,straggler --policy=both";
+  const std::string a = TempPath("chaos_a.json");
+  const std::string b = TempPath("chaos_b.json");
+  ASSERT_EQ(RunTool(common + " --json=" + a), 0);
+  ASSERT_EQ(RunTool(common + " --json=" + b), 0);
+  const std::string text_a = ReadFileOrEmpty(a);
+  ASSERT_FALSE(text_a.empty());
+  // Identical (schedule, seed) -> byte-identical machine-readable output.
+  EXPECT_EQ(text_a, ReadFileOrEmpty(b));
+  auto parsed = ParseJson(text_a);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* rows = parsed->Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->is_array());
+  EXPECT_EQ(rows->array_items.size(), 6u);  // 3 presets x 2 policies
+  for (const JsonValue& row : rows->array_items) {
+    EXPECT_TRUE(row.BoolOr("acceptable", false));
+  }
+
+  // Contract violations exit nonzero.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_CHAOS_BIN) + " --no-such-flag"), 1);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_CHAOS_BIN) + " --policy=nope"), 1);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_CHAOS_BIN) + " --cluster=nope"), 1);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_CHAOS_BIN) +
+                    " --machines=2 --inner=16 --outer=16 --scale=65536" +
+                    " --presets=no-such-preset"),
+            1);
+}
+
+TEST(CliFaultSmokeTest, FaultedRunsAreCleanDeterministicAndCheckable) {
+  const std::string common =
+      std::string(RDMAJOIN_CLI_BIN) +
+      " --machines=2 --inner=512 --outer=512 --scale=65536 --seed=42" +
+      " --faults=chaos --fault-policy=recover";
+  const std::string spans_a = TempPath("fault_spans_a.json");
+  const std::string spans_b = TempPath("fault_spans_b.json");
+  ASSERT_EQ(RunTool(common + " --spans-json=" + spans_a), 0);
+  ASSERT_EQ(RunTool(common + " --spans-json=" + spans_b), 0);
+  const std::string text_a = ReadFileOrEmpty(spans_a);
+  ASSERT_FALSE(text_a.empty());
+  // Same (schedule, seed) -> byte-identical span dataset.
+  EXPECT_EQ(text_a, ReadFileOrEmpty(spans_b));
+  // The analyzer's invariant gate holds under an active fault schedule too.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --spans=" + spans_a +
+                    " --check"),
+            0);
+
+  // An abort-policy run against a QP fault fails with a nonzero exit but
+  // still exits cleanly (no crash -> RunTool reports the exit code, not -1).
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_CLI_BIN) +
+                    " --machines=2 --inner=512 --outer=512 --scale=65536" +
+                    " --faults=qp-error --fault-policy=abort"),
+            1);
+  // Unknown preset / policy are usage errors.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_CLI_BIN) +
+                    " --machines=2 --inner=512 --outer=512 --scale=65536" +
+                    " --faults=no-such-preset"),
+            1);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_CLI_BIN) +
+                    " --machines=2 --inner=512 --outer=512 --scale=65536" +
+                    " --faults=chaos --fault-policy=nope"),
             1);
 }
 

@@ -101,7 +101,7 @@ int RenderBench(const std::string& path) {
   bool have_attribution = false;
   TablePrinter attr("critical-path attribution (seconds)");
   attr.SetHeader({"label", "compute", "network", "buffer_stall", "barrier",
-                  "sum", "measured", "check"});
+                  "fault_rec", "sum", "measured", "check"});
   for (const BenchJsonRow& row : doc->rows) {
     const JsonValue* a = row.raw.Find("attribution");
     if (!row.ok || !row.has_measured || a == nullptr) continue;
@@ -112,14 +112,18 @@ int RenderBench(const std::string& path) {
     const double network = totals->NumberOr("network_seconds", 0);
     const double stall = totals->NumberOr("buffer_stall_seconds", 0);
     const double barrier = totals->NumberOr("barrier_wait_seconds", 0);
-    const double sum = compute + network + stall + barrier;
+    // Absent (0) in fault-free rows; carries retry/straggler time when a
+    // fault schedule was active. Part of the makespan identity either way.
+    const double fault = totals->NumberOr("fault_recovery_seconds", 0);
+    const double sum = compute + network + stall + barrier + fault;
     const bool pass =
         std::fabs(sum - row.measured_seconds) <=
         kMakespanCheckTolerance * std::max(row.measured_seconds, 1e-12);
     if (!pass) ++invariant_failures;
     attr.AddRow({row.label, TablePrinter::Num(compute, 3),
                  TablePrinter::Num(network, 3), TablePrinter::Num(stall, 3),
-                 TablePrinter::Num(barrier, 3), TablePrinter::Num(sum, 3),
+                 TablePrinter::Num(barrier, 3), TablePrinter::Num(fault, 3),
+                 TablePrinter::Num(sum, 3),
                  TablePrinter::Num(row.measured_seconds, 3),
                  pass ? "ok" : "MISMATCH"});
   }

@@ -1,0 +1,297 @@
+// Chaos harness: run the distributed join under a seeded matrix of fault
+// presets and report how each fault degrades the makespan relative to the
+// fault-free baseline -- and, more importantly, that every faulted run ends
+// in one of the two permitted outcomes: a clean Status error (abort policy /
+// exhausted retries) or the exact correct join cardinality (recovery). A
+// crash, a wrong cardinality, or a success-with-partial-results fails the
+// harness with a nonzero exit code, which is what CI's chaos-smoke job gates
+// on.
+//
+//   rdmajoin_chaos --cluster=qdr --machines=4 --seed=42
+//   rdmajoin_chaos --presets=qp-error,qp-drop --policy=both --json=chaos.json
+//
+// The matrix is deterministic in (preset list, seed): identical invocations
+// produce identical tables and identical JSON bytes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/presets.h"
+#include "fault/injector.h"
+#include "fault/schedule.h"
+#include "join/distributed_join.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/table_printer.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace rdmajoin;
+
+struct ChaosOptions {
+  std::string cluster = "qdr";
+  uint32_t machines = 4;
+  uint32_t cores = 8;
+  double inner_mtuples = 512;
+  double outer_mtuples = 512;
+  double scale_up = 1024.0;
+  uint64_t seed = 42;
+  std::string presets;            // comma-separated; empty = all presets
+  std::string policy = "both";    // abort | recover | both
+  std::string json_out;
+};
+
+struct ChaosRow {
+  std::string preset;
+  std::string policy;
+  std::string outcome;  // "ok" | "abort" | "WRONG-RESULT"
+  bool acceptable = false;
+  double total_seconds = 0;     // 0 when the run aborted
+  double degradation = 0;       // total / baseline - 1, successful runs only
+  double send_retries = 0;
+  double qp_recoveries = 0;
+  std::string detail;           // abort status message, if any
+};
+
+void PrintUsage() {
+  std::printf(
+      "rdmajoin_chaos -- fault-injection matrix for the distributed join\n\n"
+      "  --cluster=qdr|fdr|qpi|ipoib  hardware preset (default qdr)\n"
+      "  --machines=N                 machines (default 4)\n"
+      "  --cores=N                    cores per machine (default 8)\n"
+      "  --inner=M --outer=M          relation sizes, millions of tuples\n"
+      "  --scale=N                    simulation scale-up (default 1024)\n"
+      "  --seed=N                     workload + chaos-schedule seed\n"
+      "  --presets=a,b,c              fault presets to run (default: all)\n"
+      "  --policy=abort|recover|both  fault policies to run (default both)\n"
+      "  --json=PATH                  write the matrix as JSON rows\n\n"
+      "exit status: 0 when every run ends in a clean abort or the exact\n"
+      "correct cardinality; 1 otherwise\n");
+}
+
+bool ParseArgs(int argc, char** argv, ChaosOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) == 0 && arg.size() > len && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    } else if (const char* v = value("--cluster")) {
+      opt->cluster = v;
+    } else if (const char* v = value("--machines")) {
+      opt->machines = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--cores")) {
+      opt->cores = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--inner")) {
+      opt->inner_mtuples = std::atof(v);
+    } else if (const char* v = value("--outer")) {
+      opt->outer_mtuples = std::atof(v);
+    } else if (const char* v = value("--scale")) {
+      opt->scale_up = std::atof(v);
+    } else if (const char* v = value("--seed")) {
+      opt->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--presets")) {
+      opt->presets = v;
+    } else if (const char* v = value("--policy")) {
+      opt->policy = v;
+    } else if (const char* v = value("--json")) {
+      opt->json_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    const size_t comma = s.find(',', pos);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosOptions opt;
+  if (!ParseArgs(argc, argv, &opt)) return 1;
+
+  ClusterConfig cluster;
+  if (opt.cluster == "qdr") {
+    cluster = QdrCluster(opt.machines, opt.cores);
+  } else if (opt.cluster == "fdr") {
+    cluster = FdrCluster(opt.machines, opt.cores);
+  } else if (opt.cluster == "qpi") {
+    cluster = QpiServer(opt.machines, opt.cores);
+  } else if (opt.cluster == "ipoib") {
+    cluster = IpoibCluster(opt.machines, opt.cores);
+  } else {
+    std::fprintf(stderr, "unknown cluster preset: %s\n", opt.cluster.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> presets = SplitCsv(opt.presets);
+  if (presets.empty()) presets = FaultPresetNames();
+  std::vector<std::string> policies;
+  if (opt.policy == "abort" || opt.policy == "both") policies.push_back("abort");
+  if (opt.policy == "recover" || opt.policy == "both") policies.push_back("recover");
+  if (policies.empty()) {
+    std::fprintf(stderr, "unknown policy: %s (abort|recover|both)\n",
+                 opt.policy.c_str());
+    return 1;
+  }
+
+  WorkloadSpec spec;
+  spec.inner_tuples =
+      static_cast<uint64_t>(opt.inner_mtuples * 1e6 / opt.scale_up);
+  spec.outer_tuples =
+      static_cast<uint64_t>(opt.outer_mtuples * 1e6 / opt.scale_up);
+  spec.seed = opt.seed;
+  auto workload = GenerateWorkload(spec, cluster.num_machines);
+  if (!workload.ok()) return Fail(workload.status());
+
+  // Fault-free baseline: the degradation reference and the correctness oracle.
+  JoinConfig base_config;
+  base_config.scale_up = opt.scale_up;
+  auto baseline =
+      DistributedJoin(cluster, base_config).Run(workload->inner, workload->outer);
+  if (!baseline.ok()) return Fail(baseline.status());
+  const double baseline_seconds = baseline->times.TotalSeconds();
+  const uint64_t expected_matches = workload->truth.expected_matches;
+
+  std::vector<ChaosRow> rows;
+  bool all_acceptable = true;
+  for (const std::string& preset : presets) {
+    auto schedule = MakeFaultPreset(preset, opt.seed, cluster.num_machines);
+    if (!schedule.ok()) return Fail(schedule.status());
+    const FaultInjector injector(std::move(*schedule));
+    for (const std::string& policy : policies) {
+      JoinConfig config;
+      config.scale_up = opt.scale_up;
+      config.fault_injector = &injector;
+      config.fault_policy =
+          policy == "recover" ? FaultPolicy::kRecover : FaultPolicy::kAbort;
+      MetricsRegistry metrics;
+      config.metrics = &metrics;
+
+      ChaosRow row;
+      row.preset = preset;
+      row.policy = policy;
+      auto result =
+          DistributedJoin(cluster, config).Run(workload->inner, workload->outer);
+      if (!result.ok()) {
+        // A clean abort is a permitted outcome -- the join refused to report
+        // partial results as success.
+        row.outcome = "abort";
+        row.acceptable = true;
+        row.detail = result.status().ToString();
+      } else if (result->stats.matches != expected_matches) {
+        row.outcome = "WRONG-RESULT";
+        row.acceptable = false;
+        row.total_seconds = result->times.TotalSeconds();
+        row.detail = "got " + std::to_string(result->stats.matches) +
+                     " matches, expected " + std::to_string(expected_matches);
+      } else {
+        row.outcome = "ok";
+        row.acceptable = true;
+        row.total_seconds = result->times.TotalSeconds();
+        if (baseline_seconds > 0) {
+          row.degradation = row.total_seconds / baseline_seconds - 1.0;
+        }
+      }
+      if (const Counter* c = metrics.FindCounter("fault.send_retries")) {
+        row.send_retries = c->value();
+      }
+      if (const Counter* c = metrics.FindCounter("fault.qp_recoveries")) {
+        row.qp_recoveries = c->value();
+      }
+      all_acceptable = all_acceptable && row.acceptable;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  TablePrinter table("chaos matrix on " + cluster.name + " (baseline " +
+                     TablePrinter::Num(baseline_seconds, 3) + " s, seed " +
+                     std::to_string(opt.seed) + ")");
+  table.SetHeader({"preset", "policy", "outcome", "total_s", "degradation",
+                   "retries", "recoveries"});
+  for (const ChaosRow& row : rows) {
+    table.AddRow({row.preset, row.policy, row.outcome,
+                  row.outcome == "abort" ? "-"
+                                         : TablePrinter::Num(row.total_seconds, 3),
+                  row.outcome == "ok"
+                      ? TablePrinter::Num(100.0 * row.degradation, 1) + "%"
+                      : "-",
+                  TablePrinter::Num(row.send_retries, 0),
+                  TablePrinter::Num(row.qp_recoveries, 0)});
+  }
+  table.Print();
+  for (const ChaosRow& row : rows) {
+    if (!row.detail.empty()) {
+      std::printf("  %s/%s: %s\n", row.preset.c_str(), row.policy.c_str(),
+                  row.detail.c_str());
+    }
+  }
+
+  if (!opt.json_out.empty()) {
+    std::string json = "{\"baseline_seconds\":" + JsonNumber(baseline_seconds) +
+                       ",\"seed\":" + JsonNumber(static_cast<double>(opt.seed)) +
+                       ",\"rows\":[";
+    bool first = true;
+    for (const ChaosRow& row : rows) {
+      if (!first) json += ",";
+      first = false;
+      json += "\n{\"preset\":\"" + JsonEscape(row.preset) + "\"";
+      json += ",\"policy\":\"" + JsonEscape(row.policy) + "\"";
+      json += ",\"outcome\":\"" + JsonEscape(row.outcome) + "\"";
+      json += ",\"acceptable\":";
+      json += row.acceptable ? "true" : "false";
+      json += ",\"total_seconds\":" + JsonNumber(row.total_seconds);
+      json += ",\"degradation\":" + JsonNumber(row.degradation);
+      json += ",\"send_retries\":" + JsonNumber(row.send_retries);
+      json += ",\"qp_recoveries\":" + JsonNumber(row.qp_recoveries);
+      if (!row.detail.empty()) {
+        json += ",\"detail\":\"" + JsonEscape(row.detail) + "\"";
+      }
+      json += "}";
+    }
+    json += "]}\n";
+    std::ofstream out(opt.json_out, std::ios::binary);
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.json_out.c_str());
+      return 1;
+    }
+  }
+
+  if (!all_acceptable) {
+    std::fprintf(stderr,
+                 "chaos matrix FAILED: at least one run produced a wrong "
+                 "result instead of a clean abort or recovery\n");
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,8 @@
 #include <string>
 
 #include "cluster/presets.h"
+#include "fault/injector.h"
+#include "fault/schedule.h"
 #include "join/distributed_join.h"
 #include "model/analytical_model.h"
 #include "operators/distributed_aggregate.h"
@@ -54,6 +56,8 @@ struct CliOptions {
   std::string chrome_trace;   // write a Chrome trace-event file
   std::string spans_json;     // write the causal span dataset to this file
   bool no_spans = false;      // disable the span flight recorder
+  std::string faults;         // fault schedule: preset name or JSON file
+  std::string fault_policy = "abort";  // abort | recover
 };
 
 void PrintUsage() {
@@ -81,7 +85,14 @@ void PrintUsage() {
       "                                (open in chrome://tracing, join ops)\n"
       "  --spans-json=PATH             write the causal span dataset as JSON\n"
       "                                (inspect with rdmajoin_analyze --spans)\n"
-      "  --no-spans                    disable the span flight recorder\n");
+      "  --no-spans                    disable the span flight recorder\n"
+      "  --faults=PRESET|FILE          inject a deterministic fault schedule\n"
+      "                                (presets: none, link-degrade, link-flap,\n"
+      "                                straggler, qp-error, qp-drop,\n"
+      "                                credit-shrink, chaos; or a schedule JSON\n"
+      "                                file; seeded from --seed)\n"
+      "  --fault-policy=abort|recover  reaction to runtime faults\n"
+      "                                (default abort: clean error status)\n");
 }
 
 bool ParseCli(int argc, char** argv, CliOptions* opt) {
@@ -141,6 +152,10 @@ bool ParseCli(int argc, char** argv, CliOptions* opt) {
       opt->spans_json = v;
     } else if (arg == "--no-spans") {
       opt->no_spans = true;
+    } else if (const char* v = value("--faults")) {
+      opt->faults = v;
+    } else if (const char* v = value("--fault-policy")) {
+      opt->fault_policy = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return false;
@@ -214,6 +229,24 @@ int main(int argc, char** argv) {
   SpanRecorder span_recorder;
   if (!opt.spans_json.empty()) config.span_recorder = &span_recorder;
 
+  // Deterministic fault injection: the schedule comes from a preset name or
+  // a JSON file and is seeded by --seed, so a (schedule, seed) pair always
+  // reproduces the same run bit for bit.
+  FaultInjector injector;
+  if (!opt.faults.empty()) {
+    auto schedule = LoadFaultSchedule(opt.faults, opt.seed, opt.machines);
+    if (!schedule.ok()) return Fail(schedule.status());
+    injector = FaultInjector(std::move(*schedule));
+    config.fault_injector = &injector;
+  }
+  if (opt.fault_policy == "recover") {
+    config.fault_policy = FaultPolicy::kRecover;
+  } else if (opt.fault_policy != "abort") {
+    std::fprintf(stderr, "unknown fault policy: %s (abort|recover)\n",
+                 opt.fault_policy.c_str());
+    return 1;
+  }
+
   PhaseTimes times;
   std::string verified = "n/a";
   uint64_t messages = 0;
@@ -239,6 +272,9 @@ int main(int argc, char** argv) {
     if (!opt.chrome_trace.empty()) {
       ChromeTraceOptions trace_options;
       trace_options.label = cluster.name + ", " + opt.op;
+      if (config.fault_injector != nullptr) {
+        trace_options.fault_schedule = &injector.schedule();
+      }
       Status s = WriteChromeTraceFile(opt.chrome_trace, result->replay, &metrics,
                                       trace_options);
       if (!s.ok()) return Fail(s);
