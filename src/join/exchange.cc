@@ -207,6 +207,7 @@ StatusOr<Exchange::Result> Exchange::Run(
       ScopeExit release_slots([&slot, &pool] {
         for (RegisteredBuffer*& b : slot) {
           if (b != nullptr) {
+            // lint: discard-ok(cleanup on scope exit; leak shows up in teardown report)
             (void)pool.Release(b);
             b = nullptr;
           }
@@ -228,6 +229,7 @@ StatusOr<Exchange::Result> Exchange::Run(
           // The payload never reached the destination; give the buffer's
           // credit back before propagating the (clean) abort status.
           slot[p] = nullptr;
+          // lint: discard-ok(credit return on abort path; original status propagates)
           (void)pool.Release(buf);
           return wire.status();
         }
@@ -362,6 +364,7 @@ StatusOr<Exchange::Result> Exchange::RunPull(
   ScopeExit deregister_staging([&stage_mrs, &net] {
     for (uint32_t m = 0; m < stage_mrs.size(); ++m) {
       for (const MemoryRegion& mr : stage_mrs[m]) {
+        // lint: discard-ok(scope-exit teardown; validator reports any leak)
         if (mr.length > 0) (void)net.device(m)->DeregisterMemory(mr);
       }
     }
@@ -441,11 +444,13 @@ StatusOr<Exchange::Result> Exchange::RunPull(
             if (!read_posted.ok()) {
               // Same contract as the missing-completion path below: the
               // chunk buffer goes back to the pool before the abort.
+              // lint: discard-ok(buffer return on abort path; original status propagates)
               (void)pool.Release(*buf);
               return read_posted;
             }
             WorkCompletion wc;
             if (!net.reader_cq(d, s)->PollOne(&wc) || !wc.success) {
+              // lint: discard-ok(buffer return on abort path; Internal status propagates)
               (void)pool.Release(*buf);
               return Status::Internal("missing read completion");
             }

@@ -1,6 +1,9 @@
 #include "operators/distributed_aggregate.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "join/assignment.h"
 #include "join/exchange.h"
@@ -105,7 +108,16 @@ StatusOr<AggregateRunResult> DistributedAggregate::Run(
         ++count;
         sum += part.Rid(i);
       }
-      for (const auto& [key, agg] : groups) {
+      // Emit groups in ascending key order: the materialized output feeds
+      // byte-compared artifacts, so the hash table's iteration order must
+      // not reach it (the determinism contract, docs/correctness.md).
+      std::vector<std::pair<uint64_t, std::pair<uint64_t, uint64_t>>> sorted;
+      sorted.reserve(groups.size());
+      // lint: order-insensitive(drained into a vector and sorted by key below)
+      for (const auto& [key, agg] : groups) sorted.emplace_back(key, agg);
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [key, agg] : sorted) {
         ++result.stats.groups;
         result.stats.total_count += agg.first;
         result.stats.value_sum += agg.second;

@@ -28,6 +28,7 @@ std::string_view ProtocolViolationName(ProtocolViolation v) {
 
 uint64_t ProtocolReport::total() const {
   uint64_t sum = 0;
+  // lint: order-insensitive(sum over a fixed-size array; name collision only)
   for (uint64_t c : counts) sum += c;
   return sum;
 }

@@ -1,8 +1,10 @@
 #include "rdma/verbs.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "util/metrics.h"
 
@@ -141,8 +143,17 @@ void RdmaDevice::EnableMetrics(MetricsRegistry* registry,
 RdmaDevice::~RdmaDevice() {
   // Regions leaked by the caller are unpinned so the memory space stays
   // consistent across tests, but each one is a protocol violation: the
-  // contract requires deregistration before the device goes away.
-  for (auto& [lkey, mr] : by_lkey_) {
+  // contract requires deregistration before the device goes away. The leaks
+  // are reported in ascending lkey order: validator messages feed reports
+  // that must be byte-identical across runs and stdlib versions, so the
+  // unordered map's iteration order must not leak into them.
+  std::vector<uint32_t> leaked;
+  leaked.reserve(by_lkey_.size());
+  // lint: order-insensitive(keys are drained into a vector and sorted below)
+  for (const auto& [lkey, mr] : by_lkey_) leaked.push_back(lkey);
+  std::sort(leaked.begin(), leaked.end());
+  for (const uint32_t lkey : leaked) {
+    const MemoryRegion& mr = by_lkey_.at(lkey);
     if (validator_ != nullptr) {
       validator_->Record(ProtocolViolation::kRegionLeak,
                          "device " + std::to_string(device_id_) + ": lkey " +

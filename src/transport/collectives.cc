@@ -26,10 +26,12 @@ CollectiveNetwork::~CollectiveNetwork() {
       if (s == d) continue;
       Link& l = link(s, d);
       if (!l.recv_buffer.empty()) {
+        // lint: discard-ok(destructor teardown; validator reports any leak)
         (void)devices_[d]->DeregisterMemory(l.recv_mr);
       }
     }
     if (!send_buffers_.empty() && !send_buffers_[s].empty()) {
+      // lint: discard-ok(destructor teardown; validator reports any leak)
       (void)devices_[s]->DeregisterMemory(send_mrs_[s]);
     }
   }

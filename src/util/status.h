@@ -31,8 +31,11 @@ enum class StatusCode {
 std::string_view StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error result. The OK status carries no message and
-/// is cheap to construct and copy.
-class Status {
+/// is cheap to construct and copy. [[nodiscard]] makes silently dropped error
+/// statuses a compile error (the determinism contract, docs/correctness.md);
+/// deliberate discards must be spelled `(void)` and justified with a
+/// `// lint: discard-ok(<reason>)` annotation.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

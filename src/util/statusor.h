@@ -12,7 +12,7 @@ namespace rdmajoin {
 /// Holds either a value of type T or an error Status. Mirrors
 /// absl::StatusOr<T> for the subset of the interface this library needs.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. `status` must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)

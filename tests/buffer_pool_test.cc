@@ -27,8 +27,8 @@ TEST_F(BufferPoolTest, AcquireReusesPooledBuffers) {
     auto a = pool.Acquire();
     auto b = pool.Acquire();
     ASSERT_TRUE(a.ok() && b.ok());
-    pool.Release(*a);
-    pool.Release(*b);
+    ASSERT_TRUE(pool.Release(*a).ok());
+    ASSERT_TRUE(pool.Release(*b).ok());
   }
   EXPECT_EQ(pool.buffers_created(), 2u);        // No new registrations.
   EXPECT_EQ(pool.acquisitions(), 200u);
@@ -44,7 +44,7 @@ TEST_F(BufferPoolTest, PoolGrowsOnDemandWhenEmpty) {
   EXPECT_NE(*a, *b);
   EXPECT_EQ(pool.buffers_created(), 2u);
   EXPECT_EQ(pool.outstanding(), 2u);
-  pool.Release(*a);
+  ASSERT_TRUE(pool.Release(*a).ok());
   EXPECT_EQ(pool.free_buffers(), 1u);
   auto c = pool.Acquire();
   EXPECT_EQ(*c, *a);  // Reused.
@@ -57,7 +57,7 @@ TEST_F(BufferPoolTest, RegisterOnDemandPolicyRegistersEveryAcquire) {
     auto buf = pool.Acquire();
     ASSERT_TRUE(buf.ok());
     (*buf)->used = 99;
-    pool.Release(*buf);
+    ASSERT_TRUE(pool.Release(*buf).ok());
   }
   EXPECT_EQ(pool.buffers_created(), 10u);
   EXPECT_EQ(pool.reuses(), 0u);
@@ -71,7 +71,7 @@ TEST_F(BufferPoolTest, AcquireResetsUsedCounter) {
   RegisteredBufferPool pool(&dev_, 512);
   auto a = pool.Acquire();
   (*a)->used = 123;
-  pool.Release(*a);
+  ASSERT_TRUE(pool.Release(*a).ok());
   auto b = pool.Acquire();
   EXPECT_EQ((*b)->used, 0u);
 }

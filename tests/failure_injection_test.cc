@@ -119,7 +119,7 @@ TEST(FailureInjection, PoolSurfacesRegistrationFailure) {
   ASSERT_FALSE(c.ok());
   EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
   // Releasing returns the pool to a usable state.
-  pool.Release(*a);
+  ASSERT_TRUE(pool.Release(*a).ok());
   auto retry = pool.Acquire();
   EXPECT_TRUE(retry.ok());
   mem.Release(1 << 20);

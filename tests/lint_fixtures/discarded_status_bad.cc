@@ -1,0 +1,13 @@
+// Fixture: each marked line must produce exactly one finding of the rule
+// named in the marker.
+
+class Status {  // VIOLATION(discarded-status)
+ public:
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+
+void Caller() {
+  (void)DoWork();  // VIOLATION(discarded-status)
+}

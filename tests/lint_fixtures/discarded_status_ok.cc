@@ -1,0 +1,22 @@
+// Fixture: justified discards and non-discard (void) casts are clean.
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class [[nodiscard]] StatusOr {};
+
+Status DoWork();
+
+void Caller(int unused_param) {
+  // Silencing an unused parameter is not a Status discard (no call).
+  (void)unused_param;
+  // lint: discard-ok(teardown path; failure already recorded by validator)
+  (void)DoWork();
+}
+
+// A function taking no arguments spelled (void) is not a discard.
+int Legacy(void);
+int UseLegacy() { return Legacy(); }

@@ -1,0 +1,12 @@
+// Fixture: each marked line must produce exactly one finding of the rule
+// named in the marker.
+#include <clocale>
+#include <cstdlib>
+#include <locale>
+
+const char* Home() { return std::getenv("HOME"); }  // VIOLATION(env-read)
+
+void SetUp() {
+  setlocale(LC_ALL, "");  // VIOLATION(locale-format)
+  auto loc = std::locale("");  // VIOLATION(locale-format)
+}

@@ -1,0 +1,13 @@
+// Fixture: each marked line must produce exactly one finding of the rule
+// named in the marker.
+#include <cstdio>
+#include <functional>
+#include <unordered_map>
+
+struct Node;
+
+std::unordered_map<Node*, int, std::hash<Node*>> g_by_node;  // VIOLATION(pointer-nondet)
+
+void Dump(const void* p) {
+  std::printf("node at %p\n", p);  // VIOLATION(pointer-nondet)
+}

@@ -1,0 +1,14 @@
+// Fixture: none of these may be flagged as pointer-nondet.
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+// Hashing values (not pointers) is fine.
+std::unordered_map<uint64_t, int, std::hash<uint64_t>> g_by_id;
+
+// rehash<...> is a different symbol than hash<...>.
+template <int N> void rehash();
+void Grow() { rehash<64>(); }
+
+// A literal percent sign not followed by p.
+const char* kFormat = "%d %% %s";

@@ -1,0 +1,15 @@
+// Fixture: each marked line must produce exactly one finding of the rule
+// named in the marker.
+#include <cstdlib>
+#include <random>
+
+int Roll() { return rand() % 6; }  // VIOLATION(raw-random)
+
+void Seed() { srand(42); }  // VIOLATION(raw-random)
+
+unsigned HardwareEntropy() {
+  std::random_device rd;  // VIOLATION(raw-random)
+  return rd();
+}
+
+double Uniform() { return drand48(); }  // VIOLATION(raw-random)

@@ -1,0 +1,17 @@
+// Fixture: seeded deterministic generators must not be flagged.
+#include <cstdint>
+#include <random>
+
+// std::mt19937 with a fixed seed is the project-approved source.
+uint64_t Deterministic(uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}
+
+// An identifier merely containing "rand" is not rand().
+int operand_count = 2;
+int Operands() { return operand_count; }
+
+// Member access to something named random() is not ::random().
+struct Source;
+int FromMember(Source* s) { return s->random(); }

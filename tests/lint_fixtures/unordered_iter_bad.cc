@@ -1,0 +1,24 @@
+// Fixture: each marked line must produce exactly one finding of the rule
+// named in the marker.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<uint64_t, uint64_t> g_counts;
+using IdSet = std::unordered_set<uint64_t>;
+IdSet g_ids;
+
+uint64_t EmitAll(std::string* out) {
+  uint64_t sum = 0;
+  for (const auto& [k, v] : g_counts) {  // VIOLATION(unordered-iter)
+    *out += std::to_string(k);
+    sum += v;
+  }
+  // Alias names registered by `using` are matched wherever they appear in a
+  // range expression.
+  for (uint64_t id : static_cast<const IdSet&>(g_ids)) {  // VIOLATION(unordered-iter)
+    *out += std::to_string(id);
+  }
+  return sum;
+}

@@ -1,0 +1,21 @@
+// Fixture: justified or ordered iteration must not be flagged.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<uint64_t, uint64_t> g_counts;
+std::map<uint64_t, uint64_t> g_sorted;
+std::vector<uint64_t> g_list;
+
+uint64_t SumAll() {
+  uint64_t sum = 0;
+  // lint: order-insensitive(commutative sum; no output order dependence)
+  for (const auto& [k, v] : g_counts) sum += v;
+  // Annotation on the same line also covers the loop.
+  for (const auto& [k, v] : g_counts) sum += k;  // lint: order-insensitive(sum)
+  // Ordered containers iterate deterministically.
+  for (const auto& [k, v] : g_sorted) sum += v;
+  for (uint64_t v : g_list) sum += v;
+  return sum;
+}

@@ -1,0 +1,20 @@
+// Fixture: each marked line must produce exactly one finding of the rule
+// named in the marker.
+#include <chrono>
+#include <ctime>
+
+double NowSeconds() {
+  auto t = std::chrono::system_clock::now();  // VIOLATION(wall-clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long Epoch() { return time(nullptr); }  // VIOLATION(wall-clock)
+
+double Steady() {
+  auto t = std::chrono::steady_clock::now();  // VIOLATION(wall-clock)
+  return t.time_since_epoch().count();
+}
+
+void Stamp(char* buf, std::size_t n, const std::tm* tm) {
+  strftime(buf, n, "%Y", tm);  // VIOLATION(wall-clock)
+}

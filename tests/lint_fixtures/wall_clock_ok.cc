@@ -1,0 +1,20 @@
+// Fixture: none of these may be flagged as wall-clock.
+#include <string>
+
+// A data member named `time` is fine: the call_only rule needs a call.
+struct Span {
+  double time;
+};
+double Sample(const Span& s) { return s.time; }
+
+// The word appearing inside strings or comments is not a use: time(nullptr).
+const char* kDoc = "calls time(nullptr) internally";
+
+// `timeout` contains "time" but is a different identifier.
+int WaitFor(int timeout) { return timeout; }
+
+// Member calls and foreign qualification are different symbols.
+struct Fabric;
+double FromFabric(Fabric* f);
+double Use(Fabric* fab) { return Fabric::clock(); }
+double UseMember(Span* s) { return s->time; }

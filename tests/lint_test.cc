@@ -1,0 +1,458 @@
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+// The lint pass is itself part of the determinism contract: these tests pin
+// (a) every rule against golden fixtures under tests/lint_fixtures/, (b) the
+// suppression tiers (annotation, allowlist, baseline) and their edge cases,
+// and (c) that the repository self-scan is clean -- so a new violation
+// anywhere in src/tools/bench/tests fails ctest, not just the CI lint job.
+
+namespace rdmajoin::lint {
+namespace {
+
+#ifndef RDMAJOIN_REPO_ROOT
+#error "RDMAJOIN_REPO_ROOT must be defined by the build"
+#endif
+
+constexpr char kRepoRoot[] = RDMAJOIN_REPO_ROOT;
+
+FileInput LoadFixture(const std::string& name) {
+  auto file = ReadSource(kRepoRoot, "tests/lint_fixtures/" + name);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  return *file;
+}
+
+/// Expected (rule, line) pairs from `VIOLATION(<rule>)` markers in a fixture.
+std::set<std::pair<std::string, int>> MarkerExpectations(const FileInput& f) {
+  std::set<std::pair<std::string, int>> expected;
+  std::istringstream in(f.content);
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const size_t at = line.find("VIOLATION(");
+    if (at == std::string::npos) continue;
+    const size_t close = line.find(')', at);
+    EXPECT_NE(close, std::string::npos) << f.path << ":" << number;
+    if (close == std::string::npos) continue;
+    expected.insert({line.substr(at + 10, close - at - 10), number});
+  }
+  return expected;
+}
+
+std::set<std::pair<std::string, int>> FindingSet(const LintResult& result) {
+  std::set<std::pair<std::string, int>> got;
+  for (const Finding& f : result.findings) got.insert({f.rule, f.line});
+  return got;
+}
+
+LintResult LintOne(const FileInput& f) { return RunLint({f}, LintOptions{}); }
+
+class FixtureRules : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FixtureRules, BadFixtureYieldsExactlyTheMarkedFindings) {
+  const FileInput f = LoadFixture(std::string(GetParam()) + "_bad.cc");
+  const auto expected = MarkerExpectations(f);
+  ASSERT_FALSE(expected.empty()) << "fixture has no VIOLATION markers";
+  const LintResult result = LintOne(f);
+  EXPECT_EQ(FindingSet(result), expected);
+  EXPECT_FALSE(result.clean());
+  EXPECT_EQ(result.unsuppressed, expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, FixtureRules,
+                         ::testing::Values("wall_clock", "raw_random",
+                                           "env_locale", "pointer_nondet",
+                                           "unordered_iter",
+                                           "discarded_status"));
+
+class FixtureNegatives : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FixtureNegatives, OkFixtureIsClean) {
+  const FileInput f = LoadFixture(std::string(GetParam()) + "_ok.cc");
+  const LintResult result = LintOne(f);
+  EXPECT_TRUE(result.clean()) << FindingsToJson(result);
+  EXPECT_EQ(result.total, 0u) << FindingsToJson(result);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, FixtureNegatives,
+                         ::testing::Values("wall_clock", "raw_random",
+                                           "pointer_nondet", "unordered_iter",
+                                           "discarded_status"));
+
+// ---------------------------------------------------------------------------
+// Annotation semantics.
+// ---------------------------------------------------------------------------
+
+FileInput UnorderedLoop(const std::string& before_loop,
+                        const std::string& loop_suffix = "") {
+  FileInput f;
+  f.path = "src/x.cc";
+  f.content =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "void F() {\n" +
+      before_loop + "  for (auto& kv : m) {}" + loop_suffix + "\n}\n";
+  return f;
+}
+
+TEST(Annotations, ReasonOnPrecedingLineSuppresses) {
+  const LintResult r =
+      RunLint({UnorderedLoop("  // lint: order-insensitive(no output)\n")},
+              LintOptions{});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Annotations, SameLineSuppresses) {
+  const LintResult r = RunLint(
+      {UnorderedLoop("", "  // lint: order-insensitive(no output)")},
+      LintOptions{});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Annotations, EmptyReasonDoesNotSuppress) {
+  const LintResult r = RunLint(
+      {UnorderedLoop("  // lint: order-insensitive()\n")}, LintOptions{});
+  EXPECT_EQ(r.unsuppressed, 1u);
+}
+
+TEST(Annotations, TwoLinesAboveDoesNotSuppress) {
+  const LintResult r = RunLint(
+      {UnorderedLoop("  // lint: order-insensitive(too far away)\n  ;\n")},
+      LintOptions{});
+  EXPECT_EQ(r.unsuppressed, 1u);
+}
+
+TEST(Annotations, GenericAllowCoversAnyRule) {
+  const LintResult r = RunLint(
+      {UnorderedLoop("  // lint: allow(unordered-iter)\n")}, LintOptions{});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Annotations, WrongRuleInAllowDoesNotSuppress) {
+  const LintResult r = RunLint(
+      {UnorderedLoop("  // lint: allow(wall-clock)\n")}, LintOptions{});
+  EXPECT_EQ(r.unsuppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist and exclusion (tools/lint_config.json semantics).
+// ---------------------------------------------------------------------------
+
+FileInput EnvReader(const std::string& path) {
+  return FileInput{path,
+                   "#include <cstdlib>\n"
+                   "const char* V() { return std::getenv(\"X\"); }\n"};
+}
+
+TEST(Config, AllowlistIsPerRuleAndFile) {
+  LintOptions options;
+  options.config.allow.push_back(
+      LintConfig::Allow{"env-read", "src/util/logging.cc", "documented knob"});
+  EXPECT_TRUE(
+      RunLint({EnvReader("src/util/logging.cc")}, options).clean());
+  // Same rule, different file: not covered.
+  EXPECT_EQ(RunLint({EnvReader("src/util/other.cc")}, options).unsuppressed,
+            1u);
+  // Same file, different rule: not covered.
+  options.config.allow[0].rule = "wall-clock";
+  EXPECT_EQ(RunLint({EnvReader("src/util/logging.cc")}, options).unsuppressed,
+            1u);
+}
+
+TEST(Config, ExcludedPrefixesAreNotScanned) {
+  LintOptions options;
+  options.config.exclude_prefixes.push_back("tests/lint_fixtures/");
+  const LintResult r =
+      RunLint({EnvReader("tests/lint_fixtures/env_bad.cc")}, options);
+  EXPECT_EQ(r.total, 0u);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Config, RejectsAllowEntryWithoutReason) {
+  EXPECT_FALSE(LintConfig::FromJson(
+                   R"({"allow": [{"rule": "env-read", "file": "a.cc"}]})")
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline semantics (tools/lint_baseline.json).
+// ---------------------------------------------------------------------------
+
+FileInput TwoDiscards() {
+  return FileInput{"src/legacy.cc",
+                   "int G();\n"
+                   "void F() {\n"
+                   "  (void)G();\n"
+                   "  (void)G();\n"
+                   "}\n"};
+}
+
+TEST(Baseline, ExactCountAbsorbsLegacyFindings) {
+  LintOptions options;
+  options.baseline.push_back(
+      BaselineEntry{"discarded-status", "src/legacy.cc", 2});
+  const LintResult r = RunLint({TwoDiscards()}, options);
+  EXPECT_EQ(r.total, 2u);
+  EXPECT_EQ(r.baselined, 2u);
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(r.burn_down.empty());
+  for (const Finding& f : r.findings) EXPECT_TRUE(f.baselined);
+}
+
+TEST(Baseline, NewFindingBeyondTheBudgetFails) {
+  LintOptions options;
+  options.baseline.push_back(
+      BaselineEntry{"discarded-status", "src/legacy.cc", 1});
+  const LintResult r = RunLint({TwoDiscards()}, options);
+  EXPECT_EQ(r.baselined, 1u);
+  EXPECT_EQ(r.unsuppressed, 1u);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Baseline, StaleBudgetIsReportedForBurnDown) {
+  LintOptions options;
+  options.baseline.push_back(
+      BaselineEntry{"discarded-status", "src/legacy.cc", 5});
+  const LintResult r = RunLint({TwoDiscards()}, options);
+  EXPECT_TRUE(r.clean());
+  ASSERT_EQ(r.burn_down.size(), 1u);
+  EXPECT_EQ(r.burn_down[0].rule, "discarded-status");
+  EXPECT_EQ(r.burn_down[0].file, "src/legacy.cc");
+  EXPECT_EQ(r.burn_down[0].count, 3);
+}
+
+TEST(Baseline, DoesNotLeakAcrossFiles) {
+  LintOptions options;
+  options.baseline.push_back(
+      BaselineEntry{"discarded-status", "src/other.cc", 2});
+  EXPECT_EQ(RunLint({TwoDiscards()}, options).unsuppressed, 2u);
+}
+
+TEST(Baseline, ParserRejectsNonPositiveCounts) {
+  EXPECT_FALSE(ParseBaseline(R"({"entries": [{"rule": "r", "file": "f",)"
+                             R"( "count": 0}]})")
+                   .ok());
+  EXPECT_FALSE(ParseBaseline(R"({"entries": 3})").ok());
+  auto ok = ParseBaseline(
+      R"({"entries": [{"rule": "r", "file": "f", "count": 2}]})");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0].count, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Layer DAG.
+// ---------------------------------------------------------------------------
+
+constexpr char kLayersJson[] = R"({
+  "modules": [
+    {"name": "a", "paths": ["src/a/"]},
+    {"name": "b", "paths": ["src/b/"]},
+    {"name": "b_iface", "paths": ["src/b/iface.h"]},
+    {"name": "harness", "paths": ["tests/"], "allow_all": true}
+  ],
+  "edges": {
+    "b": ["a"],
+    "a": ["b_iface"]
+  }
+})";
+
+LintOptions LayerOptions(const LayerModel& model) {
+  LintOptions options;
+  options.layers = &model;
+  return options;
+}
+
+TEST(LayerDag, AllowedEdgeIsClean) {
+  auto model = LayerModel::FromJson(kLayersJson);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const FileInput f{"src/b/y.cc", "#include \"a/z.h\"\n"};
+  EXPECT_TRUE(RunLint({f}, LayerOptions(*model)).clean());
+}
+
+TEST(LayerDag, ForbiddenEdgeIsFlagged) {
+  auto model = LayerModel::FromJson(kLayersJson);
+  ASSERT_TRUE(model.ok());
+  const FileInput f{"src/a/w.cc", "#include \"b/q.h\"\n"};
+  const LintResult r = RunLint({f}, LayerOptions(*model));
+  ASSERT_EQ(r.unsuppressed, 1u);
+  EXPECT_EQ(r.findings[0].rule, "layer-dag");
+  EXPECT_EQ(r.findings[0].line, 1);
+}
+
+TEST(LayerDag, FileGranularModuleCarvesOutOfDirectoryModule) {
+  auto model = LayerModel::FromJson(kLayersJson);
+  ASSERT_TRUE(model.ok());
+  // Longest-prefix match: src/b/iface.h belongs to b_iface, which `a` may
+  // include even though the rest of src/b/ is off limits.
+  EXPECT_EQ(model->ModuleFor("src/b/iface.h"), "b_iface");
+  EXPECT_EQ(model->ModuleFor("src/b/other.h"), "b");
+  const FileInput f{"src/a/w.cc", "#include \"b/iface.h\"\n"};
+  EXPECT_TRUE(RunLint({f}, LayerOptions(*model)).clean());
+}
+
+TEST(LayerDag, UnmappedSrcFileIsFlagged) {
+  auto model = LayerModel::FromJson(kLayersJson);
+  ASSERT_TRUE(model.ok());
+  const FileInput f{"src/stray.cc", "int x;\n"};
+  const LintResult r = RunLint({f}, LayerOptions(*model));
+  ASSERT_EQ(r.unsuppressed, 1u);
+  EXPECT_EQ(r.findings[0].rule, "layer-dag");
+}
+
+TEST(LayerDag, HarnessModulesMayIncludeAnything) {
+  auto model = LayerModel::FromJson(kLayersJson);
+  ASSERT_TRUE(model.ok());
+  const FileInput f{"tests/t.cc", "#include \"b/q.h\"\n#include \"a/z.h\"\n"};
+  EXPECT_TRUE(RunLint({f}, LayerOptions(*model)).clean());
+}
+
+TEST(LayerDag, RejectsEdgesToUnknownModules) {
+  EXPECT_FALSE(LayerModel::FromJson(
+                   R"({"modules": [{"name": "a", "paths": ["src/a/"]}],)"
+                   R"( "edges": {"a": ["ghost"]}})")
+                   .ok());
+  EXPECT_FALSE(LayerModel::FromJson(
+                   R"({"modules": [{"name": "a", "paths": []}], "edges": {}})")
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic output.
+// ---------------------------------------------------------------------------
+
+TEST(Output, JsonIsByteIdenticalAcrossRunsAndInputOrder) {
+  const FileInput a = LoadFixture("wall_clock_bad.cc");
+  const FileInput b = LoadFixture("raw_random_bad.cc");
+  const std::string first = FindingsToJson(RunLint({a, b}, LintOptions{}));
+  const std::string second = FindingsToJson(RunLint({b, a}, LintOptions{}));
+  EXPECT_EQ(first, second);
+  // Findings arrive sorted by (file, line, rule).
+  const LintResult r = RunLint({b, a}, LintOptions{});
+  for (size_t i = 1; i < r.findings.size(); ++i) {
+    const auto key = [](const Finding& f) {
+      return std::make_tuple(f.file, f.line, f.rule);
+    };
+    EXPECT_LE(key(r.findings[i - 1]), key(r.findings[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repository self-scan: the tree this test was built from must be clean.
+// ---------------------------------------------------------------------------
+
+LintOptions SelfScanOptions(const LayerModel& layers, LintConfig config,
+                            std::vector<BaselineEntry> baseline) {
+  LintOptions options;
+  options.layers = &layers;
+  options.config = std::move(config);
+  options.baseline = std::move(baseline);
+  return options;
+}
+
+struct RepoScan {
+  LayerModel layers;
+  LintConfig config;
+  std::vector<BaselineEntry> baseline;
+  std::vector<FileInput> files;
+};
+
+void LoadRepo(RepoScan* scan) {
+  auto layers_text = ReadSource(kRepoRoot, "docs/layers.json");
+  ASSERT_TRUE(layers_text.ok()) << layers_text.status().ToString();
+  auto layers = LayerModel::FromJson(layers_text->content);
+  ASSERT_TRUE(layers.ok()) << layers.status().ToString();
+  scan->layers = *layers;
+  auto config_text = ReadSource(kRepoRoot, "tools/lint_config.json");
+  ASSERT_TRUE(config_text.ok()) << config_text.status().ToString();
+  auto config = LintConfig::FromJson(config_text->content);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  scan->config = *config;
+  auto baseline_text = ReadSource(kRepoRoot, "tools/lint_baseline.json");
+  ASSERT_TRUE(baseline_text.ok()) << baseline_text.status().ToString();
+  auto baseline = ParseBaseline(baseline_text->content);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  scan->baseline = *baseline;
+  auto paths =
+      CollectSources(kRepoRoot, {"src", "tools", "bench", "tests"});
+  ASSERT_TRUE(paths.ok()) << paths.status().ToString();
+  for (const std::string& rel : *paths) {
+    auto file = ReadSource(kRepoRoot, rel);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    scan->files.push_back(std::move(*file));
+  }
+}
+
+TEST(SelfScan, RepositoryIsClean) {
+  RepoScan scan;
+  ASSERT_NO_FATAL_FAILURE(LoadRepo(&scan));
+  ASSERT_GT(scan.files.size(), 100u);  // sanity: the whole tree was collected
+  const LintResult r = RunLint(
+      scan.files,
+      SelfScanOptions(scan.layers, scan.config, scan.baseline));
+  std::string report;
+  for (const Finding& f : r.findings) {
+    if (!f.baselined) {
+      report += f.file + ":" + std::to_string(f.line) + ": [" + f.rule +
+                "] " + f.message + "\n";
+    }
+  }
+  EXPECT_TRUE(r.clean()) << report;
+}
+
+TEST(SelfScan, SeededViolationIsCaught) {
+  RepoScan scan;
+  ASSERT_NO_FATAL_FAILURE(LoadRepo(&scan));
+  scan.files.push_back(FileInput{
+      "src/util/seeded_violation.cc",
+      "#include <cstdlib>\nint Roll() { return rand(); }\n"});
+  const LintResult r = RunLint(
+      scan.files,
+      SelfScanOptions(scan.layers, scan.config, scan.baseline));
+  EXPECT_FALSE(r.clean());
+  bool found = false;
+  for (const Finding& f : r.findings) {
+    if (f.file == "src/util/seeded_violation.cc" && f.rule == "raw-random") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Source collection.
+// ---------------------------------------------------------------------------
+
+TEST(CollectSources, ReturnsSortedDedupedCcAndHOnly) {
+  auto paths = CollectSources(kRepoRoot, {"tools", "tools/lint/lint.cc"});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_TRUE(std::is_sorted(paths->begin(), paths->end()));
+  EXPECT_EQ(std::count(paths->begin(), paths->end(),
+                       std::string("tools/lint/lint.cc")),
+            1);  // listed explicitly AND found by the walk -> deduped
+  for (const std::string& p : *paths) {
+    const bool cc = p.size() > 3 && p.compare(p.size() - 3, 3, ".cc") == 0;
+    const bool h = p.size() > 2 && p.compare(p.size() - 2, 2, ".h") == 0;
+    EXPECT_TRUE(cc || h) << p;
+  }
+}
+
+TEST(CollectSources, MissingRootIsAnError) {
+  EXPECT_FALSE(CollectSources(kRepoRoot, {"no_such_dir"}).ok());
+}
+
+TEST(ReadSourceTest, MissingFileIsNotFound) {
+  EXPECT_FALSE(ReadSource(kRepoRoot, "tools/no_such_file.cc").ok());
+}
+
+}  // namespace
+}  // namespace rdmajoin::lint

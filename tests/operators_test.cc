@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <unordered_map>
 
 #include "cluster/presets.h"
@@ -197,6 +198,34 @@ TEST(DistributedAggregate, WorksAcrossTransportsAndSkew) {
     EXPECT_EQ(result->stats.total_count, spec.outer_tuples);
     EXPECT_EQ(result->stats.value_sum, value_sum);
     EXPECT_EQ(result->stats.group_key_sum, key_sum);
+  }
+}
+
+TEST(DistributedAggregate, MaterializedOutputIsByteIdenticalAcrossReruns) {
+  // Regression for the determinism contract (docs/correctness.md): group
+  // emission used to iterate the per-partition unordered_map directly, so the
+  // materialized output depended on hash-table iteration order. The output
+  // must now be sorted by key within each partition and byte-identical when
+  // the same run is repeated.
+  WorkloadSpec spec;
+  spec.inner_tuples = 3000;
+  spec.outer_tuples = 12000;
+  spec.zipf_theta = 1.05;
+  auto w = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(w.ok());
+  JoinConfig jc = FastConfig();
+  jc.materialize_results = true;
+  auto run = [&]() { return DistributedAggregate(QdrCluster(3), jc).Run(w->outer); };
+  auto a = run();
+  auto b = run();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->output.chunks.size(), b->output.chunks.size());
+  for (size_t m = 0; m < a->output.chunks.size(); ++m) {
+    const Relation& ca = a->output.chunks[m];
+    const Relation& cb = b->output.chunks[m];
+    ASSERT_EQ(ca.num_tuples(), cb.num_tuples());
+    EXPECT_EQ(std::memcmp(ca.data(), cb.data(), ca.size_bytes()), 0)
+        << "machine " << m;
   }
 }
 

@@ -104,7 +104,7 @@ TEST_P(TransportTest, ManyBuffersArriveInOrderPerLink) {
     b->used = kTupleBytes;
     auto wire = net_->channel(2)->Ship(0, k % 4, 0, b);
     ASSERT_TRUE(wire.ok());
-    pool.Release(b);
+    ASSERT_TRUE(pool.Release(b).ok());
   }
   ASSERT_EQ(sinks_[0].deliveries.size(), 20u);
   for (int k = 0; k < 20; ++k) {

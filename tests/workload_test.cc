@@ -96,6 +96,7 @@ TEST(GenerateWorkload, UniformOuterHasExactMatchCounts) {
     for (uint64_t i = 0; i < chunk.num_tuples(); ++i) ++counts[chunk.Key(i)];
   }
   ASSERT_EQ(counts.size(), spec.inner_tuples);
+  // lint: order-insensitive(independent per-key equality checks; no output order)
   for (const auto& [key, n] : counts) EXPECT_EQ(n, 4u) << "key " << key;
 }
 

@@ -1,0 +1,162 @@
+#ifndef RDMAJOIN_TOOLS_LINT_LINT_H_
+#define RDMAJOIN_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+/// rdmajoin_lint: the project-specific static-analysis pass that enforces the
+/// determinism contract (docs/correctness.md, "Determinism contract") and the
+/// layer DAG (docs/layers.json). It is deliberately a token/line-level
+/// scanner plus an include-graph parser -- no compiler front end -- so it
+/// builds everywhere the library builds and runs in milliseconds over the
+/// whole tree.
+///
+/// Rule families (rule ids in parentheses):
+///   wall-clock       chrono wall/steady clocks, time(), gettimeofday, ...
+///   raw-random       rand()/srand()/std::random_device/drand48, ...
+///   env-read         std::getenv outside the explicit allowlist
+///   pointer-nondet   hashing or formatting pointer values (std::hash<T*>, %p)
+///   locale-format    setlocale / std::locale / imbue
+///   unordered-iter   range-for over an unordered container without an
+///                    order-insensitivity justification
+///   discarded-status (void)-discard of a call result without justification,
+///                    and Status/StatusOr class definitions missing
+///                    [[nodiscard]]
+///   layer-dag        an #include edge not permitted by docs/layers.json
+///
+/// Suppression mechanisms, in decreasing order of preference:
+///   1. fix the code;
+///   2. an inline annotation at the finding site:
+///        // lint: order-insensitive(<reason>)   for unordered-iter
+///        // lint: discard-ok(<reason>)          for discarded-status
+///        // lint: allow(<rule>): <reason>       for any rule
+///      (on the offending line or the line immediately above it);
+///   3. an allowlist entry in tools/lint_config.json (rule x file), for
+///      deliberate, permanent exemptions such as src/util/logging.cc reading
+///      RDMAJOIN_LOG_LEVEL;
+///   4. a baseline entry in tools/lint_baseline.json (rule x file x count),
+///      for legacy findings that must burn down: counts may only shrink, and
+///      any finding beyond the baselined count fails the run.
+namespace rdmajoin::lint {
+
+/// One source file to scan. `path` is repo-relative with '/' separators
+/// (e.g. "src/timing/replay.cc"); all reporting and allow/baseline matching
+/// uses this exact spelling.
+struct FileInput {
+  std::string path;
+  std::string content;
+};
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;  // 1-based
+  std::string message;
+  /// True when a baseline entry absorbed this finding (legacy debt).
+  bool baselined = false;
+};
+
+/// The layer DAG loaded from docs/layers.json. Modules are named path-prefix
+/// sets; edges list which modules a module's files may #include. Matching is
+/// longest-prefix, so a file-granular module (e.g. join_config =
+/// src/join/join_config.*) can carve files out of a directory module.
+class LayerModel {
+ public:
+  struct Module {
+    std::string name;
+    std::vector<std::string> paths;
+    /// Harness modules (tests/bench/tools) may include anything.
+    bool allow_all = false;
+  };
+
+  /// Module owning `repo_rel_path`, or "" when no module matches.
+  std::string ModuleFor(const std::string& repo_rel_path) const;
+
+  /// Whether files in `from` may include files in `to`. Same-module edges are
+  /// always allowed.
+  bool EdgeAllowed(const std::string& from, const std::string& to) const;
+
+  const std::vector<Module>& modules() const { return modules_; }
+
+  static StatusOr<LayerModel> FromJson(const std::string& json_text);
+
+ private:
+  std::vector<Module> modules_;
+  std::map<std::string, std::set<std::string>> edges_;
+};
+
+/// tools/lint_config.json: permanent allowlist entries plus path prefixes to
+/// exclude from scanning (the rule-violation fixtures under
+/// tests/lint_fixtures/ must not fail the self-scan).
+struct LintConfig {
+  struct Allow {
+    std::string rule;
+    std::string file;  // exact repo-relative path
+    std::string reason;
+  };
+  std::vector<Allow> allow;
+  std::vector<std::string> exclude_prefixes;
+
+  static StatusOr<LintConfig> FromJson(const std::string& json_text);
+};
+
+/// tools/lint_baseline.json: grandfathered finding counts per (rule, file).
+/// A run with more findings than baselined for a pair fails; fewer is a
+/// burn-down (reported so the baseline can be tightened).
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  int count = 0;
+};
+
+StatusOr<std::vector<BaselineEntry>> ParseBaseline(const std::string& json_text);
+
+struct LintOptions {
+  const LayerModel* layers = nullptr;  // layer-dag rule skipped when null
+  LintConfig config;
+  std::vector<BaselineEntry> baseline;
+};
+
+struct LintResult {
+  /// All findings, sorted by (file, line, rule); baselined ones included
+  /// with `baselined` set.
+  std::vector<Finding> findings;
+  size_t total = 0;
+  size_t baselined = 0;
+  size_t unsuppressed = 0;
+  /// Baseline entries whose recorded count exceeds what the scan found:
+  /// stale debt that should be burned down out of the baseline file.
+  std::vector<BaselineEntry> burn_down;
+
+  bool clean() const { return unsuppressed == 0; }
+};
+
+/// Runs every rule over `files`. Files are scanned in the given order but the
+/// result is sorted, so callers get deterministic output regardless of
+/// collection order.
+LintResult RunLint(const std::vector<FileInput>& files, const LintOptions& options);
+
+/// Deterministic machine-readable findings document (sorted findings, no
+/// timestamps, repo-relative paths only) -- suitable for CI artifacts and
+/// byte-for-byte diffing across runs.
+std::string FindingsToJson(const LintResult& result);
+
+/// Recursively collects *.cc / *.h under `roots` (files listed directly are
+/// taken as-is), returns repo-relative sorted paths. `repo_root` is the
+/// filesystem prefix the relative paths are resolved against.
+StatusOr<std::vector<std::string>> CollectSources(
+    const std::string& repo_root, const std::vector<std::string>& roots);
+
+/// Reads `repo_rel` from disk into a FileInput.
+StatusOr<FileInput> ReadSource(const std::string& repo_root,
+                               const std::string& repo_rel);
+
+}  // namespace rdmajoin::lint
+
+#endif  // RDMAJOIN_TOOLS_LINT_LINT_H_

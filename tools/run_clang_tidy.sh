@@ -44,7 +44,8 @@ if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
   exit 1
 fi
 
-mapfile -t SOURCES < <(git ls-files 'src/**/*.cc' 'tools/*.cc')
+mapfile -t SOURCES < <(git ls-files 'src/**/*.cc' 'tools/*.cc' \
+  'tools/**/*.cc' 'bench/*.cc' 'tests/*.cc' | sort -u)
 if [[ "${#SOURCES[@]}" -eq 0 ]]; then
   echo "run_clang_tidy.sh: no sources found." >&2
   exit 1
