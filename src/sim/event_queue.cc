@@ -1,21 +1,187 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <utility>
+
+#include "util/logging.h"
 
 namespace rdmajoin {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Integer-valued doubles stay exact below 2^53; beyond this the bucket tick
+// arithmetic (tick + 1.0 per year-window step) would silently lose
+// precision, so the queue falls back to the direct minimum scan instead.
+constexpr double kMaxExactTick = 9.0e15;
+constexpr size_t kMinBuckets = 16;
+constexpr size_t kNoEvent = static_cast<size_t>(-1);
+}  // namespace
+
+namespace event_queue_internal {
+void CheckSchedulable(double time, double now) {
+  if (time >= now) return;  // NaN fails the comparison and lands below.
+  std::fprintf(stderr,
+               "rdmajoin: event scheduled in the virtual past "
+               "(time=%.17g, now=%.17g)\n",
+               time, now);
+  RDMAJOIN_LOG(kError) << "event scheduled in the virtual past (time=" << time
+                       << ", now=" << now << ")";
+  std::abort();
+}
+}  // namespace event_queue_internal
+
+EventQueue::EventQueue() {
+  buckets_.resize(kMinBuckets);
+  bucket_mask_ = kMinBuckets - 1;
+}
+
+size_t EventQueue::BucketFor(double tick) const {
+  // Far-future (or +inf) ticks park in bucket 0: the year-window scan can
+  // never qualify them (their tick exceeds every window it visits), so they
+  // are only ever found by the direct scan, which ignores geometry.
+  if (!(tick < kMaxExactTick)) return 0;
+  // Ticks are integer-valued doubles below 2^53, so the cast is exact and
+  // the mask equals fmod(tick, bucket_count) for the power-of-two count.
+  return static_cast<size_t>(tick) & bucket_mask_;
+}
+
 void EventQueue::ScheduleAt(double time, Callback cb) {
-  assert(time >= now_ && "cannot schedule an event in the virtual past");
-  heap_.push(Event{time, next_seq_++, std::move(cb)});
+  event_queue_internal::CheckSchedulable(time, now_);
+  if (size_ + 1 > buckets_.size() * 2) Resize(buckets_.size() * 2);
+  const size_t b = BucketFor(std::floor(time / width_));
+  buckets_[b].push_back(Event{time, next_seq_++, std::move(cb)});
+  ++size_;
+  if (min_valid_) {
+    // Same-time inserts keep the cached minimum: the new event's sequence
+    // number is strictly larger.
+    if (time < min_time_) {
+      min_bucket_ = b;
+      min_index_ = buckets_[b].size() - 1;
+      min_time_ = time;
+    }
+  }
+}
+
+bool EventQueue::FindMin() const {
+  if (size_ == 0) return false;
+  if (min_valid_) return true;
+  const size_t nb = buckets_.size();
+  if (cur_tick_ < kMaxExactTick) {
+    // Year-window scan: visit buckets in rolling-window order starting at
+    // the clock's tick; the first bucket holding an event within its own
+    // window holds the global minimum (all other events in that window map
+    // to the same bucket; later windows start strictly later).
+    double window_tick = cur_tick_;
+    size_t b = BucketFor(window_tick);
+    for (size_t step = 0; step < nb; ++step) {
+      const std::vector<Event>& bucket = buckets_[b];
+      size_t best = kNoEvent;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        if (std::floor(bucket[i].time / width_) > window_tick) continue;
+        if (best == kNoEvent || bucket[i].time < bucket[best].time ||
+            (bucket[i].time == bucket[best].time &&
+             bucket[i].seq < bucket[best].seq)) {
+          best = i;
+        }
+      }
+      if (best != kNoEvent) {
+        min_bucket_ = b;
+        min_index_ = best;
+        min_time_ = bucket[best].time;
+        min_valid_ = true;
+        return true;
+      }
+      window_tick += 1.0;
+      b = b + 1 == nb ? 0 : b + 1;
+    }
+  }
+  DirectMin();
+  return true;
+}
+
+void EventQueue::DirectMin() const {
+  size_t bb = 0;
+  size_t bi = kNoEvent;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const std::vector<Event>& bucket = buckets_[b];
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (bi == kNoEvent || bucket[i].time < buckets_[bb][bi].time ||
+          (bucket[i].time == buckets_[bb][bi].time &&
+           bucket[i].seq < buckets_[bb][bi].seq)) {
+        bb = b;
+        bi = i;
+      }
+    }
+  }
+  min_bucket_ = bb;
+  min_index_ = bi;
+  min_time_ = buckets_[bb][bi].time;
+  min_valid_ = true;
+  // Re-anchor the year-window scan at the surviving minimum so the next
+  // search starts inside the live cluster instead of walking empty years.
+  if (std::isfinite(min_time_)) cur_tick_ = std::floor(min_time_ / width_);
+}
+
+void EventQueue::Resize(size_t new_count) {
+  // Callers only double or halve, so the count stays a power of two and
+  // BucketFor's mask reduction stays exact.
+  if (new_count < kMinBuckets) new_count = kMinBuckets;
+  std::vector<Event> all;
+  all.reserve(size_);
+  for (std::vector<Event>& bucket : buckets_) {
+    for (Event& e : bucket) all.push_back(std::move(e));
+    bucket.clear();
+  }
+  buckets_.clear();
+  buckets_.resize(new_count);
+  bucket_mask_ = new_count - 1;
+  // Width ~ the average event spacing, floored so that ticks stay within
+  // exact-integer double range even for times far from zero.
+  double lo = kInf;
+  double hi = -kInf;
+  for (const Event& e : all) {
+    if (!std::isfinite(e.time)) continue;
+    lo = std::min(lo, e.time);
+    hi = std::max(hi, e.time);
+  }
+  double w = 1.0;
+  if (hi > lo) w = (hi - lo) / static_cast<double>(all.size());
+  const double magnitude =
+      std::max(std::fabs(now_), std::max(std::fabs(lo), std::fabs(hi)));
+  if (std::isfinite(magnitude)) w = std::max(w, magnitude * 1e-15);
+  if (!(w > 0.0) || !std::isfinite(w)) w = 1.0;
+  width_ = w;
+  cur_tick_ = std::floor(now_ / width_);
+  for (Event& e : all) {
+    buckets_[BucketFor(std::floor(e.time / width_))].push_back(std::move(e));
+  }
+  min_valid_ = false;
+}
+
+EventQueue::Event EventQueue::PopMin() {
+  FindMin();
+  std::vector<Event>& bucket = buckets_[min_bucket_];
+  Event ev = std::move(bucket[min_index_]);
+  if (min_index_ + 1 != bucket.size()) {
+    bucket[min_index_] = std::move(bucket.back());
+  }
+  bucket.pop_back();
+  --size_;
+  min_valid_ = false;
+  return ev;
 }
 
 bool EventQueue::RunNext() {
-  if (heap_.empty()) return false;
-  // The callback may schedule new events, so pop before invoking.
-  Event ev = heap_.top();
-  heap_.pop();
+  if (size_ == 0) return false;
+  if (size_ * 4 < buckets_.size() && buckets_.size() > kMinBuckets) {
+    Resize(buckets_.size() / 2);
+  }
+  Event ev = PopMin();
   now_ = ev.time;
+  cur_tick_ = std::isfinite(now_) ? std::floor(now_ / width_) : kInf;
   ev.cb();
   return true;
 }
@@ -26,14 +192,49 @@ void EventQueue::RunUntilEmpty() {
 }
 
 void EventQueue::RunUntil(double time) {
+  while (size_ > 0 && NextEventTime() <= time) {
+    RunNext();
+  }
+  if (time > now_) {
+    now_ = time;
+    cur_tick_ = std::isfinite(now_) ? std::floor(now_ / width_) : kInf;
+  }
+}
+
+double EventQueue::NextEventTime() const {
+  if (!FindMin()) return kInf;
+  return buckets_[min_bucket_][min_index_].time;
+}
+
+void HeapEventQueue::ScheduleAt(double time, Callback cb) {
+  event_queue_internal::CheckSchedulable(time, now_);
+  heap_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+bool HeapEventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // The callback may schedule new events, so pop before invoking.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+void HeapEventQueue::RunUntilEmpty() {
+  while (RunNext()) {
+  }
+}
+
+void HeapEventQueue::RunUntil(double time) {
   while (!heap_.empty() && heap_.top().time <= time) {
     RunNext();
   }
   if (time > now_) now_ = time;
 }
 
-double EventQueue::NextEventTime() const {
-  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+double HeapEventQueue::NextEventTime() const {
+  if (heap_.empty()) return kInf;
   return heap_.top().time;
 }
 

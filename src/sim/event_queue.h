@@ -1,35 +1,60 @@
 #ifndef RDMAJOIN_SIM_EVENT_QUEUE_H_
 #define RDMAJOIN_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "util/small_function.h"
+
 namespace rdmajoin {
+
+namespace event_queue_internal {
+/// Shared contract check: `time` must not be in the virtual past and must be
+/// a real number. Enforced identically in every build mode (like the
+/// zero-byte Inject/Enqueue checks): a past-time event would either fire
+/// with the clock already beyond it or drag the clock backwards, and either
+/// way the simulation is quietly wrong from that point on. NaN fails the
+/// comparison and is rejected by the same path.
+void CheckSchedulable(double time, double now);
+}  // namespace event_queue_internal
 
 /// A deterministic discrete-event queue over a virtual clock.
 ///
 /// Events scheduled for the same virtual time fire in insertion order
 /// (FIFO tie-breaking via a monotonically increasing sequence number), which
 /// makes every simulation in the library bit-for-bit reproducible.
+///
+/// The implementation is a calendar queue (flat buckets over a rolling time
+/// window) rather than a binary heap: O(1) expected schedule/pop against the
+/// heap's O(log n), no per-event node allocation, and callbacks are stored
+/// in a SmallFunction with 48 bytes of inline storage so the common
+/// capture-a-few-pointers lambda never touches the heap. Bucket width and
+/// count adapt to the live event population; when the year-window scan
+/// misses (events clustered far ahead of the clock), pop falls back to a
+/// direct minimum scan, so ordering never depends on the bucket geometry.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFunction<48>;
 
-  EventQueue() = default;
+  EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Current virtual time in seconds. Starts at 0.
   double now() const { return now_; }
 
-  /// Schedules `cb` to run at absolute virtual time `time`. `time` must not be
-  /// in the past (>= now()).
+  /// Schedules `cb` to run at absolute virtual time `time`. `time` must not
+  /// be in the past (>= now()); a past or NaN time aborts in every build
+  /// mode (see event_queue_internal::CheckSchedulable).
   void ScheduleAt(double time, Callback cb);
 
   /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
-  void ScheduleAfter(double delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+  void ScheduleAfter(double delay, Callback cb) {
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
 
   /// Runs the earliest pending event, advancing the clock to its timestamp.
   /// Returns false if the queue is empty.
@@ -41,10 +66,78 @@ class EventQueue {
   /// Runs events with timestamp <= `time`, then advances the clock to `time`.
   void RunUntil(double time);
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
 
   /// Timestamp of the earliest pending event; infinity if none.
+  double NextEventTime() const;
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback cb;
+  };
+
+  /// Bucket index for `tick` (= floor(time / width_)).
+  size_t BucketFor(double tick) const;
+  /// Locates the earliest (time, seq) event; caches its position. No-op when
+  /// the cache is already valid. Returns false when empty.
+  bool FindMin() const;
+  /// Exhaustive minimum scan over every bucket (fallback when the
+  /// year-window scan misses or tick arithmetic would lose integer
+  /// precision).
+  void DirectMin() const;
+  /// Rebuilds the bucket array with `new_count` buckets and a width derived
+  /// from the current event population.
+  void Resize(size_t new_count);
+  Event PopMin();
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  size_t size_ = 0;
+  double width_ = 1.0;
+  /// floor(now_ / width_): where the year-window scan starts (mutable: the
+  /// direct-scan fallback re-anchors it from const lookups).
+  mutable double cur_tick_ = 0.0;
+  std::vector<std::vector<Event>> buckets_;
+  /// buckets_.size() - 1. The bucket count is always a power of two, so
+  /// BucketFor reduces ticks with a mask instead of std::fmod (a libm call
+  /// that dominated the schedule path under profiling).
+  size_t bucket_mask_ = 0;
+  // Cached location of the minimum event (mutable: NextEventTime is const).
+  // min_time_ mirrors its timestamp so the ScheduleAt fast path never has to
+  // dereference the (usually cache-cold) bucket holding the minimum.
+  mutable bool min_valid_ = false;
+  mutable size_t min_bucket_ = 0;
+  mutable size_t min_index_ = 0;
+  mutable double min_time_ = 0.0;
+};
+
+/// The pre-calendar binary-heap event queue (std::priority_queue of
+/// heap-allocated std::function callbacks). Kept as the reference
+/// implementation: tests/fabric_equivalence_test.cc replays identical
+/// schedules through both queues and asserts identical firing order
+/// (including FIFO ties), and bench/micro_replay_engine.cc reports the
+/// heap-vs-calendar host-time ratio. Enforces the same past-time contract.
+class HeapEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  HeapEventQueue() = default;
+  HeapEventQueue(const HeapEventQueue&) = delete;
+  HeapEventQueue& operator=(const HeapEventQueue&) = delete;
+
+  double now() const { return now_; }
+  void ScheduleAt(double time, Callback cb);
+  void ScheduleAfter(double delay, Callback cb) {
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+  bool RunNext();
+  void RunUntilEmpty();
+  void RunUntil(double time);
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
   double NextEventTime() const;
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "util/metrics.h"
 
@@ -10,8 +12,17 @@ namespace rdmajoin {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-// Relative tolerance for "this flow finished at time t" comparisons.
+// Relative tolerance for "this flow finished at time t" comparisons. Rate
+// (bytes/sec) comparisons in the fair-share solver use the dedicated
+// kRateEps from sim/rate_sharing.h instead -- the units are unrelated.
 constexpr double kTimeEps = 1e-12;
+
+/// kRateEps-relative equality for the incremental-vs-full cross-check.
+bool RatesMatch(double a, double b) {
+  if (a == b) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= kRateEps * scale;
+}
 }  // namespace
 
 Status FabricConfig::Validate() const {
@@ -34,6 +45,10 @@ Fabric::Fabric(const FabricConfig& config) : config_(config) {
   bytes_from_host_.assign(config_.num_hosts, 0.0);
   egress_scale_.assign(config_.num_hosts, 1.0);
   ingress_scale_.assign(config_.num_hosts, 1.0);
+  src_cnt_.assign(config_.num_hosts, 0);
+  dst_cnt_.assign(config_.num_hosts, 0);
+  host_dirty_.assign(config_.num_hosts, 0);
+  comp_host_.assign(config_.num_hosts, 0);
 }
 
 void Fabric::SetHostCapacityScale(uint32_t host, double egress_scale,
@@ -42,7 +57,8 @@ void Fabric::SetHostCapacityScale(uint32_t host, double egress_scale,
   assert(egress_scale >= 0 && ingress_scale >= 0);
   egress_scale_[host] = egress_scale;
   ingress_scale_[host] = ingress_scale;
-  RecomputeRates();
+  MarkDirty(host);
+  ReshareDirty();
 }
 
 double Fabric::FlowCap(const Flow& f) const {
@@ -90,12 +106,16 @@ Fabric::FlowId Fabric::Inject(uint32_t src, uint32_t dst, double bytes, double n
   f.rate = 0.0;
   f.cookie = cookie;
   flows_.push_back(f);
+  ++src_cnt_[src];
+  ++dst_cnt_[dst];
   if (active_flows_gauge_ != nullptr) {
     active_flows_gauge_->Set(static_cast<double>(flows_.size()));
     messages_counter_->Increment();
     message_bytes_histogram_->Observe(bytes);
   }
-  RecomputeRates();
+  MarkDirty(src);
+  MarkDirty(dst);
+  ReshareDirty();
   return f.id;
 }
 
@@ -146,10 +166,22 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
     if (next_drain <= t * (1 + kTimeEps) + kTimeEps) {
       for (size_t i = 0; i < flows_.size();) {
         Flow& f = flows_[i];
-        const bool done = f.rate > 0 && f.remaining <= f.size * kTimeEps + 1e-9 * f.rate;
+        // The second disjunct guarantees forward progress far from t=0: when
+        // now_ is large enough that the residual's drain time rounds to now_
+        // itself (now_ + eta == now_ in doubles), the clock cannot advance
+        // past this flow, so it must drain now -- without this, a residual
+        // above the size threshold but below one ulp of now_ spins the
+        // advance loop forever.
+        const bool done =
+            f.rate > 0 && (f.remaining <= f.size * kTimeEps + 1e-9 * f.rate ||
+                           now_ + f.remaining / f.rate <= now_);
         if (done) {
           latency_.push_back(LatencyFlow{f.id, f.cookie, f.src, f.dst, f.size,
                                          now_ + config_.base_latency_seconds});
+          --src_cnt_[f.src];
+          --dst_cnt_[f.dst];
+          MarkDirty(f.src);
+          MarkDirty(f.dst);
           flows_[i] = flows_.back();
           flows_.pop_back();
           drained_any = true;
@@ -160,7 +192,7 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
       if (drained_any && active_flows_gauge_ != nullptr) {
         active_flows_gauge_->Set(static_cast<double>(flows_.size()));
       }
-      if (drained_any) RecomputeRates();
+      if (drained_any) ReshareDirty();
     }
     if (!drained_any && step_end >= t) break;
     if (!drained_any && next_drain == kInf) {
@@ -208,6 +240,117 @@ double Fabric::bytes_delivered_from(uint32_t host) const {
   return bytes_from_host_[host];
 }
 
+void Fabric::MarkDirty(uint32_t host) {
+  if (host_dirty_[host] != 0) return;
+  host_dirty_[host] = 1;
+  dirty_hosts_.push_back(host);
+}
+
+void Fabric::ReshareDirty() {
+  if (dirty_hosts_.empty()) return;
+  if (!flows_.empty()) {
+    ++reshares_;
+    if (!config_.incremental_reshare) {
+      RecomputeRates();
+      reshared_flows_ += flows_.size();
+    } else {
+      if (config_.sharing == SharingPolicy::kEqualShare) {
+        IncrementalEqualShare();
+      } else {
+        IncrementalMaxMin();
+      }
+      if (config_.verify_incremental_reshare) VerifyAgainstFullReshare();
+    }
+  }
+  for (uint32_t h : dirty_hosts_) host_dirty_[h] = 0;
+  dirty_hosts_.clear();
+}
+
+void Fabric::IncrementalEqualShare() {
+  // A flow's equal-share rate depends only on its endpoints' capacity scales
+  // and active-flow counts, so only flows touching a dirty host can change.
+  // The expressions are the exact ones from RecomputeEqualShare: an
+  // untouched flow's stored rate is bit-identical to what a full recompute
+  // would assign it.
+  const double egress = config_.EffectiveEgress();
+  for (Flow& f : flows_) {
+    if (host_dirty_[f.src] == 0 && host_dirty_[f.dst] == 0) continue;
+    const double e_share = egress * egress_scale_[f.src] / src_cnt_[f.src];
+    const double i_share = config_.ingress_bytes_per_sec * ingress_scale_[f.dst] /
+                           dst_cnt_[f.dst];
+    f.rate = std::min({e_share, i_share, FlowCap(f)});
+    ++reshared_flows_;
+  }
+}
+
+void Fabric::IncrementalMaxMin() {
+  // Max-min filling decomposes over connected components of the host-flow
+  // graph: residual capacity only ever moves between a flow and its own
+  // endpoints, so re-leveling the component(s) containing the dirty hosts
+  // leaves every other component's rates untouched. Close the dirty set
+  // under flow adjacency (fixpoint; flow tables are small and components
+  // smaller), then re-solve just those demands against their hosts' full
+  // capacities.
+  std::fill(comp_host_.begin(), comp_host_.end(), 0);
+  for (uint32_t h : dirty_hosts_) comp_host_[h] = 1;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const Flow& f : flows_) {
+      const bool s = comp_host_[f.src] != 0;
+      const bool d = comp_host_[f.dst] != 0;
+      if (s != d) {
+        comp_host_[f.src] = 1;
+        comp_host_[f.dst] = 1;
+        grew = true;
+      }
+    }
+  }
+  demand_scratch_.clear();
+  demand_flow_.clear();
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    const Flow& f = flows_[i];
+    if (comp_host_[f.src] == 0) continue;  // closure => dst is out too
+    demand_scratch_.push_back(RateDemand{f.src, f.dst, FlowCap(f), 0.0});
+    demand_flow_.push_back(i);
+  }
+  if (demand_scratch_.empty()) return;
+  egress_left_scratch_.resize(config_.num_hosts);
+  ingress_left_scratch_.resize(config_.num_hosts);
+  for (uint32_t h = 0; h < config_.num_hosts; ++h) {
+    egress_left_scratch_[h] = config_.EffectiveEgress() * egress_scale_[h];
+    ingress_left_scratch_[h] = config_.ingress_bytes_per_sec * ingress_scale_[h];
+  }
+  SolveMaxMinRates(&demand_scratch_, &egress_left_scratch_,
+                   &ingress_left_scratch_);
+  for (size_t k = 0; k < demand_scratch_.size(); ++k) {
+    flows_[demand_flow_[k]].rate = demand_scratch_[k].rate;
+  }
+  reshared_flows_ += demand_scratch_.size();
+}
+
+void Fabric::VerifyAgainstFullReshare() {
+  // Replays the full solver and compares. The incremental rates stay
+  // canonical afterwards, so enabling the check never changes the output
+  // stream -- it can only abort.
+  verify_rates_scratch_.resize(flows_.size());
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    verify_rates_scratch_[i] = flows_[i].rate;
+  }
+  RecomputeRates();
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    if (!RatesMatch(verify_rates_scratch_[i], flows_[i].rate)) {
+      std::fprintf(stderr,
+                   "rdmajoin: incremental reshare mismatch: flow %llu "
+                   "(%u->%u) incremental=%.17g full=%.17g\n",
+                   static_cast<unsigned long long>(flows_[i].id), flows_[i].src,
+                   flows_[i].dst, verify_rates_scratch_[i], flows_[i].rate);
+      std::abort();
+    }
+    flows_[i].rate = verify_rates_scratch_[i];
+  }
+}
+
 void Fabric::RecomputeRates() {
   if (flows_.empty()) return;
   if (config_.sharing == SharingPolicy::kEqualShare) {
@@ -236,9 +379,8 @@ void Fabric::RecomputeEqualShare() {
 }
 
 void Fabric::RecomputeMaxMin() {
-  // Progressive filling. Constraints: per-host egress, per-host ingress, and
-  // the per-flow message-rate cap. In each round the tightest constraint
-  // freezes its flows at the fair share; capacities are reduced accordingly.
+  // Progressive filling over all flows (sim/rate_sharing.h). Constraints:
+  // per-host egress, per-host ingress, and the per-flow message-rate cap.
   const uint32_t n = config_.num_hosts;
   std::vector<double> egress_left(n), ingress_left(n);
   for (uint32_t h = 0; h < n; ++h) {
@@ -246,67 +388,13 @@ void Fabric::RecomputeMaxMin() {
     egress_left[h] = config_.EffectiveEgress() * egress_scale_[h];
     ingress_left[h] = config_.ingress_bytes_per_sec * ingress_scale_[h];
   }
-  std::vector<bool> fixed(flows_.size(), false);
-  size_t unfixed = flows_.size();
-
-  // First freeze flows whose cap is below any fair share they could receive;
-  // handled inside the loop by treating the cap as a candidate bottleneck.
-  while (unfixed > 0) {
-    std::vector<uint32_t> src_cnt(n, 0), dst_cnt(n, 0);
-    for (size_t i = 0; i < flows_.size(); ++i) {
-      if (fixed[i]) continue;
-      ++src_cnt[flows_[i].src];
-      ++dst_cnt[flows_[i].dst];
-    }
-    // Tightest fair share over all constraints.
-    double bottleneck = kInf;
-    for (uint32_t h = 0; h < n; ++h) {
-      if (src_cnt[h] > 0) bottleneck = std::min(bottleneck, egress_left[h] / src_cnt[h]);
-      if (dst_cnt[h] > 0) bottleneck = std::min(bottleneck, ingress_left[h] / dst_cnt[h]);
-    }
-    double min_cap = kInf;
-    for (size_t i = 0; i < flows_.size(); ++i) {
-      if (!fixed[i]) min_cap = std::min(min_cap, FlowCap(flows_[i]));
-    }
-    if (min_cap < bottleneck) {
-      // Cap-limited flows freeze at their cap and release spare capacity.
-      for (size_t i = 0; i < flows_.size(); ++i) {
-        if (fixed[i]) continue;
-        const double cap = FlowCap(flows_[i]);
-        if (cap <= min_cap * (1 + kTimeEps)) {
-          flows_[i].rate = cap;
-          // Clamp: repeated subtraction accumulates floating-point error that
-          // can drive the residual capacity (and with it the next round's
-          // fair share) negative.
-          egress_left[flows_[i].src] =
-              std::max(0.0, egress_left[flows_[i].src] - cap);
-          ingress_left[flows_[i].dst] =
-              std::max(0.0, ingress_left[flows_[i].dst] - cap);
-          fixed[i] = true;
-          --unfixed;
-        }
-      }
-      continue;
-    }
-    // Freeze every flow crossing a bottlenecked constraint at the fair share.
-    bool froze = false;
-    for (size_t i = 0; i < flows_.size(); ++i) {
-      if (fixed[i]) continue;
-      const Flow& f = flows_[i];
-      const double e_share = egress_left[f.src] / src_cnt[f.src];
-      const double i_share = ingress_left[f.dst] / dst_cnt[f.dst];
-      if (std::min(e_share, i_share) <= bottleneck * (1 + kTimeEps)) {
-        flows_[i].rate = bottleneck;
-        egress_left[f.src] = std::max(0.0, egress_left[f.src] - bottleneck);
-        ingress_left[f.dst] = std::max(0.0, ingress_left[f.dst] - bottleneck);
-        fixed[i] = true;
-        --unfixed;
-        froze = true;
-      }
-    }
-    assert(froze && "max-min filling must make progress");
-    if (!froze) break;  // Defensive: avoid infinite loop in release builds.
+  std::vector<RateDemand> demands;
+  demands.reserve(flows_.size());
+  for (const Flow& f : flows_) {
+    demands.push_back(RateDemand{f.src, f.dst, FlowCap(f), 0.0});
   }
+  SolveMaxMinRates(&demands, &egress_left, &ingress_left);
+  for (size_t i = 0; i < flows_.size(); ++i) flows_[i].rate = demands[i].rate;
 }
 
 }  // namespace rdmajoin

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <limits>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/rate_sharing.h"
 #include "util/status.h"
 
 namespace rdmajoin {
@@ -71,6 +71,23 @@ struct FabricConfig {
   /// HCA processing).
   double base_latency_seconds = 2e-6;
   SharingPolicy sharing = SharingPolicy::kEqualShare;
+  /// When true (the default), a flow add/remove/capacity change re-levels
+  /// only the hosts transitively affected by the changed constraint instead
+  /// of recomputing every flow's rate. The result is identical: equal-share
+  /// rates are a pure function of per-host state, and max-min progressive
+  /// filling decomposes over connected components of the host-flow graph.
+  /// The flag exists so the differential tests (and anyone bisecting a
+  /// determinism report) can replay the same schedule through both paths.
+  bool incremental_reshare = true;
+  /// Cross-checks every incremental reshare against a full recompute
+  /// (kRateEps-relative comparison; aborts with a diagnostic on mismatch).
+  /// Defaults to on in assert-enabled (!NDEBUG) builds and off otherwise;
+  /// the equivalence tests enable it explicitly in every build mode.
+#ifndef NDEBUG
+  bool verify_incremental_reshare = true;
+#else
+  bool verify_incremental_reshare = false;
+#endif
 
   /// Effective per-host egress capacity after the congestion penalty.
   double EffectiveEgress() const {
@@ -166,6 +183,14 @@ class Fabric {
   /// Payload bytes delivered whose source was `host`.
   double bytes_delivered_from(uint32_t host) const;
 
+  /// Number of rate recomputations triggered so far (reshare cost metering
+  /// for bench/micro_replay_engine.cc).
+  uint64_t reshares() const { return reshares_; }
+  /// Total flow-rate assignments performed across all reshares; the
+  /// incremental path keeps this near the number of *affected* flows rather
+  /// than reshares * active_flows.
+  uint64_t reshared_flows() const { return reshared_flows_; }
+
  private:
   struct Flow {
     FlowId id;
@@ -192,9 +217,20 @@ class Fabric {
     TimeSeries* ingress_activity;
   };
 
+  /// Full recompute of every flow's rate (reference path; also the
+  /// cross-check oracle for the incremental path).
   void RecomputeRates();
   void RecomputeEqualShare();
   void RecomputeMaxMin();
+  /// Marks `host`'s constraints changed; the next ReshareDirty() re-levels
+  /// flows affected by it.
+  void MarkDirty(uint32_t host);
+  /// Re-levels the flows affected by the dirty hosts (or everything, when
+  /// incremental resharing is disabled) and clears the dirty set.
+  void ReshareDirty();
+  void IncrementalEqualShare();
+  void IncrementalMaxMin();
+  void VerifyAgainstFullReshare();
   /// Per-flow rate ceiling from the message-rate limit.
   double FlowCap(const Flow& f) const;
 
@@ -202,6 +238,24 @@ class Fabric {
   /// Per-host fault-injection capacity scales (all 1.0 when no fault).
   std::vector<double> egress_scale_;
   std::vector<double> ingress_scale_;
+  /// Active-flow counts per host, maintained on add/remove: the equal-share
+  /// denominators, kept so a reshare does not rescan the flow table to
+  /// recount.
+  std::vector<uint32_t> src_cnt_;
+  std::vector<uint32_t> dst_cnt_;
+  /// Hosts whose constraint set changed since the last reshare.
+  std::vector<uint8_t> host_dirty_;
+  std::vector<uint32_t> dirty_hosts_;
+  /// Scratch for the incremental max-min component solve (kept across calls
+  /// to avoid per-reshare allocation).
+  std::vector<uint8_t> comp_host_;
+  std::vector<RateDemand> demand_scratch_;
+  std::vector<size_t> demand_flow_;
+  std::vector<double> egress_left_scratch_;
+  std::vector<double> ingress_left_scratch_;
+  std::vector<double> verify_rates_scratch_;
+  uint64_t reshares_ = 0;
+  uint64_t reshared_flows_ = 0;
   double now_ = 0.0;
   FlowId next_id_ = 1;
   std::vector<Flow> flows_;

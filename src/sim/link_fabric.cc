@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 #include "util/metrics.h"
@@ -11,13 +13,26 @@ namespace rdmajoin {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+// Relative tolerance for time comparisons; rate comparisons inside the
+// fair-share solver use kRateEps from sim/rate_sharing.h instead.
 constexpr double kTimeEps = 1e-12;
+
+/// kRateEps-relative equality for the incremental-vs-full cross-check.
+bool RatesMatch(double a, double b) {
+  if (a == b) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= kRateEps * scale;
+}
 }  // namespace
 
 LinkFabric::LinkFabric(const FabricConfig& config) : config_(config) {
   assert(config.Validate().ok());
   egress_scale_.assign(config_.num_hosts, 1.0);
   ingress_scale_.assign(config_.num_hosts, 1.0);
+  src_cnt_.assign(config_.num_hosts, 0);
+  dst_cnt_.assign(config_.num_hosts, 0);
+  host_dirty_.assign(config_.num_hosts, 0);
+  comp_host_.assign(config_.num_hosts, 0);
   links_.resize(static_cast<size_t>(config_.num_hosts) * config_.num_hosts);
   for (uint32_t s = 0; s < config_.num_hosts; ++s) {
     for (uint32_t d = 0; d < config_.num_hosts; ++d) {
@@ -53,13 +68,155 @@ void LinkFabric::SetHostCapacityScale(uint32_t host, double egress_scale,
   assert(egress_scale >= 0 && ingress_scale >= 0);
   egress_scale_[host] = egress_scale;
   ingress_scale_[host] = ingress_scale;
-  RecomputeRates();
+  MarkDirty(host);
+  ReshareDirty();
 }
 
 double LinkFabric::LinkCap(const Link& l) const {
   if (config_.message_rate_per_host <= 0 || l.queue.empty()) return kInf;
   // A stream of messages of the head's size cannot exceed size * msg_rate.
   return l.queue.front().size * config_.message_rate_per_host;
+}
+
+void LinkFabric::RecomputeOneLinkEqualShare(Link& l) {
+  // Scale factors are exactly 1.0 without fault injection, so the shares
+  // are bit-identical to the unscaled expressions -- and bit-identical to
+  // what the full RecomputeRates pass assigns, because the denominators are
+  // the same maintained counts.
+  const double e_share =
+      config_.EffectiveEgress() * egress_scale_[l.src] / src_cnt_[l.src];
+  const double i_share =
+      config_.ingress_bytes_per_sec * ingress_scale_[l.dst] / dst_cnt_[l.dst];
+  l.rate = std::min({e_share, i_share, LinkCap(l)});
+}
+
+void LinkFabric::ActivateLink(uint32_t idx) {
+  active_idx_.insert(std::upper_bound(active_idx_.begin(), active_idx_.end(), idx),
+                     idx);
+  ++src_cnt_[links_[idx].src];
+  ++dst_cnt_[links_[idx].dst];
+}
+
+void LinkFabric::DeactivateLink(uint32_t idx) {
+  active_idx_.erase(std::lower_bound(active_idx_.begin(), active_idx_.end(), idx));
+  --src_cnt_[links_[idx].src];
+  --dst_cnt_[links_[idx].dst];
+  links_[idx].rate = 0;
+}
+
+void LinkFabric::MarkDirty(uint32_t host) {
+  if (host_dirty_[host] != 0) return;
+  host_dirty_[host] = 1;
+  dirty_hosts_.push_back(host);
+}
+
+void LinkFabric::ReshareDirty() {
+  if (dirty_hosts_.empty() && head_dirty_idx_.empty()) return;
+  ++reshares_;
+  if (!config_.incremental_reshare) {
+    RecomputeRates();
+    reshared_links_ += active_idx_.size();
+  } else if (config_.sharing == SharingPolicy::kEqualShare) {
+    if (!dirty_hosts_.empty()) {
+      // The per-host denominators changed: re-level every active link
+      // touching a dirty host. Links touching only clean hosts keep their
+      // stored rates, which a full recompute would reproduce bit-for-bit.
+      for (uint32_t idx : active_idx_) {
+        Link& l = links_[idx];
+        if (host_dirty_[l.src] == 0 && host_dirty_[l.dst] == 0) continue;
+        RecomputeOneLinkEqualShare(l);
+        ++reshared_links_;
+      }
+    }
+    for (uint32_t idx : head_dirty_idx_) {
+      Link& l = links_[idx];
+      if (!l.active()) continue;  // drained later in the same batch
+      if (host_dirty_[l.src] != 0 || host_dirty_[l.dst] != 0) continue;
+      // Only this link's message-rate cap changed (new head size); the
+      // shares are unchanged, so this is an O(1) refresh.
+      RecomputeOneLinkEqualShare(l);
+      ++reshared_links_;
+    }
+  } else {
+    // Max-min couples links through residual capacities: fold changed heads
+    // into the dirty-host set and re-solve the affected component.
+    for (uint32_t idx : head_dirty_idx_) {
+      if (!links_[idx].active()) continue;
+      MarkDirty(links_[idx].src);
+      MarkDirty(links_[idx].dst);
+    }
+    IncrementalMaxMin();
+  }
+  if (config_.incremental_reshare && config_.verify_incremental_reshare) {
+    VerifyAgainstFullReshare();
+  }
+  for (uint32_t h : dirty_hosts_) host_dirty_[h] = 0;
+  dirty_hosts_.clear();
+  head_dirty_idx_.clear();
+}
+
+void LinkFabric::IncrementalMaxMin() {
+  // Close the dirty hosts under active-link adjacency; only that component's
+  // filling can change (residual capacity never crosses components).
+  std::fill(comp_host_.begin(), comp_host_.end(), 0);
+  for (uint32_t h : dirty_hosts_) comp_host_[h] = 1;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (uint32_t idx : active_idx_) {
+      const Link& l = links_[idx];
+      const bool s = comp_host_[l.src] != 0;
+      const bool d = comp_host_[l.dst] != 0;
+      if (s != d) {
+        comp_host_[l.src] = 1;
+        comp_host_[l.dst] = 1;
+        grew = true;
+      }
+    }
+  }
+  demand_scratch_.clear();
+  demand_link_.clear();
+  for (uint32_t idx : active_idx_) {
+    const Link& l = links_[idx];
+    if (comp_host_[l.src] == 0) continue;  // closure => dst is out too
+    demand_scratch_.push_back(RateDemand{l.src, l.dst, LinkCap(l), 0.0});
+    demand_link_.push_back(idx);
+  }
+  if (demand_scratch_.empty()) return;
+  egress_left_scratch_.resize(config_.num_hosts);
+  ingress_left_scratch_.resize(config_.num_hosts);
+  for (uint32_t h = 0; h < config_.num_hosts; ++h) {
+    egress_left_scratch_[h] = config_.EffectiveEgress() * egress_scale_[h];
+    ingress_left_scratch_[h] = config_.ingress_bytes_per_sec * ingress_scale_[h];
+  }
+  SolveMaxMinRates(&demand_scratch_, &egress_left_scratch_,
+                   &ingress_left_scratch_);
+  for (size_t k = 0; k < demand_scratch_.size(); ++k) {
+    links_[demand_link_[k]].rate = demand_scratch_[k].rate;
+  }
+  reshared_links_ += demand_scratch_.size();
+}
+
+void LinkFabric::VerifyAgainstFullReshare() {
+  // Replays the full solver and compares. The incremental rates stay
+  // canonical afterwards, so enabling the check never changes the output
+  // stream -- it can only abort.
+  verify_rates_scratch_.resize(links_.size());
+  for (size_t i = 0; i < links_.size(); ++i) {
+    verify_rates_scratch_[i] = links_[i].rate;
+  }
+  RecomputeRates();
+  for (size_t i = 0; i < links_.size(); ++i) {
+    if (!RatesMatch(verify_rates_scratch_[i], links_[i].rate)) {
+      std::fprintf(stderr,
+                   "rdmajoin: incremental reshare mismatch: link %u->%u "
+                   "incremental=%.17g full=%.17g\n",
+                   links_[i].src, links_[i].dst, verify_rates_scratch_[i],
+                   links_[i].rate);
+      std::abort();
+    }
+    links_[i].rate = verify_rates_scratch_[i];
+  }
 }
 
 void LinkFabric::RecomputeRates() {
@@ -86,64 +243,25 @@ void LinkFabric::RecomputeRates() {
     }
     return;
   }
-  // Max-min (progressive filling) over active links.
+  // Max-min (progressive filling, sim/rate_sharing.h) over active links.
   std::vector<double> egress_left(config_.num_hosts);
   std::vector<double> ingress_left(config_.num_hosts);
   for (uint32_t h = 0; h < config_.num_hosts; ++h) {
     egress_left[h] = egress * egress_scale_[h];
     ingress_left[h] = config_.ingress_bytes_per_sec * ingress_scale_[h];
   }
-  std::vector<Link*> unfixed;
+  std::vector<RateDemand> demands;
+  std::vector<Link*> active;
   for (Link& l : links_) {
     if (l.active()) {
-      unfixed.push_back(&l);
+      demands.push_back(RateDemand{l.src, l.dst, LinkCap(l), 0.0});
+      active.push_back(&l);
     } else {
       l.rate = 0;
     }
   }
-  while (!unfixed.empty()) {
-    std::vector<uint32_t> sc(config_.num_hosts, 0), dc(config_.num_hosts, 0);
-    for (Link* l : unfixed) {
-      ++sc[l->src];
-      ++dc[l->dst];
-    }
-    double bottleneck = kInf;
-    for (uint32_t h = 0; h < config_.num_hosts; ++h) {
-      if (sc[h] > 0) bottleneck = std::min(bottleneck, egress_left[h] / sc[h]);
-      if (dc[h] > 0) bottleneck = std::min(bottleneck, ingress_left[h] / dc[h]);
-    }
-    double min_cap = kInf;
-    for (Link* l : unfixed) min_cap = std::min(min_cap, LinkCap(*l));
-    std::vector<Link*> rest;
-    if (min_cap < bottleneck) {
-      for (Link* l : unfixed) {
-        if (LinkCap(*l) <= min_cap * (1 + kTimeEps)) {
-          l->rate = LinkCap(*l);
-          // Clamp: repeated subtraction accumulates floating-point error that
-          // can drive the residual capacity negative.
-          egress_left[l->src] = std::max(0.0, egress_left[l->src] - l->rate);
-          ingress_left[l->dst] = std::max(0.0, ingress_left[l->dst] - l->rate);
-        } else {
-          rest.push_back(l);
-        }
-      }
-    } else {
-      for (Link* l : unfixed) {
-        const double e_share = egress_left[l->src] / sc[l->src];
-        const double i_share = ingress_left[l->dst] / dc[l->dst];
-        if (std::min(e_share, i_share) <= bottleneck * (1 + kTimeEps)) {
-          l->rate = bottleneck;
-          egress_left[l->src] = std::max(0.0, egress_left[l->src] - bottleneck);
-          ingress_left[l->dst] = std::max(0.0, ingress_left[l->dst] - bottleneck);
-        } else {
-          rest.push_back(l);
-        }
-      }
-    }
-    assert(rest.size() < unfixed.size() && "max-min filling must make progress");
-    if (rest.size() >= unfixed.size()) break;  // Defensive.
-    unfixed.swap(rest);
-  }
+  SolveMaxMinRates(&demands, &egress_left, &ingress_left);
+  for (size_t i = 0; i < active.size(); ++i) active[i]->rate = demands[i].rate;
 }
 
 LinkFabric::MessageId LinkFabric::Enqueue(uint32_t src, uint32_t dst, double bytes,
@@ -173,7 +291,10 @@ LinkFabric::MessageId LinkFabric::Enqueue(uint32_t src, uint32_t dst, double byt
   }
   if (!was_active) {
     l.head_remaining = bytes;
-    RecomputeRates();
+    ActivateLink(static_cast<uint32_t>(src * config_.num_hosts + dst));
+    MarkDirty(src);
+    MarkDirty(dst);
+    ReshareDirty();
   }
   return next_id_++;
 }
@@ -181,10 +302,9 @@ LinkFabric::MessageId LinkFabric::Enqueue(uint32_t src, uint32_t dst, double byt
 double LinkFabric::NextCompletionTime() const {
   double best = kInf;
   for (const Completion& c : latency_) best = std::min(best, c.time);
-  for (const Link& l : links_) {
-    if (l.active() && l.rate > 0) {
-      best = std::min(best, now_ + l.head_remaining / l.rate);
-    }
+  for (uint32_t idx : active_idx_) {
+    const Link& l = links_[idx];
+    if (l.rate > 0) best = std::min(best, now_ + l.head_remaining / l.rate);
   }
   return best;
 }
@@ -206,16 +326,18 @@ void LinkFabric::AdvanceTo(double t, std::vector<Completion>* completed) {
   while (now_ < t) {
     // Earliest head drain among active links.
     double next_drain = kInf;
-    for (const Link& l : links_) {
-      if (l.active() && l.rate > 0) {
+    for (uint32_t idx : active_idx_) {
+      const Link& l = links_[idx];
+      if (l.rate > 0) {
         next_drain = std::min(next_drain, now_ + l.head_remaining / l.rate);
       }
     }
     const double step_end = std::min(t, next_drain);
     const double dt = step_end - now_;
     if (dt > 0) {
-      for (Link& l : links_) {
-        if (l.active() && l.rate > 0) {
+      for (uint32_t idx : active_idx_) {
+        Link& l = links_[idx];
+        if (l.rate > 0) {
           l.head_remaining -= l.rate * dt;
           if (!host_metrics_.empty()) {
             const double moved = l.rate * dt;
@@ -231,12 +353,24 @@ void LinkFabric::AdvanceTo(double t, std::vector<Completion>* completed) {
       now_ = step_end;
     }
     if (next_drain <= t * (1 + kTimeEps) + kTimeEps) {
-      bool set_changed = false;
-      for (Link& l : links_) {
+      // Iterate over a snapshot: pops can deactivate links, which mutates
+      // active_idx_. The snapshot is ascending, so pops happen in the same
+      // link order as the historical full-table scan.
+      pop_scan_scratch_ = active_idx_;
+      for (uint32_t idx : pop_scan_scratch_) {
+        Link& l = links_[idx];
         // Pop every head that has drained; successors start immediately at
         // the same rate (no set change while the queue stays non-empty).
+        // The second disjunct guarantees forward progress far from t=0:
+        // when now_ is large enough that the residual's drain time rounds
+        // to now_ itself (now_ + eta == now_ in doubles), the clock cannot
+        // advance past this head, so it must pop now -- without this, a
+        // residual above the size threshold but below one ulp of now_
+        // spins the advance loop forever.
         while (l.active() && l.rate > 0 &&
-               l.head_remaining <= l.queue.front().size * 1e-12 + 1e-9 * l.rate) {
+               (l.head_remaining <=
+                    l.queue.front().size * 1e-12 + 1e-9 * l.rate ||
+                now_ + l.head_remaining / l.rate <= now_)) {
           const Message m = l.queue.front();
           l.queue.pop_front();
           --queued_;
@@ -250,15 +384,20 @@ void LinkFabric::AdvanceTo(double t, std::vector<Completion>* completed) {
           due.push_back(Completion{m.id, m.cookie, now_ + config_.base_latency_seconds});
           if (l.active()) {
             l.head_remaining = l.queue.front().size;
-            // The message-rate cap depends on the head size; recompute if it
+            // The message-rate cap depends on the head size; refresh if it
             // could bind.
-            if (config_.message_rate_per_host > 0) set_changed = true;
+            if (config_.message_rate_per_host > 0 &&
+                (head_dirty_idx_.empty() || head_dirty_idx_.back() != idx)) {
+              head_dirty_idx_.push_back(idx);
+            }
           } else {
-            set_changed = true;
+            DeactivateLink(idx);
+            MarkDirty(l.src);
+            MarkDirty(l.dst);
           }
         }
       }
-      if (set_changed) RecomputeRates();
+      ReshareDirty();
     } else {
       break;  // No drain before t.
     }

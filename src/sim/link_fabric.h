@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/fabric.h"
+#include "sim/rate_sharing.h"
 
 namespace rdmajoin {
 
@@ -20,6 +21,15 @@ namespace rdmajoin {
 /// change only when a link activates or drains -- not per message -- so a
 /// network partitioning pass with hundreds of thousands of buffer
 /// transmissions replays in O(messages * links).
+///
+/// Resharing is incremental by default (FabricConfig::incremental_reshare):
+/// the model maintains per-host active-link counts and a sorted index of
+/// active links, and a head pop that leaves its queue non-empty only
+/// refreshes that one link's message-rate cap -- the per-host denominators
+/// did not change, so every other link's rate is already exact. Activation
+/// and drain re-level just the links touching the affected hosts (equal
+/// share) or the affected max-min component (sim/rate_sharing.h). The full
+/// recompute survives as the reference path and debug cross-check oracle.
 ///
 /// This matches the paper's model assumption (Eq. 1: the per-host bandwidth
 /// is shared equally among concurrent transfers) while preserving per-message
@@ -86,6 +96,14 @@ class LinkFabric {
   /// Current service rate of the (src, dst) link; 0 if idle.
   double LinkRate(uint32_t src, uint32_t dst) const;
 
+  /// Number of rate recomputations triggered so far (reshare cost metering
+  /// for bench/micro_replay_engine.cc).
+  uint64_t reshares() const { return reshares_; }
+  /// Total link-rate assignments performed across all reshares; the
+  /// incremental path keeps this near the number of *affected* links rather
+  /// than reshares * active_links.
+  uint64_t reshared_links() const { return reshared_links_; }
+
  private:
   struct Message {
     MessageId id;
@@ -105,8 +123,21 @@ class LinkFabric {
   const Link& link(uint32_t src, uint32_t dst) const {
     return links_[src * config_.num_hosts + dst];
   }
+  /// Full recompute of every link's rate (reference path; also the
+  /// cross-check oracle for the incremental path).
   void RecomputeRates();
   double LinkCap(const Link& l) const;
+  /// Equal-share rate for one link from the maintained per-host counts
+  /// (identical expressions to RecomputeRates).
+  void RecomputeOneLinkEqualShare(Link& l);
+  void ActivateLink(uint32_t idx);
+  void DeactivateLink(uint32_t idx);
+  void MarkDirty(uint32_t host);
+  /// Re-levels links affected by dirty hosts / changed heads and clears the
+  /// dirty sets.
+  void ReshareDirty();
+  void IncrementalMaxMin();
+  void VerifyAgainstFullReshare();
 
   /// Per-host metric handles; empty when metrics are disabled.
   struct HostMetrics {
@@ -123,6 +154,28 @@ class LinkFabric {
   double now_ = 0.0;
   MessageId next_id_ = 1;
   std::vector<Link> links_;
+  /// Indices of active links, kept sorted ascending so every scan visits
+  /// links in the same order as iterating links_ directly (segment emission
+  /// order is part of the determinism contract).
+  std::vector<uint32_t> active_idx_;
+  /// Active-link counts per host (equal-share denominators).
+  std::vector<uint32_t> src_cnt_;
+  std::vector<uint32_t> dst_cnt_;
+  /// Hosts whose constraint set changed since the last reshare, and links
+  /// whose head (and with it the message-rate cap) changed.
+  std::vector<uint8_t> host_dirty_;
+  std::vector<uint32_t> dirty_hosts_;
+  std::vector<uint32_t> head_dirty_idx_;
+  /// Scratch buffers kept across calls to avoid per-event allocation.
+  std::vector<uint32_t> pop_scan_scratch_;
+  std::vector<uint8_t> comp_host_;
+  std::vector<RateDemand> demand_scratch_;
+  std::vector<uint32_t> demand_link_;
+  std::vector<double> egress_left_scratch_;
+  std::vector<double> ingress_left_scratch_;
+  std::vector<double> verify_rates_scratch_;
+  uint64_t reshares_ = 0;
+  uint64_t reshared_links_ = 0;
   size_t queued_ = 0;
   double bytes_delivered_ = 0;
   uint64_t messages_delivered_ = 0;

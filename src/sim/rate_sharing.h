@@ -1,0 +1,50 @@
+#ifndef RDMAJOIN_SIM_RATE_SHARING_H_
+#define RDMAJOIN_SIM_RATE_SHARING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rdmajoin {
+
+/// Relative tolerance for comparing *rates* (bytes/second) inside the
+/// fair-share solvers. Historically both reshare loops reused the *time*
+/// epsilon `kTimeEps` for these comparisons; the units are unrelated (a time
+/// tolerance says nothing about how close two bandwidth shares are), so the
+/// rate tolerance gets its own named constant. The numeric value matches the
+/// old one on purpose: the determinism contract keeps every committed bench
+/// JSON and span dataset byte-identical, so only the *name* (and the audit
+/// trail it enables) changes here, not the arithmetic.
+constexpr double kRateEps = 1e-12;
+
+/// One bandwidth demand between two hosts: a flow (Fabric) or an active link
+/// (LinkFabric). `cap` is the per-demand rate ceiling from the message-rate
+/// limit (+infinity when uncapped); `rate` is the solver's output.
+struct RateDemand {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  double cap = 0.0;
+  double rate = 0.0;
+};
+
+/// Max-min fairness (progressive filling / water-filling) over `demands`,
+/// constrained by per-host residual egress/ingress capacities. The capacity
+/// vectors are indexed by host id and are consumed by the fill (pass copies
+/// if the caller needs them afterwards). Demands are frozen in index order
+/// within each round, which together with the host-id order of the
+/// bottleneck scan makes the result a pure function of the inputs.
+///
+/// This is the single shared implementation of the twin loops that used to
+/// live in fabric.cc and link_fabric.cc. If a filling round freezes no
+/// demand (possible only with non-finite capacities or caps -- inputs the
+/// fabrics reject at their boundaries), the process state is undefined going
+/// forward: the old code asserted in debug builds and silently `break`ed in
+/// release builds, leaving stale/zero rates and a quietly wrong simulation.
+/// It now hard-fails (diagnostic to stderr + abort) in every build mode.
+void SolveMaxMinRates(std::vector<RateDemand>* demands,
+                      std::vector<double>* egress_left,
+                      std::vector<double>* ingress_left);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_SIM_RATE_SHARING_H_

@@ -4,11 +4,12 @@
 #include <cassert>
 #include <limits>
 #include <string>
-#include <unordered_map>
 
 #include "fault/injector.h"
 #include "sim/link_fabric.h"
 #include "timing/makespan.h"
+#include "util/arena.h"
+#include "util/flat_map.h"
 #include "util/metrics.h"
 
 namespace rdmajoin {
@@ -18,7 +19,12 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Simulation state of one partitioning thread during the network pass.
+/// Record-keeping lives in the replay's run-scoped arena (util/arena.h): the
+/// per-slot credit table and the flow table below are FlatMaps whose slot
+/// arrays are bump-allocated and released wholesale when the replay returns.
 struct ThreadSim {
+  explicit ThreadSim(Arena* arena) : outstanding(arena, 16) {}
+
   uint32_t machine = 0;
   uint32_t thread = 0;
   const ThreadNetTrace* tr = nullptr;
@@ -34,7 +40,9 @@ struct ThreadSim {
   /// Span opened for the send currently being posted (survives a credit
   /// block so the span's posted/credit stages bracket the stall).
   uint64_t pending_span = 0;
-  std::unordered_map<uint32_t, uint32_t> outstanding;  // slot -> in-flight count
+  /// slot -> in-flight count, keyed slot + 1 (FlatMap reserves key 0).
+  FlatMap<uint32_t, uint32_t> outstanding;
+  uint32_t& OutCount(uint32_t slot) { return outstanding.GetOrInsert(slot + 1); }
 
   // Wall-clock attribution of this thread's timeline: every advancement of
   // `time` lands in exactly one bucket, so compute + credit_stall +
@@ -104,6 +112,10 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     fc.ingress_bytes_per_sec = cluster.tcp.bytes_per_sec;
     fc.message_rate_per_host = 0.0;  // Per-message cost is paid by the CPU.
   }
+  // Run-scoped arena: every WR/flow record and hash-slot array allocated
+  // below lives until the replay returns, then is released in one sweep.
+  // Declared before anything that borrows from it.
+  Arena arena;
   LinkFabric fabric(fc);
   if (options.metrics != nullptr) {
     fabric.EnableMetrics(options.metrics, "fabric",
@@ -127,7 +139,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
   for (uint32_t m = 0; m < nm; ++m) {
     const auto& mt = trace.machines[m];
     for (uint32_t t = 0; t < mt.net_threads.size(); ++t) {
-      ThreadSim ts;
+      ThreadSim ts(&arena);
       ts.machine = m;
       ts.thread = t;
       ts.tr = &mt.net_threads[t];
@@ -179,10 +191,11 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
   // ring_slot_free[m] holds the service-finish times of the last `ring`
   // messages of machine m (circular).
   const uint32_t ring = config.recv_buffers_per_link * (nm > 1 ? nm - 1 : 1);
-  std::vector<std::vector<double>> ring_slot_free(
-      nm, std::vector<double>(ring, 0.0));
+  // Flat per-machine ring of service-finish times (row m at m * ring).
+  double* ring_slot_free =
+      arena.AllocateArray<double>(static_cast<size_t>(nm) * ring);
   std::vector<uint64_t> ring_pos(nm, 0);
-  std::unordered_map<uint64_t, FlowInfo> flows;
+  FlatMap<uint64_t, FlowInfo> flows(&arena, 1024);
   double total_virtual_wire = 0;
   std::vector<double> last_completion_to(nm, 0.0);
 
@@ -239,12 +252,11 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
   auto process_completions = [&](const std::vector<LinkFabric::Completion>& done) {
     for (const auto& c : done) {
       last_completion = std::max(last_completion, c.time);
-      auto it = flows.find(c.id);
-      assert(it != flows.end());
-      last_completion_to[it->second.dst] =
-          std::max(last_completion_to[it->second.dst], c.time);
-      const FlowInfo fi = it->second;
-      flows.erase(it);
+      const FlowInfo* it = flows.Find(c.id);
+      assert(it != nullptr);
+      last_completion_to[it->dst] = std::max(last_completion_to[it->dst], c.time);
+      const FlowInfo fi = *it;
+      flows.Erase(c.id);
       if (recorder != nullptr && fi.span != 0) {
         recorder->MarkStage(fi.span, SpanStage::kDelivered, c.time);
       }
@@ -261,7 +273,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
         } else {
           service = fi.virtual_bytes / costs.memcpy_bytes_per_sec;
         }
-        auto& slots = ring_slot_free[fi.dst];
+        double* slots = ring_slot_free + static_cast<size_t>(fi.dst) * ring;
         const uint64_t pos = ring_pos[fi.dst]++ % ring;
         const double slot_free_at = slots[pos];
         const double start =
@@ -279,16 +291,16 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
       }
       // Return the buffer credit and possibly wake the thread.
       ThreadSim& ts = threads[fi.thread_index];
-      auto out = ts.outstanding.find(fi.slot);
-      assert(out != ts.outstanding.end() && out->second > 0);
-      --out->second;
+      uint32_t* out = ts.outstanding.Find(fi.slot + 1);
+      assert(out != nullptr && *out > 0);
+      --*out;
       if (ts.state == ThreadSim::State::kBlockedFlow && ts.blocked_flow == c.id) {
         ts.state = ThreadSim::State::kComputing;
         ts.time = std::max(ts.time, credit_time);
         ts.flow_stall_seconds += ts.time - ts.stall_start;
       } else if (ts.state == ThreadSim::State::kBlockedCredit &&
                  ts.blocked_slot == fi.slot &&
-                 out->second < effective_credits(ts.machine, credit_time)) {
+                 *out < effective_credits(ts.machine, credit_time)) {
         ts.state = ThreadSim::State::kComputing;
         ts.time = std::max(ts.time, credit_time);
         ts.credit_stall_seconds += ts.time - ts.stall_start;
@@ -332,7 +344,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
       if (inj->HasCreditFaults()) {
         for (ThreadSim& ts : threads) {
           if (ts.state != ThreadSim::State::kBlockedCredit) continue;
-          if (ts.outstanding[ts.blocked_slot] <
+          if (ts.OutCount(ts.blocked_slot) <
               effective_credits(ts.machine, t_fault)) {
             ts.state = ThreadSim::State::kComputing;
             ts.time = std::max(ts.time, t_fault);
@@ -380,7 +392,7 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
           ts.machine, ts.thread, send.slot, flow_src, send.dst_machine, vbytes,
           /*pull=*/send.src_machine != SendRecord::kIssuerIsSource, ts.time);
     }
-    const uint32_t out = ts.outstanding[send.slot];
+    const uint32_t out = ts.OutCount(send.slot);
     if (out >= effective_credits(ts.machine, ts.time)) {
       ts.state = ThreadSim::State::kBlockedCredit;
       ts.blocked_slot = send.slot;
@@ -407,13 +419,13 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
     }
     const LinkFabric::MessageId id =
         fabric.Enqueue(flow_src, send.dst_machine, vbytes, ts.time);
-    flows[id] = FlowInfo{who, send.slot, send.dst_machine, vbytes, ts.pending_span};
+    flows.Put(id, FlowInfo{who, send.slot, send.dst_machine, vbytes, ts.pending_span});
     if (recorder != nullptr && ts.pending_span != 0) {
       recorder->MarkStage(ts.pending_span, SpanStage::kFabricAdmitted, ts.time);
       recorder->SetFlow(ts.pending_span, id);
     }
     ts.pending_span = 0;
-    ++ts.outstanding[send.slot];
+    ++ts.OutCount(send.slot);
     total_virtual_wire += vbytes;
     ++ts.next_send;
     if (cluster.interleave == InterleavePolicy::kNonInterleaved) {

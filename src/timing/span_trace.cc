@@ -167,9 +167,9 @@ void SpanRecorder::OnFlowSegment(uint64_t flow_id, uint32_t src, uint32_t dst,
   // so a flow's segments enumerate its reshare events, not the simulation's
   // event steps. Stale map entries (evicted or reused slots) are detected by
   // the flow-id check.
-  auto it = last_segment_of_flow_.find(flow_id);
-  if (it != last_segment_of_flow_.end() && it->second < segments_.size()) {
-    FlowSegment& prev = segments_[it->second];
+  const uint64_t* it = last_segment_of_flow_.Find(flow_id);
+  if (it != nullptr && *it < segments_.size()) {
+    FlowSegment& prev = segments_[*it];
     if (prev.flow == flow_id && prev.rate == rate &&
         std::abs(prev.t1 - t0) <= 1e-9 * (1.0 + std::abs(t0))) {
       prev.t1 = t1;
@@ -192,9 +192,9 @@ void SpanRecorder::OnFlowSegment(uint64_t flow_id, uint32_t src, uint32_t dst,
   // Bound the merge index: entries of long-gone flows are useless, and the
   // map must not outgrow the rings' byte budget.
   if (last_segment_of_flow_.size() > 2 * segment_capacity_) {
-    last_segment_of_flow_.clear();
+    last_segment_of_flow_.Clear();
   }
-  last_segment_of_flow_[flow_id] = idx;
+  last_segment_of_flow_.Put(flow_id, idx);
 }
 
 void SpanRecorder::OnWrPosted(uint32_t device, WorkCompletion::Op op) {

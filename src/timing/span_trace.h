@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "rdma/verbs.h"
 #include "sim/fabric.h"
+#include "util/arena.h"
+#include "util/flat_map.h"
 #include "util/statusor.h"
 
 namespace rdmajoin {
@@ -232,15 +233,20 @@ class SpanRecorder : public FlowTelemetry, public RdmaEventSink {
   size_t span_capacity_ = 0;
   size_t segment_capacity_ = 0;
   uint64_t next_id_ = 1;
+  /// Backs the merge index (and its rehashes) so the per-segment hot path --
+  /// one OnFlowSegment call per fabric reshare per flow -- never touches
+  /// malloc. Declared before the map: the map holds a pointer into it.
+  Arena arena_;
   /// Span ring: id occupies slot (id - 1) % span_capacity_; an overwrite
   /// evicts the previous occupant (exactly span_capacity_ ids older).
   std::vector<WrSpan> spans_;
   /// Segment FIFO ring.
   std::vector<FlowSegment> segments_;
   size_t segment_next_ = 0;
-  /// Last segment index per flow, for contiguous same-rate merging. Entries
-  /// may go stale after eviction; validated against the stored flow id.
-  std::unordered_map<uint64_t, size_t> last_segment_of_flow_;
+  /// Last segment index per flow (flow ids start at 1), for contiguous
+  /// same-rate merging. Entries may go stale after eviction; validated
+  /// against the stored flow id.
+  FlatMap<uint64_t, uint64_t> last_segment_of_flow_{&arena_, 256};
   std::vector<ThreadMark> threads_;
   /// Keyed by device id for deterministic snapshot order.
   std::map<uint32_t, ExecDeviceCounts> devices_;

@@ -1,0 +1,86 @@
+#ifndef RDMAJOIN_UTIL_ARENA_H_
+#define RDMAJOIN_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace rdmajoin {
+
+/// Bump allocator for run-scoped simulation records (WR/span records, flow
+/// tables, receive-ring state). The discrete-event replay allocates millions
+/// of short-lived records per run; routing them through one arena turns the
+/// per-record heap traffic into pointer bumps inside a handful of large
+/// blocks, and releases everything at once when the run's arena is destroyed.
+///
+/// Memory is monotonic: Allocate never frees, and a structure that regrows
+/// (e.g. a FlatMap rehash) simply abandons its old block inside the arena.
+/// That is the intended trade -- the arena lives exactly as long as one
+/// replay/recorder, so "leaked" blocks are reclaimed wholesale at the end.
+/// Not thread-safe, like the simulator itself.
+class Arena {
+ public:
+  /// `block_bytes` sizes the chunks requested from the system allocator;
+  /// allocations larger than a block get a dedicated block of their own.
+  explicit Arena(size_t block_bytes = 256 * 1024) : block_bytes_(block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` objects of T, aligned for T.
+  /// T must be trivially destructible: the arena never runs destructors.
+  template <typename T>
+  T* AllocateRaw(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena records are released without destructors");
+    return static_cast<T*>(AllocateBytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Value-initialized array of `count` objects of T.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    T* p = AllocateRaw<T>(count);
+    for (size_t i = 0; i < count; ++i) new (p + i) T();
+    return p;
+  }
+
+  /// Total bytes handed out (excluding block slack).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total bytes requested from the system allocator.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  void* AllocateBytes(size_t bytes, size_t align) {
+    size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (current_ == nullptr || offset + bytes > current_size_) {
+      const size_t want = bytes + align > block_bytes_ ? bytes + align
+                                                       : block_bytes_;
+      blocks_.push_back(std::make_unique<unsigned char[]>(want));
+      current_ = blocks_.back().get();
+      current_size_ = want;
+      bytes_reserved_ += want;
+      cursor_ = 0;
+      offset = (reinterpret_cast<uintptr_t>(current_) % align == 0)
+                   ? 0
+                   : align - reinterpret_cast<uintptr_t>(current_) % align;
+    }
+    void* p = current_ + offset;
+    cursor_ = offset + bytes;
+    bytes_allocated_ += bytes;
+    return p;
+  }
+
+  size_t block_bytes_;
+  std::vector<std::unique_ptr<unsigned char[]>> blocks_;
+  unsigned char* current_ = nullptr;
+  size_t current_size_ = 0;
+  size_t cursor_ = 0;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_UTIL_ARENA_H_

@@ -1,0 +1,190 @@
+#ifndef RDMAJOIN_UTIL_FLAT_MAP_H_
+#define RDMAJOIN_UTIL_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "util/arena.h"
+
+namespace rdmajoin {
+
+/// Open-addressing hash map from a non-zero integer key to a trivially
+/// destructible value, tuned for the discrete-event hot loop: one flat
+/// power-of-two slot array (arena-backed when an Arena is supplied, so
+/// rehashes are pointer bumps instead of malloc/free), linear probing, and
+/// backward-shift deletion -- no tombstones, no per-node allocation, no
+/// iteration-order dependence anywhere in the API (there is deliberately no
+/// iterator: the determinism contract bans order-sensitive traversal of hash
+/// containers, and every simulator use is point lookup).
+///
+/// Key 0 is reserved as the empty-slot marker; the simulator's flow/message
+/// ids start at 1 and its slot keys are stored shifted by one.
+template <typename Key, typename Value>
+class FlatMap {
+  static_assert(std::is_unsigned_v<Key>, "FlatMap keys are unsigned integers");
+  static_assert(std::is_trivially_destructible_v<Value>,
+                "FlatMap values live in an arena and skip destructors");
+
+ public:
+  /// `arena` may be null (heap-backed via an internal arena then). The map
+  /// keeps a pointer; the arena must outlive the map.
+  explicit FlatMap(Arena* arena = nullptr, size_t initial_capacity = 64)
+      : arena_(arena) {
+    capacity_ = 16;
+    while (capacity_ < initial_capacity) capacity_ <<= 1;
+    slots_ = AllocateSlots(capacity_);
+  }
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+  /// Moves leave `other` empty and unusable (destroy-only), which is what
+  /// vector reallocation needs.
+  FlatMap(FlatMap&& other) noexcept
+      : arena_(other.arena_),
+        owned_arena_(other.owned_arena_),
+        slots_(other.slots_),
+        capacity_(other.capacity_),
+        size_(other.size_) {
+    other.arena_ = nullptr;
+    other.owned_arena_ = nullptr;
+    other.slots_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+  }
+  FlatMap& operator=(FlatMap&& other) noexcept {
+    if (this != &other) {
+      delete owned_arena_;
+      arena_ = other.arena_;
+      owned_arena_ = other.owned_arena_;
+      slots_ = other.slots_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.arena_ = nullptr;
+      other.owned_arena_ = nullptr;
+      other.slots_ = nullptr;
+      other.capacity_ = 0;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~FlatMap() {
+    delete owned_arena_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr.
+  Value* Find(Key key) {
+    assert(key != 0 && "key 0 is the empty marker");
+    size_t i = IndexFor(key);
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & (capacity_ - 1);
+    }
+    return nullptr;
+  }
+  const Value* Find(Key key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+
+  /// Reference to the value for `key`, value-initialized when absent.
+  Value& GetOrInsert(Key key) {
+    assert(key != 0 && "key 0 is the empty marker");
+    if ((size_ + 1) * 4 > capacity_ * 3) Grow();
+    size_t i = IndexFor(key);
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & (capacity_ - 1);
+    }
+    slots_[i].key = key;
+    slots_[i].value = Value();
+    ++size_;
+    return slots_[i].value;
+  }
+
+  /// Inserts or overwrites.
+  void Put(Key key, const Value& value) { GetOrInsert(key) = value; }
+
+  /// Removes `key` if present; returns whether it was. Backward-shift
+  /// deletion keeps probe chains intact without tombstones.
+  bool Erase(Key key) {
+    assert(key != 0 && "key 0 is the empty marker");
+    size_t i = IndexFor(key);
+    while (slots_[i].key != key) {
+      if (slots_[i].key == 0) return false;
+      i = (i + 1) & (capacity_ - 1);
+    }
+    size_t hole = i;
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & (capacity_ - 1);
+      if (slots_[j].key == 0) break;
+      const size_t home = IndexFor(slots_[j].key);
+      // Move j into the hole when its probe path crosses the hole.
+      const bool wraps = hole <= j ? (home <= hole || home > j)
+                                   : (home <= hole && home > j);
+      if (wraps) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole].key = 0;
+    --size_;
+    return true;
+  }
+
+  /// Drops all entries, keeping the current slot array.
+  void Clear() {
+    for (size_t i = 0; i < capacity_; ++i) slots_[i].key = 0;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+  };
+
+  size_t IndexFor(Key key) const {
+    // Fibonacci multiplicative hash; keys are dense sequential ids, so the
+    // golden-ratio spread avoids the clustering identity hashing would give.
+    const uint64_t h = static_cast<uint64_t>(key) * UINT64_C(0x9E3779B97F4A7C15);
+    return static_cast<size_t>(h >> 32) & (capacity_ - 1);
+  }
+
+  Slot* AllocateSlots(size_t n) {
+    if (arena_ == nullptr) {
+      if (owned_arena_ == nullptr) owned_arena_ = new Arena();
+      arena_ = owned_arena_;
+    }
+    Slot* s = arena_->AllocateRaw<Slot>(n);
+    for (size_t i = 0; i < n; ++i) s[i].key = 0;
+    return s;
+  }
+
+  void Grow() {
+    Slot* old = slots_;
+    const size_t old_cap = capacity_;
+    capacity_ <<= 1;
+    slots_ = AllocateSlots(capacity_);
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old[i].key == 0) continue;
+      size_t j = IndexFor(old[i].key);
+      while (slots_[j].key != 0) j = (j + 1) & (capacity_ - 1);
+      slots_[j] = old[i];
+    }
+    // The old block stays in the arena until the arena dies (monotonic).
+  }
+
+  Arena* arena_ = nullptr;
+  Arena* owned_arena_ = nullptr;
+  Slot* slots_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_UTIL_FLAT_MAP_H_

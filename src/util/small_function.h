@@ -1,0 +1,97 @@
+#ifndef RDMAJOIN_UTIL_SMALL_FUNCTION_H_
+#define RDMAJOIN_UTIL_SMALL_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rdmajoin {
+
+/// Move-only `void()` callable with inline storage: the non-allocating
+/// small-callback path of the event queue. Discrete-event callbacks are
+/// almost always a lambda over a few pointers; std::function heap-allocates
+/// many of them (its small-buffer optimization is implementation-defined and
+/// typically two pointers), which at millions of events per replay turns the
+/// event queue into an allocator benchmark. SmallFunction guarantees inline
+/// storage up to `Bytes` and falls back to the heap only beyond it, so the
+/// hot path never touches malloc.
+template <size_t Bytes = 48>
+class SmallFunction {
+ public:
+  SmallFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Bytes && alignof(Fn) <= alignof(void*) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      new (storage_) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      relocate_ = [](void* dst, void* src) {
+        new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      };
+      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+      heap_ = false;
+    } else {
+      *reinterpret_cast<void**>(storage_) = new Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (**static_cast<Fn**>(p))(); };
+      relocate_ = [](void* dst, void* src) {
+        *static_cast<void**>(dst) = *static_cast<void**>(src);
+      };
+      destroy_ = [](void* p) { delete *static_cast<Fn**>(p); };
+      heap_ = true;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { MoveFrom(std::move(other)); }
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+  ~SmallFunction() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  /// True when the callable spilled to the heap (diagnostics/tests).
+  bool on_heap() const { return heap_; }
+
+  void operator()() { invoke_(storage_); }
+
+ private:
+  void MoveFrom(SmallFunction&& other) {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    heap_ = other.heap_;
+    if (invoke_ != nullptr) relocate_(storage_, other.storage_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+    other.heap_ = false;
+  }
+  void Reset() {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+    heap_ = false;
+  }
+
+  alignas(void*) unsigned char storage_[Bytes];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  bool heap_ = false;
+};
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_UTIL_SMALL_FUNCTION_H_

@@ -72,5 +72,114 @@ TEST(EventQueue, RunNextAdvancesClockToEventTime) {
   EXPECT_EQ(q.now(), 4.25);
 }
 
+TEST(EventQueue, HandlesWideTimeRangesAndGrowth) {
+  // Mixes nanosecond-spaced events with ones years ahead: exercises the
+  // calendar resize, the year-window miss -> direct-scan fallback, and the
+  // re-anchoring of the scan after long empty stretches.
+  EventQueue q;
+  std::vector<double> fired;
+  const double times[] = {1e-9,  2e-9,  3e-9, 0.5,   0.5 + 1e-12,
+                          1.0e3, 1.0e7, 4e-9, 2.0e7, 1.0};
+  for (double t : times) {
+    q.ScheduleAt(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  q.RunUntilEmpty();
+  ASSERT_EQ(fired.size(), 10u);
+  for (size_t i = 1; i < fired.size(); ++i) EXPECT_LE(fired[i - 1], fired[i]);
+  EXPECT_EQ(fired.back(), 2.0e7);
+}
+
+TEST(EventQueue, ShrinksAfterDrainingLargePopulation) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 4096; ++i) {
+    q.ScheduleAt(static_cast<double>(i) * 1e-6, [&fired] { ++fired; });
+  }
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 4096);
+  // The queue stays usable after the shrink path ran.
+  q.ScheduleAfter(1.0, [&fired] { ++fired; });
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 4097);
+}
+
+TEST(HeapEventQueue, RunsEventsInTimeOrderWithFifoTies) {
+  HeapEventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(30); });
+  for (int i = 0; i < 4; ++i) {
+    q.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.ScheduleAt(2.0, [&] { order.push_back(20); });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 20, 30}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(HeapEventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  HeapEventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(5.0, [&] { ++fired; });
+  q.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 2.0);
+}
+
+// The past-time contract holds in every build mode (the check does not hide
+// behind assert); both queue implementations share it.
+using EventQueueDeathTest = ::testing::Test;
+
+TEST(EventQueueDeathTest, PastTimeScheduleAborts) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.ScheduleAt(2.0, [] {});
+        q.RunUntilEmpty();  // now == 2.0
+        q.ScheduleAt(1.0, [] {});
+      },
+      "virtual past");
+}
+
+TEST(EventQueueDeathTest, NanTimeScheduleAborts) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.ScheduleAt(std::nan(""), [] {});
+      },
+      "virtual past");
+}
+
+TEST(EventQueueDeathTest, NegativeDelayAborts) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.ScheduleAt(3.0, [] {});
+        q.RunUntilEmpty();
+        q.ScheduleAfter(-1.0, [] {});
+      },
+      "virtual past");
+}
+
+TEST(EventQueueDeathTest, HeapQueuePastTimeScheduleAborts) {
+  EXPECT_DEATH(
+      {
+        HeapEventQueue q;
+        q.ScheduleAt(2.0, [] {});
+        q.RunUntilEmpty();
+        q.ScheduleAt(1.0, [] {});
+      },
+      "virtual past");
+}
+
+TEST(EventQueueDeathTest, HeapQueueNanTimeScheduleAborts) {
+  EXPECT_DEATH(
+      {
+        HeapEventQueue q;
+        q.ScheduleAt(std::nan(""), [] {});
+      },
+      "virtual past");
+}
+
 }  // namespace
 }  // namespace rdmajoin

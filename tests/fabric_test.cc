@@ -203,5 +203,64 @@ TEST(Fabric, PerHostDeliveryAccounting) {
   EXPECT_DOUBLE_EQ(fabric.bytes_delivered_from(3), 0.0);
 }
 
+// Regression for the kTimeEps-as-rate-epsilon reuse: with one host degraded
+// to a 1e-9 capacity scale, live rates span nine orders of magnitude
+// (1e-6 .. 1e3 bytes/sec here). The *relative* rate epsilon must freeze only
+// the truly bottlenecked demand -- an absolute-style tolerance at the old
+// epsilon's scale would glue the fast flow to the slow bottleneck (or never
+// converge). Verification is on, so the incremental path is also
+// cross-checked against the full fill at this spread.
+TEST(Fabric, MaxMinRatesSpanningNineOrdersOfMagnitude) {
+  FabricConfig cfg = BasicConfig(4);
+  cfg.sharing = SharingPolicy::kMaxMin;
+  cfg.verify_incremental_reshare = true;
+  Fabric fabric(cfg);
+  fabric.SetHostCapacityScale(0, 1e-9, 1e-9);
+  // Slow flow: host 0's egress is 1000 * 1e-9 = 1e-6 bytes/sec.
+  const Fabric::FlowId slow = fabric.Inject(0, 1, 1e-6, 0.0);
+  // Fast flow shares host 1's ingress with the slow flow; max-min gives it
+  // everything the slow flow cannot use.
+  const Fabric::FlowId fast = fabric.Inject(2, 1, 1000.0, 0.0);
+  EXPECT_NEAR(fabric.FlowRate(slow), 1e-6, 1e-6 * 1e-9);
+  EXPECT_NEAR(fabric.FlowRate(fast), 1000.0 - 1e-6, 1e-6);
+  // Both flows were sized to finish at ~1 second under those rates.
+  std::vector<Fabric::Completion> done;
+  fabric.AdvanceTo(2.0, &done);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0].time, 1.0, 1e-5);
+  EXPECT_NEAR(done[1].time, 1.0, 1e-5);
+}
+
+TEST(Fabric, EqualShareRatesSpanningNineOrdersOfMagnitude) {
+  FabricConfig cfg = BasicConfig(4);
+  cfg.verify_incremental_reshare = true;
+  Fabric fabric(cfg);
+  fabric.SetHostCapacityScale(0, 1e-9, 1e-9);
+  const Fabric::FlowId slow = fabric.Inject(0, 1, 1e-6, 0.0);
+  const Fabric::FlowId fast = fabric.Inject(2, 3, 1000.0, 0.0);
+  EXPECT_NEAR(fabric.FlowRate(slow), 1e-6, 1e-6 * 1e-9);
+  EXPECT_DOUBLE_EQ(fabric.FlowRate(fast), 1000.0);
+}
+
+// The progressive-filling non-progress guard is a hard failure in every
+// build mode now (the old code asserted in debug and silently broke out in
+// release, leaving stale rates). Only non-finite inputs can trigger it; the
+// fabrics reject those at their boundaries, so drive the solver directly.
+using RateSharingDeathTest = ::testing::Test;
+
+void SolveWithNanInputs() {
+  std::vector<RateDemand> demands(1);
+  demands[0].src = 0;
+  demands[0].dst = 1;
+  demands[0].cap = std::nan("");
+  std::vector<double> egress = {std::nan(""), 1000.0};
+  std::vector<double> ingress = {1000.0, std::nan("")};
+  SolveMaxMinRates(&demands, &egress, &ingress);
+}
+
+TEST(RateSharingDeathTest, NanCapacityAbortsInsteadOfSilentBreak) {
+  EXPECT_DEATH(SolveWithNanInputs(), "max-min filling made no progress");
+}
+
 }  // namespace
 }  // namespace rdmajoin
