@@ -1,0 +1,587 @@
+#include "timing/run_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "timing/span_query.h"
+
+namespace rdmajoin {
+
+namespace {
+
+/// The bench JSON keys of the four phases, in execution order.
+constexpr const char* kPhaseJsonKey[kNumJoinPhases] = {
+    "histogram_seconds", "network_partition_seconds", "local_partition_seconds",
+    "build_probe_seconds"};
+
+/// The attribution buckets, in schema order (breakdown key = name +
+/// "_seconds"; fault_recovery is omitted from fault-free bench JSON and
+/// defaults to 0 here).
+constexpr const char* kBucketName[] = {"compute", "network", "buffer_stall",
+                                       "barrier_wait", "fault_recovery"};
+constexpr size_t kNumBuckets = 5;
+
+/// Two-sided divergence test, same contract as the rdmajoin_analyze gate:
+/// |b - a| must exceed BOTH margins. Zero tolerances demand exact equality.
+bool Beyond(double a, double b, const RunDiffOptions& opt) {
+  const double delta = std::fabs(b - a);
+  return delta > opt.relative_tolerance * std::fabs(a) &&
+         delta > opt.absolute_tolerance_seconds;
+}
+
+/// The critical_path entry of `phase` in a row's attribution, or null.
+const JsonValue* FindCriticalStep(const JsonValue& row, std::string_view phase) {
+  const JsonValue* attribution = row.Find("attribution");
+  if (attribution == nullptr) return nullptr;
+  const JsonValue* path = attribution->Find("critical_path");
+  if (path == nullptr || !path->is_array()) return nullptr;
+  for (const JsonValue& step : path->array_items) {
+    if (step.StringOr("phase", "") == phase) return &step;
+  }
+  return nullptr;
+}
+
+double PhaseFromRow(const JsonValue& row, size_t phase) {
+  const JsonValue* phases = row.Find("phases");
+  return phases == nullptr ? 0.0 : phases->NumberOr(kPhaseJsonKey[phase], 0.0);
+}
+
+/// Structural equality of two parsed JSON documents. Object member order is
+/// significant -- the snapshots this compares are emitted in sorted order, so
+/// order-sensitive comparison is both correct and the stricter check.
+bool JsonEquals(const JsonValue& x, const JsonValue& y) {
+  if (x.kind != y.kind) return false;
+  switch (x.kind) {
+    case JsonValue::Kind::kNull:
+      return true;
+    case JsonValue::Kind::kBool:
+      return x.bool_value == y.bool_value;
+    case JsonValue::Kind::kNumber:
+      return x.number_value == y.number_value;
+    case JsonValue::Kind::kString:
+      return x.string_value == y.string_value;
+    case JsonValue::Kind::kArray:
+      if (x.array_items.size() != y.array_items.size()) return false;
+      for (size_t i = 0; i < x.array_items.size(); ++i) {
+        if (!JsonEquals(x.array_items[i], y.array_items[i])) return false;
+      }
+      return true;
+    case JsonValue::Kind::kObject:
+      if (x.object_members.size() != y.object_members.size()) return false;
+      for (size_t i = 0; i < x.object_members.size(); ++i) {
+        if (x.object_members[i].first != y.object_members[i].first) return false;
+        if (!JsonEquals(x.object_members[i].second, y.object_members[i].second)) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+std::string Pct(double delta, double base) {
+  char buf[32];
+  if (base > 0) {
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * delta / base);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%+.6f s", delta);
+  }
+  return buf;
+}
+
+void DiffPhases(const BenchJsonRow& a, const BenchJsonRow& b, RowDelta* row,
+                bool* exact) {
+  for (size_t p = 0; p < kNumJoinPhases; ++p) {
+    PhaseDelta pd;
+    pd.phase = std::string(JoinPhaseName(static_cast<JoinPhase>(p)));
+    pd.a_seconds = PhaseFromRow(a.raw, p);
+    pd.b_seconds = PhaseFromRow(b.raw, p);
+    pd.delta_seconds = pd.b_seconds - pd.a_seconds;
+    if (pd.a_seconds != pd.b_seconds) *exact = false;
+
+    const JsonValue* step_a = FindCriticalStep(a.raw, pd.phase);
+    const JsonValue* step_b = FindCriticalStep(b.raw, pd.phase);
+    if (step_a != nullptr && step_b != nullptr) {
+      pd.a_machine = static_cast<uint32_t>(step_a->NumberOr("machine", 0));
+      pd.b_machine = static_cast<uint32_t>(step_b->NumberOr("machine", 0));
+      const JsonValue* breakdown_a = step_a->Find("breakdown");
+      const JsonValue* breakdown_b = step_b->Find("breakdown");
+      double best = 0;
+      for (size_t i = 0; i < kNumBuckets; ++i) {
+        BucketDelta bd;
+        bd.bucket = kBucketName[i];
+        const std::string key = bd.bucket + "_seconds";
+        bd.a_seconds = breakdown_a == nullptr ? 0 : breakdown_a->NumberOr(key, 0);
+        bd.b_seconds = breakdown_b == nullptr ? 0 : breakdown_b->NumberOr(key, 0);
+        bd.delta_seconds = bd.b_seconds - bd.a_seconds;
+        if (bd.a_seconds != bd.b_seconds) *exact = false;
+        if (std::fabs(bd.delta_seconds) > best) {
+          best = std::fabs(bd.delta_seconds);
+          pd.dominant_bucket = bd.bucket;
+          pd.dominant_bucket_share =
+              pd.delta_seconds != 0
+                  ? std::fabs(bd.delta_seconds) / std::fabs(pd.delta_seconds)
+                  : 0;
+        }
+        pd.buckets.push_back(bd);
+      }
+    }
+    row->phases.push_back(pd);
+  }
+
+  // Dominant phase + narrative.
+  const PhaseDelta* dominant = nullptr;
+  for (const PhaseDelta& pd : row->phases) {
+    if (dominant == nullptr ||
+        std::fabs(pd.delta_seconds) > std::fabs(dominant->delta_seconds)) {
+      dominant = &pd;
+    }
+  }
+  if (dominant != nullptr && dominant->delta_seconds != 0) {
+    row->dominant_phase = dominant->phase;
+    std::string n = dominant->phase + " " +
+                    Pct(dominant->delta_seconds, dominant->a_seconds) +
+                    " on machine " + std::to_string(dominant->b_machine);
+    if (!dominant->dominant_bucket.empty() && dominant->dominant_bucket_share > 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ", %.0f%% of it %s",
+                    100.0 * std::min(dominant->dominant_bucket_share, 1.0),
+                    dominant->dominant_bucket.c_str());
+      n += buf;
+    }
+    row->narrative = n;
+  }
+}
+
+void DiffSpans(const SpanDataset& a, const SpanDataset& b,
+               const RunDiffOptions& options, RunDiffReport* report) {
+  for (int s = 0; s < kNumSpanStages; ++s) {
+    const SpanStage stage = static_cast<SpanStage>(s);
+    const StageStats sa = ComputeStageStats(a, stage);
+    const StageStats sb = ComputeStageStats(b, stage);
+    StageDelta sd;
+    sd.stage = SpanStageName(stage);
+    sd.a_count = sa.count;
+    sd.b_count = sb.count;
+    sd.a_p50 = sa.p50;
+    sd.b_p50 = sb.p50;
+    sd.a_p99 = sa.p99;
+    sd.b_p99 = sb.p99;
+    sd.a_total = sa.total;
+    sd.b_total = sb.total;
+    sd.delta_total = sb.total - sa.total;
+    report->stages.push_back(sd);
+  }
+
+  // Per-work-request durations, matched by span id (identical-seed runs
+  // replay the same send sequence, so ids align across runs).
+  std::map<uint64_t, const WrSpan*> by_id;
+  for (const WrSpan& s : a.spans) by_id[s.id] = &s;
+  std::vector<FlowDelta> flows;
+  for (const WrSpan& sb : b.spans) {
+    auto it = by_id.find(sb.id);
+    if (it == by_id.end()) continue;
+    const WrSpan& sa = *it->second;
+    if (sa.duration() == kSpanUnset || sb.duration() == kSpanUnset) continue;
+    if (sa.duration() == sb.duration()) continue;
+    FlowDelta fd;
+    fd.id = sb.id;
+    fd.machine = sb.machine;
+    fd.src = sb.src;
+    fd.dst = sb.dst;
+    fd.a_duration = sa.duration();
+    fd.b_duration = sb.duration();
+    fd.delta_duration = fd.b_duration - fd.a_duration;
+    flows.push_back(fd);
+  }
+  std::sort(flows.begin(), flows.end(), [](const FlowDelta& x, const FlowDelta& y) {
+    if (std::fabs(x.delta_duration) != std::fabs(y.delta_duration)) {
+      return std::fabs(x.delta_duration) > std::fabs(y.delta_duration);
+    }
+    return x.id < y.id;
+  });
+  if (flows.size() > options.top_k) flows.resize(options.top_k);
+  report->flows = std::move(flows);
+
+  // The byte-level determinism cross-check: identical runs must serialize
+  // identically, stage stats and flow alignment aside.
+  if (SpanDatasetToJson(a) != SpanDatasetToJson(b)) {
+    report->zero_divergence = false;
+  }
+}
+
+void DiffMetrics(const JsonValue& a, const JsonValue& b,
+                 const RunDiffOptions& options, RunDiffReport* report) {
+  std::vector<MetricDelta> deltas;
+  // Scalar sections: counters (name -> number) and gauges (name -> {value}).
+  for (const char* section : {"counters", "gauges"}) {
+    const JsonValue* sec_a = a.Find(section);
+    const JsonValue* sec_b = b.Find(section);
+    std::map<std::string, std::pair<double, double>> values;
+    auto collect = [&values, section](const JsonValue* sec, bool second) {
+      if (sec == nullptr || !sec->is_object()) return;
+      for (const auto& [name, v] : sec->object_members) {
+        const double x = v.is_number() ? v.number_value : v.NumberOr("value", 0);
+        auto& slot = values[std::string(section) + "." + name];
+        (second ? slot.second : slot.first) = x;
+      }
+    };
+    collect(sec_a, false);
+    collect(sec_b, true);
+    for (const auto& [name, pair] : values) {
+      ++report->metrics_compared;
+      if (pair.first != pair.second) {
+        ++report->metrics_diverged;
+        MetricDelta md;
+        md.name = name;
+        md.a_value = pair.first;
+        md.b_value = pair.second;
+        md.delta = pair.second - pair.first;
+        deltas.push_back(md);
+      }
+    }
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const MetricDelta& x, const MetricDelta& y) {
+              if (std::fabs(x.delta) != std::fabs(y.delta)) {
+                return std::fabs(x.delta) > std::fabs(y.delta);
+              }
+              return x.name < y.name;
+            });
+  if (deltas.size() > options.top_k) deltas.resize(options.top_k);
+  report->metrics = std::move(deltas);
+  if (!JsonEquals(a, b)) report->zero_divergence = false;
+}
+
+}  // namespace
+
+StatusOr<RunDiffReport> DiffRuns(const RunArtifacts& a, const RunArtifacts& b,
+                                 const RunDiffOptions& options) {
+  const BenchJsonDocument& da = a.bench;
+  const BenchJsonDocument& db = b.bench;
+  if (da.bench != db.bench) {
+    return Status::InvalidArgument("bench mismatch: run A is '" + da.bench +
+                                   "', run B is '" + db.bench + "'");
+  }
+  if (da.schema_version != db.schema_version) {
+    return Status::InvalidArgument("schema version mismatch");
+  }
+  if (da.scale_up != db.scale_up) {
+    return Status::InvalidArgument(
+        "scale mismatch: run A used scale_up=" + std::to_string(da.scale_up) +
+        ", run B " + std::to_string(db.scale_up) +
+        " (virtual times are only comparable at one scale)");
+  }
+
+  RunDiffReport report;
+  report.bench = da.bench;
+  report.scale_up = da.scale_up;
+  report.seed_a = da.seed;
+  report.seed_b = db.seed;
+
+  for (const BenchJsonRow& row_a : da.rows) {
+    RowDelta rd;
+    rd.label = row_a.label;
+    const BenchJsonRow* row_b = db.FindRow(row_a.label);
+    if (row_b == nullptr || (row_a.has_measured && !row_b->has_measured) ||
+        (row_a.ok && !row_b->ok)) {
+      rd.missing_in_b = true;
+      rd.a_seconds = row_a.measured_seconds;
+      rd.narrative = "row missing (or no longer ok) in run B";
+      ++report.rows_missing;
+      report.zero_divergence = false;
+      report.rows.push_back(rd);
+      continue;
+    }
+    rd.a_seconds = row_a.has_measured ? row_a.measured_seconds : 0;
+    rd.b_seconds = row_b->has_measured ? row_b->measured_seconds : 0;
+    rd.delta_seconds = rd.b_seconds - rd.a_seconds;
+    rd.ratio = rd.a_seconds != 0 ? rd.b_seconds / rd.a_seconds : 0;
+    if (Beyond(rd.a_seconds, rd.b_seconds, options)) {
+      (rd.delta_seconds > 0 ? rd.slower : rd.faster) = true;
+    }
+    report.rows_slower += rd.slower ? 1 : 0;
+    report.rows_faster += rd.faster ? 1 : 0;
+    report.a_total_seconds += rd.a_seconds;
+    report.b_total_seconds += rd.b_seconds;
+    bool exact = rd.a_seconds == rd.b_seconds;
+    DiffPhases(row_a, *row_b, &rd, &exact);
+    if (!exact) report.zero_divergence = false;
+    report.rows.push_back(std::move(rd));
+  }
+  for (const BenchJsonRow& row_b : db.rows) {
+    if (da.FindRow(row_b.label) != nullptr) continue;
+    RowDelta rd;
+    rd.label = row_b.label;
+    rd.b_seconds = row_b.has_measured ? row_b.measured_seconds : 0;
+    rd.narrative = "row only present in run B";
+    ++report.rows_missing;
+    report.zero_divergence = false;
+    report.rows.push_back(std::move(rd));
+  }
+  report.delta_total_seconds = report.b_total_seconds - report.a_total_seconds;
+
+  if (a.spans.has_value() && b.spans.has_value()) {
+    DiffSpans(*a.spans, *b.spans, options, &report);
+  } else if (a.spans.has_value() != b.spans.has_value()) {
+    report.zero_divergence = false;
+  }
+  if (a.metrics.has_value() && b.metrics.has_value()) {
+    DiffMetrics(*a.metrics, *b.metrics, options, &report);
+  } else if (a.metrics.has_value() != b.metrics.has_value()) {
+    report.zero_divergence = false;
+  }
+
+  // Verdict: the worst offending row's narrative, or the all-clear.
+  if (report.zero_divergence) {
+    report.verdict = "runs are identical (zero divergence)";
+  } else if (!report.HasDivergence()) {
+    report.verdict = "runs differ only within tolerance (total " +
+                     Pct(report.delta_total_seconds, report.a_total_seconds) +
+                     ")";
+  } else {
+    const RowDelta* worst = nullptr;
+    for (const RowDelta& rd : report.rows) {
+      if (!rd.slower && !rd.faster && !rd.missing_in_b) continue;
+      if (worst == nullptr ||
+          std::fabs(rd.delta_seconds) > std::fabs(worst->delta_seconds)) {
+        worst = &rd;
+      }
+    }
+    if (worst != nullptr) {
+      report.verdict = "'" + worst->label + "' " +
+                       Pct(worst->delta_seconds, worst->a_seconds);
+      if (!worst->narrative.empty()) report.verdict += ": " + worst->narrative;
+    }
+  }
+  return report;
+}
+
+StatusOr<RunArtifacts> LoadRunArtifacts(const std::string& bench_path,
+                                        const std::string& spans_path,
+                                        const std::string& metrics_path) {
+  RunArtifacts artifacts;
+  auto bench = ReadBenchJsonFile(bench_path);
+  if (!bench.ok()) return bench.status();
+  artifacts.bench = std::move(*bench);
+  if (!spans_path.empty()) {
+    auto spans = ReadSpanDatasetFile(spans_path);
+    if (!spans.ok()) return spans.status();
+    artifacts.spans = std::move(*spans);
+  }
+  if (!metrics_path.empty()) {
+    std::ifstream in(metrics_path);
+    if (!in) return Status::NotFound("cannot open " + metrics_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto metrics = ParseJson(text.str());
+    if (!metrics.ok()) {
+      return Status::InvalidArgument(metrics_path + ": " +
+                                     metrics.status().message());
+    }
+    artifacts.metrics = std::move(*metrics);
+  }
+  return artifacts;
+}
+
+std::string FormatRunDiff(const RunDiffReport& report, bool report_improvements) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "run diff: %s (scale %.0f, seed %llu vs %llu)\n",
+                report.bench.c_str(), report.scale_up,
+                static_cast<unsigned long long>(report.seed_a),
+                static_cast<unsigned long long>(report.seed_b));
+  out += buf;
+  out += "verdict: " + report.verdict + "\n";
+  std::snprintf(buf, sizeof(buf),
+                "totals: %.6f s -> %.6f s (%s); %zu slower, %zu faster, %zu "
+                "missing\n\n",
+                report.a_total_seconds, report.b_total_seconds,
+                Pct(report.delta_total_seconds, report.a_total_seconds).c_str(),
+                report.rows_slower, report.rows_faster, report.rows_missing);
+  out += buf;
+
+  out += "  row                              A (s)        B (s)      delta  verdict\n";
+  for (const RowDelta& rd : report.rows) {
+    const char* flag = rd.missing_in_b ? "MISSING"
+                       : rd.slower     ? "SLOWER"
+                       : rd.faster     ? "faster"
+                                       : "ok";
+    std::snprintf(buf, sizeof(buf), "  %-28s %12.6f %12.6f %10s  %s\n",
+                  rd.label.c_str(), rd.a_seconds, rd.b_seconds,
+                  Pct(rd.delta_seconds, rd.a_seconds).c_str(), flag);
+    out += buf;
+  }
+
+  // Drill-downs for the rows that moved.
+  for (const RowDelta& rd : report.rows) {
+    if (!(rd.slower || (report_improvements && rd.faster))) continue;
+    out += "\n'" + rd.label + "': " +
+           (rd.narrative.empty() ? "no phase-level movement" : rd.narrative) +
+           "\n";
+    for (const PhaseDelta& pd : rd.phases) {
+      if (pd.delta_seconds == 0) continue;
+      std::snprintf(buf, sizeof(buf),
+                    "    %-18s %12.6f -> %12.6f (%s, critical machine %u -> %u)\n",
+                    pd.phase.c_str(), pd.a_seconds, pd.b_seconds,
+                    Pct(pd.delta_seconds, pd.a_seconds).c_str(), pd.a_machine,
+                    pd.b_machine);
+      out += buf;
+      for (const BucketDelta& bd : pd.buckets) {
+        if (bd.delta_seconds == 0) continue;
+        std::snprintf(buf, sizeof(buf), "      %-16s %12.6f -> %12.6f (%+.6f s)\n",
+                      bd.bucket.c_str(), bd.a_seconds, bd.b_seconds,
+                      bd.delta_seconds);
+        out += buf;
+      }
+    }
+  }
+
+  if (!report.stages.empty()) {
+    out += "\nstage latencies (A -> B):\n";
+    out += "  stage              count            p50 (s)                 p99 (s)\n";
+    for (const StageDelta& sd : report.stages) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-16s %6llu->%-6llu %10.6f->%-10.6f %10.6f->%-10.6f\n",
+                    sd.stage.c_str(), static_cast<unsigned long long>(sd.a_count),
+                    static_cast<unsigned long long>(sd.b_count), sd.a_p50,
+                    sd.b_p50, sd.a_p99, sd.b_p99);
+      out += buf;
+    }
+  }
+  if (!report.flows.empty()) {
+    out += "\ntop diverging work requests:\n";
+    for (const FlowDelta& fd : report.flows) {
+      std::snprintf(buf, sizeof(buf),
+                    "  span %-8llu m%u %u->%u  %10.6f -> %10.6f (%+.6f s)\n",
+                    static_cast<unsigned long long>(fd.id), fd.machine, fd.src,
+                    fd.dst, fd.a_duration, fd.b_duration, fd.delta_duration);
+      out += buf;
+    }
+  }
+  if (report.metrics_compared > 0) {
+    std::snprintf(buf, sizeof(buf), "\nmetrics: %llu compared, %llu diverged\n",
+                  static_cast<unsigned long long>(report.metrics_compared),
+                  static_cast<unsigned long long>(report.metrics_diverged));
+    out += buf;
+    for (const MetricDelta& md : report.metrics) {
+      std::snprintf(buf, sizeof(buf), "  %-40s %.17g -> %.17g\n", md.name.c_str(),
+                    md.a_value, md.b_value);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string RunDiffToJson(const RunDiffReport& report) {
+  std::string out = "{\"schema_version\":1";
+  out += ",\"bench\":\"" + JsonEscape(report.bench) + "\"";
+  out += ",\"scale_up\":" + JsonNumber(report.scale_up);
+  out += ",\"seed_a\":" + JsonNumber(static_cast<double>(report.seed_a));
+  out += ",\"seed_b\":" + JsonNumber(static_cast<double>(report.seed_b));
+  out += ",\"a_total_seconds\":" + JsonNumber(report.a_total_seconds);
+  out += ",\"b_total_seconds\":" + JsonNumber(report.b_total_seconds);
+  out += ",\"delta_total_seconds\":" + JsonNumber(report.delta_total_seconds);
+  out += ",\"zero_divergence\":";
+  out += report.zero_divergence ? "true" : "false";
+  out += ",\"rows_slower\":" + JsonNumber(static_cast<double>(report.rows_slower));
+  out += ",\"rows_faster\":" + JsonNumber(static_cast<double>(report.rows_faster));
+  out += ",\"rows_missing\":" + JsonNumber(static_cast<double>(report.rows_missing));
+  out += ",\"verdict\":\"" + JsonEscape(report.verdict) + "\"";
+  out += ",\"rows\":[";
+  for (size_t i = 0; i < report.rows.size(); ++i) {
+    const RowDelta& rd = report.rows[i];
+    if (i > 0) out += ",";
+    out += "{\"label\":\"" + JsonEscape(rd.label) + "\"";
+    out += ",\"a_seconds\":" + JsonNumber(rd.a_seconds);
+    out += ",\"b_seconds\":" + JsonNumber(rd.b_seconds);
+    out += ",\"delta_seconds\":" + JsonNumber(rd.delta_seconds);
+    out += ",\"ratio\":" + JsonNumber(rd.ratio);
+    out += ",\"slower\":";
+    out += rd.slower ? "true" : "false";
+    out += ",\"faster\":";
+    out += rd.faster ? "true" : "false";
+    out += ",\"missing_in_b\":";
+    out += rd.missing_in_b ? "true" : "false";
+    if (!rd.dominant_phase.empty()) {
+      out += ",\"dominant_phase\":\"" + JsonEscape(rd.dominant_phase) + "\"";
+    }
+    if (!rd.narrative.empty()) {
+      out += ",\"narrative\":\"" + JsonEscape(rd.narrative) + "\"";
+    }
+    out += ",\"phases\":[";
+    for (size_t p = 0; p < rd.phases.size(); ++p) {
+      const PhaseDelta& pd = rd.phases[p];
+      if (p > 0) out += ",";
+      out += "{\"phase\":\"" + JsonEscape(pd.phase) + "\"";
+      out += ",\"a_seconds\":" + JsonNumber(pd.a_seconds);
+      out += ",\"b_seconds\":" + JsonNumber(pd.b_seconds);
+      out += ",\"delta_seconds\":" + JsonNumber(pd.delta_seconds);
+      out += ",\"a_machine\":" + JsonNumber(pd.a_machine);
+      out += ",\"b_machine\":" + JsonNumber(pd.b_machine);
+      if (!pd.dominant_bucket.empty()) {
+        out += ",\"dominant_bucket\":\"" + JsonEscape(pd.dominant_bucket) + "\"";
+        out += ",\"dominant_bucket_share\":" + JsonNumber(pd.dominant_bucket_share);
+      }
+      out += ",\"buckets\":[";
+      for (size_t bi = 0; bi < pd.buckets.size(); ++bi) {
+        const BucketDelta& bd = pd.buckets[bi];
+        if (bi > 0) out += ",";
+        out += "{\"bucket\":\"" + JsonEscape(bd.bucket) + "\"";
+        out += ",\"a_seconds\":" + JsonNumber(bd.a_seconds);
+        out += ",\"b_seconds\":" + JsonNumber(bd.b_seconds);
+        out += ",\"delta_seconds\":" + JsonNumber(bd.delta_seconds) + "}";
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "],\"stages\":[";
+  for (size_t i = 0; i < report.stages.size(); ++i) {
+    const StageDelta& sd = report.stages[i];
+    if (i > 0) out += ",";
+    out += "{\"stage\":\"" + JsonEscape(sd.stage) + "\"";
+    out += ",\"a_count\":" + JsonNumber(static_cast<double>(sd.a_count));
+    out += ",\"b_count\":" + JsonNumber(static_cast<double>(sd.b_count));
+    out += ",\"a_p50\":" + JsonNumber(sd.a_p50);
+    out += ",\"b_p50\":" + JsonNumber(sd.b_p50);
+    out += ",\"a_p99\":" + JsonNumber(sd.a_p99);
+    out += ",\"b_p99\":" + JsonNumber(sd.b_p99);
+    out += ",\"a_total\":" + JsonNumber(sd.a_total);
+    out += ",\"b_total\":" + JsonNumber(sd.b_total);
+    out += ",\"delta_total\":" + JsonNumber(sd.delta_total) + "}";
+  }
+  out += "],\"flows\":[";
+  for (size_t i = 0; i < report.flows.size(); ++i) {
+    const FlowDelta& fd = report.flows[i];
+    if (i > 0) out += ",";
+    out += "{\"id\":" + JsonNumber(static_cast<double>(fd.id));
+    out += ",\"machine\":" + JsonNumber(fd.machine);
+    out += ",\"src\":" + JsonNumber(fd.src);
+    out += ",\"dst\":" + JsonNumber(fd.dst);
+    out += ",\"a_duration\":" + JsonNumber(fd.a_duration);
+    out += ",\"b_duration\":" + JsonNumber(fd.b_duration);
+    out += ",\"delta_duration\":" + JsonNumber(fd.delta_duration) + "}";
+  }
+  out += "],\"metrics\":{";
+  out += "\"compared\":" + JsonNumber(static_cast<double>(report.metrics_compared));
+  out += ",\"diverged\":" + JsonNumber(static_cast<double>(report.metrics_diverged));
+  out += ",\"top\":[";
+  for (size_t i = 0; i < report.metrics.size(); ++i) {
+    const MetricDelta& md = report.metrics[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(md.name) + "\"";
+    out += ",\"a_value\":" + JsonNumber(md.a_value);
+    out += ",\"b_value\":" + JsonNumber(md.b_value);
+    out += ",\"delta\":" + JsonNumber(md.delta) + "}";
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,155 @@
+#ifndef RDMAJOIN_TIMING_UTILIZATION_H_
+#define RDMAJOIN_TIMING_UTILIZATION_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "timing/attribution.h"
+#include "timing/replay.h"
+#include "timing/span_trace.h"
+
+namespace rdmajoin {
+
+/// Top-down utilization analysis over one replayed run: folds the span stage
+/// intervals, per-flow rate segments and attribution buckets that PRs 2-4
+/// recorded into per-host compute/network occupancy timelines, and extracts
+/// the explicit *idle windows* -- (machine, phase, [t0, t1], cause) -- that a
+/// phase-overlapping co-scheduler (ROADMAP item 1) could fill with another
+/// query's work. The windows are not estimates: per machine, the summed
+/// barrier-wait windows reproduce the attribution's barrier_wait_seconds and
+/// the summed buffer-stall windows its buffer_stall_seconds to 1e-9 by
+/// construction (CheckUtilization verifies both).
+
+/// Why a machine's cores were idle during an idle window.
+enum class IdleCause : uint8_t {
+  /// The machine finished the phase and sat at the barrier until the slowest
+  /// machine arrived. One window per (machine, phase) with a positive wait,
+  /// anchored at the global phase end; the duration is copied bit-for-bit
+  /// from the attribution's barrier_wait_seconds.
+  kBarrierWait = 0,
+  /// The machine's lead partitioning thread was stalled on double-buffering
+  /// credits (Section 4.2.1 back-pressure). One window per credit-blocked
+  /// send of the lead thread, straight from its spans' posted ->
+  /// credit-acquired intervals; their sum is exactly the attribution's
+  /// buffer_stall_seconds (span invariant 3 + the replay's lead-thread
+  /// definition).
+  kBufferStall = 1,
+  /// The machine's partitioning threads had finished computing but its
+  /// receiver core / inbound transfers were still draining -- the
+  /// post-compute network tail of the pass. CPU-idle, network-busy: the
+  /// prime co-scheduling opportunity.
+  kNetworkTail = 2,
+};
+inline constexpr size_t kNumIdleCauses = 3;
+
+/// Stable snake_case name: "barrier_wait", "buffer_stall", "network_tail".
+std::string_view IdleCauseName(IdleCause cause);
+
+/// One contiguous interval during which a machine's cores sat idle. Times are
+/// on the global run clock (0 = run start, phases laid out back to back in
+/// execution order, matching the Chrome trace export).
+struct IdleWindow {
+  uint32_t machine = 0;
+  JoinPhase phase = JoinPhase::kHistogram;
+  IdleCause cause = IdleCause::kBarrierWait;
+  double t0 = 0;
+  double t1 = 0;
+
+  double seconds() const { return t1 - t0; }
+};
+
+/// Per-machine idle totals (sums of the machine's windows, by cause) next to
+/// its active time.
+struct MachineUtilization {
+  uint32_t machine = 0;
+  /// Sum of the machine's own barrier-to-barrier phase times.
+  double active_seconds = 0;
+  /// Summed barrier-wait windows == attribution barrier_wait total (1e-9).
+  double barrier_wait_seconds = 0;
+  /// Summed buffer-stall windows == attribution buffer_stall total (1e-9).
+  double buffer_stall_seconds = 0;
+  /// Summed network-tail windows (no attribution identity: the tail is a
+  /// sub-interval of the attribution's network bucket).
+  double network_tail_seconds = 0;
+
+  double IdleSeconds() const {
+    return barrier_wait_seconds + buffer_stall_seconds + network_tail_seconds;
+  }
+};
+
+/// Fixed-bucket occupancy timeline of one host over [0, makespan]: per
+/// bucket, the fraction of the bucket its cores were computing, and the
+/// average egress/ingress rate its ports carried (integrated from the span
+/// recorder's per-flow rate segments).
+struct HostTimeline {
+  uint32_t machine = 0;
+  double bucket_seconds = 0;
+  std::vector<double> compute_busy;          ///< fraction in [0, 1]
+  std::vector<double> egress_bytes_per_sec;  ///< bucket average
+  std::vector<double> ingress_bytes_per_sec;
+};
+
+struct UtilizationOptions {
+  /// Bucket count of the occupancy timelines (clamped to >= 1).
+  size_t timeline_buckets = 48;
+};
+
+struct UtilizationReport {
+  double makespan_seconds = 0;
+  /// Cumulative phase boundaries on the run clock: phase p spans
+  /// [phase_edges[p], phase_edges[p + 1]]; phase_edges[4] == makespan.
+  std::array<double, kNumJoinPhases + 1> phase_edges{};
+  std::vector<MachineUtilization> machines;
+  /// All idle windows, sorted by (machine, t0, cause).
+  std::vector<IdleWindow> idle_windows;
+  std::vector<HostTimeline> timelines;
+  /// True when the buffer-stall windows came from the lead threads' spans
+  /// (exact positions). False when the span dataset was absent or lossy and
+  /// the stall windows are synthetic: one window per machine at the start of
+  /// the network pass, still sized exactly to the attribution bucket so the
+  /// totals identity holds either way.
+  bool stall_windows_from_spans = false;
+
+  /// Summed window seconds of one machine, one cause.
+  double WindowSeconds(uint32_t machine, IdleCause cause) const;
+};
+
+/// Builds the utilization report for one replayed run. `spans` supplies the
+/// stall/tail window positions and the network timelines; pass null to use
+/// replay.spans' snapshot (or, when recording was off, positional fallbacks).
+UtilizationReport ComputeUtilization(const ReplayReport& replay,
+                                     const SpanDataset* spans = nullptr,
+                                     const UtilizationOptions& options = {});
+
+/// Result of CheckUtilization.
+struct UtilizationCheck {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Verifies the report against the attribution it was derived from:
+///  1. per machine, summed barrier-wait windows == the attribution's
+///     barrier_wait_seconds total over the four phases, to `tolerance`;
+///  2. per machine, summed buffer-stall windows == the attribution's
+///     network-pass buffer_stall_seconds, to `tolerance`;
+///  3. every window is well-formed (t1 >= t0 >= 0, inside the makespan) and
+///     the list is sorted by (machine, t0, cause);
+///  4. the phase edges accumulate the attribution's global phase times.
+UtilizationCheck CheckUtilization(const UtilizationReport& report,
+                                  const AttributionReport& attribution,
+                                  double tolerance = 1e-9);
+
+/// Human-readable report: per-machine busy/idle split, idle totals by cause,
+/// and the top-k longest windows.
+std::string FormatUtilization(const UtilizationReport& report, size_t top_k = 10);
+
+/// Deterministic JSON export (schema version 1): phase edges, per-machine
+/// totals, every idle window, and the occupancy timelines.
+std::string UtilizationToJson(const UtilizationReport& report);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_TIMING_UTILIZATION_H_

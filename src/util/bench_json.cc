@@ -102,7 +102,7 @@ StatusOr<BenchJsonDocument> ReadBenchJsonFile(const std::string& path) {
   return doc;
 }
 
-std::string BenchDiffResult::Summary() const {
+std::string BenchDiffResult::Summary(bool report_improvements) const {
   std::string out;
   for (const BenchDiffEntry& e : entries) {
     if (e.missing_in_new) {
@@ -120,6 +120,18 @@ std::string BenchDiffResult::Summary() const {
   }
   Appendf(&out, "%zu row(s): %zu regression(s), %zu improvement(s), %zu missing\n",
           entries.size(), regressions, improvements, missing);
+  if (report_improvements && improvements > 0) {
+    double saved = 0;
+    Appendf(&out, "speedups beyond tolerance:\n");
+    for (const BenchDiffEntry& e : entries) {
+      if (!e.improvement) continue;
+      saved += -e.delta_seconds;
+      Appendf(&out, "  %-40s %.4f s faster (%.2fx)\n", e.label.c_str(),
+              -e.delta_seconds, e.ratio > 0 ? 1.0 / e.ratio : 0.0);
+    }
+    Appendf(&out, "  total saved: %.4f s across %zu row(s)\n", saved,
+            improvements);
+  }
   return out;
 }
 

@@ -89,8 +89,11 @@ struct BenchDiffResult {
   size_t improvements = 0;
   size_t missing = 0;
   bool HasRegressions() const { return regressions > 0 || missing > 0; }
-  /// Human-readable comparison table plus verdict line.
-  std::string Summary() const;
+  /// Human-readable comparison table plus verdict line. With
+  /// `report_improvements` the summary appends a dedicated speedups section
+  /// (per-row gain and the total saved), so intentional wins are visible in
+  /// CI logs -- purely informational, the gate verdict is unchanged.
+  std::string Summary(bool report_improvements = false) const;
 };
 
 /// Diffs two bench documents row by row (matched on label). Fails with

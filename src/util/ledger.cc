@@ -1,0 +1,239 @@
+#include "util/ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace rdmajoin {
+
+namespace {
+
+double MedianOf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n == 0) return 0;
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/// (bench, label) -> chronological measurements, series in first-seen order.
+struct Series {
+  std::string bench;
+  std::string label;
+  std::vector<double> values;
+};
+
+std::vector<Series> CollectSeries(const std::vector<LedgerEntry>& ledger,
+                                  const std::string& bench_filter) {
+  std::vector<Series> series;
+  std::map<std::pair<std::string, std::string>, size_t> index;
+  for (const LedgerEntry& entry : ledger) {
+    if (!bench_filter.empty() && entry.bench != bench_filter) continue;
+    for (const LedgerRow& row : entry.rows) {
+      const auto key = std::make_pair(entry.bench, row.label);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        it = index.emplace(key, series.size()).first;
+        series.push_back(Series{entry.bench, row.label, {}});
+      }
+      series[it->second].values.push_back(row.seconds);
+    }
+  }
+  return series;
+}
+
+/// 8-level ASCII sparkline of the series, min..max normalized.
+std::string Sparkline(const std::vector<double>& values) {
+  static const char kLevels[] = "_.-:=+*#";
+  double lo = values.empty() ? 0 : values[0];
+  double hi = lo;
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (double v : values) {
+    const double frac = hi > lo ? (v - lo) / (hi - lo) : 0;
+    const int level = std::min(7, static_cast<int>(frac * 8));
+    out.push_back(kLevels[level]);
+  }
+  return out;
+}
+
+}  // namespace
+
+LedgerEntry LedgerEntryFromBench(const BenchJsonDocument& bench,
+                                 const std::string& commit) {
+  LedgerEntry entry;
+  entry.bench = bench.bench;
+  entry.commit = commit.empty() ? "unknown" : commit;
+  entry.scale_up = bench.scale_up;
+  entry.seed = bench.seed;
+  for (const BenchJsonRow& row : bench.rows) {
+    if (!row.ok || !row.has_measured) continue;
+    entry.rows.push_back(LedgerRow{row.label, row.measured_seconds});
+    entry.total_seconds += row.measured_seconds;
+  }
+  return entry;
+}
+
+std::string LedgerEntryToJson(const LedgerEntry& entry) {
+  std::string out = "{\"schema_version\":" + std::to_string(entry.schema_version);
+  out += ",\"bench\":\"" + JsonEscape(entry.bench) + "\"";
+  out += ",\"commit\":\"" + JsonEscape(entry.commit) + "\"";
+  out += ",\"scale_up\":" + JsonNumber(entry.scale_up);
+  out += ",\"seed\":" + JsonNumber(static_cast<double>(entry.seed));
+  out += ",\"total_seconds\":" + JsonNumber(entry.total_seconds);
+  out += ",\"rows\":[";
+  for (size_t i = 0; i < entry.rows.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"label\":\"" + JsonEscape(entry.rows[i].label) + "\"";
+    out += ",\"seconds\":" + JsonNumber(entry.rows[i].seconds) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+StatusOr<LedgerEntry> ParseLedgerEntry(const std::string& line) {
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument("ledger entry: not a JSON object");
+  }
+  LedgerEntry entry;
+  entry.schema_version = static_cast<int>(root.NumberOr("schema_version", 0));
+  if (entry.schema_version != kLedgerSchemaVersion) {
+    return Status::InvalidArgument(
+        "ledger entry: unsupported schema_version " +
+        std::to_string(entry.schema_version) + " (expected " +
+        std::to_string(kLedgerSchemaVersion) + ")");
+  }
+  entry.bench = root.StringOr("bench", "");
+  if (entry.bench.empty()) {
+    return Status::InvalidArgument("ledger entry: missing bench name");
+  }
+  entry.commit = root.StringOr("commit", "unknown");
+  entry.scale_up = root.NumberOr("scale_up", 0);
+  entry.seed = static_cast<uint64_t>(root.NumberOr("seed", 0));
+  entry.total_seconds = root.NumberOr("total_seconds", 0);
+  if (const JsonValue* rows = root.Find("rows"); rows != nullptr && rows->is_array()) {
+    for (const JsonValue& row : rows->array_items) {
+      LedgerRow lr;
+      lr.label = row.StringOr("label", "");
+      if (lr.label.empty()) {
+        return Status::InvalidArgument("ledger entry: row without a label");
+      }
+      lr.seconds = row.NumberOr("seconds", 0);
+      entry.rows.push_back(std::move(lr));
+    }
+  }
+  return entry;
+}
+
+StatusOr<std::vector<LedgerEntry>> ReadLedgerFile(const std::string& path) {
+  std::vector<LedgerEntry> ledger;
+  std::ifstream in(path);
+  if (!in) return ledger;  // Missing file == empty ledger.
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto entry = ParseLedgerEntry(line);
+    if (!entry.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": " + entry.status().message());
+    }
+    ledger.push_back(std::move(*entry));
+  }
+  return ledger;
+}
+
+Status AppendLedgerEntry(const std::string& path, const LedgerEntry& entry) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return Status::NotFound("cannot open " + path + " for append");
+  out << LedgerEntryToJson(entry) << "\n";
+  out.close();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+std::vector<LedgerDrift> DetectLedgerDrift(const std::vector<LedgerEntry>& ledger,
+                                           double relative_tolerance,
+                                           double absolute_tolerance_seconds,
+                                           size_t min_points) {
+  std::vector<LedgerDrift> drifts;
+  for (const Series& s : CollectSeries(ledger, "")) {
+    LedgerDrift d;
+    d.bench = s.bench;
+    d.label = s.label;
+    d.points = s.values.size();
+    d.latest = s.values.empty() ? 0 : s.values.back();
+    if (s.values.size() >= 2) {
+      std::vector<double> prior(s.values.begin(), s.values.end() - 1);
+      d.median = MedianOf(prior);
+      d.delta = d.latest - d.median;
+      if (s.values.size() >= min_points) {
+        const double margin = std::max(
+            relative_tolerance * std::fabs(d.median), absolute_tolerance_seconds);
+        d.drift = std::fabs(d.delta) > margin;
+      }
+    }
+    drifts.push_back(std::move(d));
+  }
+  return drifts;
+}
+
+std::string FormatLedger(const std::vector<LedgerEntry>& ledger,
+                         const std::string& bench_filter,
+                         double relative_tolerance,
+                         double absolute_tolerance_seconds) {
+  std::string out;
+  char buf[256];
+  const std::vector<Series> series = CollectSeries(ledger, bench_filter);
+  std::vector<LedgerDrift> drifts =
+      DetectLedgerDrift(ledger, relative_tolerance, absolute_tolerance_seconds);
+  std::snprintf(buf, sizeof(buf), "perf ledger: %zu entr%s, %zu series\n",
+                ledger.size(), ledger.size() == 1 ? "y" : "ies", series.size());
+  out += buf;
+  std::string bench;
+  for (const Series& s : series) {
+    if (s.bench != bench) {
+      bench = s.bench;
+      out += bench + ":\n";
+    }
+    const LedgerDrift* drift = nullptr;
+    for (const LedgerDrift& d : drifts) {
+      if (d.bench == s.bench && d.label == s.label) {
+        drift = &d;
+        break;
+      }
+    }
+    double lo = s.values.empty() ? 0 : s.values[0];
+    double hi = lo;
+    for (double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  %-28s %-24s n=%-3zu min %.6f max %.6f latest %.6f",
+                  s.label.c_str(), Sparkline(s.values).c_str(), s.values.size(),
+                  lo, hi, s.values.empty() ? 0.0 : s.values.back());
+    out += buf;
+    if (drift != nullptr && drift->drift) {
+      std::snprintf(buf, sizeof(buf), "  DRIFT %+.6f s vs median %.6f",
+                    drift->delta, drift->median);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rdmajoin

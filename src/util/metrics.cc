@@ -34,6 +34,23 @@ void Histogram::Observe(double v) {
   ++buckets_[b];
 }
 
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0) return min();
+  if (p >= 100) return max_;
+  const double target = std::ceil(p / 100.0 * static_cast<double>(count_));
+  const uint64_t rank = target < 1 ? 1 : static_cast<uint64_t>(target);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      const double upper = static_cast<double>(uint64_t{1} << b);
+      return std::clamp(upper, min(), max_);
+    }
+  }
+  return max_;
+}
+
 size_t TimeSeries::BucketFor(double t) {
   if (t < 0) t = 0;
   size_t index = static_cast<size_t>(t / bucket_seconds_);
@@ -160,6 +177,12 @@ std::string MetricsRegistry::SnapshotJson() const {
     AppendDouble(&out, h->min());
     out += ",\"max\":";
     AppendDouble(&out, h->max());
+    out += ",\"p50\":";
+    AppendDouble(&out, h->Percentile(50));
+    out += ",\"p95\":";
+    AppendDouble(&out, h->Percentile(95));
+    out += ",\"p99\":";
+    AppendDouble(&out, h->Percentile(99));
     out += ",\"buckets\":[";
     // [upper_bound, count] for non-empty buckets only.
     bool first_bucket = true;

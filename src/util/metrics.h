@@ -67,6 +67,15 @@ class Histogram {
   double max() const { return max_; }
   const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
 
+  /// Nearest-rank percentile (p in [0, 100]) over the bucketed population:
+  /// the upper bound of the bucket holding the ceil(p/100 * count)-th sample,
+  /// clamped to [min, max] so single-sample and narrow distributions report
+  /// observed values rather than power-of-two bounds. 0 when empty. The
+  /// resolution is the bucket width (a factor of 2), same as the buckets the
+  /// snapshot exports -- use span_query's exact percentiles when the raw
+  /// population is available.
+  double Percentile(double p) const;
+
  private:
   uint64_t count_ = 0;
   double sum_ = 0.0;

@@ -245,6 +245,28 @@ TEST(BenchDiff, ImprovementIsCountedButDoesNotFail) {
   EXPECT_EQ(diff->improvements, 1u);
 }
 
+TEST(BenchDiff, ReportImprovementsAppendsTheSpeedupSection) {
+  const BenchJsonDocument base = MustParse(Doc(4.0, 8.0, "x"));
+  const BenchJsonDocument cur = MustParse(Doc(4.0, 6.0, "x"));  // b: 1.33x
+  auto diff = DiffBenchDocuments(base, cur, BenchDiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  // The default summary stays unchanged; the opt-in flag appends the
+  // dedicated speedups section without flipping the gate verdict.
+  const std::string plain = diff->Summary();
+  EXPECT_EQ(plain.find("speedups beyond tolerance"), std::string::npos);
+  const std::string verbose = diff->Summary(/*report_improvements=*/true);
+  EXPECT_EQ(verbose.find(plain), 0u) << "the plain summary is a prefix";
+  EXPECT_NE(verbose.find("speedups beyond tolerance:"), std::string::npos);
+  EXPECT_NE(verbose.find("2.0000 s faster (1.33x)"), std::string::npos);
+  EXPECT_NE(verbose.find("total saved: 2.0000 s across 1 row(s)"),
+            std::string::npos);
+  EXPECT_FALSE(diff->HasRegressions());
+  // No improvements -> the flag adds nothing.
+  auto clean = DiffBenchDocuments(base, base, BenchDiffOptions{});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->Summary(true), clean->Summary());
+}
+
 TEST(BenchDiff, MissingBaselineRowFailsTheGate) {
   const BenchJsonDocument base = MustParse(Doc(4.0, 8.0, "x"));
   const BenchJsonDocument cur =

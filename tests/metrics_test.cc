@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <utility>
@@ -79,6 +80,45 @@ TEST(Histogram, IgnoresNegativeAndNan) {
   EXPECT_DOUBLE_EQ(h.min(), 0.0);
 }
 
+TEST(Histogram, NearestRankPercentilesClampToObservedRange) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);     // p <= 0 is the minimum
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 64.0);   // bucket upper bound (2^6)
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 100.0);  // 128-bucket, clamped to max
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+
+  // A single sample reports itself at every percentile: the clamp to
+  // [min, max] beats the power-of-two bound (8.0 for 5.0).
+  Histogram single;
+  single.Observe(5.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(99), 5.0);
+  Histogram narrow;
+  narrow.Observe(6.0);
+  narrow.Observe(7.0);
+  EXPECT_DOUBLE_EQ(narrow.Percentile(50), 7.0);
+}
+
+TEST(MetricsRegistry, HistogramSnapshotBytesArePinned) {
+  // Pins the histogram snapshot schema including the p50/p95/p99 fields:
+  // any serialization change must update this expectation consciously.
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("h");
+  h->Observe(1.0);    // bucket 0 (<= 1)
+  h->Observe(3.0);    // bucket 2 ((2, 4])
+  h->Observe(100.0);  // bucket 7 ((64, 128])
+  EXPECT_EQ(reg.SnapshotJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{"
+            "\"h\":{\"count\":3,\"sum\":104,\"min\":1,\"max\":100,"
+            "\"p50\":4,\"p95\":100,\"p99\":100,"
+            "\"buckets\":[[1,1],[4,1],[128,1]]}},\"time_series\":{}}");
+}
+
 TEST(TimeSeries, AddRangeDistributesProportionally) {
   TimeSeries ts(1.0);
   // 30 bytes over [0.5, 3.5): 1/6 in bucket 0, 1/3 in 1, 1/3 in 2, 1/6 in 3.
@@ -100,6 +140,63 @@ TEST(TimeSeries, CoarsensInsteadOfGrowingUnbounded) {
   double sum = 0;
   for (double b : ts.buckets()) sum += b;
   EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(TimeSeries, CoarseningFoldsBucketsExactly) {
+  TimeSeries ts(1.0, /*max_buckets=*/4);
+  ts.AddRange(0.0, 4.0, 4.0);  // [1, 1, 1, 1]
+  EXPECT_DOUBLE_EQ(ts.bucket_seconds(), 1.0);
+  ts.Add(5.5, 1.0);  // Index 5 trips the cap: fold to [2, 2], width 2.
+  EXPECT_DOUBLE_EQ(ts.bucket_seconds(), 2.0);
+  ASSERT_EQ(ts.buckets().size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.buckets()[0], 2.0);  // 1 + 1, bit-exact
+  EXPECT_DOUBLE_EQ(ts.buckets()[1], 2.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[2], 1.0);
+  EXPECT_DOUBLE_EQ(ts.total(), 5.0);
+
+  // An odd bucket count folds the dangling last bucket alone, and a single
+  // far-future Add can coarsen more than once in one call.
+  TimeSeries odd(1.0, /*max_buckets=*/4);
+  odd.Add(0.5, 1.0);
+  odd.Add(1.5, 2.0);
+  odd.Add(2.5, 4.0);
+  odd.Add(9.5, 8.0);  // width 1 -> 2 -> 4
+  EXPECT_DOUBLE_EQ(odd.bucket_seconds(), 4.0);
+  ASSERT_EQ(odd.buckets().size(), 3u);
+  EXPECT_DOUBLE_EQ(odd.buckets()[0], 7.0);
+  EXPECT_DOUBLE_EQ(odd.buckets()[1], 0.0);
+  EXPECT_DOUBLE_EQ(odd.buckets()[2], 8.0);
+
+  // AddRange walking across a mid-walk coarsening stays exact: 8 units over
+  // [0, 8) with a 4-bucket cap ends as [2, 2, 2, 2] at width 2.
+  TimeSeries walk(1.0, /*max_buckets=*/4);
+  walk.AddRange(0.0, 8.0, 8.0);
+  EXPECT_DOUBLE_EQ(walk.bucket_seconds(), 2.0);
+  ASSERT_EQ(walk.buckets().size(), 4u);
+  for (double b : walk.buckets()) EXPECT_DOUBLE_EQ(b, 2.0);
+  EXPECT_DOUBLE_EQ(walk.total(), 8.0);
+}
+
+TEST(TimeSeries, SnapshotIsByteIdenticalAcrossDoubleCoarsening) {
+  // A run long enough to cross the default 4096-bucket cap twice
+  // (1 s -> 2 s -> 4 s buckets) must snapshot byte-identically no matter
+  // when the coarsening happened: feeding the same samples high-first
+  // coarsens immediately, in-order coarsens mid-run, and the folds are
+  // exact either way.
+  auto populate = [](MetricsRegistry* reg, bool high_first) {
+    TimeSeries* ts = reg->GetTimeSeries("t", 1.0);
+    std::vector<double> times;
+    for (int t = 0; t < 10000; t += 250) times.push_back(t + 0.5);
+    if (high_first) std::reverse(times.begin(), times.end());
+    for (double t : times) ts->Add(t, 1.0);
+  };
+  MetricsRegistry in_order, high_first;
+  populate(&in_order, false);
+  populate(&high_first, true);
+  EXPECT_DOUBLE_EQ(in_order.FindTimeSeries("t")->bucket_seconds(), 4.0);
+  const std::string snap = in_order.SnapshotJson();
+  EXPECT_EQ(snap, high_first.SnapshotJson());
+  EXPECT_EQ(snap, in_order.SnapshotJson());  // Re-snapshot: same bytes.
 }
 
 TEST(MetricsRegistry, HandlesAreStableAndFindDoesNotCreate) {

@@ -31,6 +31,9 @@
 #ifndef RDMAJOIN_CHAOS_BIN
 #error "RDMAJOIN_CHAOS_BIN must be defined by the build"
 #endif
+#ifndef RDMAJOIN_EXPLAIN_BIN
+#error "RDMAJOIN_EXPLAIN_BIN must be defined by the build"
+#endif
 
 namespace rdmajoin {
 namespace {
@@ -207,6 +210,141 @@ TEST_F(ToolsSmokeTest, AnalyzeSpansExitCodesFollowTheContract) {
             1);
   EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --spans=" +
                     violating + " --check"),
+            1);
+}
+
+TEST_F(ToolsSmokeTest, ExplainUtilizationReplaysAndChecksTheIdentity) {
+  ASSERT_EQ(cli_exit_, 0);
+  const std::string json_out = TempPath("util.json");
+  // The replayed trace's idle-window totals reproduce the attribution.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --utilization" +
+                    " --trace=" + *trace_path_ + " --check --json-out=" +
+                    json_out),
+            0);
+  auto parsed = ParseJson(ReadFileOrEmpty(json_out));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed->Find("idle_windows"), nullptr);
+  EXPECT_NE(parsed->Find("timelines"), nullptr);
+  // Missing trace file -> bad input (2).
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --utilization" +
+                    " --trace=" + TempPath("no_such.trace")),
+            2);
+}
+
+/// Writes a small two-row bench JSON document for the explain diff/ledger
+/// smoke tests; `r1_seconds` varies the second row's measurement.
+std::string WriteBenchDoc(const std::string& name, double r1_seconds) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::binary);
+  out << "{\"schema_version\":1,\"bench\":\"smoke\",\"scale_up\":65536,"
+      << "\"seed\":42,\"rows\":["
+      << "{\"label\":\"r0\",\"ok\":true,\"verified\":true,"
+      << "\"measured_seconds\":1.5,\"phases\":{\"histogram\":0.1,"
+      << "\"network-partition\":0.9,\"local-partition\":0.2,"
+      << "\"build-probe\":0.3}},"
+      << "{\"label\":\"r1\",\"ok\":true,\"verified\":true,"
+      << "\"measured_seconds\":" << r1_seconds
+      << ",\"phases\":{\"histogram\":0.1,\"network-partition\":"
+      << (r1_seconds - 0.6) << ",\"local-partition\":0.2,"
+      << "\"build-probe\":0.3}}]}";
+  return path;
+}
+
+TEST(ExplainSmokeTest, DiffExitCodesFollowTheContract) {
+  const std::string a = WriteBenchDoc("explain_a.json", 1.5);
+  const std::string same = WriteBenchDoc("explain_same.json", 1.5);
+  const std::string slow = WriteBenchDoc("explain_slow.json", 3.0);
+  // Identical runs diff clean even at zero tolerance.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --diff " + a + " " +
+                    same + " --tolerance=0 --abs-tolerance=0"),
+            0);
+  // A row slower beyond both margins -> divergence (1), with or without the
+  // improvements drill-down.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --diff " + a + " " +
+                    slow),
+            1);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --diff " + slow +
+                    " " + a + " --report-improvements"),
+            1);
+  // The JSON export rides along without changing the verdict.
+  const std::string json_out = TempPath("explain_diff.json");
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --diff " + a + " " +
+                    slow + " --json-out=" + json_out),
+            1);
+  auto parsed = ParseJson(ReadFileOrEmpty(json_out));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed->Find("rows"), nullptr);
+  // Missing or malformed input -> bad input (2).
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --diff " + a + " " +
+                    TempPath("no_such_bench.json")),
+            2);
+  const std::string malformed = TempPath("explain_malformed.json");
+  {
+    std::ofstream out(malformed, std::ios::binary);
+    out << "{\"schema_version\":1,";
+  }
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --diff " + a + " " +
+                    malformed),
+            2);
+}
+
+TEST(ExplainSmokeTest, LedgerAppendsRendersAndFlagsDrift) {
+  const std::string ledger = TempPath("explain_ledger.jsonl");
+  std::remove(ledger.c_str());
+  const std::string steady = WriteBenchDoc("explain_ledger_a.json", 1.5);
+  const std::string drifted = WriteBenchDoc("explain_ledger_b.json", 3.0);
+  ASSERT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --ledger-append=" +
+                    ledger + " --bench-json=" + steady + " --commit=c1"),
+            0);
+  ASSERT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --ledger-append=" +
+                    ledger + " --bench-json=" + steady + " --commit=c2"),
+            0);
+  // Two steady points: trends render, no drift.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --ledger=" + ledger),
+            0);
+  // A third point far above the median of its history -> drift (1).
+  ASSERT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --ledger-append=" +
+                    ledger + " --bench-json=" + drifted + " --commit=c3"),
+            0);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --ledger=" + ledger),
+            1);
+  // Wide tolerances absorb the same jump.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --ledger=" + ledger +
+                    " --tolerance=2.0 --abs-tolerance=5.0"),
+            0);
+  std::remove(ledger.c_str());
+}
+
+TEST(ExplainSmokeTest, UsageErrorsExitTwo) {
+  // No mode selected.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN)), 2);
+  // Unknown flag.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --no-such-flag"), 2);
+  // --utilization without a trace.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --utilization"), 2);
+  // --diff needs two documents.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --diff " +
+                    TempPath("only_one.json")),
+            2);
+  // --ledger-append needs --bench-json.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --ledger-append=" +
+                    TempPath("never.jsonl")),
+            2);
+}
+
+TEST(AnalyzeDiffSmokeTest, ReportImprovementsDoesNotChangeTheVerdict) {
+  const std::string a = WriteBenchDoc("analyze_a.json", 1.5);
+  const std::string slow = WriteBenchDoc("analyze_slow.json", 3.0);
+  // Pure improvements (slow -> fast) pass the gate with and without the flag.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --diff " + slow +
+                    " " + a),
+            0);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --diff " + slow +
+                    " " + a + " --report-improvements"),
+            0);
+  // A regression still fails regardless of the flag.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_ANALYZE_BIN) + " --diff " + a + " " +
+                    slow + " --report-improvements"),
             1);
 }
 

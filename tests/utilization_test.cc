@@ -1,0 +1,199 @@
+#include "timing/utilization.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "join/distributed_join.h"
+#include "timing/attribution.h"
+#include "timing/replay.h"
+#include "workload/generator.h"
+
+namespace rdmajoin {
+namespace {
+
+struct ReplayedRun {
+  JoinRunResult result;
+  SpanDataset dataset;
+};
+
+ReplayedRun RunJoin(const ClusterConfig& cluster, JoinConfig config,
+                    uint64_t inner = 20000, uint64_t outer = 40000,
+                    double scale_up = 1024.0) {
+  WorkloadSpec spec;
+  spec.inner_tuples = inner;
+  spec.outer_tuples = outer;
+  spec.seed = 42;
+  auto workload = GenerateWorkload(spec, cluster.num_machines);
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  config.network_radix_bits = 5;
+  config.scale_up = scale_up;
+  DistributedJoin join(cluster, config);
+  auto result = join.Run(workload->inner, workload->outer);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->replay.spans, nullptr);
+  SpanDataset ds = result->replay.spans->Snapshot();
+  return ReplayedRun{std::move(*result), std::move(ds)};
+}
+
+std::string FirstViolation(const UtilizationCheck& check) {
+  return check.violations.empty() ? std::string() : check.violations.front();
+}
+
+/// The tentpole identity: per machine, summed barrier-wait windows reproduce
+/// the attribution's barrier_wait total and summed buffer-stall windows its
+/// network-pass buffer_stall_seconds, both to 1e-9.
+void ExpectWindowTotalsMatchAttribution(const UtilizationReport& report,
+                                        const AttributionReport& attribution) {
+  ASSERT_EQ(report.machines.size(), attribution.machines.size());
+  for (size_t m = 0; m < attribution.machines.size(); ++m) {
+    double barrier = 0;
+    for (size_t p = 0; p < kNumJoinPhases; ++p) {
+      barrier += attribution.machines[m].phases[p].barrier_wait_seconds;
+    }
+    const uint32_t mu = static_cast<uint32_t>(m);
+    EXPECT_NEAR(report.WindowSeconds(mu, IdleCause::kBarrierWait), barrier, 1e-9)
+        << "machine " << m;
+    EXPECT_NEAR(report.WindowSeconds(mu, IdleCause::kBufferStall),
+                attribution.machines[m]
+                    .at(JoinPhase::kNetworkPartition)
+                    .buffer_stall_seconds,
+                1e-9)
+        << "machine " << m;
+  }
+  const UtilizationCheck check = CheckUtilization(report, attribution);
+  EXPECT_TRUE(check.ok()) << FirstViolation(check);
+}
+
+TEST(Utilization, ReplayedRunReproducesAttributionToTheNanosecond) {
+  ReplayedRun run = RunJoin(QdrCluster(4), JoinConfig{});
+  const UtilizationReport report =
+      ComputeUtilization(run.result.replay, &run.dataset);
+  ExpectWindowTotalsMatchAttribution(report, run.result.replay.attribution);
+  EXPECT_TRUE(report.stall_windows_from_spans);
+  EXPECT_NEAR(report.makespan_seconds,
+              run.result.replay.attribution.MakespanSeconds(), 1e-12);
+}
+
+TEST(Utilization, Fig07aSizedRunReproducesAttribution) {
+  // The fig07a 4-machine point: 2048 mtuples each side at the CI smoke scale
+  // (65536), i.e. 31250 real tuples per side -- the acceptance criterion's
+  // "fig07a-sized run".
+  ReplayedRun run = RunJoin(QdrCluster(4), JoinConfig{}, /*inner=*/31250,
+                            /*outer=*/31250, /*scale_up=*/65536.0);
+  const UtilizationReport report =
+      ComputeUtilization(run.result.replay, &run.dataset);
+  ExpectWindowTotalsMatchAttribution(report, run.result.replay.attribution);
+}
+
+TEST(Utilization, WindowsAreSortedWellFormedAndPhaseTagged) {
+  ReplayedRun run = RunJoin(QdrCluster(4), JoinConfig{});
+  const UtilizationReport report =
+      ComputeUtilization(run.result.replay, &run.dataset);
+  ASSERT_FALSE(report.idle_windows.empty());
+  for (size_t i = 0; i < report.idle_windows.size(); ++i) {
+    const IdleWindow& w = report.idle_windows[i];
+    EXPECT_GE(w.t0, 0.0);
+    EXPECT_GE(w.t1, w.t0);
+    EXPECT_LE(w.t1, report.makespan_seconds + 1e-9);
+    // Stall and tail windows only occur during the network pass.
+    if (w.cause != IdleCause::kBarrierWait) {
+      EXPECT_EQ(w.phase, JoinPhase::kNetworkPartition);
+      EXPECT_GE(w.t0, report.phase_edges[1] - 1e-9);
+      EXPECT_LE(w.t1, report.phase_edges[2] + 1e-9);
+    }
+    if (i > 0) {
+      const IdleWindow& prev = report.idle_windows[i - 1];
+      EXPECT_TRUE(prev.machine < w.machine ||
+                  (prev.machine == w.machine && prev.t0 <= w.t0));
+    }
+  }
+  // The per-machine totals are the sums of the windows.
+  for (const MachineUtilization& m : report.machines) {
+    EXPECT_NEAR(m.barrier_wait_seconds,
+                report.WindowSeconds(m.machine, IdleCause::kBarrierWait), 1e-12);
+    EXPECT_NEAR(m.buffer_stall_seconds,
+                report.WindowSeconds(m.machine, IdleCause::kBufferStall), 1e-12);
+    EXPECT_NEAR(m.network_tail_seconds,
+                report.WindowSeconds(m.machine, IdleCause::kNetworkTail), 1e-12);
+  }
+}
+
+TEST(Utilization, SyntheticFallbackHoldsTheIdentityWithoutSpans) {
+  // A hand-built replay with no span dataset: stall windows must fall back
+  // to attribution-sized synthetic windows and the identity must still hold.
+  ReplayReport replay;
+  replay.machine_phases.resize(2);
+  replay.machine_phases[0] = PhaseTimes{1.0, 2.0, 0.5, 1.0};
+  replay.machine_phases[1] = PhaseTimes{0.8, 2.5, 0.5, 1.5};
+  replay.phases = PhaseTimes{1.0, 2.5, 0.5, 1.5};
+  FinalizeAttribution(replay.machine_phases, replay.phases, &replay.attribution);
+  replay.attribution.machines[0]
+      .at(JoinPhase::kNetworkPartition)
+      .buffer_stall_seconds = 0.25;
+  replay.net_thread_finish_seconds = {1.9, 2.4};
+
+  const UtilizationReport report = ComputeUtilization(replay);
+  EXPECT_FALSE(report.stall_windows_from_spans);
+  ExpectWindowTotalsMatchAttribution(report, replay.attribution);
+  // Machine 0 waited 0.5 s at the network barrier and 0.5 s at build/probe.
+  EXPECT_NEAR(report.WindowSeconds(0, IdleCause::kBarrierWait), 1.0, 1e-12);
+  EXPECT_NEAR(report.WindowSeconds(0, IdleCause::kBufferStall), 0.25, 1e-12);
+  // No spans -> no tail windows.
+  EXPECT_DOUBLE_EQ(report.WindowSeconds(0, IdleCause::kNetworkTail), 0.0);
+}
+
+TEST(Utilization, CheckCatchesATamperedReport) {
+  ReplayedRun run = RunJoin(QdrCluster(4), JoinConfig{});
+  UtilizationReport report = ComputeUtilization(run.result.replay, &run.dataset);
+  ASSERT_FALSE(report.idle_windows.empty());
+  report.idle_windows[0].t1 += 0.5;  // Break a window's duration.
+  const UtilizationCheck check =
+      CheckUtilization(report, run.result.replay.attribution);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(Utilization, TimelinesAreBoundedAndBucketed) {
+  ReplayedRun run = RunJoin(QdrCluster(4), JoinConfig{});
+  UtilizationOptions options;
+  options.timeline_buckets = 16;
+  const UtilizationReport report =
+      ComputeUtilization(run.result.replay, &run.dataset, options);
+  ASSERT_EQ(report.timelines.size(), 4u);
+  for (const HostTimeline& tl : report.timelines) {
+    EXPECT_EQ(tl.compute_busy.size(), 16u);
+    EXPECT_EQ(tl.egress_bytes_per_sec.size(), 16u);
+    EXPECT_NEAR(tl.bucket_seconds * 16, report.makespan_seconds, 1e-9);
+    for (double v : tl.compute_busy) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    for (double v : tl.egress_bytes_per_sec) EXPECT_GE(v, -1e-9);
+  }
+}
+
+TEST(Utilization, JsonAndTextReportsAreDeterministic) {
+  ReplayedRun run = RunJoin(QdrCluster(3), JoinConfig{});
+  const UtilizationReport a = ComputeUtilization(run.result.replay, &run.dataset);
+  const UtilizationReport b = ComputeUtilization(run.result.replay, &run.dataset);
+  EXPECT_EQ(UtilizationToJson(a), UtilizationToJson(b));
+  EXPECT_EQ(FormatUtilization(a), FormatUtilization(b));
+  const std::string json = UtilizationToJson(a);
+  EXPECT_NE(json.find("\"idle_windows\""), std::string::npos);
+  EXPECT_NE(json.find("\"timelines\""), std::string::npos);
+  const std::string text = FormatUtilization(a);
+  EXPECT_NE(text.find("per-machine busy/idle split"), std::string::npos);
+  EXPECT_NE(text.find("co-scheduling opportunities"), std::string::npos);
+}
+
+TEST(Utilization, IdleCauseNamesAreStable) {
+  EXPECT_EQ(IdleCauseName(IdleCause::kBarrierWait), "barrier_wait");
+  EXPECT_EQ(IdleCauseName(IdleCause::kBufferStall), "buffer_stall");
+  EXPECT_EQ(IdleCauseName(IdleCause::kNetworkTail), "network_tail");
+}
+
+}  // namespace
+}  // namespace rdmajoin

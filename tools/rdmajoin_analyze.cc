@@ -59,6 +59,7 @@ void PrintUsage() {
       "  rdmajoin_analyze --bench=FILE.json\n"
       "  rdmajoin_analyze --diff BASELINE.json CURRENT.json\n"
       "                   [--tolerance=REL] [--abs-tolerance=SECONDS]\n"
+      "                   [--report-improvements]\n"
       "  rdmajoin_analyze --spans=FILE.json [--top=K] [--check]\n"
       "  rdmajoin_analyze --trace=FILE --cluster=qdr|fdr|ipoib --machines=N\n"
       "                   [--cores=N] [--scale=N] [--inner=MTUPLES --outer=MTUPLES]\n");
@@ -188,7 +189,7 @@ int RenderSpans(const std::string& path, bool check_only, size_t top_k) {
 }
 
 int DiffBench(const std::string& old_path, const std::string& new_path,
-              const BenchDiffOptions& options) {
+              const BenchDiffOptions& options, bool report_improvements) {
   auto baseline = ReadBenchJsonFile(old_path);
   if (!baseline.ok()) return Fail(baseline.status());
   auto current = ReadBenchJsonFile(new_path);
@@ -199,7 +200,7 @@ int DiffBench(const std::string& old_path, const std::string& new_path,
               old_path.c_str(), new_path.c_str(), baseline->bench.c_str(),
               100 * options.relative_tolerance,
               options.absolute_tolerance_seconds);
-  std::fputs(diff->Summary().c_str(), stdout);
+  std::fputs(diff->Summary(report_improvements).c_str(), stdout);
   return diff->HasRegressions() ? 1 : 0;
 }
 
@@ -279,7 +280,7 @@ int AnalyzeTrace(const std::string& trace_path, const std::string& cluster_name,
 int main(int argc, char** argv) {
   std::string bench_path, trace_path, spans_path, cluster_name = "qdr";
   std::vector<std::string> positional;
-  bool diff_mode = false, check_only = false;
+  bool diff_mode = false, check_only = false, report_improvements = false;
   uint32_t machines = 4, cores = 8;
   size_t top_k = 5;
   double scale = 1024, inner_m = 0, outer_m = 0;
@@ -335,6 +336,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--diff") {
       diff_mode = true;
+    } else if (arg == "--report-improvements") {
+      report_improvements = true;
     } else if (arg == "--check") {
       check_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -355,7 +358,8 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
-    return DiffBench(positional[0], positional[1], diff_options);
+    return DiffBench(positional[0], positional[1], diff_options,
+                     report_improvements);
   }
   if (!spans_path.empty()) return RenderSpans(spans_path, check_only, top_k);
   if (!bench_path.empty()) return RenderBench(bench_path);

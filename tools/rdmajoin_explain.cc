@@ -1,0 +1,300 @@
+// Run forensics over the recorders PRs 2-4 built: utilization / idle-window
+// analysis of one run, differential "why is B slower than A" analysis of two
+// runs, and the longitudinal perf ledger.
+//
+//   # Where could a co-scheduler put work? (idle windows, occupancy)
+//   rdmajoin_cli --machines=4 --inner=64 --outer=64 --trace-out=/tmp/j.trace
+//   rdmajoin_explain --utilization --trace=/tmp/j.trace --check
+//
+//   # Why did run B slow down?
+//   rdmajoin_explain --diff BENCH_old.json BENCH_new.json
+//       --spans-a=SPANS_old.json --spans-b=SPANS_new.json
+//
+//   # Trends + drift over committed history:
+//   rdmajoin_explain --ledger=bench/ledger/ledger.jsonl
+//   rdmajoin_explain --ledger-append=bench/ledger/ledger.jsonl
+//       --bench-json=BENCH_fig07a_phase_breakdown.json --commit=$GITHUB_SHA
+//
+// Exit codes (same contract as rdmajoin_analyze):
+//   0  clean
+//   1  divergence beyond tolerance, identity violation, or ledger drift
+//   2  usage error or unreadable/malformed input
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cluster/presets.h"
+#include "join/join_config.h"
+#include "timing/replay.h"
+#include "timing/run_diff.h"
+#include "timing/trace_io.h"
+#include "timing/utilization.h"
+#include "util/ledger.h"
+
+namespace {
+
+using namespace rdmajoin;
+
+void PrintUsage() {
+  std::printf(
+      "rdmajoin_explain -- run forensics: utilization, run diff, perf ledger\n\n"
+      "utilization (one run):\n"
+      "  --utilization           analyze a recorded trace's replay\n"
+      "  --trace=PATH            input trace (rdmajoin_cli --trace-out)\n"
+      "  --cluster=qdr|fdr|ipoib hardware preset for the replay (default qdr)\n"
+      "  --cores=N               cores per machine (default 8)\n"
+      "  --buckets=N             occupancy timeline buckets (default 48)\n"
+      "  --check                 verify the idle-window totals reproduce the\n"
+      "                          attribution (exit 1 on violation)\n"
+      "\n"
+      "run diff (two runs):\n"
+      "  --diff A.json B.json    bench JSON of the two runs\n"
+      "  --spans-a=PATH --spans-b=PATH      span datasets (optional)\n"
+      "  --metrics-a=PATH --metrics-b=PATH  metrics snapshots (optional)\n"
+      "  --tolerance=F           relative divergence margin (default 0.05)\n"
+      "  --abs-tolerance=F       absolute margin, seconds (default 0.02)\n"
+      "  --report-improvements   drill into rows that got faster too\n"
+      "\n"
+      "perf ledger (bench/ledger/ledger.jsonl):\n"
+      "  --ledger=PATH           render trends + drift (exit 1 on drift)\n"
+      "  --ledger-append=PATH    append one entry from --bench-json\n"
+      "  --bench-json=PATH       bench JSON to summarize\n"
+      "  --bench=NAME            limit --ledger rendering to one bench\n"
+      "  --commit=ID             commit id recorded in the entry\n"
+      "\n"
+      "common:\n"
+      "  --top=N                 top-k list length (default 10)\n"
+      "  --json-out=PATH         also write the machine-readable report\n");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) {
+    std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+int RunUtilization(const std::string& trace_path, const std::string& cluster_name,
+                   uint32_t cores, size_t buckets, bool check, size_t top_k,
+                   const std::string& json_out) {
+  auto trace = ReadTraceFile(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  const uint32_t machines = static_cast<uint32_t>(trace->machines.size());
+  if (machines == 0) return Fail(Status::InvalidArgument("trace has no machines"));
+
+  ClusterConfig cluster;
+  if (cluster_name == "qdr") {
+    cluster = QdrCluster(machines, cores);
+  } else if (cluster_name == "fdr") {
+    cluster = FdrCluster(machines, cores);
+  } else if (cluster_name == "ipoib") {
+    cluster = IpoibCluster(machines, cores);
+  } else {
+    return Fail(Status::InvalidArgument("unknown cluster " + cluster_name));
+  }
+
+  JoinConfig config;
+  config.scale_up = trace->scale_up;
+  const ReplayReport replay = ReplayTrace(cluster, config, *trace);
+
+  UtilizationOptions options;
+  options.timeline_buckets = buckets;
+  const UtilizationReport report = ComputeUtilization(replay, nullptr, options);
+  std::fputs(FormatUtilization(report, top_k).c_str(), stdout);
+  if (!json_out.empty() && !WriteFileOrWarn(json_out, UtilizationToJson(report))) {
+    return 2;
+  }
+  if (check) {
+    const UtilizationCheck verdict = CheckUtilization(report, replay.attribution);
+    if (!verdict.ok()) {
+      for (const std::string& v : verdict.violations) {
+        std::fprintf(stderr, "VIOLATION: %s\n", v.c_str());
+      }
+      return 1;
+    }
+    std::printf("check: idle-window totals reproduce the attribution (%zu "
+                "machines, 1e-9)\n",
+                report.machines.size());
+  }
+  return 0;
+}
+
+int RunDiff(const std::string& a_path, const std::string& b_path,
+            const std::string& spans_a, const std::string& spans_b,
+            const std::string& metrics_a, const std::string& metrics_b,
+            const RunDiffOptions& options, bool report_improvements,
+            const std::string& json_out) {
+  auto a = LoadRunArtifacts(a_path, spans_a, metrics_a);
+  if (!a.ok()) return Fail(a.status());
+  auto b = LoadRunArtifacts(b_path, spans_b, metrics_b);
+  if (!b.ok()) return Fail(b.status());
+  auto report = DiffRuns(*a, *b, options);
+  if (!report.ok()) return Fail(report.status());
+  std::fputs(FormatRunDiff(*report, report_improvements).c_str(), stdout);
+  if (!json_out.empty() && !WriteFileOrWarn(json_out, RunDiffToJson(*report))) {
+    return 2;
+  }
+  return report->HasDivergence() ? 1 : 0;
+}
+
+int RunLedger(const std::string& path, const std::string& bench_filter,
+              double tolerance, double abs_tolerance, const std::string& json_out) {
+  auto ledger = ReadLedgerFile(path);
+  if (!ledger.ok()) return Fail(ledger.status());
+  std::fputs(
+      FormatLedger(*ledger, bench_filter, tolerance, abs_tolerance).c_str(),
+      stdout);
+  if (!json_out.empty()) {
+    std::string out = "[";
+    for (size_t i = 0; i < ledger->size(); ++i) {
+      if (i > 0) out += ",";
+      out += LedgerEntryToJson((*ledger)[i]);
+    }
+    out += "]";
+    if (!WriteFileOrWarn(json_out, out)) return 2;
+  }
+  bool drifted = false;
+  for (const LedgerDrift& d : DetectLedgerDrift(*ledger, tolerance, abs_tolerance)) {
+    if (d.drift) drifted = true;
+  }
+  return drifted ? 1 : 0;
+}
+
+int RunLedgerAppend(const std::string& path, const std::string& bench_json,
+                    const std::string& commit) {
+  if (bench_json.empty()) {
+    std::fprintf(stderr, "--ledger-append requires --bench-json=PATH\n");
+    return 2;
+  }
+  auto bench = ReadBenchJsonFile(bench_json);
+  if (!bench.ok()) return Fail(bench.status());
+  const LedgerEntry entry = LedgerEntryFromBench(*bench, commit);
+  Status s = AppendLedgerEntry(path, entry);
+  if (!s.ok()) return Fail(s);
+  std::printf("appended %s (%zu rows, %.6f s total) to %s\n",
+              entry.bench.c_str(), entry.rows.size(), entry.total_seconds,
+              path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool utilization = false, check = false, report_improvements = false;
+  std::string trace_path, cluster_name = "qdr", json_out;
+  std::string diff_a, diff_b, spans_a, spans_b, metrics_a, metrics_b;
+  std::string ledger_path, ledger_append_path, bench_json, bench_filter, commit;
+  uint32_t cores = 8;
+  size_t buckets = 48, top_k = 10;
+  RunDiffOptions diff_options;
+  bool diff_mode = false;
+  int positional = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) == 0 && arg.size() > len && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--utilization") {
+      utilization = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--diff") {
+      diff_mode = true;
+    } else if (arg == "--report-improvements") {
+      report_improvements = true;
+    } else if (const char* v = value("--trace")) {
+      trace_path = v;
+    } else if (const char* v = value("--cluster")) {
+      cluster_name = v;
+    } else if (const char* v = value("--cores")) {
+      cores = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--buckets")) {
+      buckets = static_cast<size_t>(std::atoi(v));
+    } else if (const char* v = value("--top")) {
+      top_k = static_cast<size_t>(std::atoi(v));
+      diff_options.top_k = top_k;
+    } else if (const char* v = value("--tolerance")) {
+      diff_options.relative_tolerance = std::atof(v);
+    } else if (const char* v = value("--abs-tolerance")) {
+      diff_options.absolute_tolerance_seconds = std::atof(v);
+    } else if (const char* v = value("--spans-a")) {
+      spans_a = v;
+    } else if (const char* v = value("--spans-b")) {
+      spans_b = v;
+    } else if (const char* v = value("--metrics-a")) {
+      metrics_a = v;
+    } else if (const char* v = value("--metrics-b")) {
+      metrics_b = v;
+    } else if (const char* v = value("--ledger")) {
+      ledger_path = v;
+    } else if (const char* v = value("--ledger-append")) {
+      ledger_append_path = v;
+    } else if (const char* v = value("--bench-json")) {
+      bench_json = v;
+    } else if (const char* v = value("--bench")) {
+      bench_filter = v;
+    } else if (const char* v = value("--commit")) {
+      commit = v;
+    } else if (const char* v = value("--json-out")) {
+      json_out = v;
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return 2;
+    } else if (diff_mode && positional == 0) {
+      diff_a = arg;
+      ++positional;
+    } else if (diff_mode && positional == 1) {
+      diff_b = arg;
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (utilization) {
+    if (trace_path.empty()) {
+      std::fprintf(stderr, "--utilization requires --trace=FILE\n");
+      return 2;
+    }
+    return RunUtilization(trace_path, cluster_name, cores, buckets, check,
+                          top_k, json_out);
+  }
+  if (diff_mode) {
+    if (diff_a.empty() || diff_b.empty()) {
+      std::fprintf(stderr, "--diff requires two bench JSON paths\n");
+      return 2;
+    }
+    return RunDiff(diff_a, diff_b, spans_a, spans_b, metrics_a, metrics_b,
+                   diff_options, report_improvements, json_out);
+  }
+  if (!ledger_append_path.empty()) {
+    return RunLedgerAppend(ledger_append_path, bench_json, commit);
+  }
+  if (!ledger_path.empty()) {
+    return RunLedger(ledger_path, bench_filter, diff_options.relative_tolerance,
+                     diff_options.absolute_tolerance_seconds, json_out);
+  }
+  PrintUsage();
+  return 2;
+}
