@@ -20,6 +20,7 @@
 #include "sim/event_queue.h"
 #include "sim/fabric.h"
 #include "sim/link_fabric.h"
+#include "timing/span_trace.h"
 #include "util/random.h"
 
 namespace rdmajoin {
@@ -110,9 +111,13 @@ struct LinkPumpStats {
 
 /// All-to-all link pump: every ordered pair keeps a deep queue of
 /// distinct-size messages, so head pops dominate and desynchronize --
-/// the replay hot path at network-partitioning peak.
-LinkPumpStats PumpLinkFabric(bool incremental) {
+/// the replay hot path at network-partitioning peak. With `telemetry` the
+/// fabric additionally labels and reports every rate segment through it,
+/// which is exactly what a replay with span recording enabled pays.
+LinkPumpStats PumpLinkFabric(bool incremental,
+                             FlowTelemetry* telemetry = nullptr) {
   LinkFabric fabric(EngineConfig(incremental));
+  if (telemetry != nullptr) fabric.EnableFlowTelemetry(telemetry);
   LinkPumpStats stats;
   double t = 0.0;
   std::vector<LinkFabric::Completion> done;
@@ -272,6 +277,23 @@ int Run(int argc, char** argv) {
       link_full_s, static_cast<unsigned long long>(link_full.reshared_links),
       link_inc_s, static_cast<unsigned long long>(link_inc.reshared_links),
       link_inc.flows_at_peak);
+
+  // Telemetry overhead: the same incremental link pump with a SpanRecorder
+  // attached, so every reshare additionally classifies each flow's binding
+  // constraint and pushes the labeled segment into the recorder's ring.
+  // This is the marginal cost a replay pays for bottleneck forensics.
+  LinkPumpStats link_tel;
+  const double link_tel_s = BestOfThreeSeconds([&] {
+    SpanRecorder recorder;
+    link_tel = PumpLinkFabric(true, &recorder);
+  });
+  reporter.AddMeasurement("link_reshare_telemetry", link_cfg, link_tel_s);
+  reporter.AddMeasurement("link_telemetry_overhead", link_cfg,
+                          link_tel_s / link_inc_s, "x");
+  std::printf(
+      "link fabric telemetry: %.3fs with recorder (%.2fx of bare "
+      "incremental)\n",
+      link_tel_s, link_tel_s / link_inc_s);
 
   // Per-flow fabric reshare cost at >= 64 concurrent flows.
   FabricPumpStats fab_full, fab_inc;

@@ -104,6 +104,8 @@ Fabric::FlowId Fabric::Inject(uint32_t src, uint32_t dst, double bytes, double n
   f.remaining = bytes;
   f.size = bytes;
   f.rate = 0.0;
+  f.bound = RateConstraint::kNone;
+  f.bound_host = 0;
   f.cookie = cookie;
   flows_.push_back(f);
   ++src_cnt_[src];
@@ -156,7 +158,8 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
             host_metrics_[f.dst].ingress_activity->AddRange(now_, step_end, moved);
           }
           if (telemetry_ != nullptr) {
-            telemetry_->OnFlowSegment(f.id, f.src, f.dst, now_, step_end, f.rate);
+            telemetry_->OnFlowSegment(f.id, f.src, f.dst, now_, step_end, f.rate,
+                                      f.bound, f.bound_host);
           }
         }
       }
@@ -278,7 +281,10 @@ void Fabric::IncrementalEqualShare() {
     const double e_share = egress * egress_scale_[f.src] / src_cnt_[f.src];
     const double i_share = config_.ingress_bytes_per_sec * ingress_scale_[f.dst] /
                            dst_cnt_[f.dst];
-    f.rate = std::min({e_share, i_share, FlowCap(f)});
+    const double cap = FlowCap(f);
+    f.rate = std::min({e_share, i_share, cap});
+    f.bound = ClassifyEqualShare(e_share, i_share, cap);
+    f.bound_host = f.bound == RateConstraint::kReceiverIngress ? f.dst : f.src;
     ++reshared_flows_;
   }
 }
@@ -324,7 +330,10 @@ void Fabric::IncrementalMaxMin() {
   SolveMaxMinRates(&demand_scratch_, &egress_left_scratch_,
                    &ingress_left_scratch_);
   for (size_t k = 0; k < demand_scratch_.size(); ++k) {
-    flows_[demand_flow_[k]].rate = demand_scratch_[k].rate;
+    Flow& f = flows_[demand_flow_[k]];
+    f.rate = demand_scratch_[k].rate;
+    f.bound = demand_scratch_[k].bound;
+    f.bound_host = demand_scratch_[k].bound_host;
   }
   reshared_flows_ += demand_scratch_.size();
 }
@@ -334,8 +343,12 @@ void Fabric::VerifyAgainstFullReshare() {
   // canonical afterwards, so enabling the check never changes the output
   // stream -- it can only abort.
   verify_rates_scratch_.resize(flows_.size());
+  verify_bounds_scratch_.resize(flows_.size());
+  verify_bound_hosts_scratch_.resize(flows_.size());
   for (size_t i = 0; i < flows_.size(); ++i) {
     verify_rates_scratch_[i] = flows_[i].rate;
+    verify_bounds_scratch_[i] = flows_[i].bound;
+    verify_bound_hosts_scratch_[i] = flows_[i].bound_host;
   }
   RecomputeRates();
   for (size_t i = 0; i < flows_.size(); ++i) {
@@ -347,7 +360,23 @@ void Fabric::VerifyAgainstFullReshare() {
                    flows_[i].dst, verify_rates_scratch_[i], flows_[i].rate);
       std::abort();
     }
+    // Constraint labels are discrete, so the two paths must agree exactly --
+    // a label flip at identical rates would make the forensics layer blame a
+    // different resource depending on which reshare path ran.
+    if (verify_bounds_scratch_[i] != flows_[i].bound ||
+        verify_bound_hosts_scratch_[i] != flows_[i].bound_host) {
+      std::fprintf(stderr,
+                   "rdmajoin: incremental reshare constraint mismatch: flow "
+                   "%llu (%u->%u) incremental=%s@%u full=%s@%u\n",
+                   static_cast<unsigned long long>(flows_[i].id), flows_[i].src,
+                   flows_[i].dst, RateConstraintName(verify_bounds_scratch_[i]),
+                   verify_bound_hosts_scratch_[i],
+                   RateConstraintName(flows_[i].bound), flows_[i].bound_host);
+      std::abort();
+    }
     flows_[i].rate = verify_rates_scratch_[i];
+    flows_[i].bound = verify_bounds_scratch_[i];
+    flows_[i].bound_host = verify_bound_hosts_scratch_[i];
   }
 }
 
@@ -374,7 +403,10 @@ void Fabric::RecomputeEqualShare() {
     const double e_share = egress * egress_scale_[f.src] / src_count[f.src];
     const double i_share = config_.ingress_bytes_per_sec * ingress_scale_[f.dst] /
                            dst_count[f.dst];
-    f.rate = std::min({e_share, i_share, FlowCap(f)});
+    const double cap = FlowCap(f);
+    f.rate = std::min({e_share, i_share, cap});
+    f.bound = ClassifyEqualShare(e_share, i_share, cap);
+    f.bound_host = f.bound == RateConstraint::kReceiverIngress ? f.dst : f.src;
   }
 }
 
@@ -394,7 +426,11 @@ void Fabric::RecomputeMaxMin() {
     demands.push_back(RateDemand{f.src, f.dst, FlowCap(f), 0.0});
   }
   SolveMaxMinRates(&demands, &egress_left, &ingress_left);
-  for (size_t i = 0; i < flows_.size(); ++i) flows_[i].rate = demands[i].rate;
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    flows_[i].rate = demands[i].rate;
+    flows_[i].bound = demands[i].bound;
+    flows_[i].bound_host = demands[i].bound_host;
+  }
 }
 
 }  // namespace rdmajoin

@@ -28,9 +28,13 @@ class FlowTelemetry {
  public:
   virtual ~FlowTelemetry() = default;
   /// `flow_id` moved at `rate` bytes/sec from `t0` to `t1` (t1 > t0) between
-  /// hosts `src` -> `dst`.
+  /// hosts `src` -> `dst`. `bound` names the fair-share constraint that was
+  /// binding when the rate was assigned and `bound_host` the host owning it
+  /// (src for egress/message-rate, dst for ingress) -- the reshare labels
+  /// every flow, so rate > 0 implies bound != RateConstraint::kNone.
   virtual void OnFlowSegment(uint64_t flow_id, uint32_t src, uint32_t dst,
-                             double t0, double t1, double rate) = 0;
+                             double t0, double t1, double rate,
+                             RateConstraint bound, uint32_t bound_host) = 0;
 };
 
 /// How concurrent transfers share link capacity.
@@ -199,6 +203,8 @@ class Fabric {
     double remaining;  // bytes
     double size;       // original bytes
     double rate;       // bytes/sec, assigned at last recompute
+    RateConstraint bound;  // constraint binding at last recompute
+    uint32_t bound_host;   // host owning that constraint
     uint64_t cookie;
   };
   struct LatencyFlow {
@@ -254,6 +260,8 @@ class Fabric {
   std::vector<double> egress_left_scratch_;
   std::vector<double> ingress_left_scratch_;
   std::vector<double> verify_rates_scratch_;
+  std::vector<RateConstraint> verify_bounds_scratch_;
+  std::vector<uint32_t> verify_bound_hosts_scratch_;
   uint64_t reshares_ = 0;
   uint64_t reshared_flows_ = 0;
   double now_ = 0.0;

@@ -87,7 +87,10 @@ void LinkFabric::RecomputeOneLinkEqualShare(Link& l) {
       config_.EffectiveEgress() * egress_scale_[l.src] / src_cnt_[l.src];
   const double i_share =
       config_.ingress_bytes_per_sec * ingress_scale_[l.dst] / dst_cnt_[l.dst];
-  l.rate = std::min({e_share, i_share, LinkCap(l)});
+  const double cap = LinkCap(l);
+  l.rate = std::min({e_share, i_share, cap});
+  l.bound = ClassifyEqualShare(e_share, i_share, cap);
+  l.bound_host = l.bound == RateConstraint::kReceiverIngress ? l.dst : l.src;
 }
 
 void LinkFabric::ActivateLink(uint32_t idx) {
@@ -102,6 +105,8 @@ void LinkFabric::DeactivateLink(uint32_t idx) {
   --src_cnt_[links_[idx].src];
   --dst_cnt_[links_[idx].dst];
   links_[idx].rate = 0;
+  links_[idx].bound = RateConstraint::kNone;
+  links_[idx].bound_host = 0;
 }
 
 void LinkFabric::MarkDirty(uint32_t host) {
@@ -192,7 +197,10 @@ void LinkFabric::IncrementalMaxMin() {
   SolveMaxMinRates(&demand_scratch_, &egress_left_scratch_,
                    &ingress_left_scratch_);
   for (size_t k = 0; k < demand_scratch_.size(); ++k) {
-    links_[demand_link_[k]].rate = demand_scratch_[k].rate;
+    Link& l = links_[demand_link_[k]];
+    l.rate = demand_scratch_[k].rate;
+    l.bound = demand_scratch_[k].bound;
+    l.bound_host = demand_scratch_[k].bound_host;
   }
   reshared_links_ += demand_scratch_.size();
 }
@@ -202,8 +210,12 @@ void LinkFabric::VerifyAgainstFullReshare() {
   // canonical afterwards, so enabling the check never changes the output
   // stream -- it can only abort.
   verify_rates_scratch_.resize(links_.size());
+  verify_bounds_scratch_.resize(links_.size());
+  verify_bound_hosts_scratch_.resize(links_.size());
   for (size_t i = 0; i < links_.size(); ++i) {
     verify_rates_scratch_[i] = links_[i].rate;
+    verify_bounds_scratch_[i] = links_[i].bound;
+    verify_bound_hosts_scratch_[i] = links_[i].bound_host;
   }
   RecomputeRates();
   for (size_t i = 0; i < links_.size(); ++i) {
@@ -215,7 +227,23 @@ void LinkFabric::VerifyAgainstFullReshare() {
                    links_[i].rate);
       std::abort();
     }
+    // Labels are discrete: the two paths must agree exactly, not just within
+    // kRateEps, or the forensics layer would blame a different resource
+    // depending on which reshare path ran.
+    if (verify_bounds_scratch_[i] != links_[i].bound ||
+        verify_bound_hosts_scratch_[i] != links_[i].bound_host) {
+      std::fprintf(stderr,
+                   "rdmajoin: incremental reshare constraint mismatch: link "
+                   "%u->%u incremental=%s@%u full=%s@%u\n",
+                   links_[i].src, links_[i].dst,
+                   RateConstraintName(verify_bounds_scratch_[i]),
+                   verify_bound_hosts_scratch_[i],
+                   RateConstraintName(links_[i].bound), links_[i].bound_host);
+      std::abort();
+    }
     links_[i].rate = verify_rates_scratch_[i];
+    links_[i].bound = verify_bounds_scratch_[i];
+    links_[i].bound_host = verify_bound_hosts_scratch_[i];
   }
 }
 
@@ -232,6 +260,8 @@ void LinkFabric::RecomputeRates() {
     for (Link& l : links_) {
       if (!l.active()) {
         l.rate = 0;
+        l.bound = RateConstraint::kNone;
+        l.bound_host = 0;
         continue;
       }
       // Scale factors are exactly 1.0 without fault injection, so the shares
@@ -239,7 +269,10 @@ void LinkFabric::RecomputeRates() {
       const double e_share = egress * egress_scale_[l.src] / src_cnt[l.src];
       const double i_share = config_.ingress_bytes_per_sec * ingress_scale_[l.dst] /
                              dst_cnt[l.dst];
-      l.rate = std::min({e_share, i_share, LinkCap(l)});
+      const double cap = LinkCap(l);
+      l.rate = std::min({e_share, i_share, cap});
+      l.bound = ClassifyEqualShare(e_share, i_share, cap);
+      l.bound_host = l.bound == RateConstraint::kReceiverIngress ? l.dst : l.src;
     }
     return;
   }
@@ -258,10 +291,16 @@ void LinkFabric::RecomputeRates() {
       active.push_back(&l);
     } else {
       l.rate = 0;
+      l.bound = RateConstraint::kNone;
+      l.bound_host = 0;
     }
   }
   SolveMaxMinRates(&demands, &egress_left, &ingress_left);
-  for (size_t i = 0; i < active.size(); ++i) active[i]->rate = demands[i].rate;
+  for (size_t i = 0; i < active.size(); ++i) {
+    active[i]->rate = demands[i].rate;
+    active[i]->bound = demands[i].bound;
+    active[i]->bound_host = demands[i].bound_host;
+  }
 }
 
 LinkFabric::MessageId LinkFabric::Enqueue(uint32_t src, uint32_t dst, double bytes,
@@ -346,7 +385,7 @@ void LinkFabric::AdvanceTo(double t, std::vector<Completion>* completed) {
           }
           if (telemetry_ != nullptr) {
             telemetry_->OnFlowSegment(l.queue.front().id, l.src, l.dst, now_,
-                                      step_end, l.rate);
+                                      step_end, l.rate, l.bound, l.bound_host);
           }
         }
       }

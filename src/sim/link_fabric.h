@@ -116,6 +116,8 @@ class LinkFabric {
     std::deque<Message> queue;
     double head_remaining = 0;
     double rate = 0;
+    RateConstraint bound = RateConstraint::kNone;  // binding at last reshare
+    uint32_t bound_host = 0;                       // host owning that constraint
     bool active() const { return !queue.empty(); }
   };
 
@@ -174,6 +176,8 @@ class LinkFabric {
   std::vector<double> egress_left_scratch_;
   std::vector<double> ingress_left_scratch_;
   std::vector<double> verify_rates_scratch_;
+  std::vector<RateConstraint> verify_bounds_scratch_;
+  std::vector<uint32_t> verify_bound_hosts_scratch_;
   uint64_t reshares_ = 0;
   uint64_t reshared_links_ = 0;
   size_t queued_ = 0;

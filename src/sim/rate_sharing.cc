@@ -28,6 +28,35 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 }  // namespace
 
+const char* RateConstraintName(RateConstraint c) {
+  switch (c) {
+    case RateConstraint::kNone:
+      return "none";
+    case RateConstraint::kSenderEgress:
+      return "egress";
+    case RateConstraint::kReceiverIngress:
+      return "ingress";
+    case RateConstraint::kMessageRate:
+      return "msg_rate";
+    case RateConstraint::kCreditStarved:
+      return "credit";
+  }
+  return "none";
+}
+
+bool ParseRateConstraintName(const std::string& name, RateConstraint* out) {
+  for (RateConstraint c :
+       {RateConstraint::kNone, RateConstraint::kSenderEgress,
+        RateConstraint::kReceiverIngress, RateConstraint::kMessageRate,
+        RateConstraint::kCreditStarved}) {
+    if (name == RateConstraintName(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
 void SolveMaxMinRates(std::vector<RateDemand>* demands,
                       std::vector<double>* egress_left,
                       std::vector<double>* ingress_left) {
@@ -64,6 +93,10 @@ void SolveMaxMinRates(std::vector<RateDemand>* demands,
         if (fixed[i]) continue;
         if (ds[i].cap <= min_cap * (1 + kRateEps)) {
           ds[i].rate = ds[i].cap;
+          // The cap round only runs while min_cap < bottleneck, so the
+          // message-rate ceiling is strictly the tightest constraint here.
+          ds[i].bound = RateConstraint::kMessageRate;
+          ds[i].bound_host = ds[i].src;
           // Clamp: repeated subtraction accumulates floating-point error that
           // can drive the residual capacity (and with it the next round's
           // fair share) negative.
@@ -84,6 +117,17 @@ void SolveMaxMinRates(std::vector<RateDemand>* demands,
       const double i_share = i_left[ds[i].dst] / dst_cnt[ds[i].dst];
       if (std::min(e_share, i_share) <= bottleneck * (1 + kRateEps)) {
         ds[i].rate = bottleneck;
+        // Label the tighter side; ties prefer egress so the label is a pure
+        // function of the shares even when both ports saturate at once. The
+        // epsilon-aware compare mirrors the freeze condition above, keeping
+        // the full and incremental reshares in exact label agreement.
+        if (e_share <= i_share * (1 + kRateEps)) {
+          ds[i].bound = RateConstraint::kSenderEgress;
+          ds[i].bound_host = ds[i].src;
+        } else {
+          ds[i].bound = RateConstraint::kReceiverIngress;
+          ds[i].bound_host = ds[i].dst;
+        }
         e_left[ds[i].src] = std::max(0.0, e_left[ds[i].src] - bottleneck);
         i_left[ds[i].dst] = std::max(0.0, i_left[ds[i].dst] - bottleneck);
         fixed[i] = true;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace rdmajoin {
@@ -17,15 +18,64 @@ namespace rdmajoin {
 /// trail it enables) changes here, not the arithmetic.
 constexpr double kRateEps = 1e-12;
 
+/// Which fair-share constraint was binding when a demand's rate was frozen.
+/// The fabrics attach one of these (plus the constraining host id) to every
+/// flow at every reshare; the label rides the FlowTelemetry hook into the
+/// span dataset so the analysis layer can say *why* a flow got its rate, not
+/// just what the rate was.
+enum class RateConstraint : uint8_t {
+  /// No rate assigned yet, or the flow is not rate-limited (rate 0 under a
+  /// zero capacity scale). Telemetry never emits segments for such flows.
+  kNone = 0,
+  /// The sender's egress port was the tightest constraint.
+  kSenderEgress = 1,
+  /// The receiver's ingress port was the tightest constraint (incast).
+  kReceiverIngress = 2,
+  /// The per-host message-rate ceiling capped this demand below any fair
+  /// share (small messages; Section 5's message-rate term).
+  kMessageRate = 3,
+  /// Analysis-level only: the span spent its time waiting for a
+  /// double-buffering credit, not limited by any fabric constraint. The
+  /// solvers never emit this; the "why is this flow slow" report does.
+  kCreditStarved = 4,
+};
+
+/// Stable lower-case name for JSON fields and reports ("none", "egress",
+/// "ingress", "msg_rate", "credit").
+const char* RateConstraintName(RateConstraint c);
+
+/// Parses a RateConstraintName back; returns false on unknown names.
+bool ParseRateConstraintName(const std::string& name, RateConstraint* out);
+
 /// One bandwidth demand between two hosts: a flow (Fabric) or an active link
 /// (LinkFabric). `cap` is the per-demand rate ceiling from the message-rate
-/// limit (+infinity when uncapped); `rate` is the solver's output.
+/// limit (+infinity when uncapped); `rate`, `bound` and `bound_host` are the
+/// solver's outputs: the assigned rate, the constraint that froze it, and
+/// the host owning that constraint (src for egress/message-rate, dst for
+/// ingress).
 struct RateDemand {
   uint32_t src = 0;
   uint32_t dst = 0;
   double cap = 0.0;
   double rate = 0.0;
+  RateConstraint bound = RateConstraint::kNone;
+  uint32_t bound_host = 0;
 };
+
+/// Labels an equal-share rate assignment `min(e_share, i_share, cap)`: the
+/// tightest of the three candidate shares wins, with ties resolved
+/// egress > ingress > message-rate. The epsilon band matches the max-min
+/// solver's freeze condition so both sharing policies (and the full and
+/// incremental reshare paths, which evaluate bit-identical expressions)
+/// agree on the label whenever they agree on the rate.
+inline RateConstraint ClassifyEqualShare(double e_share, double i_share,
+                                         double cap) {
+  const double m = e_share < i_share ? (e_share < cap ? e_share : cap)
+                                     : (i_share < cap ? i_share : cap);
+  if (e_share <= m * (1 + kRateEps)) return RateConstraint::kSenderEgress;
+  if (i_share <= m * (1 + kRateEps)) return RateConstraint::kReceiverIngress;
+  return RateConstraint::kMessageRate;
+}
 
 /// Max-min fairness (progressive filling / water-filling) over `demands`,
 /// constrained by per-host residual egress/ingress capacities. The capacity

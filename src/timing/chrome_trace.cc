@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -99,6 +100,22 @@ void AppendFlow(std::string* out, bool* first, bool start, uint64_t id,
   out->append("}");
 }
 
+/// One "i" (instant) event on a thread row (scope "t").
+void AppendInstant(std::string* out, bool* first, const std::string& name,
+                   uint32_t pid, uint32_t tid, double ts_seconds) {
+  if (!*first) out->append(",");
+  *first = false;
+  out->append("{\"name\":");
+  AppendString(out, name);
+  out->append(",\"ph\":\"i\",\"s\":\"t\",\"pid\":");
+  out->append(std::to_string(pid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(tid));
+  out->append(",\"ts\":");
+  AppendDouble(out, Micros(ts_seconds));
+  out->append("}");
+}
+
 /// "M" metadata event naming a process or thread row.
 void AppendNameMeta(std::string* out, bool* first, const char* what,
                     uint32_t pid, int tid, const std::string& name) {
@@ -135,6 +152,50 @@ void AppendUtilization(std::string* out, bool* first, const std::string& name,
   AppendCounter(out, first, name, pid,
                 offset_seconds + static_cast<double>(buckets.size()) * width,
                 0.0);
+}
+
+/// Per-host binding-constraint counter tracks: one stacked "C" row per host
+/// whose series are the average number of flows bound by each constraint the
+/// host owns (its saturated egress port, its saturated ingress port, or its
+/// message-rate ceiling) over the congestion-report buckets. Perfetto colors
+/// the series distinctly, so ingress pile-ups (incast) read as a solid band
+/// on the victim host's row.
+void AppendConstraintTracks(std::string* out, bool* first,
+                            const SpanDataset& data, double offset_seconds) {
+  const CongestionReport rep = ComputeCongestion(data, CongestionOptions());
+  if (rep.totals.labeled_total() <= 0 || rep.bucket_seconds <= 0) return;
+  for (const HostCongestionTimeline& h : rep.hosts) {
+    double any = 0;
+    for (size_t b = 0; b < h.egress_bound.size(); ++b) {
+      any += h.egress_bound[b] + h.ingress_bound[b] + h.msg_rate_bound[b];
+    }
+    if (any <= 0) continue;
+    const size_t buckets = h.egress_bound.size();
+    for (size_t b = 0; b <= buckets; ++b) {
+      // One trailing all-zero sample closes the track.
+      const double e = b < buckets ? h.egress_bound[b] / rep.bucket_seconds : 0;
+      const double in =
+          b < buckets ? h.ingress_bound[b] / rep.bucket_seconds : 0;
+      const double mr =
+          b < buckets ? h.msg_rate_bound[b] / rep.bucket_seconds : 0;
+      if (!*first) out->append(",");
+      *first = false;
+      out->append("{\"name\":");
+      AppendString(out, "bound flows");
+      out->append(",\"ph\":\"C\",\"pid\":");
+      out->append(std::to_string(h.host));
+      out->append(",\"ts\":");
+      AppendDouble(out, Micros(offset_seconds + rep.t_begin +
+                               static_cast<double>(b) * rep.bucket_seconds));
+      out->append(",\"args\":{\"egress\":");
+      AppendDouble(out, e);
+      out->append(",\"ingress\":");
+      AppendDouble(out, in);
+      out->append(",\"msg_rate\":");
+      AppendDouble(out, mr);
+      out->append("}}");
+    }
+  }
 }
 
 /// Receiver rows get a tid far above any partitioning thread's 1+thread.
@@ -230,6 +291,34 @@ void AppendSpanEvents(std::string* out, bool* first, const SpanDataset& data,
     AppendNameMeta(out, first, "thread_name", m,
                    static_cast<int>(kReceiverTid), "receiver core");
   }
+
+  // Constraint-change instants: one "i" marker on the sender's thread row
+  // every time a rendered span's flow switches binding constraint mid-life
+  // (the moment another flow's arrival or drain moved the bottleneck).
+  std::map<uint64_t, std::pair<uint32_t, uint32_t>> flow_rows;
+  for (const WrSpan& s : spans) {
+    if (s.complete() && s.flow != 0) {
+      flow_rows[s.flow] = {s.machine, 1 + s.thread};
+    }
+  }
+  std::map<uint64_t, const FlowSegment*> prev_seg;
+  for (const FlowSegment& g : data.segments) {
+    if (g.bound == RateConstraint::kNone) continue;
+    auto row = flow_rows.find(g.flow);
+    if (row == flow_rows.end()) continue;
+    const FlowSegment*& prev = prev_seg[g.flow];
+    if (prev != nullptr &&
+        (prev->bound != g.bound || prev->bound_host != g.bound_host)) {
+      const std::string name =
+          "wr flow " + std::to_string(g.flow) + " bound: " +
+          RateConstraintName(prev->bound) + "@" +
+          std::to_string(prev->bound_host) + " -> " +
+          RateConstraintName(g.bound) + "@" + std::to_string(g.bound_host);
+      AppendInstant(out, first, name, row->second.first, row->second.second,
+                    offset_seconds + g.t0);
+    }
+    prev = &g;
+  }
 }
 
 }  // namespace
@@ -289,8 +378,9 @@ std::string ChromeTraceJson(const ReplayReport& report,
   }
 
   if (report.spans != nullptr && options.max_spans > 0) {
-    AppendSpanEvents(&out, &first, report.spans->Snapshot(), options.max_spans,
-                     net_start);
+    const SpanDataset data = report.spans->Snapshot();
+    AppendSpanEvents(&out, &first, data, options.max_spans, net_start);
+    AppendConstraintTracks(&out, &first, data, net_start);
   }
 
   out.append("]}");

@@ -50,6 +50,13 @@ struct ChromeTraceOptions {
 /// -> completed/service end), connected by a flow arrow ("s"/"f" events
 /// keyed by the span id) from sender post to receiver delivery.
 ///
+/// Datasets with binding-constraint labels (schema v2 recordings) add two
+/// layers of bottleneck forensics: a stacked "bound flows" counter row per
+/// host (egress- / ingress- / msg-rate-bound flow counts over time, colored
+/// per series -- an incast reads as a solid ingress band on the victim), and
+/// an instant marker on the sender's thread row whenever a rendered span's
+/// flow switches binding constraint mid-life.
+///
 /// Timestamps are microseconds of full-scale virtual time from the start of
 /// the run; fabric time zero is aligned to the network-phase barrier.
 std::string ChromeTraceJson(const ReplayReport& report,

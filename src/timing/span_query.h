@@ -2,6 +2,7 @@
 #define RDMAJOIN_TIMING_SPAN_QUERY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -80,8 +81,143 @@ struct SpanInvariantReport {
 SpanInvariantReport CheckSpanInvariants(const SpanDataset& dataset);
 
 /// Human-readable report: recorder totals, per-stage percentiles, top-k by
-/// duration and by credit-wait, and the invariant verdict.
+/// duration and by credit-wait (each span annotated with the binding
+/// constraint that dominated its fabric transit), and the invariant verdict.
 std::string FormatSpanReport(const SpanDataset& dataset, size_t top_k = 5);
+
+// ---------------------------------------------------------------------------
+// Bottleneck forensics: binding-constraint attribution (schema v2 datasets).
+// ---------------------------------------------------------------------------
+
+/// Seconds spent under each binding constraint, indexed by RateConstraint
+/// (kCreditStarved is filled by the span-level report, never by segments).
+struct ConstraintBreakdown {
+  double seconds[5] = {0, 0, 0, 0, 0};
+  double labeled_total() const {
+    return seconds[1] + seconds[2] + seconds[3] + seconds[4];
+  }
+  /// The constraint with the most seconds (ties to the lower enum value,
+  /// i.e. egress before ingress before message-rate); kNone when nothing was
+  /// labeled.
+  RateConstraint dominant() const;
+};
+
+/// Time-weighted constraint attribution of one flow's rate segments.
+ConstraintBreakdown FlowConstraintBreakdown(const SpanDataset& dataset,
+                                            uint64_t flow);
+/// Same, aggregated over every segment of the dataset (flow-seconds).
+ConstraintBreakdown DatasetConstraintBreakdown(const SpanDataset& dataset);
+
+struct CongestionOptions {
+  /// Buckets of each per-host congestion timeline over [t_begin, t_end].
+  size_t timeline_buckets = 48;
+  /// Minimum distinct ingress-bound senders converging on one receiver for
+  /// an interval to count as incast.
+  uint32_t incast_min_senders = 3;
+};
+
+/// Per-host congestion timeline: flow-seconds per bucket whose binding
+/// constraint was owned by this host, split by constraint kind. A bucket
+/// where `ingress_bound` is large says "flows were queued behind this host's
+/// ingress port here"; `egress_bound` says the host's own egress port was the
+/// bottleneck; `msg_rate_bound` counts flows pinned below the fair share by
+/// the per-host message-rate ceiling.
+struct HostCongestionTimeline {
+  uint32_t host = 0;
+  std::vector<double> egress_bound;
+  std::vector<double> ingress_bound;
+  std::vector<double> msg_rate_bound;
+};
+
+/// One incast episode: >= `incast_min_senders` distinct sources
+/// simultaneously ingress-bound at receiver `dst`.
+struct IncastEvent {
+  uint32_t dst = 0;
+  double t0 = 0;
+  double t1 = 0;
+  /// Peak number of distinct simultaneously ingress-bound senders.
+  uint32_t peak_senders = 0;
+  /// Bytes the ingress-bound flows delivered into `dst` during the episode.
+  double bytes = 0;
+};
+
+/// Congestion analysis over a labeled dataset: per-host constraint
+/// timelines, incast episodes (per receiver, in time order) and the
+/// dataset-wide constraint totals. Datasets without labels (schema v1)
+/// produce empty timelines and no incasts.
+struct CongestionReport {
+  double t_begin = 0;
+  double t_end = 0;
+  double bucket_seconds = 0;
+  std::vector<HostCongestionTimeline> hosts;
+  std::vector<IncastEvent> incasts;
+  ConstraintBreakdown totals;
+};
+CongestionReport ComputeCongestion(const SpanDataset& dataset,
+                                   const CongestionOptions& options =
+                                       CongestionOptions());
+
+/// One line of the ranked "why is this flow slow" report: a top-duration
+/// span, the constraint attribution of its fabric transit, and the verdict
+/// -- the dominant transit constraint, or kCreditStarved when the span spent
+/// longer waiting for a double-buffering credit than moving bytes.
+struct FlowSlowEntry {
+  WrSpan span;
+  ConstraintBreakdown transit;
+  double credit_wait_seconds = 0;
+  double transit_seconds = 0;
+  RateConstraint verdict = RateConstraint::kNone;
+};
+/// The `k` slowest complete spans, each with its constraint verdict.
+std::vector<FlowSlowEntry> RankSlowFlows(const SpanDataset& dataset, size_t k);
+
+/// Human-readable congestion report: totals, per-host timelines rendered as
+/// constraint sparklines, incast episodes, and the ranked slow-flow list.
+std::string FormatCongestionReport(const SpanDataset& dataset,
+                                   const CongestionReport& report,
+                                   size_t top_k = 5);
+/// Deterministic JSON document of a congestion report (schema version 1).
+std::string CongestionReportToJson(const CongestionReport& report);
+
+/// Everything CheckConstraintInvariants needs to reconstruct the fair
+/// shares: the fabric dimensions the replay ran with, plus (for runs under
+/// fault injection) the per-host capacity-scale schedule. The scale
+/// callbacks may be null, meaning 1.0 everywhere.
+struct ConstraintCheckContext {
+  SharingPolicy sharing = SharingPolicy::kEqualShare;
+  uint32_t num_hosts = 0;
+  /// Effective per-host capacities (egress after the congestion term, i.e.
+  /// FabricConfig::EffectiveEgress()).
+  double egress_bytes_per_sec = 0;
+  double ingress_bytes_per_sec = 0;
+  /// Per-host message-rate ceiling; <= 0 disables cap checks.
+  double message_rate_per_host = 0;
+  /// Capacity scale of `host` at time `t` (fault injection); null => 1.0.
+  std::function<double(uint32_t host, double t)> egress_scale;
+  std::function<double(uint32_t host, double t)> ingress_scale;
+};
+/// Builds a check context from the fabric configuration a replay used.
+ConstraintCheckContext ConstraintCheckContextFromFabric(const FabricConfig& fc);
+
+/// Verifies the binding-constraint labels of every recorded segment:
+///  1. labeling: every segment moving bytes (rate > 0) carries a constraint
+///     label, and the constraining host is the segment's src (egress,
+///     message-rate) or dst (ingress);
+///  2. tightness: on every elementary interval between segment boundaries,
+///     a labeled constraint reproduces the segment's rate -- equal share
+///     recomputes the exact share expressions from the reconstructed
+///     per-host active counts, max-min requires the labeled port to be
+///     saturated (active rates sum to its capacity) with the segment at the
+///     port's maximum rate, and message-rate caps reproduce
+///     wire_bytes * message_rate via the flow's span;
+///  3. consistency: a flow's rate never exceeds any reconstructable share of
+///     its endpoints.
+/// Tightness checks are skipped when segments were dropped (the
+/// reconstruction would be partial) and on intervals where any host's
+/// capacity scale is 0 (stalled flows occupy fair-share denominators without
+/// emitting segments).
+SpanInvariantReport CheckConstraintInvariants(const SpanDataset& dataset,
+                                              const ConstraintCheckContext& ctx);
 
 }  // namespace rdmajoin
 

@@ -161,23 +161,33 @@ void SpanRecorder::AddThreadMark(const ThreadMark& mark) {
 }
 
 void SpanRecorder::OnFlowSegment(uint64_t flow_id, uint32_t src, uint32_t dst,
-                                 double t0, double t1, double rate) {
+                                 double t0, double t1, double rate,
+                                 RateConstraint bound, uint32_t bound_host) {
   if (!config_.enabled || !(t1 > t0)) return;
-  // Merge into the flow's previous segment when contiguous at the same rate,
-  // so a flow's segments enumerate its reshare events, not the simulation's
-  // event steps. Stale map entries (evicted or reused slots) are detected by
-  // the flow-id check.
+  if (!config_.record_constraints) {
+    bound = RateConstraint::kNone;
+    bound_host = 0;
+  }
+  // Merge into the flow's previous segment when contiguous at the same rate
+  // under the same binding constraint, so a flow's segments enumerate its
+  // reshare events and constraint transitions, not the simulation's event
+  // steps. The constraint check matters: a reshare can leave the rate
+  // numerically unchanged while the binding constraint switches (egress and
+  // ingress shares crossing over), and coalescing across that boundary would
+  // hide the transition from the forensics layer. Stale map entries (evicted
+  // or reused slots) are detected by the flow-id check.
   const uint64_t* it = last_segment_of_flow_.Find(flow_id);
   if (it != nullptr && *it < segments_.size()) {
     FlowSegment& prev = segments_[*it];
-    if (prev.flow == flow_id && prev.rate == rate &&
+    if (prev.flow == flow_id && prev.rate == rate && prev.bound == bound &&
+        prev.bound_host == bound_host &&
         std::abs(prev.t1 - t0) <= 1e-9 * (1.0 + std::abs(t0))) {
       prev.t1 = t1;
       return;
     }
   }
   ++segments_recorded_;
-  const FlowSegment seg{flow_id, src, dst, t0, t1, rate};
+  const FlowSegment seg{flow_id, src, dst, t0, t1, rate, bound, bound_host};
   size_t idx;
   if (segments_.size() < segment_capacity_) {
     idx = segments_.size();
@@ -274,7 +284,17 @@ std::string SpanDatasetToJson(const SpanDataset& dataset) {
   out.reserve(256 + dataset.spans.size() * 160 + dataset.segments.size() * 80);
   auto num = [](double v) { return JsonNumber(v); };
   auto unum = [](uint64_t v) { return JsonNumber(static_cast<double>(v)); };
-  out += "{\"version\":1";
+  // Schema v2 (per-segment constraint labels) only when there is a label to
+  // write: label-free datasets keep the exact v1 bytes, so disabling
+  // constraint recording is byte-identical to the pre-v2 exporter.
+  bool has_constraints = false;
+  for (const FlowSegment& g : dataset.segments) {
+    if (g.bound != RateConstraint::kNone) {
+      has_constraints = true;
+      break;
+    }
+  }
+  out += has_constraints ? "{\"version\":2" : "{\"version\":1";
   out += ",\"spans_recorded\":" + unum(dataset.spans_recorded);
   out += ",\"spans_dropped\":" + unum(dataset.spans_dropped);
   out += ",\"segments_recorded\":" + unum(dataset.segments_recorded);
@@ -320,6 +340,11 @@ std::string SpanDatasetToJson(const SpanDataset& dataset) {
     out += ",\"t0\":" + num(g.t0);
     out += ",\"t1\":" + num(g.t1);
     out += ",\"rate\":" + num(g.rate);
+    if (has_constraints) {
+      out += ",\"bound\":\"";
+      out += RateConstraintName(g.bound);
+      out += "\",\"bound_host\":" + unum(g.bound_host);
+    }
     out += "}";
   }
   out += "]";
@@ -364,7 +389,7 @@ StatusOr<SpanDataset> SpanDatasetFromJson(const JsonValue& root) {
     return Status::InvalidArgument("span JSON: document is not an object");
   }
   const double version = root.NumberOr("version", 0);
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     return Status::InvalidArgument("span JSON: unsupported version");
   }
   SpanDataset ds;
@@ -419,6 +444,14 @@ StatusOr<SpanDataset> SpanDatasetFromJson(const JsonValue& root) {
       g.t0 = item.NumberOr("t0", 0);
       g.t1 = item.NumberOr("t1", 0);
       g.rate = item.NumberOr("rate", 0);
+      // v1 documents have no "bound": segments default to kNone. In v2
+      // documents an unknown name is a schema violation, not a default.
+      const std::string bound_name = item.StringOr("bound", "none");
+      if (!ParseRateConstraintName(bound_name, &g.bound)) {
+        return Status::InvalidArgument("span JSON: unknown segment bound \"" +
+                                       bound_name + "\"");
+      }
+      g.bound_host = static_cast<uint32_t>(item.NumberOr("bound_host", 0));
       ds.segments.push_back(g);
     }
   }

@@ -26,6 +26,12 @@ struct SpanConfig {
   /// every span of the test and bench workloads (tens of thousands of work
   /// requests) while bounding memory for arbitrarily large replays.
   uint64_t max_bytes = 8 * 1024 * 1024;
+  /// Keep the binding-constraint labels the fabric attaches to each rate
+  /// segment (FlowTelemetry). When false the recorder stores
+  /// RateConstraint::kNone everywhere, segments merge purely on rate, and
+  /// the JSON export falls back to schema version 1 -- byte-identical to a
+  /// pre-constraint recorder.
+  bool record_constraints = true;
 };
 
 /// Lifecycle stages of one work-request span, in causal order. Push
@@ -105,8 +111,11 @@ struct WrSpan {
 const char* SpanStageName(SpanStage stage);
 
 /// One constant-rate interval of a fabric flow (see FlowTelemetry). Adjacent
-/// same-rate intervals of a flow are merged by the recorder, so a flow's
-/// segments enumerate exactly its max-min reshare events.
+/// intervals of a flow are merged by the recorder only when both the rate
+/// and the binding constraint are unchanged, so a flow's segments enumerate
+/// exactly its reshare events *and* its constraint transitions (a reshare
+/// can switch the binding constraint while the rate stays numerically
+/// identical -- e.g. egress and ingress shares crossing over).
 struct FlowSegment {
   uint64_t flow = 0;
   uint32_t src = 0;
@@ -114,6 +123,11 @@ struct FlowSegment {
   double t0 = 0;
   double t1 = 0;
   double rate = 0;  ///< bytes/second
+  /// The fair-share constraint binding over [t0, t1) and the host owning it
+  /// (sim/rate_sharing.h). kNone on datasets read from schema v1 documents
+  /// or recorded with SpanConfig::record_constraints off.
+  RateConstraint bound = RateConstraint::kNone;
+  uint32_t bound_host = 0;
 };
 
 /// Per-thread replay totals, recorded once at the end of the network pass;
@@ -204,7 +218,8 @@ class SpanRecorder : public FlowTelemetry, public RdmaEventSink {
 
   // FlowTelemetry:
   void OnFlowSegment(uint64_t flow_id, uint32_t src, uint32_t dst, double t0,
-                     double t1, double rate) override;
+                     double t1, double rate, RateConstraint bound,
+                     uint32_t bound_host) override;
 
   // RdmaEventSink:
   void OnWrPosted(uint32_t device, WorkCompletion::Op op) override;
@@ -258,10 +273,16 @@ class SpanRecorder : public FlowTelemetry, public RdmaEventSink {
   bool warned_overflow_ = false;
 };
 
-/// Serializes a dataset as one deterministic JSON document (schema version 1,
-/// shortest round-trip numbers, kSpanUnset stages as -1).
+/// Serializes a dataset as one deterministic JSON document (shortest
+/// round-trip numbers, kSpanUnset stages as -1). Schema version 2 -- each
+/// segment gains "bound" (a RateConstraintName) and "bound_host" -- is
+/// emitted only when at least one segment carries a constraint label;
+/// datasets without labels (recording off, or none recorded) serialize as
+/// the exact schema-version-1 bytes, keeping constraint-free outputs
+/// byte-identical across the schema bump.
 std::string SpanDatasetToJson(const SpanDataset& dataset);
-/// Rebuilds a dataset from a parsed document.
+/// Rebuilds a dataset from a parsed document. Accepts schema versions 1
+/// (segments get RateConstraint::kNone) and 2.
 StatusOr<SpanDataset> SpanDatasetFromJson(const JsonValue& root);
 /// ParseJson + SpanDatasetFromJson.
 StatusOr<SpanDataset> ParseSpanDatasetJson(const std::string& text);

@@ -47,6 +47,46 @@ std::vector<Series> CollectSeries(const std::vector<LedgerEntry>& ledger,
   return series;
 }
 
+/// (bench, phase) -> chronological dominant-constraint names, first-seen
+/// order. Entries without forensics simply contribute no point, so series
+/// can be shorter than the timing series above.
+struct ConstraintSeries {
+  std::string bench;
+  std::string phase;
+  std::vector<std::string> bounds;
+};
+
+std::vector<ConstraintSeries> CollectConstraintSeries(
+    const std::vector<LedgerEntry>& ledger, const std::string& bench_filter) {
+  std::vector<ConstraintSeries> series;
+  std::map<std::pair<std::string, std::string>, size_t> index;
+  for (const LedgerEntry& entry : ledger) {
+    if (!bench_filter.empty() && entry.bench != bench_filter) continue;
+    for (const LedgerPhaseConstraint& pc : entry.phase_constraints) {
+      const auto key = std::make_pair(entry.bench, pc.phase);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        it = index.emplace(key, series.size()).first;
+        series.push_back(ConstraintSeries{entry.bench, pc.phase, {}});
+      }
+      series[it->second].bounds.push_back(pc.bound);
+    }
+  }
+  return series;
+}
+
+/// One letter per ledger point: e(gress) i(ngress) m(sg_rate) c(redit),
+/// '-' for none, '?' for anything unrecognized. A compute- vs ingress-bound
+/// flip across commits reads as "eeeii" at a glance.
+char ConstraintCode(const std::string& bound) {
+  if (bound == "egress") return 'e';
+  if (bound == "ingress") return 'i';
+  if (bound == "msg_rate") return 'm';
+  if (bound == "credit") return 'c';
+  if (bound == "none") return '-';
+  return '?';
+}
+
 /// 8-level ASCII sparkline of the series, min..max normalized.
 std::string Sparkline(const std::vector<double>& values) {
   static const char kLevels[] = "_.-:=+*#";
@@ -95,7 +135,19 @@ std::string LedgerEntryToJson(const LedgerEntry& entry) {
     out += "{\"label\":\"" + JsonEscape(entry.rows[i].label) + "\"";
     out += ",\"seconds\":" + JsonNumber(entry.rows[i].seconds) + "}";
   }
-  out += "]}";
+  out += "]";
+  if (!entry.phase_constraints.empty()) {
+    out += ",\"phase_constraints\":[";
+    for (size_t i = 0; i < entry.phase_constraints.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"phase\":\"" + JsonEscape(entry.phase_constraints[i].phase) +
+             "\"";
+      out += ",\"bound\":\"" + JsonEscape(entry.phase_constraints[i].bound) +
+             "\"}";
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 
@@ -131,6 +183,19 @@ StatusOr<LedgerEntry> ParseLedgerEntry(const std::string& line) {
       }
       lr.seconds = row.NumberOr("seconds", 0);
       entry.rows.push_back(std::move(lr));
+    }
+  }
+  if (const JsonValue* pcs = root.Find("phase_constraints");
+      pcs != nullptr && pcs->is_array()) {
+    for (const JsonValue& pc : pcs->array_items) {
+      LedgerPhaseConstraint c;
+      c.phase = pc.StringOr("phase", "");
+      c.bound = pc.StringOr("bound", "");
+      if (c.phase.empty() || c.bound.empty()) {
+        return Status::InvalidArgument(
+            "ledger entry: phase_constraints element without phase or bound");
+      }
+      entry.phase_constraints.push_back(std::move(c));
     }
   }
   return entry;
@@ -197,14 +262,29 @@ std::string FormatLedger(const std::vector<LedgerEntry>& ledger,
   std::string out;
   char buf[256];
   const std::vector<Series> series = CollectSeries(ledger, bench_filter);
+  const std::vector<ConstraintSeries> constraints =
+      CollectConstraintSeries(ledger, bench_filter);
   std::vector<LedgerDrift> drifts =
       DetectLedgerDrift(ledger, relative_tolerance, absolute_tolerance_seconds);
   std::snprintf(buf, sizeof(buf), "perf ledger: %zu entr%s, %zu series\n",
                 ledger.size(), ledger.size() == 1 ? "y" : "ies", series.size());
   out += buf;
+  const auto emit_constraints = [&](const std::string& b) {
+    for (const ConstraintSeries& c : constraints) {
+      if (c.bench != b) continue;
+      std::string codes;
+      for (const std::string& bound : c.bounds)
+        codes.push_back(ConstraintCode(bound));
+      std::snprintf(buf, sizeof(buf), "  bound:%-22s %-24s n=%-3zu latest %s\n",
+                    c.phase.c_str(), codes.c_str(), c.bounds.size(),
+                    c.bounds.empty() ? "none" : c.bounds.back().c_str());
+      out += buf;
+    }
+  };
   std::string bench;
   for (const Series& s : series) {
     if (s.bench != bench) {
+      if (!bench.empty()) emit_constraints(bench);
       bench = s.bench;
       out += bench + ":\n";
     }
@@ -233,6 +313,7 @@ std::string FormatLedger(const std::vector<LedgerEntry>& ledger,
     }
     out += "\n";
   }
+  if (!bench.empty()) emit_constraints(bench);
   return out;
 }
 

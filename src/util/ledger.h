@@ -24,6 +24,16 @@ struct LedgerRow {
   double seconds = 0;
 };
 
+/// Dominant binding constraint of one phase of a run, as reported by the
+/// span recorder's forensics (timing/span_query.h). Stored by name
+/// ("egress", "ingress", "msg_rate", ...) so the ledger layer stays below
+/// the timing layer in the dependency DAG; the ledger only threads the
+/// strings through and renders the flips.
+struct LedgerPhaseConstraint {
+  std::string phase;
+  std::string bound;
+};
+
 /// One ledger line: the summary of one bench run at one commit. Everything
 /// except `commit` is deterministic for a fixed (bench, scale, seed, code).
 struct LedgerEntry {
@@ -36,6 +46,11 @@ struct LedgerEntry {
   /// Sum of the measured rows' virtual seconds.
   double total_seconds = 0;
   std::vector<LedgerRow> rows;
+  /// Optional per-phase dominant binding constraints (filled by callers that
+  /// have a span dataset, e.g. `rdmajoin_explain --ledger-append --spans=`).
+  /// Serialized only when non-empty, so entries without forensics -- and the
+  /// committed ledger history -- keep their exact bytes.
+  std::vector<LedgerPhaseConstraint> phase_constraints;
 };
 
 /// Summarizes a parsed bench document into a ledger entry.

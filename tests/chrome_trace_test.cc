@@ -9,6 +9,7 @@
 
 #include "cluster/presets.h"
 #include "join/distributed_join.h"
+#include "timing/span_trace.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "workload/generator.h"
@@ -103,6 +104,44 @@ TEST(ChromeTrace, EmitsPerHostUtilizationCounters) {
     ASSERT_NE(ts, nullptr) << "host " << h;
     EXPECT_GT(ts->total(), 0.0) << "host " << h;
   }
+}
+
+TEST(ChromeTrace, EmitsBindingConstraintTracksForLabeledDatasets) {
+  MetricsRegistry metrics;
+  TracedRun run = RunTracedJoin(&metrics);
+  // The stacked per-host "bound flows" counter row exists, with one series
+  // per constraint kind...
+  EXPECT_NE(run.json.find("\"bound flows\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"msg_rate\""), std::string::npos);
+  // ...and constraint-switch instants are well-formed when present
+  // ("i"-phase, thread scope).
+  if (run.json.find(" bound: ") != std::string::npos) {
+    EXPECT_NE(run.json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(run.json.find("\"s\":\"t\""), std::string::npos);
+  }
+  EXPECT_TRUE(BalancedJson(run.json));
+}
+
+TEST(ChromeTrace, UnlabeledDatasetsStayByteIdenticalToPreConstraintExport) {
+  // Recording with constraint labels off must not add any forensics rows:
+  // the export is what a pre-constraint recorder produced.
+  WorkloadSpec spec;
+  spec.inner_tuples = 20000;
+  spec.outer_tuples = 40000;
+  auto workload = GenerateWorkload(spec, 4);
+  ASSERT_TRUE(workload.ok());
+  SpanConfig sc;
+  sc.record_constraints = false;
+  SpanRecorder recorder(sc);
+  JoinConfig config = SmallJoinConfig();
+  config.span_recorder = &recorder;
+  DistributedJoin join(QdrCluster(4), config);
+  auto result = join.Run(workload->inner, workload->outer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string json = ChromeTraceJson(result->replay, nullptr);
+  EXPECT_EQ(json.find("bound flows"), std::string::npos);
+  EXPECT_EQ(json.find(" bound: "), std::string::npos);
+  EXPECT_TRUE(BalancedJson(json));
 }
 
 TEST(ChromeTrace, MetricsSnapshotAgreesWithReport) {

@@ -35,13 +35,16 @@ struct Seg {
   double t0;
   double t1;
   double rate;
+  RateConstraint bound;
+  uint32_t bound_host;
 };
 
 class SegmentLog : public FlowTelemetry {
  public:
   void OnFlowSegment(uint64_t flow_id, uint32_t src, uint32_t dst, double t0,
-                     double t1, double rate) override {
-    segs.push_back(Seg{flow_id, src, dst, t0, t1, rate});
+                     double t1, double rate, RateConstraint bound,
+                     uint32_t bound_host) override {
+    segs.push_back(Seg{flow_id, src, dst, t0, t1, rate, bound, bound_host});
   }
   std::vector<Seg> segs;
 };
@@ -148,6 +151,12 @@ void ExpectRunsMatch(const FabricRun& full, const FabricRun& inc, bool exact) {
     EXPECT_EQ(a.flow, b.flow) << "segment " << i;
     EXPECT_EQ(a.src, b.src);
     EXPECT_EQ(a.dst, b.dst);
+    // Binding-constraint labels are discrete: both reshare paths must agree
+    // exactly, in every comparison mode (value-based freezing makes the
+    // max-min classification identical too, not just within eps).
+    EXPECT_EQ(RateConstraintName(a.bound), RateConstraintName(b.bound))
+        << "segment " << i;
+    EXPECT_EQ(a.bound_host, b.bound_host) << "segment " << i;
     if (exact) {
       // Byte-identical: equal-share incremental rates are the same
       // expressions over the same operands as the full recompute.
@@ -262,6 +271,10 @@ void ExpectLinkRunsMatch(const LinkRun& full, const LinkRun& inc, bool exact) {
     EXPECT_EQ(a.flow, b.flow) << "segment " << i;
     EXPECT_EQ(a.src, b.src);
     EXPECT_EQ(a.dst, b.dst);
+    // Discrete labels: exact agreement in both comparison modes.
+    EXPECT_EQ(RateConstraintName(a.bound), RateConstraintName(b.bound))
+        << "segment " << i;
+    EXPECT_EQ(a.bound_host, b.bound_host) << "segment " << i;
     if (exact) {
       EXPECT_EQ(a.t0, b.t0) << "segment " << i;
       EXPECT_EQ(a.t1, b.t1) << "segment " << i;

@@ -151,5 +151,51 @@ TEST(Ledger, FormatRendersTrendsAndDriftVerdicts) {
   EXPECT_NE(only09.find("fig09"), std::string::npos);
 }
 
+TEST(Ledger, PhaseConstraintsRoundTripAndKeepPlainEntriesByteIdentical) {
+  LedgerEntry plain = MakeEntry("fig05a", "c1", 1.0, 2.0);
+  const std::string plain_line = LedgerEntryToJson(plain);
+  // No phase_constraints field when the vector is empty: committed ledger
+  // history keeps its exact bytes.
+  EXPECT_EQ(plain_line.find("phase_constraints"), std::string::npos);
+
+  LedgerEntry labeled = plain;
+  labeled.phase_constraints.push_back(
+      LedgerPhaseConstraint{"network_partition", "egress"});
+  const std::string line = LedgerEntryToJson(labeled);
+  EXPECT_NE(line.find("phase_constraints"), std::string::npos);
+  auto back = ParseLedgerEntry(line);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->phase_constraints.size(), 1u);
+  EXPECT_EQ(back->phase_constraints[0].phase, "network_partition");
+  EXPECT_EQ(back->phase_constraints[0].bound, "egress");
+  EXPECT_EQ(LedgerEntryToJson(*back), line);
+  // An element without a phase or bound is rejected.
+  EXPECT_FALSE(
+      ParseLedgerEntry(
+          "{\"schema_version\":1,\"bench\":\"b\",\"rows\":[],"
+          "\"phase_constraints\":[{\"phase\":\"p\"}]}")
+          .ok());
+}
+
+TEST(Ledger, FormatRendersConstraintFlipSeries) {
+  std::vector<LedgerEntry> ledger;
+  const char* bounds[] = {"egress", "egress", "ingress"};
+  for (int i = 0; i < 3; ++i) {
+    LedgerEntry e = MakeEntry("fig05a", "c", 1.0, 2.0);
+    e.phase_constraints.push_back(
+        LedgerPhaseConstraint{"network_partition", bounds[i]});
+    ledger.push_back(std::move(e));
+  }
+  const std::string out = FormatLedger(ledger);
+  // One letter per entry: the compute- vs ingress-bound flip reads "eei".
+  EXPECT_NE(out.find("bound:network_partition"), std::string::npos);
+  EXPECT_NE(out.find("eei"), std::string::npos);
+  EXPECT_NE(out.find("latest ingress"), std::string::npos);
+  // Entries without forensics render no constraint line.
+  const std::string none =
+      FormatLedger({MakeEntry("fig05a", "c1", 1.0, 2.0)});
+  EXPECT_EQ(none.find("bound:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rdmajoin

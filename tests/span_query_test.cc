@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include "cluster/presets.h"
+#include "fault/injector.h"
+#include "fault/schedule.h"
 #include "join/distributed_join.h"
+#include "sim/fabric.h"
 #include "timing/span_trace.h"
+#include "util/json.h"
 #include "workload/generator.h"
 
 namespace rdmajoin {
@@ -115,6 +119,211 @@ TEST(SpanQuery, ConcurrentFlowSegmentsSharePortAndOverlap) {
 
 std::string FirstViolation(const SpanInvariantReport& report) {
   return report.violations.empty() ? std::string() : report.violations.front();
+}
+
+// ---------------------------------------------------------------------------
+// Bottleneck forensics: constraint attribution, congestion analysis, and the
+// label-tightness invariant on synthetic labeled datasets.
+
+FlowSegment MakeSeg(uint64_t flow, uint32_t src, uint32_t dst, double t0,
+                    double t1, double rate, RateConstraint bound,
+                    uint32_t bound_host) {
+  FlowSegment g;
+  g.flow = flow;
+  g.src = src;
+  g.dst = dst;
+  g.t0 = t0;
+  g.t1 = t1;
+  g.rate = rate;
+  g.bound = bound;
+  g.bound_host = bound_host;
+  return g;
+}
+
+/// Three senders simultaneously ingress-bound at host 3 for [0, 1] -- the
+/// canonical incast, exactly consistent with equal-share at egress = ingress
+/// = 100 B/s (each sender's own share is 100, the shared ingress port gives
+/// 100/3 each, so ingress binds at host 3).
+SpanDataset IncastDataset() {
+  SpanDataset ds;
+  const double rate = 100.0 / 3.0;
+  for (uint32_t s = 0; s < 3; ++s) {
+    ds.segments.push_back(MakeSeg(10 + s, s, 3, 0.0, 1.0, rate,
+                                  RateConstraint::kReceiverIngress, 3));
+  }
+  ds.segments_recorded = 3;
+  return ds;
+}
+
+ConstraintCheckContext IncastContext() {
+  ConstraintCheckContext ctx;
+  ctx.sharing = SharingPolicy::kEqualShare;
+  ctx.num_hosts = 4;
+  ctx.egress_bytes_per_sec = 100.0;
+  ctx.ingress_bytes_per_sec = 100.0;
+  ctx.message_rate_per_host = 0.0;
+  return ctx;
+}
+
+TEST(ConstraintForensics, BreakdownDominantPrefersLowerEnumOnTies) {
+  ConstraintBreakdown b;
+  EXPECT_EQ(b.dominant(), RateConstraint::kNone);
+  b.seconds[static_cast<int>(RateConstraint::kSenderEgress)] = 2.0;
+  b.seconds[static_cast<int>(RateConstraint::kReceiverIngress)] = 2.0;
+  EXPECT_EQ(b.dominant(), RateConstraint::kSenderEgress);
+  b.seconds[static_cast<int>(RateConstraint::kReceiverIngress)] = 2.5;
+  EXPECT_EQ(b.dominant(), RateConstraint::kReceiverIngress);
+  EXPECT_DOUBLE_EQ(b.labeled_total(), 4.5);
+}
+
+TEST(ConstraintForensics, FlowAndDatasetBreakdownsAreTimeWeighted) {
+  SpanDataset ds;
+  ds.segments.push_back(
+      MakeSeg(7, 0, 1, 0.0, 2.0, 50.0, RateConstraint::kSenderEgress, 0));
+  ds.segments.push_back(
+      MakeSeg(7, 0, 1, 2.0, 2.5, 30.0, RateConstraint::kReceiverIngress, 1));
+  ds.segments.push_back(
+      MakeSeg(8, 1, 0, 0.0, 3.0, 10.0, RateConstraint::kMessageRate, 1));
+  const ConstraintBreakdown flow = FlowConstraintBreakdown(ds, 7);
+  EXPECT_DOUBLE_EQ(
+      flow.seconds[static_cast<int>(RateConstraint::kSenderEgress)], 2.0);
+  EXPECT_DOUBLE_EQ(
+      flow.seconds[static_cast<int>(RateConstraint::kReceiverIngress)], 0.5);
+  EXPECT_EQ(flow.dominant(), RateConstraint::kSenderEgress);
+  const ConstraintBreakdown all = DatasetConstraintBreakdown(ds);
+  EXPECT_DOUBLE_EQ(
+      all.seconds[static_cast<int>(RateConstraint::kMessageRate)], 3.0);
+  EXPECT_DOUBLE_EQ(all.labeled_total(), 5.5);
+}
+
+TEST(ConstraintForensics, CongestionTimelinesAttributeToTheBindingHost) {
+  SpanDataset ds = IncastDataset();
+  CongestionOptions opts;
+  opts.timeline_buckets = 4;
+  const CongestionReport report = ComputeCongestion(ds, opts);
+  EXPECT_DOUBLE_EQ(report.t_begin, 0.0);
+  EXPECT_DOUBLE_EQ(report.t_end, 1.0);
+  ASSERT_EQ(report.hosts.size(), 4u);
+  // All three flow-seconds land on host 3's ingress track; the senders'
+  // tracks stay empty.
+  double host3_ingress = 0;
+  for (double v : report.hosts[3].ingress_bound) host3_ingress += v;
+  EXPECT_NEAR(host3_ingress, 3.0, 1e-9);
+  for (uint32_t h = 0; h < 3; ++h) {
+    for (double v : report.hosts[h].ingress_bound) EXPECT_EQ(v, 0.0);
+    for (double v : report.hosts[h].egress_bound) EXPECT_EQ(v, 0.0);
+  }
+  EXPECT_NEAR(report.totals.seconds[static_cast<int>(
+                  RateConstraint::kReceiverIngress)],
+              3.0, 1e-9);
+}
+
+TEST(ConstraintForensics, IncastDetectorFindsConvergingSenders) {
+  SpanDataset ds = IncastDataset();
+  const CongestionReport report = ComputeCongestion(ds);
+  ASSERT_EQ(report.incasts.size(), 1u);
+  EXPECT_EQ(report.incasts[0].dst, 3u);
+  EXPECT_DOUBLE_EQ(report.incasts[0].t0, 0.0);
+  EXPECT_DOUBLE_EQ(report.incasts[0].t1, 1.0);
+  EXPECT_EQ(report.incasts[0].peak_senders, 3u);
+  EXPECT_NEAR(report.incasts[0].bytes, 100.0, 1e-9);
+  // Two senders are below the default threshold...
+  SpanDataset two = ds;
+  two.segments.pop_back();
+  EXPECT_TRUE(ComputeCongestion(two).incasts.empty());
+  // ...but count when the threshold is lowered.
+  CongestionOptions loose;
+  loose.incast_min_senders = 2;
+  EXPECT_EQ(ComputeCongestion(two, loose).incasts.size(), 1u);
+}
+
+TEST(ConstraintForensics, RankSlowFlowsVerdictsTransitVsCreditWait) {
+  SpanDataset ds;
+  // Span 1: credit wait 0.5 dominates its 0.3 transit -> credit verdict.
+  WrSpan a = MakeSpan(1, 0.0, 0.5, 0.6, 0.9, 1.0);
+  a.flow = 10;
+  ds.spans.push_back(a);
+  ds.segments.push_back(
+      MakeSeg(10, 0, 1, 0.6, 0.9, 100.0, RateConstraint::kSenderEgress, 0));
+  // Span 2: negligible credit wait, ingress-bound transit -> ingress.
+  WrSpan b = MakeSpan(2, 0.0, 0.0, 0.1, 0.9, 0.95);
+  b.flow = 11;
+  ds.spans.push_back(b);
+  ds.segments.push_back(
+      MakeSeg(11, 0, 1, 0.1, 0.9, 50.0, RateConstraint::kReceiverIngress, 1));
+  const std::vector<FlowSlowEntry> ranked = RankSlowFlows(ds, 5);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].span.id, 1u);  // 1.0 s duration beats 0.95
+  EXPECT_EQ(ranked[0].verdict, RateConstraint::kCreditStarved);
+  EXPECT_DOUBLE_EQ(ranked[0].credit_wait_seconds, 0.5);
+  EXPECT_EQ(ranked[1].span.id, 2u);
+  EXPECT_EQ(ranked[1].verdict, RateConstraint::kReceiverIngress);
+}
+
+TEST(ConstraintForensics, CheckPassesOnAConsistentLabeledDataset) {
+  const SpanInvariantReport inv =
+      CheckConstraintInvariants(IncastDataset(), IncastContext());
+  EXPECT_TRUE(inv.ok()) << FirstViolation(inv);
+}
+
+TEST(ConstraintForensics, CheckFlagsUnlabeledRateLimitedFlow) {
+  SpanDataset ds = IncastDataset();
+  ds.segments[0].bound = RateConstraint::kNone;
+  ds.segments[0].bound_host = 0;
+  const SpanInvariantReport inv =
+      CheckConstraintInvariants(ds, IncastContext());
+  EXPECT_FALSE(inv.ok());
+  EXPECT_NE(FirstViolation(inv).find("no binding constraint"),
+            std::string::npos)
+      << FirstViolation(inv);
+}
+
+TEST(ConstraintForensics, CheckFlagsConstrainingHostOnTheWrongSide) {
+  SpanDataset ds = IncastDataset();
+  // An ingress label must name the destination, not the source.
+  ds.segments[1].bound_host = ds.segments[1].src;
+  EXPECT_FALSE(CheckConstraintInvariants(ds, IncastContext()).ok());
+}
+
+TEST(ConstraintForensics, CheckFlagsMislabeledConstraintKind) {
+  SpanDataset ds = IncastDataset();
+  // The shares say ingress binds (100/3 < 100); claiming egress is a lie.
+  for (FlowSegment& g : ds.segments) {
+    g.bound = RateConstraint::kSenderEgress;
+    g.bound_host = g.src;
+  }
+  EXPECT_FALSE(CheckConstraintInvariants(ds, IncastContext()).ok());
+}
+
+TEST(ConstraintForensics, CheckFlagsNonTightRate) {
+  SpanDataset ds = IncastDataset();
+  // Correct label, wrong rate: the labeled share does not reproduce it.
+  ds.segments[2].rate = 50.0;
+  EXPECT_FALSE(CheckConstraintInvariants(ds, IncastContext()).ok());
+}
+
+TEST(ConstraintForensics, CheckSkipsTightnessWhenSegmentsWereDropped) {
+  SpanDataset ds = IncastDataset();
+  ds.segments[2].rate = 50.0;  // would fail tightness...
+  ds.segments_dropped = 1;     // ...but the reconstruction is partial
+  const SpanInvariantReport inv =
+      CheckConstraintInvariants(ds, IncastContext());
+  EXPECT_TRUE(inv.ok()) << FirstViolation(inv);
+}
+
+TEST(ConstraintForensics, FormatCongestionReportNamesTheArtifacts) {
+  const SpanDataset ds = IncastDataset();
+  const CongestionReport report = ComputeCongestion(ds);
+  const std::string text = FormatCongestionReport(ds, report, 3);
+  EXPECT_NE(text.find("constraint totals"), std::string::npos);
+  EXPECT_NE(text.find("incast"), std::string::npos);
+  EXPECT_NE(text.find("host 3"), std::string::npos);
+  const std::string json = CongestionReportToJson(report);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed->Find("hosts"), nullptr);
+  EXPECT_NE(parsed->Find("incasts"), nullptr);
+  EXPECT_NE(parsed->Find("totals"), nullptr);
 }
 
 TEST(SpanQuery, InvariantsPassOnCleanSyntheticData) {
@@ -256,6 +465,33 @@ void ExpectCleanRun(const ReplayedRun& run) {
   EXPECT_TRUE(inv.ok()) << FirstViolation(inv);
 }
 
+/// The fabric configuration the run's network pass used -- the same
+/// construction as timing/replay.cc and `rdmajoin_explain --congestion`.
+ConstraintCheckContext ContextFor(const ClusterConfig& cluster) {
+  FabricConfig fc = cluster.fabric;
+  fc.num_hosts = cluster.num_machines;
+  if (cluster.transport == TransportKind::kTcp) {
+    fc.egress_bytes_per_sec = cluster.tcp.bytes_per_sec;
+    fc.ingress_bytes_per_sec = cluster.tcp.bytes_per_sec;
+    fc.message_rate_per_host = 0.0;
+  }
+  return ConstraintCheckContextFromFabric(fc);
+}
+
+/// Every recorded segment carries a label and every label is tight against
+/// the fabric the run actually used.
+void ExpectConstraintsTight(const ReplayedRun& run,
+                            const ConstraintCheckContext& ctx) {
+  bool labeled = false;
+  for (const FlowSegment& g : run.dataset.segments) {
+    if (g.bound != RateConstraint::kNone) labeled = true;
+  }
+  EXPECT_TRUE(labeled) << "replay produced no binding-constraint labels";
+  const SpanInvariantReport inv =
+      CheckConstraintInvariants(run.dataset, ctx);
+  EXPECT_TRUE(inv.ok()) << FirstViolation(inv);
+}
+
 /// Per machine, the summed credit waits of the lead thread's spans must
 /// reproduce the attribution's buffer-stall seconds to 1e-9.
 void ExpectCreditWaitMatchesAttribution(const ReplayedRun& run,
@@ -271,20 +507,24 @@ void ExpectCreditWaitMatchesAttribution(const ReplayedRun& run,
 }
 
 TEST(SpanReplay, UniformJoinSatisfiesInvariants) {
-  ReplayedRun run = RunJoin(QdrCluster(4), JoinConfig{});
+  const ClusterConfig cluster = QdrCluster(4);
+  ReplayedRun run = RunJoin(cluster, JoinConfig{});
   ExpectCleanRun(run);
   ExpectCreditWaitMatchesAttribution(run, 4);
   EXPECT_FALSE(run.dataset.threads.empty());
   EXPECT_FALSE(run.dataset.segments.empty());
+  ExpectConstraintsTight(run, ContextFor(cluster));
 }
 
 TEST(SpanReplay, SkewedJoinWithStealingSatisfiesInvariants) {
   JoinConfig config;
   config.assignment = AssignmentPolicy::kSkewAware;
   config.enable_work_stealing = true;
-  ReplayedRun run = RunJoin(QdrCluster(4), config, /*zipf=*/1.2);
+  const ClusterConfig cluster = QdrCluster(4);
+  ReplayedRun run = RunJoin(cluster, config, /*zipf=*/1.2);
   ExpectCleanRun(run);
   ExpectCreditWaitMatchesAttribution(run, 4);
+  ExpectConstraintsTight(run, ContextFor(cluster));
 }
 
 TEST(SpanReplay, NonInterleavedSendsAreStrictlySerializedPerThread) {
@@ -293,6 +533,7 @@ TEST(SpanReplay, NonInterleavedSendsAreStrictlySerializedPerThread) {
   ReplayedRun run = RunJoin(cluster, JoinConfig{});
   ExpectCleanRun(run);
   ExpectCreditWaitMatchesAttribution(run, 3);
+  ExpectConstraintsTight(run, ContextFor(cluster));
   // The causal property of the non-interleaved variant: a thread's next span
   // cannot be posted before its previous span completed (every send blocks
   // until its transfer finishes -- Figure 5b's whole point).
@@ -321,6 +562,7 @@ TEST(SpanReplay, OneSidedReadPullsAreMarkedAsPulls) {
   config.buffers_per_partition = 1;
   ReplayedRun run = RunJoin(cluster, config);
   ExpectCleanRun(run);
+  ExpectConstraintsTight(run, ContextFor(cluster));
   int pulls = 0;
   for (const WrSpan& s : run.dataset.spans) {
     if (s.pull) {
@@ -330,6 +572,29 @@ TEST(SpanReplay, OneSidedReadPullsAreMarkedAsPulls) {
     }
   }
   EXPECT_GT(pulls, 0) << "one-sided transport must produce pull spans";
+}
+
+TEST(SpanReplay, ChaosScheduleRunKeepsConstraintLabelsTight) {
+  const ClusterConfig cluster = QdrCluster(4);
+  const FaultInjector injector(MakeChaosSchedule(1337, 4));
+  ASSERT_TRUE(injector.active());
+  JoinConfig config;
+  config.fault_injector = &injector;
+  config.fault_policy = FaultPolicy::kRecover;
+  ReplayedRun run = RunJoin(cluster, config);
+  const SpanInvariantReport span_inv = CheckSpanInvariants(run.dataset);
+  EXPECT_TRUE(span_inv.ok()) << FirstViolation(span_inv);
+  // The constraint check must see the fault schedule's capacity scales:
+  // inside a degrade window a host's fair share shrinks by the same factor
+  // the replay applied, and flap windows (scale 0) skip tightness.
+  ConstraintCheckContext ctx = ContextFor(cluster);
+  ctx.egress_scale = [&injector](uint32_t host, double t) {
+    return injector.EgressScale(host, t);
+  };
+  ctx.ingress_scale = [&injector](uint32_t host, double t) {
+    return injector.IngressScale(host, t);
+  };
+  ExpectConstraintsTight(run, ctx);
 }
 
 TEST(SpanReplay, DisablingSpansLeavesPhaseTimesIdentical) {

@@ -59,7 +59,7 @@ TEST(SpanRecorder, DisabledRecorderRecordsNothing) {
   SpanRecorder rec(config);
   EXPECT_EQ(rec.BeginSpan(0, 0, 0, 0, 1, 64, false, 0.0), 0u);
   rec.MarkStage(1, SpanStage::kDelivered, 1.0);
-  rec.OnFlowSegment(1, 0, 1, 0.0, 1.0, 100.0);
+  rec.OnFlowSegment(1, 0, 1, 0.0, 1.0, 100.0, RateConstraint::kSenderEgress, 0);
   rec.OnWrPosted(0, WorkCompletion::Op::kSend);
   rec.AddThreadMark(ThreadMark{});
   const SpanDataset ds = rec.Snapshot();
@@ -126,12 +126,13 @@ TEST(SpanRecorder, LateStageUpdatesOnEvictedSpansAreCounted) {
 }
 
 TEST(SpanRecorder, MergesContiguousSameRateSegments) {
+  constexpr RateConstraint kE = RateConstraint::kSenderEgress;
   SpanRecorder rec;
-  rec.OnFlowSegment(/*flow_id=*/5, 0, 1, 0.0, 1.0, 1e9);
-  rec.OnFlowSegment(5, 0, 1, 1.0, 2.0, 1e9);   // contiguous, same rate: merge
-  rec.OnFlowSegment(5, 0, 1, 2.0, 3.0, 5e8);   // rate change: new segment
-  rec.OnFlowSegment(5, 0, 1, 4.0, 5.0, 5e8);   // gap: new segment
-  rec.OnFlowSegment(6, 0, 2, 5.0, 6.0, 5e8);   // other flow: new segment
+  rec.OnFlowSegment(/*flow_id=*/5, 0, 1, 0.0, 1.0, 1e9, kE, 0);
+  rec.OnFlowSegment(5, 0, 1, 1.0, 2.0, 1e9, kE, 0);  // contiguous, same: merge
+  rec.OnFlowSegment(5, 0, 1, 2.0, 3.0, 5e8, kE, 0);  // rate change: new segment
+  rec.OnFlowSegment(5, 0, 1, 4.0, 5.0, 5e8, kE, 0);  // gap: new segment
+  rec.OnFlowSegment(6, 0, 2, 5.0, 6.0, 5e8, kE, 0);  // other flow: new segment
   const SpanDataset ds = rec.Snapshot();
   ASSERT_EQ(ds.segments.size(), 4u);
   EXPECT_DOUBLE_EQ(ds.segments[0].t0, 0.0);
@@ -146,6 +147,45 @@ TEST(SpanRecorder, MergesContiguousSameRateSegments) {
   EXPECT_DOUBLE_EQ(bytes, 2e9 + 5e8 + 5e8);
 }
 
+TEST(SpanRecorder, SplitsSegmentsAcrossConstraintSwitch) {
+  // A reshare can switch the binding constraint while the rate stays
+  // numerically identical (egress and ingress shares crossing over). The
+  // recorder must NOT coalesce across the switch: each segment's label must
+  // describe its whole interval.
+  SpanRecorder rec;
+  rec.OnFlowSegment(5, 0, 1, 0.0, 1.0, 1e9, RateConstraint::kSenderEgress, 0);
+  rec.OnFlowSegment(5, 0, 1, 1.0, 2.0, 1e9, RateConstraint::kReceiverIngress,
+                    1);
+  // Same constraint kind but a different owning host also splits.
+  rec.OnFlowSegment(5, 0, 1, 2.0, 3.0, 1e9, RateConstraint::kReceiverIngress,
+                    1);
+  const SpanDataset ds = rec.Snapshot();
+  ASSERT_EQ(ds.segments.size(), 2u);
+  EXPECT_EQ(ds.segments[0].bound, RateConstraint::kSenderEgress);
+  EXPECT_DOUBLE_EQ(ds.segments[0].t1, 1.0);
+  EXPECT_EQ(ds.segments[1].bound, RateConstraint::kReceiverIngress);
+  EXPECT_EQ(ds.segments[1].bound_host, 1u);
+  EXPECT_DOUBLE_EQ(ds.segments[1].t0, 1.0);
+  EXPECT_DOUBLE_EQ(ds.segments[1].t1, 3.0);
+}
+
+TEST(SpanRecorder, RecordConstraintsOffDropsLabels) {
+  SpanConfig config;
+  config.record_constraints = false;
+  SpanRecorder rec(config);
+  rec.OnFlowSegment(5, 0, 1, 0.0, 1.0, 1e9, RateConstraint::kSenderEgress, 0);
+  // With labels discarded, a constraint switch at the same rate merges.
+  rec.OnFlowSegment(5, 0, 1, 1.0, 2.0, 1e9, RateConstraint::kReceiverIngress,
+                    1);
+  const SpanDataset ds = rec.Snapshot();
+  ASSERT_EQ(ds.segments.size(), 1u);
+  EXPECT_EQ(ds.segments[0].bound, RateConstraint::kNone);
+  EXPECT_EQ(ds.segments[0].bound_host, 0u);
+  EXPECT_DOUBLE_EQ(ds.segments[0].t1, 2.0);
+  // Label-free datasets serialize as schema version 1.
+  EXPECT_NE(SpanDatasetToJson(ds).find("\"version\":1"), std::string::npos);
+}
+
 TEST(SpanRecorder, SegmentRingKeepsNewestInRecordingOrder) {
   SpanRecorder rec(TinyConfig());
   const size_t cap = rec.segment_capacity();
@@ -153,7 +193,8 @@ TEST(SpanRecorder, SegmentRingKeepsNewestInRecordingOrder) {
   for (size_t i = 0; i < total; ++i) {
     const double t = static_cast<double>(2 * i);
     // Distinct flows so no two segments merge.
-    rec.OnFlowSegment(/*flow_id=*/i + 1, 0, 1, t, t + 1.0, 1e9);
+    rec.OnFlowSegment(/*flow_id=*/i + 1, 0, 1, t, t + 1.0, 1e9,
+                      RateConstraint::kSenderEgress, 0);
   }
   EXPECT_EQ(rec.segments_dropped(), 7u);
   const SpanDataset ds = rec.Snapshot();
@@ -205,7 +246,8 @@ TEST(SpanRecorder, OverflowWarnsExactlyOncePerRun) {
   }
   for (size_t i = 0; i < 3 * rec.segment_capacity(); ++i) {
     rec.OnFlowSegment(i + 1, 0, 1, static_cast<double>(2 * i),
-                      static_cast<double>(2 * i + 1), 1e9);
+                      static_cast<double>(2 * i + 1), 1e9,
+                      RateConstraint::kSenderEgress, 0);
   }
   Logger::SetLevel(old_level);
   Logger::SetSink(nullptr);
@@ -227,7 +269,8 @@ TEST(SpanDatasetJson, RoundTripsEveryField) {
   rec.SetReceiverService(id, 2.0, 2.125);
   // A second, incomplete span exercises the kSpanUnset encoding.
   rec.BeginSpan(0, 0, 1, 0, 2, 128.0, false, 3.0);
-  rec.OnFlowSegment(42, 1, 3, 1.5625, 2.0, 4096.0 / 0.4375);
+  rec.OnFlowSegment(42, 1, 3, 1.5625, 2.0, 4096.0 / 0.4375,
+                    RateConstraint::kReceiverIngress, 3);
   rec.AddThreadMark(ThreadMark{1, 2, 9.0, 5.0, 0.5, 0.25});
   rec.OnWrPosted(1, WorkCompletion::Op::kSend);
   rec.OnWrCompleted(1, WorkCompletion::Op::kSend, true);
@@ -258,9 +301,13 @@ TEST(SpanDatasetJson, RoundTripsEveryField) {
     EXPECT_EQ(a.recv_start, b.recv_start);
     EXPECT_EQ(a.recv_end, b.recv_end);
   }
+  // A labeled segment promotes the document to schema version 2.
+  EXPECT_NE(json.find("\"version\":2"), std::string::npos);
   ASSERT_EQ(back->segments.size(), 1u);
   EXPECT_EQ(back->segments[0].flow, 42u);
   EXPECT_EQ(back->segments[0].rate, ds.segments[0].rate);
+  EXPECT_EQ(back->segments[0].bound, RateConstraint::kReceiverIngress);
+  EXPECT_EQ(back->segments[0].bound_host, 3u);
   ASSERT_EQ(back->threads.size(), 1u);
   EXPECT_EQ(back->threads[0].credit_stall_seconds, 0.5);
   ASSERT_EQ(back->devices.size(), 1u);
@@ -283,6 +330,37 @@ TEST(SpanDatasetJson, RejectsMalformedDocuments) {
                    "{\"version\":1,\"spans\":[],\"devices\":[{\"device\":0,"
                    "\"posted\":[1,2]}]}")
                    .ok());  // opcode array must have 4 entries
+}
+
+TEST(SpanDatasetJson, ReadsSchemaV1SegmentsAsUnlabeled) {
+  // Pre-forensics documents carry no "bound" keys; they parse with kNone
+  // labels and re-serialize byte-identically (still version 1).
+  const std::string v1 =
+      "{\"version\":1,\"spans\":[],\"segments\":[{\"flow\":7,\"src\":0,"
+      "\"dst\":1,\"t0\":0,\"t1\":1,\"rate\":1000}],\"spans_recorded\":0,"
+      "\"spans_dropped\":0,\"segments_recorded\":1,\"segments_dropped\":0}";
+  auto ds = ParseSpanDatasetJson(v1);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ASSERT_EQ(ds->segments.size(), 1u);
+  EXPECT_EQ(ds->segments[0].bound, RateConstraint::kNone);
+  EXPECT_EQ(ds->segments[0].bound_host, 0u);
+  EXPECT_NE(SpanDatasetToJson(*ds).find("\"version\":1"), std::string::npos);
+}
+
+TEST(SpanDatasetJson, RejectsUnknownConstraintName) {
+  const std::string v2 =
+      "{\"version\":2,\"spans\":[],\"segments\":[{\"flow\":7,\"src\":0,"
+      "\"dst\":1,\"t0\":0,\"t1\":1,\"rate\":1000,\"bound\":\"warp_drive\","
+      "\"bound_host\":0}]}";
+  EXPECT_FALSE(ParseSpanDatasetJson(v2).ok());
+  // Version 2 documents with valid names parse.
+  const std::string ok =
+      "{\"version\":2,\"spans\":[],\"segments\":[{\"flow\":7,\"src\":0,"
+      "\"dst\":1,\"t0\":0,\"t1\":1,\"rate\":1000,\"bound\":\"ingress\","
+      "\"bound_host\":1}]}";
+  auto ds = ParseSpanDatasetJson(ok);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->segments[0].bound, RateConstraint::kReceiverIngress);
 }
 
 TEST(SpanDatasetJson, FileRoundTrip) {

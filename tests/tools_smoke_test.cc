@@ -231,6 +231,26 @@ TEST_F(ToolsSmokeTest, ExplainUtilizationReplaysAndChecksTheIdentity) {
             2);
 }
 
+TEST_F(ToolsSmokeTest, ExplainCongestionReportsAndChecksLabels) {
+  ASSERT_EQ(cli_exit_, 0);
+  const std::string json_out = TempPath("congestion.json");
+  // The replayed trace's binding-constraint labels are tight against the
+  // replay's own fabric configuration.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --congestion" +
+                    " --trace=" + *trace_path_ + " --check --json-out=" +
+                    json_out),
+            0);
+  auto parsed = ParseJson(ReadFileOrEmpty(json_out));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed->Find("totals"), nullptr);
+  EXPECT_NE(parsed->Find("hosts"), nullptr);
+  EXPECT_NE(parsed->Find("incasts"), nullptr);
+  // Missing trace file -> bad input (2).
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --congestion" +
+                    " --trace=" + TempPath("no_such.trace")),
+            2);
+}
+
 /// Writes a small two-row bench JSON document for the explain diff/ledger
 /// smoke tests; `r1_seconds` varies the second row's measurement.
 std::string WriteBenchDoc(const std::string& name, double r1_seconds) {
@@ -315,13 +335,41 @@ TEST(ExplainSmokeTest, LedgerAppendsRendersAndFlagsDrift) {
   std::remove(ledger.c_str());
 }
 
+TEST_F(ToolsSmokeTest, LedgerAppendRecordsDominantConstraintFromSpans) {
+  ASSERT_EQ(cli_exit_, 0);
+  const std::string ledger = TempPath("explain_ledger_spans.jsonl");
+  std::remove(ledger.c_str());
+  const std::string bench = WriteBenchDoc("explain_ledger_spans.json", 1.5);
+  ASSERT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --ledger-append=" +
+                    ledger + " --bench-json=" + bench + " --commit=c1" +
+                    " --spans=" + *spans_path_),
+            0);
+  // The entry carries the run's dominant binding constraint.
+  const std::string line = ReadFileOrEmpty(ledger);
+  auto entry = ParseJson(line);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  const JsonValue* pcs = entry->Find("phase_constraints");
+  ASSERT_NE(pcs, nullptr);
+  ASSERT_TRUE(pcs->is_array());
+  ASSERT_EQ(pcs->array_items.size(), 1u);
+  EXPECT_EQ(pcs->array_items[0].StringOr("phase", ""), "network_partition");
+  EXPECT_FALSE(pcs->array_items[0].StringOr("bound", "").empty());
+  // A bad spans path -> bad input (2), nothing appended.
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --ledger-append=" +
+                    ledger + " --bench-json=" + bench +
+                    " --spans=" + TempPath("no_such_spans.json")),
+            2);
+  std::remove(ledger.c_str());
+}
+
 TEST(ExplainSmokeTest, UsageErrorsExitTwo) {
   // No mode selected.
   EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN)), 2);
   // Unknown flag.
   EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --no-such-flag"), 2);
-  // --utilization without a trace.
+  // --utilization / --congestion without a trace.
   EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --utilization"), 2);
+  EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --congestion"), 2);
   // --diff needs two documents.
   EXPECT_EQ(RunTool(std::string(RDMAJOIN_EXPLAIN_BIN) + " --diff " +
                     TempPath("only_one.json")),

@@ -61,6 +61,10 @@ void PrintUsage() {
       "                   [--tolerance=REL] [--abs-tolerance=SECONDS]\n"
       "                   [--report-improvements]\n"
       "  rdmajoin_analyze --spans=FILE.json [--top=K] [--check]\n"
+      "                   --top=K sets the length of the top-k span tables\n"
+      "                   (by duration and by credit wait; default 5). On\n"
+      "                   schema-v2 datasets each row is annotated with its\n"
+      "                   flow's dominant binding constraint (bound=...).\n"
       "  rdmajoin_analyze --trace=FILE --cluster=qdr|fdr|ipoib --machines=N\n"
       "                   [--cores=N] [--scale=N] [--inner=MTUPLES --outer=MTUPLES]\n");
 }

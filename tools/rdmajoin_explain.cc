@@ -6,6 +6,9 @@
 //   rdmajoin_cli --machines=4 --inner=64 --outer=64 --trace-out=/tmp/j.trace
 //   rdmajoin_explain --utilization --trace=/tmp/j.trace --check
 //
+//   # Who was the bottleneck, when? (constraint timelines, incast, top flows)
+//   rdmajoin_explain --congestion --trace=/tmp/j.trace --check
+//
 //   # Why did run B slow down?
 //   rdmajoin_explain --diff BENCH_old.json BENCH_new.json
 //       --spans-a=SPANS_old.json --spans-b=SPANS_new.json
@@ -30,6 +33,8 @@
 #include "join/join_config.h"
 #include "timing/replay.h"
 #include "timing/run_diff.h"
+#include "timing/span_query.h"
+#include "timing/span_trace.h"
 #include "timing/trace_io.h"
 #include "timing/utilization.h"
 #include "util/ledger.h"
@@ -50,6 +55,15 @@ void PrintUsage() {
       "  --check                 verify the idle-window totals reproduce the\n"
       "                          attribution (exit 1 on violation)\n"
       "\n"
+      "congestion (one run -- binding-constraint forensics):\n"
+      "  --congestion            per-host congestion timelines, incast\n"
+      "                          episodes and the ranked \"why is this flow\n"
+      "                          slow\" report (takes --trace, --cluster,\n"
+      "                          --cores, --buckets, --top)\n"
+      "  --check                 verify every recorded constraint label is\n"
+      "                          tight against the replay's fabric config\n"
+      "                          (exit 1 on violation)\n"
+      "\n"
       "run diff (two runs):\n"
       "  --diff A.json B.json    bench JSON of the two runs\n"
       "  --spans-a=PATH --spans-b=PATH      span datasets (optional)\n"
@@ -62,6 +76,9 @@ void PrintUsage() {
       "  --ledger=PATH           render trends + drift (exit 1 on drift)\n"
       "  --ledger-append=PATH    append one entry from --bench-json\n"
       "  --bench-json=PATH       bench JSON to summarize\n"
+      "  --spans=PATH            span dataset of the same run: records its\n"
+      "                          dominant binding constraint so --ledger\n"
+      "                          trends show compute- vs ingress-bound flips\n"
       "  --bench=NAME            limit --ledger rendering to one bench\n"
       "  --commit=ID             commit id recorded in the entry\n"
       "\n"
@@ -86,6 +103,20 @@ bool WriteFileOrWarn(const std::string& path, const std::string& text) {
   return true;
 }
 
+Status ResolveCluster(const std::string& cluster_name, uint32_t machines,
+                      uint32_t cores, ClusterConfig* out) {
+  if (cluster_name == "qdr") {
+    *out = QdrCluster(machines, cores);
+  } else if (cluster_name == "fdr") {
+    *out = FdrCluster(machines, cores);
+  } else if (cluster_name == "ipoib") {
+    *out = IpoibCluster(machines, cores);
+  } else {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  return Status::OK();
+}
+
 int RunUtilization(const std::string& trace_path, const std::string& cluster_name,
                    uint32_t cores, size_t buckets, bool check, size_t top_k,
                    const std::string& json_out) {
@@ -95,14 +126,9 @@ int RunUtilization(const std::string& trace_path, const std::string& cluster_nam
   if (machines == 0) return Fail(Status::InvalidArgument("trace has no machines"));
 
   ClusterConfig cluster;
-  if (cluster_name == "qdr") {
-    cluster = QdrCluster(machines, cores);
-  } else if (cluster_name == "fdr") {
-    cluster = FdrCluster(machines, cores);
-  } else if (cluster_name == "ipoib") {
-    cluster = IpoibCluster(machines, cores);
-  } else {
-    return Fail(Status::InvalidArgument("unknown cluster " + cluster_name));
+  if (Status s = ResolveCluster(cluster_name, machines, cores, &cluster);
+      !s.ok()) {
+    return Fail(s);
   }
 
   JoinConfig config;
@@ -127,6 +153,64 @@ int RunUtilization(const std::string& trace_path, const std::string& cluster_nam
     std::printf("check: idle-window totals reproduce the attribution (%zu "
                 "machines, 1e-9)\n",
                 report.machines.size());
+  }
+  return 0;
+}
+
+int RunCongestion(const std::string& trace_path,
+                  const std::string& cluster_name, uint32_t cores,
+                  size_t buckets, bool check, size_t top_k,
+                  const std::string& json_out) {
+  auto trace = ReadTraceFile(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  const uint32_t machines = static_cast<uint32_t>(trace->machines.size());
+  if (machines == 0) return Fail(Status::InvalidArgument("trace has no machines"));
+
+  ClusterConfig cluster;
+  if (Status s = ResolveCluster(cluster_name, machines, cores, &cluster);
+      !s.ok()) {
+    return Fail(s);
+  }
+
+  JoinConfig config;
+  config.scale_up = trace->scale_up;
+  const ReplayReport replay = ReplayTrace(cluster, config, *trace);
+  if (replay.spans == nullptr) {
+    return Fail(Status::Internal("replay produced no span recorder"));
+  }
+  const SpanDataset data = replay.spans->Snapshot();
+
+  CongestionOptions options;
+  options.timeline_buckets = buckets;
+  const CongestionReport report = ComputeCongestion(data, options);
+  std::fputs(FormatCongestionReport(data, report, top_k).c_str(), stdout);
+  if (!json_out.empty() &&
+      !WriteFileOrWarn(json_out, CongestionReportToJson(report))) {
+    return 2;
+  }
+  if (check) {
+    // The exact fabric configuration the replay's network pass ran with
+    // (timing/replay.cc): the cluster preset resized to the trace, with the
+    // TCP transport's flat byte rate overriding the RDMA port model.
+    FabricConfig fc = cluster.fabric;
+    fc.num_hosts = machines;
+    if (cluster.transport == TransportKind::kTcp) {
+      fc.egress_bytes_per_sec = cluster.tcp.bytes_per_sec;
+      fc.ingress_bytes_per_sec = cluster.tcp.bytes_per_sec;
+      fc.message_rate_per_host = 0.0;
+    }
+    const SpanInvariantReport verdict =
+        CheckConstraintInvariants(data, ConstraintCheckContextFromFabric(fc));
+    if (!verdict.ok()) {
+      for (const std::string& v : verdict.violations) {
+        std::fprintf(stderr, "VIOLATION: %s\n", v.c_str());
+      }
+      return 1;
+    }
+    std::printf(
+        "check: every binding-constraint label is tight (%llu segments, "
+        "kRateEps)\n",
+        static_cast<unsigned long long>(verdict.spans_checked));
   }
   return 0;
 }
@@ -173,14 +257,26 @@ int RunLedger(const std::string& path, const std::string& bench_filter,
 }
 
 int RunLedgerAppend(const std::string& path, const std::string& bench_json,
-                    const std::string& commit) {
+                    const std::string& spans_path, const std::string& commit) {
   if (bench_json.empty()) {
     std::fprintf(stderr, "--ledger-append requires --bench-json=PATH\n");
     return 2;
   }
   auto bench = ReadBenchJsonFile(bench_json);
   if (!bench.ok()) return Fail(bench.status());
-  const LedgerEntry entry = LedgerEntryFromBench(*bench, commit);
+  LedgerEntry entry = LedgerEntryFromBench(*bench, commit);
+  if (!spans_path.empty()) {
+    // Record the run's dominant binding constraint so --ledger trends show
+    // compute- vs ingress-bound flips across commits, not just timings.
+    auto spans = ReadSpanDatasetFile(spans_path);
+    if (!spans.ok()) return Fail(spans.status());
+    const RateConstraint bound =
+        DatasetConstraintBreakdown(*spans).dominant();
+    if (bound != RateConstraint::kNone) {
+      entry.phase_constraints.push_back(
+          LedgerPhaseConstraint{"network_partition", RateConstraintName(bound)});
+    }
+  }
   Status s = AppendLedgerEntry(path, entry);
   if (!s.ok()) return Fail(s);
   std::printf("appended %s (%zu rows, %.6f s total) to %s\n",
@@ -192,10 +288,12 @@ int RunLedgerAppend(const std::string& path, const std::string& bench_json,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool utilization = false, check = false, report_improvements = false;
+  bool utilization = false, congestion = false, check = false,
+       report_improvements = false;
   std::string trace_path, cluster_name = "qdr", json_out;
   std::string diff_a, diff_b, spans_a, spans_b, metrics_a, metrics_b;
   std::string ledger_path, ledger_append_path, bench_json, bench_filter, commit;
+  std::string ledger_spans;
   uint32_t cores = 8;
   size_t buckets = 48, top_k = 10;
   RunDiffOptions diff_options;
@@ -216,6 +314,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--utilization") {
       utilization = true;
+    } else if (arg == "--congestion") {
+      congestion = true;
     } else if (arg == "--check") {
       check = true;
     } else if (arg == "--diff") {
@@ -251,6 +351,8 @@ int main(int argc, char** argv) {
       ledger_append_path = v;
     } else if (const char* v = value("--bench-json")) {
       bench_json = v;
+    } else if (const char* v = value("--spans")) {
+      ledger_spans = v;
     } else if (const char* v = value("--bench")) {
       bench_filter = v;
     } else if (const char* v = value("--commit")) {
@@ -280,6 +382,14 @@ int main(int argc, char** argv) {
     return RunUtilization(trace_path, cluster_name, cores, buckets, check,
                           top_k, json_out);
   }
+  if (congestion) {
+    if (trace_path.empty()) {
+      std::fprintf(stderr, "--congestion requires --trace=FILE\n");
+      return 2;
+    }
+    return RunCongestion(trace_path, cluster_name, cores, buckets, check,
+                         top_k, json_out);
+  }
   if (diff_mode) {
     if (diff_a.empty() || diff_b.empty()) {
       std::fprintf(stderr, "--diff requires two bench JSON paths\n");
@@ -289,7 +399,7 @@ int main(int argc, char** argv) {
                    diff_options, report_improvements, json_out);
   }
   if (!ledger_append_path.empty()) {
-    return RunLedgerAppend(ledger_append_path, bench_json, commit);
+    return RunLedgerAppend(ledger_append_path, bench_json, ledger_spans, commit);
   }
   if (!ledger_path.empty()) {
     return RunLedger(ledger_path, bench_filter, diff_options.relative_tolerance,
