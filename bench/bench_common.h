@@ -207,6 +207,33 @@ inline RunOutcome RunPaperJoin(const ClusterConfig& cluster, double inner_mtuple
   return out;
 }
 
+/// Captures the execution traces of several independent joins on `cluster`,
+/// one per entry of `query_mtuples` (million tuples, inner == outer), with
+/// per-query workload seeds opt.seed + index. This is the multi-trace
+/// capture loop shared by the co-scheduling harnesses
+/// (ext_concurrent_queries, ext_traffic): capture once, then replay the
+/// traces under whatever interleaving is being studied.
+inline StatusOr<std::vector<RunTrace>> CaptureQueryTraces(
+    const ClusterConfig& cluster, const JoinConfig& jc, const Options& opt,
+    const std::vector<double>& query_mtuples) {
+  std::vector<RunTrace> traces;
+  traces.reserve(query_mtuples.size());
+  for (size_t q = 0; q < query_mtuples.size(); ++q) {
+    WorkloadSpec spec;
+    spec.inner_tuples =
+        static_cast<uint64_t>(query_mtuples[q] * 1e6 / opt.scale_up);
+    spec.outer_tuples = spec.inner_tuples;
+    spec.seed = opt.seed + q;
+    auto workload = GenerateWorkload(spec, cluster.num_machines);
+    if (!workload.ok()) return workload.status();
+    auto result = DistributedJoin(cluster, jc).Run(workload->inner,
+                                                   workload->outer);
+    if (!result.ok()) return result.status();
+    traces.push_back(std::move(result->trace));
+  }
+  return traces;
+}
+
 inline void PrintScaleNote(const Options& opt) {
   std::printf(
       "# scale_up = %.0f (data path runs paper_tuples/%.0f tuples; times are "

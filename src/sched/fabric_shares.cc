@@ -1,0 +1,77 @@
+#include "sched/fabric_shares.h"
+
+#include <limits>
+
+#include "sim/rate_sharing.h"
+
+namespace rdmajoin {
+
+namespace {
+
+/// Aggregate max-min rate of an all-to-all demand set with `copies[i]`
+/// duplicate flows per ordered host pair for tenant i, solved against the
+/// fabric's per-host capacities. Returns per-tenant aggregates.
+std::vector<double> SolveAggregates(const FabricConfig& fabric,
+                                    const std::vector<uint32_t>& copies) {
+  const uint32_t n = fabric.num_hosts;
+  std::vector<RateDemand> demands;
+  std::vector<uint32_t> owner;  // tenant index per demand
+  for (uint32_t t = 0; t < copies.size(); ++t) {
+    for (uint32_t c = 0; c < copies[t]; ++c) {
+      for (uint32_t s = 0; s < n; ++s) {
+        for (uint32_t d = 0; d < n; ++d) {
+          if (s == d) continue;
+          demands.push_back(RateDemand{
+              s, d, std::numeric_limits<double>::infinity(), 0.0});
+          owner.push_back(t);
+        }
+      }
+    }
+  }
+  std::vector<double> aggregates(copies.size(), 0.0);
+  if (demands.empty()) return aggregates;
+  std::vector<double> egress_left(n, fabric.EffectiveEgress());
+  std::vector<double> ingress_left(n, fabric.ingress_bytes_per_sec);
+  SolveMaxMinRates(&demands, &egress_left, &ingress_left);
+  for (size_t i = 0; i < demands.size(); ++i) {
+    aggregates[owner[i]] += demands[i].rate;
+  }
+  return aggregates;
+}
+
+}  // namespace
+
+std::vector<double> ComputeFabricShares(const FabricConfig& fabric,
+                                        const std::vector<uint32_t>& weights) {
+  std::vector<double> shares(weights.size(), 0.0);
+  if (weights.empty()) return shares;
+  uint64_t weight_sum = 0;
+  for (uint32_t w : weights) weight_sum += w;
+  if (weight_sum == 0) return shares;
+  if (fabric.num_hosts < 2) {
+    // No cross-host traffic to solve for; fall back to weight proportions.
+    for (size_t i = 0; i < weights.size(); ++i) {
+      shares[i] = static_cast<double>(weights[i]) /
+                  static_cast<double>(weight_sum);
+    }
+    return shares;
+  }
+  // Solo reference: one query of weight 1 owning the whole fabric.
+  const std::vector<double> solo = SolveAggregates(fabric, {1});
+  if (!(solo[0] > 0)) return shares;
+  const std::vector<double> together = SolveAggregates(fabric, weights);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    shares[i] = together[i] / solo[0];
+  }
+  return shares;
+}
+
+const std::vector<double>& FabricShareCache::Get(
+    const std::vector<uint32_t>& weights) {
+  auto it = cache_.find(weights);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(weights, ComputeFabricShares(fabric_, weights))
+      .first->second;
+}
+
+}  // namespace rdmajoin

@@ -1,0 +1,96 @@
+#include "sched/workload_mix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace rdmajoin {
+
+StatusOr<std::vector<ArrivalEvent>> GenerateArrivals(
+    const std::vector<MixClass>& mix, double qps, uint32_t count,
+    uint64_t seed) {
+  if (mix.empty()) return Status::InvalidArgument("workload mix is empty");
+  if (!(qps > 0)) return Status::InvalidArgument("qps must be positive");
+  double weight_sum = 0;
+  for (const MixClass& c : mix) {
+    if (!(c.probability_weight >= 0)) {
+      return Status::InvalidArgument("mix weights must be non-negative");
+    }
+    weight_sum += c.probability_weight;
+  }
+  if (!(weight_sum > 0)) {
+    return Status::InvalidArgument("mix weights sum to zero");
+  }
+  Random rng(seed);
+  std::vector<ArrivalEvent> arrivals;
+  arrivals.reserve(count);
+  double t = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    // Exponential inter-arrival via inverse CDF; NextDouble() is in [0, 1)
+    // so 1-u is in (0, 1] and the log is finite.
+    const double u = rng.NextDouble();
+    t += -std::log(1.0 - u) / qps;
+    double pick = rng.NextDouble() * weight_sum;
+    uint32_t cls = 0;
+    for (size_t c = 0; c < mix.size(); ++c) {
+      pick -= mix[c].probability_weight;
+      if (pick <= 0) {
+        cls = static_cast<uint32_t>(c);
+        break;
+      }
+      // Rounding can leave pick slightly positive after the last class.
+      cls = static_cast<uint32_t>(c);
+    }
+    arrivals.push_back(ArrivalEvent{t, cls});
+  }
+  return arrivals;
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(std::max(pct, 0.0), 100.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+TrafficSummary SummarizeTraffic(const ScheduleReport& report,
+                                const std::vector<ArrivalEvent>& arrivals,
+                                double qps) {
+  TrafficSummary s;
+  s.offered_qps = qps;
+  s.offered = static_cast<uint32_t>(arrivals.size());
+  s.completed = report.completed;
+  s.rejected = report.rejected;
+  s.makespan_seconds = report.makespan_seconds;
+  std::vector<double> latencies;
+  double sum = 0;
+  for (const QueryOutcome& q : report.queries) {
+    if (!q.completed) continue;
+    latencies.push_back(q.latency_seconds);
+    sum += q.latency_seconds;
+    s.max_latency_seconds = std::max(s.max_latency_seconds, q.latency_seconds);
+  }
+  if (!latencies.empty()) {
+    s.mean_latency_seconds = sum / static_cast<double>(latencies.size());
+    s.p50_latency_seconds = Percentile(latencies, 50);
+    s.p95_latency_seconds = Percentile(latencies, 95);
+    s.p99_latency_seconds = Percentile(latencies, 99);
+  }
+  if (s.makespan_seconds > 0) {
+    s.goodput_qps =
+        static_cast<double>(s.completed) / s.makespan_seconds;
+  }
+  double last_arrival = 0;
+  for (const ArrivalEvent& a : arrivals) {
+    last_arrival = std::max(last_arrival, a.time_seconds);
+  }
+  s.drain_seconds = std::max(0.0, s.makespan_seconds - last_arrival);
+  return s;
+}
+
+}  // namespace rdmajoin

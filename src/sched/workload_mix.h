@@ -1,0 +1,73 @@
+#ifndef RDMAJOIN_SCHED_WORKLOAD_MIX_H_
+#define RDMAJOIN_SCHED_WORKLOAD_MIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "util/statusor.h"
+
+namespace rdmajoin {
+
+/// One query class of a mixed workload (e.g. "small", "medium", "large"
+/// joins). `profile_index` points into the caller's profile vector;
+/// `probability_weight` is the class's relative arrival frequency.
+struct MixClass {
+  std::string label;
+  uint32_t profile_index = 0;
+  double probability_weight = 1.0;
+};
+
+/// One generated arrival of the open-loop driver.
+struct ArrivalEvent {
+  double time_seconds = 0;
+  uint32_t class_index = 0;
+};
+
+/// Seeded-deterministic open-loop Poisson arrival process: `count` arrivals
+/// at rate `qps`, each drawn from `mix` by probability weight. Open-loop
+/// means arrival times never depend on completions -- the serving-stack
+/// regime (Rödiger et al., "High-Speed Query Processing over High-Speed
+/// Networks") where latency percentiles under offered load are the honest
+/// metric. Inter-arrival gaps are -ln(1-u)/qps with u from the repo's
+/// xorshift64* generator (util/random.h), so a fixed (seed, qps, count, mix)
+/// reproduces the byte-identical arrival sequence on every platform.
+StatusOr<std::vector<ArrivalEvent>> GenerateArrivals(
+    const std::vector<MixClass>& mix, double qps, uint32_t count,
+    uint64_t seed);
+
+/// Nearest-rank percentile (EXPERIMENTS.md documents the methodology):
+/// the ceil(pct/100 * N)-th smallest value; 0 on empty input. Copies and
+/// sorts.
+double Percentile(std::vector<double> values, double pct);
+
+/// Latency/throughput summary of one scheduled open-loop run.
+struct TrafficSummary {
+  double offered_qps = 0;
+  uint32_t offered = 0;
+  uint32_t completed = 0;
+  uint32_t rejected = 0;
+  double p50_latency_seconds = 0;
+  double p95_latency_seconds = 0;
+  double p99_latency_seconds = 0;
+  double mean_latency_seconds = 0;
+  double max_latency_seconds = 0;
+  /// Completion time of the last query.
+  double makespan_seconds = 0;
+  /// Completed queries per second of makespan (goodput under offered load).
+  double goodput_qps = 0;
+  /// How long past the last arrival the system kept draining; bounded drain
+  /// is the sustainability criterion (sched/docs/scheduling.md).
+  double drain_seconds = 0;
+};
+
+/// Distills a schedule report (plus the offered rate that produced it) into
+/// the traffic summary.
+TrafficSummary SummarizeTraffic(const ScheduleReport& report,
+                                const std::vector<ArrivalEvent>& arrivals,
+                                double qps);
+
+}  // namespace rdmajoin
+
+#endif  // RDMAJOIN_SCHED_WORKLOAD_MIX_H_

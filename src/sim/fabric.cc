@@ -87,7 +87,7 @@ void Fabric::EnableMetrics(MetricsRegistry* registry, const std::string& prefix,
 }
 
 Fabric::FlowId Fabric::Inject(uint32_t src, uint32_t dst, double bytes, double now,
-                              uint64_t cookie) {
+                              uint64_t cookie, uint32_t tenant) {
   assert(src < config_.num_hosts && dst < config_.num_hosts);
   // An "empty message" has no meaning in a fluid byte-flow model; rejecting
   // it identically in debug and release builds keeps the delivery statistics
@@ -106,6 +106,7 @@ Fabric::FlowId Fabric::Inject(uint32_t src, uint32_t dst, double bytes, double n
   f.rate = 0.0;
   f.bound = RateConstraint::kNone;
   f.bound_host = 0;
+  f.tenant = tenant;
   f.cookie = cookie;
   flows_.push_back(f);
   ++src_cnt_[src];
@@ -179,7 +180,8 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
             f.rate > 0 && (f.remaining <= f.size * kTimeEps + 1e-9 * f.rate ||
                            now_ + f.remaining / f.rate <= now_);
         if (done) {
-          latency_.push_back(LatencyFlow{f.id, f.cookie, f.src, f.dst, f.size,
+          latency_.push_back(LatencyFlow{f.id, f.cookie, f.src, f.dst, f.tenant,
+                                         f.size,
                                          now_ + config_.base_latency_seconds});
           --src_cnt_[f.src];
           --dst_cnt_[f.dst];
@@ -222,6 +224,10 @@ void Fabric::AdvanceTo(double t, std::vector<Completion>* completed) {
   for (const LatencyFlow& lf : due) {
     bytes_delivered_ += lf.size;
     bytes_from_host_[lf.src] += lf.size;
+    if (lf.tenant >= bytes_for_tenant_.size()) {
+      bytes_for_tenant_.resize(lf.tenant + 1, 0.0);
+    }
+    bytes_for_tenant_[lf.tenant] += lf.size;
     ++messages_delivered_;
     if (!host_metrics_.empty()) {
       host_metrics_[lf.src].egress_bytes->Add(lf.size);
@@ -241,6 +247,19 @@ double Fabric::FlowRate(FlowId id) const {
 double Fabric::bytes_delivered_from(uint32_t host) const {
   assert(host < bytes_from_host_.size());
   return bytes_from_host_[host];
+}
+
+double Fabric::TenantRate(uint32_t tenant) const {
+  double sum = 0.0;
+  for (const Flow& f : flows_) {
+    if (f.tenant == tenant) sum += f.rate;
+  }
+  return sum;
+}
+
+double Fabric::bytes_delivered_for_tenant(uint32_t tenant) const {
+  if (tenant >= bytes_for_tenant_.size()) return 0.0;
+  return bytes_for_tenant_[tenant];
 }
 
 void Fabric::MarkDirty(uint32_t host) {

@@ -136,8 +136,16 @@ class Fabric {
   /// nothing is counted in the delivery statistics. Callers that model
   /// zero-payload control messages should charge base_latency_seconds
   /// themselves.
+  ///
+  /// `tenant` is an opaque per-flow tag (a query id in multi-tenant replays,
+  /// src/sched/). It never influences the assigned rates -- sharing stays a
+  /// pure function of the (src, dst, cap) demand set -- but the fabric keeps
+  /// per-tenant delivery accounting (bytes_delivered_for_tenant) and can
+  /// report a tenant's aggregate instantaneous rate (TenantRate), which is
+  /// how the scheduler reads per-query bandwidth shares out of the existing
+  /// max-min solver. Tag 0 is the default single-tenant world.
   FlowId Inject(uint32_t src, uint32_t dst, double bytes, double now,
-                uint64_t cookie = 0);
+                uint64_t cookie = 0, uint32_t tenant = 0);
 
   /// Attaches observability instrumentation reporting into `registry` under
   /// `<prefix>.`: per-host delivered-byte counters
@@ -180,12 +188,18 @@ class Fabric {
   /// Current assigned rate of a draining flow (bytes/sec); 0 if unknown.
   double FlowRate(FlowId id) const;
 
+  /// Sum of the current rates of every active flow tagged `tenant` -- the
+  /// tenant's aggregate bandwidth under the current fair-share solution.
+  double TenantRate(uint32_t tenant) const;
+
   /// Total payload bytes fully delivered so far.
   double total_bytes_delivered() const { return bytes_delivered_; }
   /// Total messages completed.
   uint64_t messages_delivered() const { return messages_delivered_; }
   /// Payload bytes delivered whose source was `host`.
   double bytes_delivered_from(uint32_t host) const;
+  /// Payload bytes delivered that carried tenant tag `tenant`.
+  double bytes_delivered_for_tenant(uint32_t tenant) const;
 
   /// Number of rate recomputations triggered so far (reshare cost metering
   /// for bench/micro_replay_engine.cc).
@@ -205,6 +219,7 @@ class Fabric {
     double rate;       // bytes/sec, assigned at last recompute
     RateConstraint bound;  // constraint binding at last recompute
     uint32_t bound_host;   // host owning that constraint
+    uint32_t tenant;       // opaque per-query tag (never affects rates)
     uint64_t cookie;
   };
   struct LatencyFlow {
@@ -212,6 +227,7 @@ class Fabric {
     uint64_t cookie;
     uint32_t src;
     uint32_t dst;
+    uint32_t tenant;
     double size;
     double complete_at;
   };
@@ -271,6 +287,8 @@ class Fabric {
   double bytes_delivered_ = 0.0;
   uint64_t messages_delivered_ = 0;
   std::vector<double> bytes_from_host_;
+  /// Indexed by tenant tag, grown on demand (tag 0 always present).
+  std::vector<double> bytes_for_tenant_;
   // Completions that came due while Inject advanced the clock; delivered on
   // the next AdvanceTo call.
   std::vector<Completion> pending_completions_;

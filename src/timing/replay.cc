@@ -417,8 +417,8 @@ ReplayReport ReplayTrace(const ClusterConfig& cluster, const JoinConfig& config,
                                send.retry_delay_seconds);
       }
     }
-    const LinkFabric::MessageId id =
-        fabric.Enqueue(flow_src, send.dst_machine, vbytes, ts.time);
+    const LinkFabric::MessageId id = fabric.Enqueue(
+        flow_src, send.dst_machine, vbytes, ts.time, /*cookie=*/0, ts.tr->query);
     flows.Put(id, FlowInfo{who, send.slot, send.dst_machine, vbytes, ts.pending_span});
     if (recorder != nullptr && ts.pending_span != 0) {
       recorder->MarkStage(ts.pending_span, SpanStage::kFabricAdmitted, ts.time);
@@ -583,15 +583,22 @@ StatusOr<ReplayReport> ReplayConcurrent(const ClusterConfig& cluster,
   RunTrace merged;
   merged.scale_up = scale;
   merged.machines.resize(nm);
-  for (const RunTrace& t : traces) {
+  for (size_t qi = 0; qi < traces.size(); ++qi) {
+    const RunTrace& t = traces[qi];
     for (uint32_t m = 0; m < nm; ++m) {
       MachineTrace& dst = merged.machines[m];
       const MachineTrace& src = t.machines[m];
       dst.histogram_bytes += src.histogram_bytes;
       dst.histogram_exchange_seconds =
           std::max(dst.histogram_exchange_seconds, src.histogram_exchange_seconds);
+      // Tag each query's threads so the fabric carries per-query tenant ids
+      // (per-query bandwidth shares are readable via LinkFabric::TenantRate).
+      const size_t first_new = dst.net_threads.size();
       dst.net_threads.insert(dst.net_threads.end(), src.net_threads.begin(),
                              src.net_threads.end());
+      for (size_t i = first_new; i < dst.net_threads.size(); ++i) {
+        dst.net_threads[i].query = static_cast<uint32_t>(qi);
+      }
       dst.recv_bytes += src.recv_bytes;
       dst.recv_messages += src.recv_messages;
       dst.local_pass_bytes += src.local_pass_bytes;

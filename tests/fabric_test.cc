@@ -262,5 +262,35 @@ TEST(RateSharingDeathTest, NanCapacityAbortsInsteadOfSilentBreak) {
   EXPECT_DEATH(SolveWithNanInputs(), "max-min filling made no progress");
 }
 
+// Tenant tags (the multi-query scheduler's accounting hook) must never
+// change rates or completion times -- only the per-tenant byte ledgers.
+TEST(Fabric, TenantTagsDoNotChangeRatesOnlyAccounting) {
+  Fabric tagged(BasicConfig());
+  tagged.Inject(0, 1, 500.0, 0.0, /*cookie=*/1, /*tenant=*/3);
+  tagged.Inject(0, 2, 500.0, 0.0, /*cookie=*/2, /*tenant=*/5);
+  Fabric untagged(BasicConfig());
+  untagged.Inject(0, 1, 500.0, 0.0, /*cookie=*/1);
+  untagged.Inject(0, 2, 500.0, 0.0, /*cookie=*/2);
+  EXPECT_DOUBLE_EQ(tagged.NextCompletionTime(), untagged.NextCompletionTime());
+  // Both flows share host 0's egress; per-tenant rates split it 500/500.
+  EXPECT_DOUBLE_EQ(tagged.TenantRate(3), 500.0);
+  EXPECT_DOUBLE_EQ(tagged.TenantRate(5), 500.0);
+  EXPECT_DOUBLE_EQ(tagged.TenantRate(0), 0.0);
+  auto done = DrainAt(&tagged, 1.0);
+  EXPECT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(tagged.bytes_delivered_for_tenant(3), 500.0);
+  EXPECT_DOUBLE_EQ(tagged.bytes_delivered_for_tenant(5), 500.0);
+  EXPECT_DOUBLE_EQ(tagged.bytes_delivered_for_tenant(0), 0.0);
+  EXPECT_DOUBLE_EQ(tagged.bytes_delivered_for_tenant(99), 0.0);
+}
+
+TEST(Fabric, DefaultTenantZeroCollectsUntaggedTraffic) {
+  Fabric fabric(BasicConfig());
+  fabric.Inject(0, 1, 400.0, 0.0);
+  DrainAt(&fabric, 10.0);
+  EXPECT_DOUBLE_EQ(fabric.bytes_delivered_for_tenant(0), 400.0);
+  EXPECT_DOUBLE_EQ(fabric.total_bytes_delivered(), 400.0);
+}
+
 }  // namespace
 }  // namespace rdmajoin

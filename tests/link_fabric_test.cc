@@ -197,5 +197,26 @@ TEST(LinkFabric, AggregateThroughputMatchesPerFlowFabric) {
   EXPECT_NEAR(t_flows, 6.0, 1e-6);
 }
 
+// Tenant tags ride along per message and feed per-tenant delivered-byte
+// ledgers; they never affect rates or FIFO order.
+TEST(LinkFabric, TenantAccountingPerMessage) {
+  LinkFabric fabric(BasicConfig());
+  fabric.Enqueue(0, 1, 300.0, 0.0, /*cookie=*/1, /*tenant=*/2);
+  fabric.Enqueue(0, 1, 200.0, 0.0, /*cookie=*/2, /*tenant=*/7);
+  // Head of the only active link belongs to tenant 2 at full egress.
+  EXPECT_DOUBLE_EQ(fabric.TenantRate(2), 1000.0);
+  EXPECT_DOUBLE_EQ(fabric.TenantRate(7), 0.0);
+  std::vector<LinkFabric::Completion> done;
+  fabric.AdvanceTo(0.3, &done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(fabric.bytes_delivered_for_tenant(2), 300.0);
+  // Now tenant 7's message heads the link.
+  EXPECT_DOUBLE_EQ(fabric.TenantRate(7), 1000.0);
+  fabric.AdvanceTo(0.5, &done);
+  EXPECT_DOUBLE_EQ(fabric.bytes_delivered_for_tenant(7), 200.0);
+  EXPECT_DOUBLE_EQ(fabric.bytes_delivered_for_tenant(0), 0.0);
+  EXPECT_DOUBLE_EQ(fabric.total_bytes_delivered(), 500.0);
+}
+
 }  // namespace
 }  // namespace rdmajoin

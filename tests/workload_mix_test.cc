@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "sched/workload_mix.h"
+
+namespace rdmajoin {
+namespace {
+
+std::vector<MixClass> ThreeClassMix() {
+  return {{"small", 0, 4.0}, {"medium", 1, 2.0}, {"large", 2, 1.0}};
+}
+
+TEST(GenerateArrivals, ValidatesInputs) {
+  EXPECT_FALSE(GenerateArrivals({}, 1.0, 4, 7).ok());
+  EXPECT_FALSE(GenerateArrivals(ThreeClassMix(), 0.0, 4, 7).ok());
+  EXPECT_FALSE(GenerateArrivals(ThreeClassMix(), -1.0, 4, 7).ok());
+  std::vector<MixClass> negative = {{"a", 0, -1.0}};
+  EXPECT_FALSE(GenerateArrivals(negative, 1.0, 4, 7).ok());
+  std::vector<MixClass> zero = {{"a", 0, 0.0}, {"b", 1, 0.0}};
+  EXPECT_FALSE(GenerateArrivals(zero, 1.0, 4, 7).ok());
+}
+
+TEST(GenerateArrivals, WellFormed) {
+  auto arrivals = GenerateArrivals(ThreeClassMix(), 2.0, 64, 42);
+  ASSERT_TRUE(arrivals.ok());
+  ASSERT_EQ(arrivals->size(), 64u);
+  double prev = 0;
+  for (const ArrivalEvent& a : *arrivals) {
+    EXPECT_GE(a.time_seconds, prev);
+    prev = a.time_seconds;
+    EXPECT_LT(a.class_index, 3u);
+  }
+}
+
+TEST(GenerateArrivals, BitIdenticalRerunAtFixedSeed) {
+  // The determinism contract the CI gate rests on: same (mix, qps, count,
+  // seed) reproduces the byte-identical arrival sequence. Exact double
+  // equality on purpose.
+  auto a = GenerateArrivals(ThreeClassMix(), 0.8054, 24, 1234);
+  auto b = GenerateArrivals(ThreeClassMix(), 0.8054, 24, 1234);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].time_seconds, (*b)[i].time_seconds);
+    EXPECT_EQ((*a)[i].class_index, (*b)[i].class_index);
+  }
+}
+
+TEST(GenerateArrivals, SeedChangesTheSequence) {
+  auto a = GenerateArrivals(ThreeClassMix(), 1.0, 24, 1);
+  auto b = GenerateArrivals(ThreeClassMix(), 1.0, 24, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_different = false;
+  for (size_t i = 0; i < a->size(); ++i) {
+    any_different = any_different ||
+                    (*a)[i].time_seconds != (*b)[i].time_seconds;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GenerateArrivals, MeanInterArrivalApproachesInverseRate) {
+  const double qps = 4.0;
+  auto arrivals = GenerateArrivals(ThreeClassMix(), qps, 4000, 99);
+  ASSERT_TRUE(arrivals.ok());
+  const double mean = arrivals->back().time_seconds / 4000.0;
+  EXPECT_NEAR(mean, 1.0 / qps, 0.05 / qps);
+}
+
+TEST(GenerateArrivals, ClassFrequenciesFollowWeights) {
+  auto arrivals = GenerateArrivals(ThreeClassMix(), 1.0, 7000, 5);
+  ASSERT_TRUE(arrivals.ok());
+  size_t counts[3] = {0, 0, 0};
+  for (const ArrivalEvent& a : *arrivals) ++counts[a.class_index];
+  // Weights 4:2:1 -> expected fractions 4/7, 2/7, 1/7.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 7000.0, 4.0 / 7.0, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 7000.0, 2.0 / 7.0, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 7000.0, 1.0 / 7.0, 0.03);
+}
+
+TEST(Percentile, NearestRankSemantics) {
+  EXPECT_EQ(Percentile({}, 50), 0);
+  EXPECT_EQ(Percentile({3.0}, 50), 3.0);
+  // 10 values 1..10: p50 -> ceil(5) = 5th smallest, p95 -> 10th, p99 -> 10th.
+  std::vector<double> v = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  EXPECT_EQ(Percentile(v, 50), 5.0);
+  EXPECT_EQ(Percentile(v, 90), 9.0);
+  EXPECT_EQ(Percentile(v, 95), 10.0);
+  EXPECT_EQ(Percentile(v, 99), 10.0);
+  EXPECT_EQ(Percentile(v, 0), 1.0);
+  EXPECT_EQ(Percentile(v, 100), 10.0);
+}
+
+TEST(SummarizeTraffic, DistillsAScheduleReport) {
+  ScheduleReport report;
+  report.policy = SchedPolicy::kOverlap;
+  report.completed = 2;
+  report.rejected = 1;
+  report.makespan_seconds = 10.0;
+  QueryOutcome a;
+  a.completed = true;
+  a.latency_seconds = 2.0;
+  QueryOutcome b;
+  b.completed = true;
+  b.latency_seconds = 4.0;
+  QueryOutcome c;
+  c.rejected = true;
+  report.queries = {a, b, c};
+  const std::vector<ArrivalEvent> arrivals = {{1.0, 0}, {2.0, 0}, {8.0, 1}};
+  const TrafficSummary s = SummarizeTraffic(report, arrivals, 0.3);
+  EXPECT_EQ(s.offered_qps, 0.3);
+  EXPECT_EQ(s.offered, 3u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.p50_latency_seconds, 2.0);
+  EXPECT_EQ(s.p99_latency_seconds, 4.0);
+  EXPECT_EQ(s.max_latency_seconds, 4.0);
+  EXPECT_NEAR(s.mean_latency_seconds, 3.0, 1e-12);
+  EXPECT_NEAR(s.goodput_qps, 0.2, 1e-12);
+  EXPECT_NEAR(s.drain_seconds, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rdmajoin

@@ -6,6 +6,13 @@
 //   rdmajoin_cli --machines=4 --inner=64 --outer=64 --trace-out=/tmp/j.trace
 //   rdmajoin_explain --utilization --trace=/tmp/j.trace --check
 //
+//   # The same question for a SCHEDULED multi-query run (src/sched/): the
+//   # per-query latency/queue/slowdown table, each query's attribution
+//   # decomposition, and the idle windows the scheduler left unfilled,
+//   # labeled with the admitted query that could have filled them.
+//   ext_traffic --scale=64 --sched-json=/tmp/sched.json
+//   rdmajoin_explain --utilization --sched=/tmp/sched.json --check
+//
 //   # Who was the bottleneck, when? (constraint timelines, incast, top flows)
 //   rdmajoin_explain --congestion --trace=/tmp/j.trace --check
 //
@@ -23,14 +30,18 @@
 //   1  divergence beyond tolerance, identity violation, or ledger drift
 //   2  usage error or unreadable/malformed input
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "cluster/presets.h"
 #include "join/join_config.h"
+#include "sched/scheduler.h"
 #include "timing/replay.h"
 #include "timing/run_diff.h"
 #include "timing/span_query.h"
@@ -49,11 +60,19 @@ void PrintUsage() {
       "utilization (one run):\n"
       "  --utilization           analyze a recorded trace's replay\n"
       "  --trace=PATH            input trace (rdmajoin_cli --trace-out)\n"
+      "  --sched=PATH            instead of a trace: a scheduled multi-query\n"
+      "                          run (ext_traffic / ext_concurrent_queries\n"
+      "                          --sched-json) -- per-query latency, queue\n"
+      "                          wait and attribution, plus the idle windows\n"
+      "                          the policy left unfilled, labeled with the\n"
+      "                          query that could have filled them\n"
       "  --cluster=qdr|fdr|ipoib hardware preset for the replay (default qdr)\n"
       "  --cores=N               cores per machine (default 8)\n"
       "  --buckets=N             occupancy timeline buckets (default 48)\n"
       "  --check                 verify the idle-window totals reproduce the\n"
-      "                          attribution (exit 1 on violation)\n"
+      "                          attribution (exit 1 on violation); with\n"
+      "                          --sched, verify the per-query buckets tile\n"
+      "                          each latency to 1e-9\n"
       "\n"
       "congestion (one run -- binding-constraint forensics):\n"
       "  --congestion            per-host congestion timelines, incast\n"
@@ -153,6 +172,84 @@ int RunUtilization(const std::string& trace_path, const std::string& cluster_nam
     std::printf("check: idle-window totals reproduce the attribution (%zu "
                 "machines, 1e-9)\n",
                 report.machines.size());
+  }
+  return 0;
+}
+
+// The scheduled-run flavor of --utilization: per-query outcome table,
+// attribution decomposition (including the sched_queue bucket src/sched/
+// adds to the taxonomy), and the idle windows the policy left unfilled,
+// each labeled with the admitted query that could have moved into it.
+int RunSchedUtilization(const std::string& sched_path, bool check,
+                        size_t top_k, const std::string& json_out) {
+  std::ifstream in(sched_path, std::ios::binary);
+  if (!in) {
+    return Fail(Status::NotFound("cannot open " + sched_path));
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto report = ParseScheduleReport(text);
+  if (!report.ok()) return Fail(report.status());
+
+  std::fputs(FormatScheduleReport(*report).c_str(), stdout);
+
+  std::printf("\nper-query attribution (seconds; latency = queue + buckets)\n");
+  for (const QueryOutcome& q : report->queries) {
+    if (q.rejected) continue;
+    PhaseAttribution total;
+    for (const PhaseAttribution& a : q.attribution) total += a;
+    std::printf(
+        "  q%-3u %-20s queue=%7.4f compute=%7.4f network=%7.4f stall=%7.4f "
+        "barrier=%7.4f fault=%7.4f\n",
+        q.id, q.label.c_str(), q.sched_queue_seconds, total.compute_seconds,
+        total.network_seconds, total.buffer_stall_seconds,
+        total.barrier_wait_seconds, total.fault_recovery_seconds);
+  }
+
+  // Longest idle windows first: these are the gaps a better policy would
+  // fill (PR 8 ranked co-scheduling candidates; here the scheduler reports
+  // its own leftovers).
+  std::vector<const SchedIdleWindow*> windows;
+  for (const SchedIdleWindow& w : report->idle_windows) windows.push_back(&w);
+  std::stable_sort(windows.begin(), windows.end(),
+                   [](const SchedIdleWindow* a, const SchedIdleWindow* b) {
+                     return (a->end_seconds - a->begin_seconds) >
+                            (b->end_seconds - b->begin_seconds);
+                   });
+  if (windows.size() > top_k) windows.resize(top_k);
+  std::printf("\ntop idle windows (unfilled gaps)\n");
+  if (windows.empty()) {
+    std::printf("  none -- every resource was busy whenever work existed\n");
+  }
+  for (const SchedIdleWindow* w : windows) {
+    std::string filler = "none";
+    if (w->candidate_query >= 0) {
+      for (const QueryOutcome& q : report->queries) {
+        if (q.id == static_cast<uint32_t>(w->candidate_query)) {
+          filler = "q" + std::to_string(q.id) + " (" + q.label + ")";
+          break;
+        }
+      }
+    }
+    std::printf("  %-7s [%8.4f, %8.4f] %7.4fs  filler: %s\n",
+                w->network ? "network" : "cores", w->begin_seconds,
+                w->end_seconds, w->end_seconds - w->begin_seconds,
+                filler.c_str());
+  }
+
+  if (!json_out.empty() &&
+      !WriteFileOrWarn(json_out, ScheduleReportToJson(*report))) {
+    return 2;
+  }
+  if (check) {
+    if (Status s = CheckScheduleInvariants(*report); !s.ok()) {
+      std::fprintf(stderr, "VIOLATION: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\ncheck: every completed query's buckets tile its latency (%zu "
+        "queries, 1e-9)\n",
+        report->queries.size());
   }
   return 0;
 }
@@ -290,7 +387,7 @@ int RunLedgerAppend(const std::string& path, const std::string& bench_json,
 int main(int argc, char** argv) {
   bool utilization = false, congestion = false, check = false,
        report_improvements = false;
-  std::string trace_path, cluster_name = "qdr", json_out;
+  std::string trace_path, sched_path, cluster_name = "qdr", json_out;
   std::string diff_a, diff_b, spans_a, spans_b, metrics_a, metrics_b;
   std::string ledger_path, ledger_append_path, bench_json, bench_filter, commit;
   std::string ledger_spans;
@@ -324,6 +421,8 @@ int main(int argc, char** argv) {
       report_improvements = true;
     } else if (const char* v = value("--trace")) {
       trace_path = v;
+    } else if (const char* v = value("--sched")) {
+      sched_path = v;
     } else if (const char* v = value("--cluster")) {
       cluster_name = v;
     } else if (const char* v = value("--cores")) {
@@ -375,8 +474,11 @@ int main(int argc, char** argv) {
   }
 
   if (utilization) {
+    if (!sched_path.empty()) {
+      return RunSchedUtilization(sched_path, check, top_k, json_out);
+    }
     if (trace_path.empty()) {
-      std::fprintf(stderr, "--utilization requires --trace=FILE\n");
+      std::fprintf(stderr, "--utilization requires --trace=FILE or --sched=FILE\n");
       return 2;
     }
     return RunUtilization(trace_path, cluster_name, cores, buckets, check,
